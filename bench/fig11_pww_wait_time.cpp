@@ -1,0 +1,49 @@
+// Figure 11 — PWW method: average wait time (100 KB), GM vs Portals.
+//
+// Paper: "given a large enough work interval, Portals will virtually
+// complete messaging whereas GM will not" — the application-offload
+// detector. Portals' wait time falls to ~0; GM's stays near the full
+// transfer time no matter how long the work interval is.
+#include "fig_common.hpp"
+
+using namespace comb;
+using namespace comb::bench;
+using namespace comb::units;
+
+int main(int argc, char** argv) {
+  const FigArgs args = parseFigArgs(
+      argc, argv, "fig11", "PWW method: average wait time (100 KB)");
+  if (!args.parsedOk) return 0;
+
+  const auto intervals = presets::workSweep(args.pointsPerDecade);
+  const auto gm =
+      runPwwSweep(backend::gmMachine(), presets::pwwBase(100_KB), intervals);
+  const auto portals = runPwwSweep(backend::portalsMachine(),
+                                   presets::pwwBase(100_KB), intervals);
+
+  report::Figure fig("fig11", "PWW Method: Average Wait Time (100 KB)",
+                     "work_interval_iters", "wait_time_us");
+  fig.logX().paperExpectation(
+      "Portals wait falls to ~0 at long work intervals (application "
+      "offload); GM wait stays ~constant at the full exchange time (no "
+      "offload)");
+
+  auto gmSeries =
+      makeSeries("GM", intervals, gm,
+                 [](const PwwPoint& p) { return p.avgWaitPerMsg * 1e6; });
+  auto ptlSeries =
+      makeSeries("Portals", intervals, portals,
+                 [](const PwwPoint& p) { return p.avgWaitPerMsg * 1e6; });
+
+  std::vector<report::ShapeCheck> checks;
+  checks.push_back(report::checkEndsBelow(
+      "Portals wait -> ~0 at long work intervals", ptlSeries.ys, 20.0));
+  checks.push_back(report::checkEndsAbove(
+      "GM wait stays ~ message time (no offload)", gmSeries.ys, 800.0));
+  checks.push_back(
+      report::checkFlat("GM wait flat across work intervals", gmSeries.ys,
+                        0.35));
+  fig.addSeries(std::move(gmSeries));
+  fig.addSeries(std::move(ptlSeries));
+  return finishFigure(fig, checks, args);
+}

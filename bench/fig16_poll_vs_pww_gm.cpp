@@ -1,0 +1,61 @@
+// Figure 16 — Polling and PWW methods: bandwidth vs availability, GM
+// (100 KB).
+//
+// Paper: the Polling curve holds peak bandwidth across nearly the whole
+// availability range; the PWW curve cannot — without application offload,
+// restricting MPI calls (large work intervals = high availability) chokes
+// bandwidth, so PWW bandwidth decays as availability rises.
+#include "fig_common.hpp"
+
+using namespace comb;
+using namespace comb::bench;
+using namespace comb::units;
+
+int main(int argc, char** argv) {
+  const FigArgs args = parseFigArgs(
+      argc, argv, "fig16",
+      "Polling + PWW: bandwidth vs availability, GM (100 KB)");
+  if (!args.parsedOk) return 0;
+
+  const auto poll =
+      runPollingSweep(backend::gmMachine(), presets::pollingBase(100_KB),
+                      presets::pollSweep(args.pointsPerDecade + 1));
+  const auto pww =
+      runPwwSweep(backend::gmMachine(), presets::pwwBase(100_KB),
+                  presets::workSweep(args.pointsPerDecade + 1));
+
+  report::Figure fig("fig16",
+                     "Polling and PWW: Bandwidth vs Availability (GM)",
+                     "cpu_availability", "bandwidth_MBps");
+  fig.paperExpectation(
+      "Poll curve: ~88 MB/s out to availability ~0.95+; PWW curve: "
+      "bandwidth decays with availability (no application offload)");
+
+  auto pollS = makeParametricSeries(
+      "Poll", poll, [](const PollingPoint& p) { return p.availability; },
+      [](const PollingPoint& p) { return toMBps(p.bandwidthBps); });
+  auto pwwS = makeParametricSeries(
+      "PWW", pww, [](const PwwPoint& p) { return p.availability; },
+      [](const PwwPoint& p) { return toMBps(p.bandwidthBps); });
+
+  std::vector<report::ShapeCheck> checks;
+  const double pollPeak = *std::max_element(pollS.ys.begin(), pollS.ys.end());
+  checks.push_back(report::checkCoexists(
+      "Poll: peak bandwidth at availability >= 0.9",
+      std::vector<double>(pollS.xs.begin(), pollS.xs.end()), pollS.ys, 0.9,
+      0.85 * pollPeak));
+  {
+    // PWW: at availability >= 0.7 bandwidth must have collapsed.
+    double worst = 0.0;
+    for (std::size_t i = 0; i < pwwS.xs.size(); ++i)
+      if (pwwS.xs[i] >= 0.7) worst = std::max(worst, pwwS.ys[i]);
+    checks.push_back(report::ShapeCheck{
+        "PWW: bandwidth collapsed at high availability",
+        worst < 0.5 * pollPeak,
+        strFormat("max PWW bw at avail>=0.7: %.1f MB/s (poll peak %.1f)",
+                  worst, pollPeak)});
+  }
+  fig.addSeries(std::move(pollS));
+  fig.addSeries(std::move(pwwS));
+  return finishFigure(fig, checks, args);
+}

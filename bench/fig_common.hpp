@@ -1,0 +1,142 @@
+// Shared scaffolding for the per-figure bench binaries.
+//
+// Every figure bench:
+//   * runs the relevant COMB sweeps on the simulated machine(s),
+//   * prints the figure as an ASCII plot + data table,
+//   * evaluates the paper's shape expectations (PASS/FAIL lines),
+//   * optionally writes CSV (--csv [--out DIR]),
+//   * exits non-zero if a shape expectation fails.
+#pragma once
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "backend/machine.hpp"
+#include "comb/presets.hpp"
+#include "comb/runner.hpp"
+#include "common/cli.hpp"
+#include "common/string_util.hpp"
+#include "common/units.hpp"
+#include "report/expectations.hpp"
+#include "report/figure.hpp"
+
+namespace comb::bench {
+
+struct FigArgs {
+  int pointsPerDecade = 2;
+  bool csv = false;
+  std::string outDir = "bench_out";
+  bool parsedOk = true;  ///< false => --help shown, exit 0
+};
+
+inline FigArgs parseFigArgs(int argc, char** argv, const std::string& name,
+                            const std::string& description) {
+  ArgParser parser(name, description);
+  parser.addFlag("csv", "also write the series as CSV");
+  parser.addOption("out", "directory for CSV output", "bench_out");
+  parser.addOption("points-per-decade", "sweep density on log axes", "2");
+  FigArgs args;
+  if (!parser.parse(argc, argv)) {
+    args.parsedOk = false;
+    return args;
+  }
+  args.pointsPerDecade = static_cast<int>(parser.integer("points-per-decade"));
+  args.csv = parser.flag("csv");
+  args.outDir = parser.str("out");
+  return args;
+}
+
+inline std::string sizeLabel(Bytes b) { return fmtBytes(b); }
+
+/// Render + checks + optional CSV. Returns process exit code.
+inline int finishFigure(const report::Figure& fig,
+                        const std::vector<report::ShapeCheck>& checks,
+                        const FigArgs& args) {
+  fig.render(std::cout);
+  bool ok = true;
+  if (!checks.empty()) {
+    std::cout << "shape expectations vs the paper:\n";
+    ok = report::reportChecks(std::cout, checks);
+    std::cout << '\n';
+  }
+  if (args.csv) {
+    const auto path = fig.writeCsvFile(args.outDir);
+    std::cout << "csv: " << path << '\n';
+  }
+  return ok ? 0 : 1;
+}
+
+/// Convenience: polling sweeps per message size, returning both the
+/// availability and bandwidth views (many figures want one or the other).
+struct PollingFamily {
+  std::vector<Bytes> sizes;
+  std::vector<std::uint64_t> intervals;
+  // results[size][point]
+  std::vector<std::vector<PollingPoint>> results;
+};
+
+inline PollingFamily runPollingFamily(const backend::MachineConfig& machine,
+                                      const std::vector<Bytes>& sizes,
+                                      int pointsPerDecade) {
+  PollingFamily fam;
+  fam.sizes = sizes;
+  fam.intervals = presets::pollSweep(pointsPerDecade);
+  for (const Bytes size : sizes) {
+    fam.results.push_back(
+        runPollingSweep(machine, presets::pollingBase(size), fam.intervals));
+  }
+  return fam;
+}
+
+struct PwwFamily {
+  std::vector<Bytes> sizes;
+  std::vector<std::uint64_t> intervals;
+  std::vector<std::vector<PwwPoint>> results;
+};
+
+inline PwwFamily runPwwFamily(const backend::MachineConfig& machine,
+                              const std::vector<Bytes>& sizes,
+                              int pointsPerDecade,
+                              double testCallAtFraction = -1.0) {
+  PwwFamily fam;
+  fam.sizes = sizes;
+  fam.intervals = presets::workSweep(pointsPerDecade);
+  for (const Bytes size : sizes) {
+    auto base = presets::pwwBase(size);
+    base.testCallAtFraction = testCallAtFraction;
+    fam.results.push_back(runPwwSweep(machine, base, fam.intervals));
+  }
+  return fam;
+}
+
+template <typename Point, typename F>
+report::Series makeSeries(const std::string& name,
+                          const std::vector<std::uint64_t>& xs,
+                          const std::vector<Point>& points, F&& yOf) {
+  report::Series s;
+  s.name = name;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    s.xs.push_back(static_cast<double>(xs[i]));
+    s.ys.push_back(yOf(points[i]));
+  }
+  return s;
+}
+
+/// Parametric (x = one metric, y = another) series, e.g. bandwidth vs
+/// availability for Figs 14-17.
+template <typename Point, typename FX, typename FY>
+report::Series makeParametricSeries(const std::string& name,
+                                    const std::vector<Point>& points, FX&& xOf,
+                                    FY&& yOf) {
+  report::Series s;
+  s.name = name;
+  for (const auto& p : points) {
+    s.xs.push_back(xOf(p));
+    s.ys.push_back(yOf(p));
+  }
+  return s;
+}
+
+}  // namespace comb::bench

@@ -1,0 +1,109 @@
+// Micro-benchmarks (google-benchmark): simulator core throughput.
+// These guard the substrate's performance — figure sweeps execute
+// millions of events, so event-queue and coroutine costs matter.
+#include <benchmark/benchmark.h>
+
+#include "common/units.hpp"
+#include "host/cpu.hpp"
+#include "sim/channel.hpp"
+#include "sim/simulator.hpp"
+#include "sim/task.hpp"
+
+namespace {
+
+using namespace comb;
+using namespace comb::units;
+
+void BM_EventScheduleAndRun(benchmark::State& state) {
+  const auto batch = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulator sim;
+    for (int i = 0; i < batch; ++i)
+      sim.schedule(static_cast<Time>(i % 97) * 1_us, [] {});
+    sim.run();
+    benchmark::DoNotOptimize(sim.eventsExecuted());
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_EventScheduleAndRun)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_CancelledEvents(benchmark::State& state) {
+  const auto batch = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulator sim;
+    for (int i = 0; i < batch; ++i) {
+      auto h = sim.schedule(1_us, [] {});
+      if (i % 2 == 0) h.cancel();
+    }
+    sim.run();
+    benchmark::DoNotOptimize(sim.eventsExecuted());
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_CancelledEvents)->Arg(10000);
+
+void BM_CoroutineDelayLoop(benchmark::State& state) {
+  const auto steps = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulator sim;
+    auto proc = [](sim::Simulator& s, int n) -> sim::Task<void> {
+      for (int i = 0; i < n; ++i) co_await s.delay(1e-6);
+    };
+    sim.spawn(proc(sim, steps), "loop");
+    sim.run();
+    benchmark::DoNotOptimize(sim.now());
+  }
+  state.SetItemsProcessed(state.iterations() * steps);
+}
+BENCHMARK(BM_CoroutineDelayLoop)->Arg(1000)->Arg(10000);
+
+void BM_ChannelPingPong(benchmark::State& state) {
+  const auto rounds = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulator sim;
+    sim::Channel<int> a(sim), b(sim);
+    auto ping = [](sim::Simulator&, sim::Channel<int>& tx,
+                   sim::Channel<int>& rx, int n) -> sim::Task<void> {
+      for (int i = 0; i < n; ++i) {
+        tx.send(i);
+        (void)co_await rx.recv();
+      }
+    };
+    auto pong = [](sim::Simulator&, sim::Channel<int>& rx,
+                   sim::Channel<int>& tx, int n) -> sim::Task<void> {
+      for (int i = 0; i < n; ++i) {
+        const int v = co_await rx.recv();
+        tx.send(v);
+      }
+    };
+    sim.spawn(ping(sim, a, b, rounds), "ping");
+    sim.spawn(pong(sim, a, b, rounds), "pong");
+    sim.run();
+  }
+  state.SetItemsProcessed(state.iterations() * rounds);
+}
+BENCHMARK(BM_ChannelPingPong)->Arg(1000);
+
+void BM_CpuComputeUnderInterrupts(benchmark::State& state) {
+  const auto interrupts = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulator sim;
+    host::Cpu cpu(sim, "n0");
+    auto proc = [](host::Cpu& c) -> sim::Task<void> {
+      co_await c.compute(1.0);
+    };
+    sim.spawn(proc(cpu), "p");
+    for (int i = 0; i < interrupts; ++i)
+      sim.schedule(static_cast<Time>(i) * 1e-4, [&cpu] {
+        cpu.raiseInterrupt(10e-6);
+      });
+    sim.run();
+    benchmark::DoNotOptimize(cpu.isrTime());
+  }
+  state.SetItemsProcessed(state.iterations() * interrupts);
+}
+BENCHMARK(BM_CpuComputeUnderInterrupts)->Arg(1000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,63 @@
+// Micro-benchmarks (google-benchmark): whole-stack simulation cost —
+// wall-clock time to simulate one MPI exchange end to end. This is the
+// number that bounds figure-sweep runtimes.
+#include <benchmark/benchmark.h>
+
+#include "backend/machine.hpp"
+#include "backend/sim_cluster.hpp"
+#include "common/units.hpp"
+#include "mpi/mpi.hpp"
+
+namespace {
+
+using namespace comb;
+using namespace comb::units;
+using sim::Task;
+
+Task<void> pingProc(backend::SimProc& p, int rounds, Bytes bytes) {
+  for (int i = 0; i < rounds; ++i) {
+    co_await p.mpi().send(p.mpi().world(), 1, 1, bytes);
+    co_await p.mpi().recv(p.mpi().world(), 1, 2, bytes);
+  }
+}
+
+Task<void> pongProc(backend::SimProc& p, int rounds, Bytes bytes) {
+  for (int i = 0; i < rounds; ++i) {
+    co_await p.mpi().recv(p.mpi().world(), 0, 1, bytes);
+    co_await p.mpi().send(p.mpi().world(), 0, 2, bytes);
+  }
+}
+
+void runPingPong(const backend::MachineConfig& machine, int rounds,
+                 Bytes bytes) {
+  backend::SimCluster cluster(machine, 2);
+  cluster.launch(0, pingProc(cluster.proc(0), rounds, bytes));
+  cluster.launch(1, pongProc(cluster.proc(1), rounds, bytes));
+  cluster.run();
+}
+
+void BM_SimulatedPingPongGm(benchmark::State& state) {
+  const auto bytes = static_cast<Bytes>(state.range(0));
+  for (auto _ : state) runPingPong(backend::gmMachine(), 10, bytes);
+  state.SetItemsProcessed(state.iterations() * 20);  // messages simulated
+}
+BENCHMARK(BM_SimulatedPingPongGm)->Arg(1024)->Arg(102400);
+
+void BM_SimulatedPingPongPortals(benchmark::State& state) {
+  const auto bytes = static_cast<Bytes>(state.range(0));
+  for (auto _ : state) runPingPong(backend::portalsMachine(), 10, bytes);
+  state.SetItemsProcessed(state.iterations() * 20);
+}
+BENCHMARK(BM_SimulatedPingPongPortals)->Arg(1024)->Arg(102400);
+
+void BM_ClusterConstruction(benchmark::State& state) {
+  for (auto _ : state) {
+    backend::SimCluster cluster(backend::gmMachine(), 2);
+    benchmark::DoNotOptimize(cluster.nodeCount());
+  }
+}
+BENCHMARK(BM_ClusterConstruction);
+
+}  // namespace
+
+BENCHMARK_MAIN();

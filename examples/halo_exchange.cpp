@@ -1,0 +1,237 @@
+// Halo exchange: what MPI/computation overlap buys a real application.
+//
+// A 2D Jacobi heat-diffusion solver is row-decomposed across 4 simulated
+// nodes. Each iteration exchanges one halo row (32 KB) with each
+// neighbour and relaxes the grid. Three communication schedules:
+//
+//   blocking     — wait for the halos, then compute everything;
+//   overlapped   — post irecv/isend, compute the interior (which needs no
+//                  halos), wait, then compute the boundary rows;
+//   overlap+poke — overlapped, plus a few MPI_Test-style progress calls
+//                  sprinkled through the interior compute (§4.3's fix).
+//
+// Run on both machine models, the example reproduces the paper's thesis
+// at application level:
+//   * GM: naive overlap buys nothing — rendezvous halos sit in RTS/CTS
+//     limbo during call-free compute (no application offload); the poke
+//     schedule recovers the overlap.
+//   * Portals: messages progress on their own, but interrupts and kernel
+//     copies consume the same CPU the compute needs, so overlap can only
+//     hide the wire time, not the host overhead.
+//
+//   $ ./halo_exchange [--iters N]
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "backend/machine.hpp"
+#include "backend/sim_cluster.hpp"
+#include "common/cli.hpp"
+#include "common/string_util.hpp"
+#include "common/units.hpp"
+#include "mpi/mpi.hpp"
+
+using namespace comb;
+using namespace comb::units;
+using sim::Task;
+
+namespace {
+
+constexpr int kRanks = 4;
+constexpr int kRowsPerRank = 16;
+constexpr int kCols = 4096;            // halo row = 32 KB (> GM eager cutoff)
+constexpr int kItersPerCell = 4;       // calibrated-work-loop iters per cell
+constexpr mpi::Tag kTagUp = 1;         // to rank-1 (my top row travels up)
+constexpr mpi::Tag kTagDown = 2;       // to rank+1
+
+struct RankResult {
+  double checksum = 0.0;
+  Time elapsed = 0.0;
+};
+
+class Patch {
+ public:
+  Patch(int rank) {
+    // Local rows 1..kRowsPerRank; rows 0 and kRowsPerRank+1 are halos.
+    cells_.assign(static_cast<size_t>(kRowsPerRank + 2) * kCols, 0.0);
+    // Heat source: the global top edge is held at 100.
+    if (rank == 0)
+      for (int c = 0; c < kCols; ++c) at(0, c) = 100.0;
+  }
+
+  double& at(int r, int c) { return cells_[static_cast<size_t>(r) * kCols + c]; }
+  double at(int r, int c) const {
+    return cells_[static_cast<size_t>(r) * kCols + c];
+  }
+  std::span<std::byte> rowBytes(int r) {
+    return std::as_writable_bytes(
+        std::span<double>(&at(r, 0), static_cast<size_t>(kCols)));
+  }
+  std::span<const std::byte> rowBytesConst(int r) const {
+    return std::as_bytes(std::span<const double>(
+        &cells_[static_cast<size_t>(r) * kCols], static_cast<size_t>(kCols)));
+  }
+
+  /// Jacobi relaxation of rows [rLo, rHi] from `prev` into *this.
+  void relaxRows(const Patch& prev, int rLo, int rHi) {
+    for (int r = rLo; r <= rHi; ++r)
+      for (int c = 1; c < kCols - 1; ++c)
+        at(r, c) = 0.25 * (prev.at(r - 1, c) + prev.at(r + 1, c) +
+                           prev.at(r, c - 1) + prev.at(r, c + 1));
+  }
+
+  double checksum() const {
+    double s = 0;
+    for (int r = 1; r <= kRowsPerRank; ++r)
+      for (int c = 0; c < kCols; ++c) s += at(r, c);
+    return s;
+  }
+
+ private:
+  std::vector<double> cells_;
+};
+
+enum class Schedule { Blocking, Overlapped, OverlappedPoked };
+
+const char* scheduleName(Schedule s) {
+  switch (s) {
+    case Schedule::Blocking: return "blocking";
+    case Schedule::Overlapped: return "overlapped";
+    case Schedule::OverlappedPoked: return "overlap+poke";
+  }
+  return "?";
+}
+
+Task<void> solveRank(backend::SimProc& p, int iters, Schedule schedule,
+                     RankResult& out) {
+  auto& mpi = p.mpi();
+  const auto& world = mpi.world();
+  const int up = p.rank() - 1;               // neighbour owning rows above
+  const int down = p.rank() + 1;
+  Patch grid(p.rank()), next(p.rank());
+
+  co_await mpi.barrier(world);
+  const Time t0 = p.wtime();
+  for (int it = 0; it < iters; ++it) {
+    std::vector<mpi::Request> reqs;
+    // Post halo receives and sends (non-blocking in both schedules).
+    if (up >= 0) {
+      reqs.push_back(co_await mpi.irecv(world, up, kTagDown,
+                                        kCols * sizeof(double),
+                                        grid.rowBytes(0)));
+      reqs.push_back(co_await mpi.isend(world, up, kTagUp,
+                                        kCols * sizeof(double),
+                                        grid.rowBytesConst(1)));
+    }
+    if (down < kRanks) {
+      reqs.push_back(co_await mpi.irecv(world, down, kTagUp,
+                                        kCols * sizeof(double),
+                                        grid.rowBytes(kRowsPerRank + 1)));
+      reqs.push_back(co_await mpi.isend(world, down, kTagDown,
+                                        kCols * sizeof(double),
+                                        grid.rowBytesConst(kRowsPerRank)));
+    }
+    if (schedule != Schedule::Blocking) {
+      // Interior rows 2..kRowsPerRank-1 need no halos: compute them while
+      // (maybe) the halos fly. The poked schedule splits the interior
+      // into chunks with a progress call between them — the cheap
+      // application-level workaround for library-driven stacks.
+      const std::uint64_t interiorWork =
+          static_cast<std::uint64_t>(kRowsPerRank - 2) * kCols *
+          kItersPerCell;
+      if (schedule == Schedule::OverlappedPoked) {
+        constexpr int kChunks = 4;
+        for (int chunk = 0; chunk < kChunks; ++chunk) {
+          co_await p.work(interiorWork / kChunks);
+          co_await mpi.progressOnce();
+        }
+      } else {
+        co_await p.work(interiorWork);
+      }
+      next.relaxRows(grid, 2, kRowsPerRank - 1);
+      co_await mpi.waitall(reqs);
+      co_await p.work(2ull * kCols * kItersPerCell);
+      next.relaxRows(grid, 1, 1);
+      next.relaxRows(grid, kRowsPerRank, kRowsPerRank);
+    } else {
+      co_await mpi.waitall(reqs);
+      co_await p.work(static_cast<std::uint64_t>(kRowsPerRank) * kCols *
+                      kItersPerCell);
+      next.relaxRows(grid, 1, kRowsPerRank);
+    }
+    // Keep the boundary condition pinned and swap buffers.
+    std::swap(grid, next);
+    if (p.rank() == 0)
+      for (int c = 0; c < kCols; ++c) grid.at(0, c) = 100.0;
+  }
+  out.elapsed = p.wtime() - t0;
+
+  // Global checksum via the collectives layer.
+  const double mine = grid.checksum();
+  std::vector<double> sum(1);
+  co_await mpi.allreduceSum(world, std::span<const double>(&mine, 1), sum);
+  out.checksum = sum[0];
+}
+
+struct RunOutcome {
+  double checksum = 0.0;
+  Time elapsed = 0.0;
+};
+
+RunOutcome runSchedule(const backend::MachineConfig& machine, int iters,
+                       Schedule schedule) {
+  backend::SimCluster cluster(machine, kRanks);
+  std::vector<RankResult> results(kRanks);
+  for (int r = 0; r < kRanks; ++r)
+    cluster.launch(r, solveRank(cluster.proc(r), iters, schedule,
+                                results[static_cast<size_t>(r)]));
+  cluster.run();
+  RunOutcome out;
+  out.checksum = results[0].checksum;
+  for (const auto& r : results) out.elapsed = std::max(out.elapsed, r.elapsed);
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ArgParser args("halo_exchange", "2D Jacobi halo exchange over MiniMPI");
+  args.addOption("iters", "Jacobi iterations", "30");
+  if (!args.parse(argc, argv)) return 0;
+  const int iters = static_cast<int>(args.integer("iters"));
+
+  std::printf("2D Jacobi, %d ranks x %d rows x %d cols, %d iterations, "
+              "32 KB halos\n\n",
+              kRanks, kRowsPerRank, kCols, iters);
+
+  double referenceChecksum = 0.0;
+  for (const auto& machine :
+       {backend::gmMachine(), backend::portalsMachine()}) {
+    std::printf("%s:\n", machine.name.c_str());
+    double blockingTime = 0.0;
+    for (const Schedule s : {Schedule::Blocking, Schedule::Overlapped,
+                             Schedule::OverlappedPoked}) {
+      const auto run = runSchedule(machine, iters, s);
+      if (s == Schedule::Blocking) blockingTime = run.elapsed;
+      std::printf("  %-12s %10s  (%.2fx vs blocking)\n", scheduleName(s),
+                  fmtTime(run.elapsed).c_str(), blockingTime / run.elapsed);
+      if (referenceChecksum == 0.0) referenceChecksum = run.checksum;
+      // Same physics everywhere: schedules and machines must agree.
+      if (std::fabs(run.checksum - referenceChecksum) >
+          1e-9 * std::fabs(referenceChecksum)) {
+        std::fprintf(stderr, "checksum mismatch: %.12g vs %.12g\n",
+                     run.checksum, referenceChecksum);
+        return 1;
+      }
+    }
+  }
+  std::printf("\nall schedules/machines agree on the solution "
+              "(checksum %.6g)\n",
+              referenceChecksum);
+  std::printf(
+      "\nreading: on GM, naive overlap gains nothing (no application\n"
+      "offload) until progress calls are sprinkled into the compute; on\n"
+      "Portals the transfer progresses by itself but eats the same CPU the\n"
+      "compute needs, so there is little left to hide.\n");
+  return 0;
+}

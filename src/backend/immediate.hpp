@@ -1,0 +1,34 @@
+// Immediate<T>: an awaitable that is always ready.
+//
+// The native thread backend executes every operation synchronously inside
+// the call itself; wrapping results in Immediate lets the COMB method
+// templates (written with co_await) run unchanged on real threads — the
+// coroutine simply never suspends (sim::Task::runSync drives it).
+#pragma once
+
+#include <utility>
+
+namespace comb::backend {
+
+template <typename T>
+struct Immediate {
+  T value;
+  bool await_ready() const noexcept { return true; }
+  void await_suspend(auto) const noexcept {}
+  T await_resume() { return std::move(value); }
+};
+
+template <>
+struct Immediate<void> {
+  bool await_ready() const noexcept { return true; }
+  void await_suspend(auto) const noexcept {}
+  void await_resume() const noexcept {}
+};
+
+template <typename T>
+Immediate<T> ready(T v) {
+  return Immediate<T>{std::move(v)};
+}
+inline Immediate<void> ready() { return {}; }
+
+}  // namespace comb::backend

@@ -1,0 +1,53 @@
+#include "backend/machine.hpp"
+
+namespace comb::backend {
+
+using namespace comb::units;
+
+const char* transportKindName(TransportKind k) {
+  switch (k) {
+    case TransportKind::Gm: return "gm";
+    case TransportKind::Portals: return "portals";
+  }
+  return "?";
+}
+
+namespace {
+
+net::FabricConfig paperFabric() {
+  net::FabricConfig f;
+  // Sustained node<->switch DMA rate. The LANai 7 link is 160 MB/s but the
+  // 32-bit/33 MHz PCI bus and GM framing hold sustained transfers near
+  // 90 MB/s, which is what puts MPICH/GM's plateau at the paper's ~88 MB/s.
+  f.link.rate = 90e6;
+  f.link.latency = 2.0_us;      // wire + NIC receive processing
+  f.sw.routingLatency = 0.5_us; // Myrinet cut-through
+  f.sw.ports = 8;
+  f.mtu = 4096;                 // GM fragment size
+  f.perPacketHeader = 64;
+  return f;
+}
+
+}  // namespace
+
+MachineConfig gmMachine() {
+  MachineConfig m;
+  m.name = "gm";
+  m.kind = TransportKind::Gm;
+  m.fabric = paperFabric();
+  m.gm = transport::GmConfig{};  // defaults documented in gm.hpp
+  m.secondsPerWorkIter = 4e-9;
+  return m;
+}
+
+MachineConfig portalsMachine() {
+  MachineConfig m;
+  m.name = "portals";
+  m.kind = TransportKind::Portals;
+  m.fabric = paperFabric();
+  m.portals = transport::PortalsConfig{};  // defaults in portals.hpp
+  m.secondsPerWorkIter = 4e-9;
+  return m;
+}
+
+}  // namespace comb::backend

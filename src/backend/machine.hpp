@@ -1,0 +1,48 @@
+// Machine presets: the two systems the paper benchmarks, expressed as
+// parameter sets for the simulator.
+//
+// Both presets share the physical substrate from §3 of the paper — two
+// 500 MHz Pentium III nodes, Myrinet LANai 7.2 NICs on 32-bit/33 MHz PCI,
+// one 8-port switch — and differ only in the software stack on top, which
+// is exactly the comparison COMB was built to make.
+#pragma once
+
+#include <string>
+
+#include "common/units.hpp"
+#include "net/fabric.hpp"
+#include "transport/gm.hpp"
+#include "transport/portals.hpp"
+
+namespace comb::backend {
+
+enum class TransportKind { Gm, Portals };
+
+const char* transportKindName(TransportKind k);
+
+struct MachineConfig {
+  std::string name;
+  TransportKind kind = TransportKind::Gm;
+  net::FabricConfig fabric;
+  transport::GmConfig gm;
+  transport::PortalsConfig portals;
+  /// Wall-clock seconds per iteration of the benchmark's calibrated work
+  /// loop (~2 cycles/iteration on the 500 MHz P3).
+  double secondsPerWorkIter = 4e-9;
+
+  /// SMP extension (the paper's §7 future work). The paper's nodes are
+  /// uniprocessors; setting cpusPerNode > 1 adds idle CPUs, and nicCpu
+  /// selects which one services kernel/NIC interrupt work (Portals only —
+  /// GM raises no interrupts). The application always runs on CPU 0.
+  int cpusPerNode = 1;
+  int nicCpu = 0;
+};
+
+/// GM 1.4 + MPICH/GM 1.2..4: OS-bypass, no application offload.
+MachineConfig gmMachine();
+
+/// Portals 3.0 kernel-module implementation + MPICH/Portals: interrupt-
+/// driven with kernel-buffer copies, full application offload.
+MachineConfig portalsMachine();
+
+}  // namespace comb::backend

@@ -1,0 +1,185 @@
+#include "backend/machine_file.hpp"
+
+#include <cstdlib>
+#include <fstream>
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+
+#include "common/error.hpp"
+#include "common/string_util.hpp"
+
+namespace comb::backend {
+
+namespace {
+
+struct Parsed {
+  // (section, key) -> (value, lineNo)
+  std::map<std::pair<std::string, std::string>, std::pair<std::string, int>>
+      entries;
+};
+
+Parsed tokenize(std::istream& in, const std::string& source) {
+  Parsed parsed;
+  std::string section;  // "" = top level
+  std::string line;
+  int lineNo = 0;
+  while (std::getline(in, line)) {
+    ++lineNo;
+    // Strip comments (# and ;) and whitespace.
+    if (const auto hash = line.find_first_of("#;"); hash != std::string::npos)
+      line.erase(hash);
+    const auto body = trim(line);
+    if (body.empty()) continue;
+    if (body.front() == '[') {
+      COMB_REQUIRE(body.back() == ']',
+                   strFormat("%s:%d: malformed section header", source.c_str(),
+                             lineNo));
+      section = std::string(trim(body.substr(1, body.size() - 2)));
+      continue;
+    }
+    const auto eq = body.find('=');
+    COMB_REQUIRE(eq != std::string::npos,
+                 strFormat("%s:%d: expected key = value", source.c_str(),
+                           lineNo));
+    const auto key = std::string(trim(body.substr(0, eq)));
+    const auto value = std::string(trim(body.substr(eq + 1)));
+    COMB_REQUIRE(!key.empty() && !value.empty(),
+                 strFormat("%s:%d: empty key or value", source.c_str(),
+                           lineNo));
+    const bool inserted =
+        parsed.entries.emplace(std::pair{section, key}, std::pair{value, lineNo})
+            .second;
+    COMB_REQUIRE(inserted, strFormat("%s:%d: duplicate key '%s'",
+                                     source.c_str(), lineNo, key.c_str()));
+  }
+  return parsed;
+}
+
+class Binder {
+ public:
+  Binder(Parsed parsed, std::string source)
+      : parsed_(std::move(parsed)), source_(std::move(source)) {}
+
+  void str(const std::string& section, const std::string& key,
+           std::string& out) {
+    if (auto v = take(section, key)) out = *v;
+  }
+
+  void number(const std::string& section, const std::string& key, double& out,
+              double scale = 1.0) {
+    if (auto v = take(section, key)) {
+      char* end = nullptr;
+      const double parsed = std::strtod(v->c_str(), &end);
+      COMB_REQUIRE(end != v->c_str() && *end == '\0',
+                   strFormat("%s: key '%s' expects a number, got '%s'",
+                             source_.c_str(), key.c_str(), v->c_str()));
+      out = parsed * scale;
+    }
+  }
+
+  template <typename Int>
+  void integer(const std::string& section, const std::string& key, Int& out) {
+    double v = static_cast<double>(out);
+    number(section, key, v);
+    out = static_cast<Int>(v);
+  }
+
+  /// All keys must have been consumed.
+  void finish() const {
+    for (const auto& [sk, vl] : parsed_.entries) {
+      if (!consumed_.count(sk)) {
+        throw ConfigError(strFormat(
+            "%s:%d: unknown key '%s' in section '[%s]'", source_.c_str(),
+            vl.second, sk.second.c_str(), sk.first.c_str()));
+      }
+    }
+  }
+
+ private:
+  std::optional<std::string> take(const std::string& section,
+                                  const std::string& key) {
+    const auto it = parsed_.entries.find(std::pair{section, key});
+    if (it == parsed_.entries.end()) return std::nullopt;
+    consumed_.insert(it->first);
+    return it->second.first;
+  }
+
+  Parsed parsed_;
+  std::string source_;
+  std::set<std::pair<std::string, std::string>> consumed_;
+};
+
+}  // namespace
+
+MachineConfig parseMachineFile(std::istream& in, const std::string& source) {
+  Binder bind(tokenize(in, source), source);
+
+  std::string transport = "gm";
+  bind.str("", "transport", transport);
+  MachineConfig m;
+  if (transport == "gm") {
+    m = gmMachine();
+  } else if (transport == "portals") {
+    m = portalsMachine();
+  } else {
+    throw ConfigError(source + ": transport must be 'gm' or 'portals', got '" +
+                      transport + "'");
+  }
+  bind.str("", "name", m.name);
+
+  constexpr double kMBps = 1e6;
+  constexpr double kUs = 1e-6;
+  constexpr double kNs = 1e-9;
+  constexpr double kKB = 1024.0;
+
+  bind.number("fabric", "link_rate_MBps", m.fabric.link.rate, kMBps);
+  bind.number("fabric", "link_latency_us", m.fabric.link.latency, kUs);
+  bind.number("fabric", "switch_latency_us", m.fabric.sw.routingLatency, kUs);
+  bind.integer("fabric", "switch_ports", m.fabric.sw.ports);
+  bind.integer("fabric", "mtu", m.fabric.mtu);
+  bind.integer("fabric", "packet_header", m.fabric.perPacketHeader);
+
+  bind.number("host", "seconds_per_iter_ns", m.secondsPerWorkIter, kNs);
+  bind.integer("host", "cpus_per_node", m.cpusPerNode);
+  bind.integer("host", "nic_cpu", m.nicCpu);
+
+  if (m.kind == TransportKind::Gm) {
+    double thr = static_cast<double>(m.gm.eagerThreshold);
+    bind.number("gm", "eager_threshold_kb", thr, kKB);
+    m.gm.eagerThreshold = static_cast<Bytes>(thr);
+    bind.number("gm", "post_overhead_us", m.gm.postOverhead, kUs);
+    bind.number("gm", "eager_tx_copy_MBps", m.gm.eagerTxCopyRate, kMBps);
+    bind.number("gm", "eager_rx_copy_MBps", m.gm.eagerRxCopyRate, kMBps);
+    bind.number("gm", "lib_call_cost_us", m.gm.libCallCost, kUs);
+    bind.number("gm", "ctrl_handle_cost_us", m.gm.ctrlHandleCost, kUs);
+  } else {
+    bind.number("portals", "post_syscall_us", m.portals.postSyscall, kUs);
+    bind.number("portals", "post_kernel_us", m.portals.postKernel, kUs);
+    bind.number("portals", "lib_call_cost_us", m.portals.libCallCost, kUs);
+    bind.number("portals", "per_frag_tx_us", m.portals.nic.perFragTx, kUs);
+    bind.number("portals", "per_frag_rx_us", m.portals.nic.perFragRx, kUs);
+    bind.number("portals", "kernel_copy_MBps", m.portals.nic.kernelCopyRate,
+                kMBps);
+    bind.number("portals", "unexpected_copy_MBps",
+                m.portals.unexpectedCopyRate, kMBps);
+  }
+  bind.finish();
+
+  COMB_REQUIRE(m.fabric.link.rate > 0, source + ": link rate must be > 0");
+  COMB_REQUIRE(m.secondsPerWorkIter > 0,
+               source + ": seconds_per_iter must be > 0");
+  COMB_REQUIRE(m.cpusPerNode >= 1 && m.nicCpu >= 0 &&
+                   m.nicCpu < m.cpusPerNode,
+               source + ": bad cpus_per_node / nic_cpu combination");
+  return m;
+}
+
+MachineConfig loadMachineFile(const std::string& path) {
+  std::ifstream f(path);
+  COMB_REQUIRE(f.good(), "cannot open machine file: " + path);
+  return parseMachineFile(f, path);
+}
+
+}  // namespace comb::backend

@@ -1,0 +1,57 @@
+// Machine definition files: describe a machine model in a small INI-style
+// text format instead of C++, so new systems can be assessed without
+// recompiling the suite.
+//
+//   # my-cluster.ini
+//   name = mynic
+//   transport = portals          # gm | portals
+//
+//   [fabric]
+//   link_rate_MBps   = 90
+//   link_latency_us  = 2
+//   switch_latency_us = 0.5
+//   mtu              = 4096
+//   packet_header    = 64
+//   switch_ports     = 8
+//
+//   [host]
+//   seconds_per_iter_ns = 4
+//   cpus_per_node       = 1
+//   nic_cpu             = 0
+//
+//   [gm]                         # only read when transport = gm
+//   eager_threshold_kb  = 16
+//   post_overhead_us    = 5
+//   eager_tx_copy_MBps  = 280
+//   eager_rx_copy_MBps  = 400
+//   lib_call_cost_us    = 0.7
+//   ctrl_handle_cost_us = 1
+//
+//   [portals]                    # only read when transport = portals
+//   post_syscall_us     = 15
+//   post_kernel_us      = 85
+//   lib_call_cost_us    = 1.2
+//   per_frag_tx_us      = 9
+//   per_frag_rx_us      = 20
+//   kernel_copy_MBps    = 280
+//   unexpected_copy_MBps = 250
+//
+// Unset keys keep the preset defaults; unknown keys or sections are hard
+// errors (typos must not silently produce a different machine).
+#pragma once
+
+#include <istream>
+#include <string>
+
+#include "backend/machine.hpp"
+
+namespace comb::backend {
+
+/// Parse a machine definition; throws comb::ConfigError on any problem.
+MachineConfig parseMachineFile(std::istream& in,
+                               const std::string& sourceName = "<stream>");
+
+/// Load from a filesystem path.
+MachineConfig loadMachineFile(const std::string& path);
+
+}  // namespace comb::backend

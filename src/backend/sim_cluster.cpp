@@ -1,0 +1,107 @@
+#include "backend/sim_cluster.hpp"
+
+#include "common/error.hpp"
+#include "common/string_util.hpp"
+#include "nic/gm_nic.hpp"
+#include "nic/portals_nic.hpp"
+#include "transport/gm.hpp"
+#include "transport/portals.hpp"
+
+namespace comb::backend {
+
+SimCluster::SimCluster(MachineConfig cfg, int nodeCount)
+    : cfg_(std::move(cfg)) {
+  COMB_REQUIRE(nodeCount >= 1, "cluster needs at least one node");
+  COMB_REQUIRE(nodeCount <= cfg_.fabric.sw.ports,
+               "more nodes than switch ports");
+  fabric_ = std::make_unique<net::Fabric>(sim_, cfg_.fabric);
+
+  // Two passes: the fabric needs delivery sinks at addNode() time, but the
+  // endpoints that own the sinks need their node ids. Register
+  // trampolines that forward to the endpoint created in pass two.
+  std::vector<net::NodeId> ids;
+  for (int i = 0; i < nodeCount; ++i) {
+    nodes_.emplace_back();
+    const net::NodeId id = fabric_->addNode([this, i](net::Packet p) {
+      auto& ep = *nodes_[static_cast<std::size_t>(i)].endpoint;
+      if (cfg_.kind == TransportKind::Gm) {
+        static_cast<transport::GmEndpoint&>(ep).nic().deliver(std::move(p));
+      } else {
+        static_cast<transport::PortalsEndpoint&>(ep).nic().deliver(
+            std::move(p));
+      }
+    });
+    COMB_ASSERT(id == i, "fabric node ids must be dense");
+    ids.push_back(id);
+  }
+
+  COMB_REQUIRE(cfg_.cpusPerNode >= 1, "need at least one CPU per node");
+  COMB_REQUIRE(cfg_.nicCpu >= 0 && cfg_.nicCpu < cfg_.cpusPerNode,
+               "nicCpu outside [0, cpusPerNode)");
+  for (int i = 0; i < nodeCount; ++i) {
+    Node& node = nodes_[static_cast<std::size_t>(i)];
+    for (int c = 0; c < cfg_.cpusPerNode; ++c)
+      node.cpus.push_back(
+          std::make_unique<host::Cpu>(sim_, strFormat("cpu%d.%d", i, c)));
+    host::Cpu& appCpu = *node.cpus[0];
+    host::Cpu& nicCpu = *node.cpus[static_cast<std::size_t>(cfg_.nicCpu)];
+    if (cfg_.kind == TransportKind::Gm) {
+      node.endpoint = std::make_unique<transport::GmEndpoint>(
+          sim_, appCpu, *fabric_, ids[static_cast<std::size_t>(i)], cfg_.gm);
+    } else {
+      node.endpoint = std::make_unique<transport::PortalsEndpoint>(
+          sim_, appCpu, nicCpu, *fabric_, ids[static_cast<std::size_t>(i)],
+          cfg_.portals);
+    }
+    node.mpi = std::make_unique<mpi::Mpi>(sim_, *node.endpoint, i, nodeCount);
+    node.proc = std::make_unique<SimProc>(sim_, appCpu, *node.mpi,
+                                          cfg_.secondsPerWorkIter);
+  }
+}
+
+SimCluster::~SimCluster() = default;
+
+SimProc& SimCluster::proc(int rank) {
+  COMB_REQUIRE(rank >= 0 && rank < nodeCount(), "rank out of range");
+  return *nodes_[static_cast<std::size_t>(rank)].proc;
+}
+
+host::Cpu& SimCluster::cpu(int rank, int which) {
+  COMB_REQUIRE(rank >= 0 && rank < nodeCount(), "rank out of range");
+  auto& cpus = nodes_[static_cast<std::size_t>(rank)].cpus;
+  COMB_REQUIRE(which >= 0 && which < static_cast<int>(cpus.size()),
+               "cpu index out of range");
+  return *cpus[static_cast<std::size_t>(which)];
+}
+
+transport::Endpoint& SimCluster::endpoint(int rank) {
+  COMB_REQUIRE(rank >= 0 && rank < nodeCount(), "rank out of range");
+  return *nodes_[static_cast<std::size_t>(rank)].endpoint;
+}
+
+mpi::Mpi& SimCluster::mpi(int rank) {
+  COMB_REQUIRE(rank >= 0 && rank < nodeCount(), "rank out of range");
+  return *nodes_[static_cast<std::size_t>(rank)].mpi;
+}
+
+void SimCluster::launch(int rank, sim::Task<void> process, std::string name) {
+  COMB_REQUIRE(rank >= 0 && rank < nodeCount(), "rank out of range");
+  if (name.empty()) name = strFormat("rank%d", rank);
+  sim_.spawn(std::move(process), std::move(name));
+}
+
+sim::TraceLog& SimCluster::enableTracing(std::size_t capacity) {
+  if (!traceLog_) {
+    traceLog_ = std::make_unique<sim::TraceLog>(capacity);
+    sim_.attachTraceLog(traceLog_.get());
+  }
+  return *traceLog_;
+}
+
+void SimCluster::run() {
+  sim_.run();
+  COMB_ASSERT(sim_.liveProcesses() == 0,
+              "simulation drained with suspended processes (deadlock)");
+}
+
+}  // namespace comb::backend

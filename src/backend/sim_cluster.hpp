@@ -1,0 +1,106 @@
+// SimCluster: assembles a complete simulated machine — fabric, per-node
+// CPU, NIC/transport endpoint, and MiniMPI instance — from a
+// MachineConfig, and provides the per-process environment (SimProc) that
+// the COMB benchmark templates run against.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "backend/machine.hpp"
+#include "common/units.hpp"
+#include "host/cpu.hpp"
+#include "mpi/mpi.hpp"
+#include "net/fabric.hpp"
+#include "sim/simulator.hpp"
+#include "sim/task.hpp"
+#include "transport/endpoint.hpp"
+
+namespace comb::backend {
+
+class SimCluster;
+
+/// The per-process environment handed to benchmark code. Satisfies the
+/// COMB backend concept (see comb/env.hpp): simulated time, a calibrated
+/// work loop on the node's CPU, and the MiniMPI instance.
+class SimProc {
+ public:
+  SimProc(sim::Simulator& sim, host::Cpu& cpu, mpi::Mpi& mpi,
+          double secondsPerIter)
+      : sim_(&sim), cpu_(&cpu), mpi_(&mpi), spi_(secondsPerIter) {}
+
+  Time wtime() const { return sim_->now(); }
+  /// Awaitable: spin the calibrated delay loop for `iters` iterations.
+  sim::Task<void> work(std::uint64_t iters) {
+    return cpu_->compute(static_cast<double>(iters) * spi_);
+  }
+  double secondsPerIter() const { return spi_; }
+
+  mpi::Mpi& mpi() { return *mpi_; }
+  host::Cpu& cpu() { return *cpu_; }
+  sim::Simulator& simulator() { return *sim_; }
+  int rank() const { return mpi_->rank(); }
+  int size() const { return mpi_->size(); }
+
+  /// Transport-activity versioning, used by reactive helper loops (the
+  /// COMB support process responds "as fast as messages are consumed").
+  std::uint64_t activityVersion() const {
+    return mpi_->endpoint().activity().version();
+  }
+  /// Awaitable: completes once activityVersion() != seen.
+  auto waitActivity(std::uint64_t seen) {
+    return mpi_->endpoint().activity().changedSince(seen);
+  }
+
+ private:
+  sim::Simulator* sim_;
+  host::Cpu* cpu_;
+  mpi::Mpi* mpi_;
+  double spi_;
+};
+
+class SimCluster {
+ public:
+  SimCluster(MachineConfig cfg, int nodes);
+  SimCluster(const SimCluster&) = delete;
+  SimCluster& operator=(const SimCluster&) = delete;
+  ~SimCluster();
+
+  sim::Simulator& simulator() { return sim_; }
+  net::Fabric& fabric() { return *fabric_; }
+  const MachineConfig& config() const { return cfg_; }
+  int nodeCount() const { return static_cast<int>(nodes_.size()); }
+
+  SimProc& proc(int rank);
+  /// CPU `which` of a node (0 = the application CPU).
+  host::Cpu& cpu(int rank, int which = 0);
+  transport::Endpoint& endpoint(int rank);
+  mpi::Mpi& mpi(int rank);
+
+  /// Spawn a process coroutine on `rank`'s environment.
+  void launch(int rank, sim::Task<void> process, std::string name = {});
+
+  /// Run the simulation to completion (all processes finished).
+  void run();
+
+  /// Attach a structured trace log (owned by the cluster); returns it.
+  sim::TraceLog& enableTracing(std::size_t capacity = 1 << 16);
+  sim::TraceLog* traceLog() { return traceLog_.get(); }
+
+ private:
+  struct Node {
+    std::vector<std::unique_ptr<host::Cpu>> cpus;  // [0] = application CPU
+    std::unique_ptr<transport::Endpoint> endpoint;
+    std::unique_ptr<mpi::Mpi> mpi;
+    std::unique_ptr<SimProc> proc;
+  };
+
+  MachineConfig cfg_;
+  sim::Simulator sim_;
+  std::unique_ptr<net::Fabric> fabric_;
+  std::vector<Node> nodes_;
+  std::unique_ptr<sim::TraceLog> traceLog_;
+};
+
+}  // namespace comb::backend

@@ -1,0 +1,58 @@
+// Overlap assessment: the paper's §4 analysis methodology as a library.
+//
+// Runs the suite's methods against a machine and condenses the results
+// into the judgements a user actually wants: peak bandwidth, how much CPU
+// survives at that rate, whether the stack has application offload,
+// whether progress is library-driven, and where host cycles go.
+#pragma once
+
+#include <string>
+
+#include "backend/machine.hpp"
+#include "comb/params.hpp"
+#include "comb/runner.hpp"
+
+namespace comb::bench {
+
+struct AssessOptions {
+  Bytes msgBytes = 100 * 1024;
+  /// Poll-interval sweep density used to find the bandwidth/availability
+  /// frontier.
+  int pointsPerDecade = 2;
+  /// Work interval for the offload probe; must dwarf the exchange time.
+  std::uint64_t longWorkInterval = 5'000'000;
+  /// Where the inserted MPI_Test goes in the call-effect probe.
+  double testCallAtFraction = 0.1;
+};
+
+struct OverlapAssessment {
+  std::string machineName;
+  Bytes msgBytes = 0;
+
+  // Conventional microbenchmark view.
+  LatencyPoint pingPong;
+
+  // Polling-method view.
+  double peakBandwidthBps = 0.0;
+  /// Best availability among sweep points within 85% of peak bandwidth:
+  /// "how much CPU the application keeps while the network runs flat out".
+  double availabilityAtFullRate = 0.0;
+
+  // PWW view (work interval >> exchange time).
+  PwwPoint longWork;
+  PwwPoint longWorkWithTest;
+
+  // Judgements.
+  bool applicationOffload = false;   ///< PWW wait ~empty after long work
+  double workInflation = 0.0;        ///< (work-with-MH / dry) - 1
+  bool libraryDrivenProgress = false;  ///< one MPI_Test drains the wait
+
+  /// Multi-line human-readable verdict (the `comb assess` output body).
+  std::string verdictText() const;
+};
+
+/// Run the full assessment (several simulations; deterministic).
+OverlapAssessment assessMachine(const backend::MachineConfig& machine,
+                                const AssessOptions& options = {});
+
+}  // namespace comb::bench

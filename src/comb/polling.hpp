@@ -1,0 +1,225 @@
+// The COMB Polling method (paper §2.1).
+//
+// Two processes. The worker interleaves fixed-size chunks of calibrated
+// work ("poll intervals") with non-blocking completion tests; every
+// arrived message is answered with a reply and a replacement receive. The
+// support process echoes messages as fast as they are consumed and never
+// does simulated work. Availability is the dry-run/live-run work-time
+// ratio; bandwidth is the worker's one-direction goodput.
+//
+// Both roles are templates over a backend environment (see
+// backend/sim_cluster.hpp SimProc and backend/thread_proc.hpp ThreadProc),
+// which is what makes the suite "portable" in the paper's sense.
+#pragma once
+
+#include <algorithm>
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "comb/params.hpp"
+#include "common/error.hpp"
+#include "mpi/request.hpp"
+#include "sim/task.hpp"
+
+namespace comb::bench {
+
+namespace detail {
+
+/// Number of polls for a sweep point: long enough to observe steady
+/// state, bounded to keep the event count sane at tiny intervals.
+inline std::uint64_t pollsFor(const PollingParams& p, double secondsPerIter) {
+  const double perPoll =
+      static_cast<double>(p.pollInterval) * secondsPerIter + 2e-6;
+  const auto wanted =
+      static_cast<std::uint64_t>(p.targetDuration / perPoll) + 1;
+  return std::clamp(wanted, p.minPolls, p.maxPolls);
+}
+
+/// Compact a request pool in place, dropping freed (invalid) entries.
+inline void compactPool(std::vector<mpi::Request>& pool) {
+  std::erase_if(pool, [](const mpi::Request& r) { return !r.valid(); });
+}
+
+}  // namespace detail
+
+/// Worker role (rank 0 of `world`, which may be any 2-rank communicator —
+/// commSplit a larger world to run concurrent pairs). Returns the
+/// measured sweep point.
+template <typename Env, typename CommType>
+sim::Task<PollingPoint> pollingWorkerOn(Env& env, PollingParams p,
+                                        const CommType& world) {
+  COMB_REQUIRE(world.size() == 2, "the polling method uses exactly 2 ranks");
+  COMB_REQUIRE(world.rank() == 0, "worker must be rank 0");
+  COMB_REQUIRE(p.queueDepth >= 1, "queueDepth must be >= 1");
+  auto& mpi = env.mpi();
+  const int peer = 1;
+  const std::uint64_t nPolls = detail::pollsFor(p, env.secondsPerIter());
+
+  PollingPoint point;
+  point.pollInterval = p.pollInterval;
+  point.msgBytes = p.msgBytes;
+  point.pollsExecuted = nPolls;
+
+  // --- dry run: the same loop with no communication ----------------------
+  co_await mpi.barrier(world);
+  {
+    const auto t0 = env.wtime();
+    for (std::uint64_t i = 0; i < nPolls; ++i) co_await env.work(p.pollInterval);
+    point.dryTime = env.wtime() - t0;
+  }
+
+  // --- live run -----------------------------------------------------------
+  std::vector<mpi::Request> recvs(static_cast<std::size_t>(p.queueDepth));
+  for (auto& r : recvs)
+    r = co_await mpi.irecv(world, peer, p.dataTag, p.msgBytes);
+  co_await mpi.barrier(world);  // support starts pumping after this
+
+  std::vector<mpi::Request> sendPool;
+  std::uint64_t received = 0;
+  std::uint64_t repliesSent = 0;
+
+  const auto t0 = env.wtime();
+  for (std::uint64_t i = 0; i < nPolls; ++i) {
+    co_await env.work(p.pollInterval);
+    // Poll: reap every arrived message, reply, replace (paper Fig 1).
+    auto done = co_await mpi.testsome(recvs);
+    for (const std::size_t idx : done) {
+      ++received;
+      sendPool.push_back(
+          co_await mpi.isend(world, peer, p.dataTag, p.msgBytes));
+      ++repliesSent;
+      recvs[idx] = co_await mpi.irecv(world, peer, p.dataTag, p.msgBytes);
+    }
+    if (!done.empty()) {
+      // Recycle completed reply sends so the pool stays bounded.
+      co_await mpi.testsome(sendPool);
+      detail::compactPool(sendPool);
+    }
+  }
+  point.liveTime = env.wtime() - t0;
+  point.messagesReceived = received;
+  point.availability =
+      point.liveTime > 0 ? point.dryTime / point.liveTime : 0.0;
+  point.bandwidthBps = point.liveTime > 0
+                           ? static_cast<double>(received * p.msgBytes) /
+                                 point.liveTime
+                           : 0.0;
+
+  // --- drain & shutdown ----------------------------------------------------
+  // Tell the support process how many data messages we sent in total; it
+  // answers with its own total so we know how many are still inbound.
+  co_await mpi.send(world, peer, p.ctrlTag, sizeof(std::uint64_t),
+                    std::as_bytes(std::span<const std::uint64_t>(&repliesSent, 1)));
+  std::uint64_t supportSent = 0;
+  co_await mpi.recv(world, peer, p.ctrlTag, sizeof(std::uint64_t),
+                    std::as_writable_bytes(std::span<std::uint64_t>(&supportSent, 1)));
+  while (received < supportSent) {
+    const auto seen = env.activityVersion();
+    auto done = co_await mpi.testsome(recvs);
+    for (const std::size_t idx : done) {
+      ++received;
+      // Replacement receives are NOT needed during the drain, but keep the
+      // posted count constant so in-flight messages always have a landing
+      // slot.
+      recvs[idx] = co_await mpi.irecv(world, peer, p.dataTag, p.msgBytes);
+    }
+    if (received >= supportSent) break;
+    if (done.empty()) co_await env.waitActivity(seen);
+  }
+  for (auto& r : recvs) {
+    if (r.valid()) {
+      const bool ok = co_await mpi.cancel(r);
+      COMB_ASSERT(ok, "leftover receive should be cancellable after drain");
+    }
+  }
+  co_await mpi.waitall(sendPool);
+  co_await mpi.barrier(world);
+  co_return point;
+}
+
+/// Support role (rank 1): echo every arrival immediately; stop on the
+/// control message.
+template <typename Env, typename CommType>
+sim::Task<void> pollingSupportOn(Env& env, PollingParams p,
+                                 const CommType& world) {
+  COMB_REQUIRE(world.rank() == 1, "support must be rank 1");
+  auto& mpi = env.mpi();
+  const int peer = 0;
+
+  co_await mpi.barrier(world);  // worker's dry run happens here
+
+  std::vector<mpi::Request> recvs(static_cast<std::size_t>(p.queueDepth));
+  for (auto& r : recvs)
+    r = co_await mpi.irecv(world, peer, p.dataTag, p.msgBytes);
+  std::uint64_t workerTotal = 0;
+  mpi::Request ctrl = co_await mpi.irecv(
+      world, peer, p.ctrlTag, sizeof(std::uint64_t),
+      std::as_writable_bytes(std::span<std::uint64_t>(&workerTotal, 1)));
+
+  co_await mpi.barrier(world);
+
+  // Initial fill: queueDepth messages toward the worker.
+  std::vector<mpi::Request> sendPool;
+  std::uint64_t sent = 0;
+  for (int k = 0; k < p.queueDepth; ++k) {
+    sendPool.push_back(co_await mpi.isend(world, peer, p.dataTag, p.msgBytes));
+    ++sent;
+  }
+
+  bool stopped = false;
+  std::uint64_t received = 0;
+  while (true) {
+    const auto seen = env.activityVersion();
+    bool didWork = false;
+
+    auto done = co_await mpi.testsome(recvs);
+    for (const std::size_t idx : done) {
+      ++received;
+      didWork = true;
+      if (!stopped) {
+        sendPool.push_back(
+            co_await mpi.isend(world, peer, p.dataTag, p.msgBytes));
+        ++sent;
+      }
+      recvs[idx] = co_await mpi.irecv(world, peer, p.dataTag, p.msgBytes);
+    }
+    if (!sendPool.empty()) {
+      co_await mpi.testsome(sendPool);
+      detail::compactPool(sendPool);
+    }
+    if (!stopped && co_await mpi.test(ctrl)) {
+      stopped = true;
+      didWork = true;
+    }
+    if (stopped && received >= workerTotal) break;
+    if (!didWork) co_await env.waitActivity(seen);
+  }
+
+  for (auto& r : recvs) {
+    if (r.valid()) {
+      const bool ok = co_await mpi.cancel(r);
+      COMB_ASSERT(ok, "leftover receive should be cancellable after drain");
+    }
+  }
+  // Report our total so the worker can drain the tail.
+  co_await mpi.send(world, peer, p.ctrlTag, sizeof(std::uint64_t),
+                    std::as_bytes(std::span<const std::uint64_t>(&sent, 1)));
+  co_await mpi.waitall(sendPool);
+  co_await mpi.barrier(world);
+}
+
+
+/// Convenience overloads on the backend's world communicator.
+template <typename Env>
+sim::Task<PollingPoint> pollingWorker(Env& env, PollingParams p) {
+  COMB_REQUIRE(env.size() == 2, "the polling method uses exactly 2 ranks");
+  co_return co_await pollingWorkerOn(env, std::move(p), env.mpi().world());
+}
+
+template <typename Env>
+sim::Task<void> pollingSupport(Env& env, PollingParams p) {
+  co_await pollingSupportOn(env, std::move(p), env.mpi().world());
+}
+
+}  // namespace comb::bench

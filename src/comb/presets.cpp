@@ -1,0 +1,36 @@
+#include "comb/presets.hpp"
+
+namespace comb::bench::presets {
+
+using namespace comb::units;
+
+std::vector<Bytes> paperMessageSizes() {
+  return {10_KB, 50_KB, 100_KB, 300_KB};
+}
+
+std::vector<std::uint64_t> pollSweep(int pointsPerDecade) {
+  return logSweep(10, 100'000'000, pointsPerDecade);
+}
+
+std::vector<std::uint64_t> workSweep(int pointsPerDecade) {
+  return logSweep(1'000, 10'000'000, pointsPerDecade);
+}
+
+PollingParams pollingBase(Bytes msgBytes) {
+  PollingParams p;
+  p.msgBytes = msgBytes;
+  p.queueDepth = 8;
+  p.targetDuration = 30e-3;
+  p.maxPolls = 30'000;
+  return p;
+}
+
+PwwParams pwwBase(Bytes msgBytes) {
+  PwwParams p;
+  p.msgBytes = msgBytes;
+  p.batch = 1;
+  p.reps = 17;  // 1 warm-up + 16 measured
+  return p;
+}
+
+}  // namespace comb::bench::presets

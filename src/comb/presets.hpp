@@ -1,0 +1,26 @@
+// The parameter sets behind each of the paper's figures, so that bench
+// binaries, tests and examples agree on what "the Fig 4 sweep" means.
+#pragma once
+
+#include <vector>
+
+#include "comb/params.hpp"
+#include "comb/runner.hpp"
+#include "common/units.hpp"
+
+namespace comb::bench::presets {
+
+/// The message sizes plotted in Figs 4-7, 14, 15.
+std::vector<Bytes> paperMessageSizes();
+
+/// Polling-interval sweep: the paper plots 10^1 .. 10^8 loop iterations.
+std::vector<std::uint64_t> pollSweep(int pointsPerDecade = 3);
+
+/// PWW work-interval sweep: the paper plots ~10^3 .. 10^7-10^8.
+std::vector<std::uint64_t> workSweep(int pointsPerDecade = 3);
+
+/// Base parameter blocks used by the figure benches.
+PollingParams pollingBase(Bytes msgBytes);
+PwwParams pwwBase(Bytes msgBytes);
+
+}  // namespace comb::bench::presets

@@ -1,0 +1,148 @@
+// The COMB Post-Work-Wait (PWW) method (paper §2.2, Fig 3).
+//
+// Per cycle the worker: (1) posts a batch of non-blocking sends and
+// receives, (2) runs the work loop making NO MPI calls (optionally one
+// MPI_Test — the §4.3 variant), (3) waits for the whole batch. The
+// support process posts the mirror batch and waits immediately. Because
+// the worker is call-silent during the work phase, any progress observed
+// there proves the underlying system has application offload; the
+// per-phase durations localise where host time goes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "comb/params.hpp"
+#include "common/error.hpp"
+#include "mpi/request.hpp"
+#include "sim/task.hpp"
+
+namespace comb::bench {
+
+namespace detail {
+
+/// One batch exchange from `env`'s side: post everything, return requests.
+template <typename Env, typename CommType>
+sim::Task<std::vector<mpi::Request>> postBatch(Env& env, int peer,
+                                               const PwwParams& p,
+                                               const CommType& world) {
+  auto& mpi = env.mpi();
+  std::vector<mpi::Request> reqs;
+  reqs.reserve(static_cast<std::size_t>(2 * p.batch));
+  // Receives first (paper: "All receives are posted before sends").
+  for (int b = 0; b < p.batch; ++b)
+    reqs.push_back(co_await mpi.irecv(world, peer, p.dataTag, p.msgBytes));
+  for (int b = 0; b < p.batch; ++b)
+    reqs.push_back(co_await mpi.isend(world, peer, p.dataTag, p.msgBytes));
+  co_return reqs;
+}
+
+}  // namespace detail
+
+/// Worker role (rank 0 of `world`, which may be any 2-rank communicator).
+/// Returns the measured sweep point.
+template <typename Env, typename CommType>
+sim::Task<PwwPoint> pwwWorkerOn(Env& env, PwwParams p,
+                                const CommType& world) {
+  COMB_REQUIRE(world.size() == 2, "the PWW method uses exactly 2 ranks");
+  COMB_REQUIRE(world.rank() == 0, "worker must be rank 0");
+  COMB_REQUIRE(p.batch >= 1, "batch must be >= 1");
+  COMB_REQUIRE(p.reps >= 2, "need at least one warm-up and one measured rep");
+  auto& mpi = env.mpi();
+  const int peer = 1;
+
+  PwwPoint point;
+  point.workInterval = p.workInterval;
+  point.msgBytes = p.msgBytes;
+  point.reps = p.reps - 1;  // first rep is warm-up
+
+  // Work-loop split for the optional mid-work MPI_Test.
+  const bool insertTest = p.testCallAtFraction >= 0.0;
+  std::uint64_t preTest = 0;
+  std::uint64_t postTest = p.workInterval;
+  if (insertTest) {
+    COMB_REQUIRE(p.testCallAtFraction <= 1.0,
+                 "testCallAtFraction must be in [0,1]");
+    preTest = static_cast<std::uint64_t>(
+        static_cast<double>(p.workInterval) * p.testCallAtFraction);
+    postTest = p.workInterval - preTest;
+  }
+
+  // --- dry run -------------------------------------------------------------
+  co_await mpi.barrier(world);
+  {
+    const auto t0 = env.wtime();
+    for (int r = 0; r < p.reps; ++r) co_await env.work(p.workInterval);
+    point.dryWork = (env.wtime() - t0) / p.reps;
+  }
+  co_await mpi.barrier(world);
+
+  // --- measured cycles -------------------------------------------------------
+  Time sumPost = 0, sumWork = 0, sumWait = 0;
+  for (int r = 0; r < p.reps; ++r) {
+    const auto tPost0 = env.wtime();
+    auto reqs = co_await detail::postBatch(env, peer, p, world);
+    const auto tWork0 = env.wtime();
+    if (insertTest) {
+      if (preTest > 0) co_await env.work(preTest);
+      co_await mpi.progressOnce();  // the single inserted library call
+      if (postTest > 0) co_await env.work(postTest);
+    } else {
+      co_await env.work(p.workInterval);
+    }
+    const auto tWait0 = env.wtime();
+    co_await mpi.waitall(reqs);
+    const auto tEnd = env.wtime();
+    if (r == 0) continue;  // warm-up
+    sumPost += tWork0 - tPost0;
+    sumWork += tWait0 - tWork0;
+    sumWait += tEnd - tWait0;
+  }
+  const double measured = p.reps - 1;
+  point.avgPost = sumPost / measured;
+  point.avgWork = sumWork / measured;
+  point.avgWait = sumWait / measured;
+  point.avgPostPerOp = point.avgPost / (2.0 * p.batch);
+  point.avgWaitPerMsg = point.avgWait / p.batch;
+  const Time cycle = point.avgPost + point.avgWork + point.avgWait;
+  point.availability = cycle > 0 ? point.dryWork / cycle : 0.0;
+  point.bandwidthBps =
+      cycle > 0
+          ? static_cast<double>(p.batch) * static_cast<double>(p.msgBytes) /
+                cycle
+          : 0.0;
+
+  co_await mpi.barrier(world);
+  co_return point;
+}
+
+/// Support role (rank 1): mirror batches, wait immediately.
+template <typename Env, typename CommType>
+sim::Task<void> pwwSupportOn(Env& env, PwwParams p, const CommType& world) {
+  COMB_REQUIRE(world.rank() == 1, "support must be rank 1");
+  auto& mpi = env.mpi();
+  const int peer = 0;
+
+  co_await mpi.barrier(world);  // worker dry run
+  co_await mpi.barrier(world);
+
+  for (int r = 0; r < p.reps; ++r) {
+    auto reqs = co_await detail::postBatch(env, peer, p, world);
+    co_await mpi.waitall(reqs);
+  }
+  co_await mpi.barrier(world);
+}
+
+/// Convenience overloads on the backend's world communicator.
+template <typename Env>
+sim::Task<PwwPoint> pwwWorker(Env& env, PwwParams p) {
+  COMB_REQUIRE(env.size() == 2, "the PWW method uses exactly 2 ranks");
+  co_return co_await pwwWorkerOn(env, std::move(p), env.mpi().world());
+}
+
+template <typename Env>
+sim::Task<void> pwwSupport(Env& env, PwwParams p) {
+  co_await pwwSupportOn(env, std::move(p), env.mpi().world());
+}
+
+}  // namespace comb::bench

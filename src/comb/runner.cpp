@@ -1,0 +1,127 @@
+#include "comb/runner.hpp"
+
+#include <cmath>
+
+#include "backend/sim_cluster.hpp"
+#include "common/error.hpp"
+#include "comb/polling.hpp"
+#include "comb/pww.hpp"
+#include "common/log.hpp"
+
+namespace comb::bench {
+
+namespace {
+
+sim::Task<void> pollingWorkerDriver(backend::SimProc& env, PollingParams p,
+                                    PollingPoint& out) {
+  out = co_await pollingWorker(env, p);
+}
+
+sim::Task<void> pwwWorkerDriver(backend::SimProc& env, PwwParams p,
+                                PwwPoint& out) {
+  out = co_await pwwWorker(env, p);
+}
+
+sim::Task<void> latencyDriver(backend::SimProc& env, LatencyParams p,
+                              LatencyPoint& out) {
+  out = co_await latencyInitiator(env, p);
+}
+
+}  // namespace
+
+std::vector<std::uint64_t> logSweep(std::uint64_t lo, std::uint64_t hi,
+                                    int pointsPerDecade) {
+  COMB_REQUIRE(lo > 0 && hi >= lo, "bad sweep bounds");
+  COMB_REQUIRE(pointsPerDecade >= 1, "need at least one point per decade");
+  std::vector<std::uint64_t> xs;
+  const double step = 1.0 / pointsPerDecade;
+  for (double e = std::log10(static_cast<double>(lo));
+       ; e += step) {
+    const auto v = static_cast<std::uint64_t>(
+        std::llround(std::pow(10.0, e)));
+    if (v > hi) break;
+    if (xs.empty() || v != xs.back()) xs.push_back(v);
+  }
+  if (xs.empty() || xs.back() != hi) xs.push_back(hi);
+  return xs;
+}
+
+PollingPoint runPollingPoint(const backend::MachineConfig& machine,
+                             const PollingParams& params) {
+  backend::SimCluster cluster(machine, 2);
+  PollingPoint point;
+  cluster.launch(0, pollingWorkerDriver(cluster.proc(0), params, point),
+                 "polling-worker");
+  cluster.launch(1, pollingSupport(cluster.proc(1), params),
+                 "polling-support");
+  cluster.run();
+  return point;
+}
+
+PwwPoint runPwwPoint(const backend::MachineConfig& machine,
+                     const PwwParams& params) {
+  backend::SimCluster cluster(machine, 2);
+  PwwPoint point;
+  cluster.launch(0, pwwWorkerDriver(cluster.proc(0), params, point),
+                 "pww-worker");
+  cluster.launch(1, pwwSupport(cluster.proc(1), params), "pww-support");
+  cluster.run();
+  return point;
+}
+
+std::vector<PollingPoint> runPollingSweep(
+    const backend::MachineConfig& machine, PollingParams base,
+    const std::vector<std::uint64_t>& pollIntervals) {
+  std::vector<PollingPoint> points;
+  points.reserve(pollIntervals.size());
+  for (const auto interval : pollIntervals) {
+    base.pollInterval = interval;
+    points.push_back(runPollingPoint(machine, base));
+    COMB_LOG(Debug) << machine.name << " polling interval=" << interval
+                    << " bw=" << toMBps(points.back().bandwidthBps)
+                    << " MB/s avail=" << points.back().availability;
+  }
+  return points;
+}
+
+LatencyPoint runLatencyPoint(const backend::MachineConfig& machine,
+                             const LatencyParams& params) {
+  backend::SimCluster cluster(machine, 2);
+  LatencyPoint point;
+  cluster.launch(0, latencyDriver(cluster.proc(0), params, point),
+                 "latency-initiator");
+  cluster.launch(1, latencyEcho(cluster.proc(1), params), "latency-echo");
+  cluster.run();
+  return point;
+}
+
+std::vector<LatencyPoint> runLatencySweep(
+    const backend::MachineConfig& machine, const std::vector<Bytes>& sizes,
+    int reps) {
+  std::vector<LatencyPoint> points;
+  points.reserve(sizes.size());
+  for (const Bytes size : sizes) {
+    LatencyParams p;
+    p.msgBytes = size;
+    p.reps = reps;
+    points.push_back(runLatencyPoint(machine, p));
+  }
+  return points;
+}
+
+std::vector<PwwPoint> runPwwSweep(
+    const backend::MachineConfig& machine, PwwParams base,
+    const std::vector<std::uint64_t>& workIntervals) {
+  std::vector<PwwPoint> points;
+  points.reserve(workIntervals.size());
+  for (const auto interval : workIntervals) {
+    base.workInterval = interval;
+    points.push_back(runPwwPoint(machine, base));
+    COMB_LOG(Debug) << machine.name << " pww work=" << interval
+                    << " bw=" << toMBps(points.back().bandwidthBps)
+                    << " MB/s avail=" << points.back().availability;
+  }
+  return points;
+}
+
+}  // namespace comb::bench

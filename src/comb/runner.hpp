@@ -1,0 +1,36 @@
+// Runners: execute one COMB measurement (or a sweep) on a simulated
+// machine. Each point runs on a freshly built two-node cluster so sweep
+// points are independent and bit-reproducible.
+#pragma once
+
+#include <vector>
+
+#include "backend/machine.hpp"
+#include "comb/latency.hpp"
+#include "comb/params.hpp"
+
+namespace comb::bench {
+
+PollingPoint runPollingPoint(const backend::MachineConfig& machine,
+                             const PollingParams& params);
+PwwPoint runPwwPoint(const backend::MachineConfig& machine,
+                     const PwwParams& params);
+
+/// Sweep the polling interval (params.pollInterval is overridden per point).
+std::vector<PollingPoint> runPollingSweep(
+    const backend::MachineConfig& machine, PollingParams base,
+    const std::vector<std::uint64_t>& pollIntervals);
+
+/// Sweep the work interval (params.workInterval is overridden per point).
+std::vector<PwwPoint> runPwwSweep(const backend::MachineConfig& machine,
+                                  PwwParams base,
+                                  const std::vector<std::uint64_t>& workIntervals);
+
+// Ping-pong latency microbenchmark (comb/latency.hpp).
+LatencyPoint runLatencyPoint(const backend::MachineConfig& machine,
+                             const LatencyParams& params);
+std::vector<LatencyPoint> runLatencySweep(const backend::MachineConfig& machine,
+                                          const std::vector<Bytes>& sizes,
+                                          int reps = 30);
+
+}  // namespace comb::bench

@@ -1,0 +1,153 @@
+#include "common/ascii_plot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/string_util.hpp"
+
+namespace comb {
+
+namespace {
+
+constexpr const char* kMarkers = "ox+*#@%&";
+
+struct Range {
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  void widen(double v) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  bool valid() const { return lo <= hi; }
+};
+
+double axisValue(double v, bool log) { return log ? std::log10(v) : v; }
+
+bool usable(double v, bool log) {
+  return std::isfinite(v) && (!log || v > 0.0);
+}
+
+std::string tickLabel(double axisVal, bool log) {
+  const double v = log ? std::pow(10.0, axisVal) : axisVal;
+  if (log) return strFormat("%.0e", v);
+  if (v != 0.0 && (std::fabs(v) >= 1e5 || std::fabs(v) < 1e-3))
+    return strFormat("%.1e", v);
+  return strFormat("%.3g", v);
+}
+
+}  // namespace
+
+void renderPlot(std::ostream& out, const std::vector<PlotSeries>& series,
+                const PlotOptions& opts) {
+  COMB_REQUIRE(opts.width >= 16 && opts.height >= 4,
+               "plot area too small to render");
+
+  Range xr, yr;
+  for (const auto& s : series) {
+    COMB_REQUIRE(s.xs.size() == s.ys.size(),
+                 "plot series x/y length mismatch: " + s.name);
+    for (std::size_t i = 0; i < s.xs.size(); ++i) {
+      if (!usable(s.xs[i], opts.logX) || !usable(s.ys[i], opts.logY)) continue;
+      xr.widen(axisValue(s.xs[i], opts.logX));
+      yr.widen(axisValue(s.ys[i], opts.logY));
+    }
+  }
+  if (opts.ymin != PlotOptions::kAuto) yr.lo = axisValue(opts.ymin, opts.logY);
+  if (opts.ymax != PlotOptions::kAuto) yr.hi = axisValue(opts.ymax, opts.logY);
+
+  if (!xr.valid() || !yr.valid()) {
+    out << "(no plottable data)\n";
+    return;
+  }
+  // Degenerate ranges still deserve a plot: pad them symmetrically.
+  if (xr.hi == xr.lo) {
+    xr.lo -= 0.5;
+    xr.hi += 0.5;
+  }
+  if (yr.hi == yr.lo) {
+    yr.lo -= 0.5;
+    yr.hi += 0.5;
+  }
+
+  const int w = opts.width;
+  const int h = opts.height;
+  std::vector<std::string> grid(static_cast<std::size_t>(h),
+                                std::string(static_cast<std::size_t>(w), ' '));
+
+  auto toCol = [&](double ax) {
+    const double t = (ax - xr.lo) / (xr.hi - xr.lo);
+    return std::clamp(static_cast<int>(std::lround(t * (w - 1))), 0, w - 1);
+  };
+  auto toRow = [&](double ay) {
+    const double t = (ay - yr.lo) / (yr.hi - yr.lo);
+    return std::clamp(static_cast<int>(std::lround((1.0 - t) * (h - 1))), 0,
+                      h - 1);
+  };
+
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    const char mark = kMarkers[si % std::string_view(kMarkers).size()];
+    const auto& s = series[si];
+    for (std::size_t i = 0; i < s.xs.size(); ++i) {
+      if (!usable(s.xs[i], opts.logX) || !usable(s.ys[i], opts.logY)) continue;
+      const double ay = axisValue(s.ys[i], opts.logY);
+      if (ay < yr.lo || ay > yr.hi) continue;
+      grid[static_cast<std::size_t>(toRow(ay))]
+          [static_cast<std::size_t>(toCol(axisValue(s.xs[i], opts.logX)))] =
+              mark;
+    }
+  }
+
+  if (!opts.title.empty()) out << opts.title << '\n';
+  if (!opts.ylabel.empty()) out << opts.ylabel << '\n';
+
+  const std::string yTop = tickLabel(yr.hi, opts.logY);
+  const std::string yMid = tickLabel((yr.hi + yr.lo) / 2.0, opts.logY);
+  const std::string yBot = tickLabel(yr.lo, opts.logY);
+  const std::size_t gutter =
+      std::max({yTop.size(), yMid.size(), yBot.size()}) + 1;
+
+  for (int r = 0; r < h; ++r) {
+    std::string label;
+    if (r == 0) label = yTop;
+    else if (r == h / 2) label = yMid;
+    else if (r == h - 1) label = yBot;
+    out << std::string(gutter - label.size(), ' ') << label << '|'
+        << grid[static_cast<std::size_t>(r)] << '\n';
+  }
+  out << std::string(gutter, ' ') << '+' << std::string(static_cast<std::size_t>(w), '-')
+      << '\n';
+
+  const std::string xLo = tickLabel(xr.lo, opts.logX);
+  const std::string xMid = tickLabel((xr.lo + xr.hi) / 2.0, opts.logX);
+  const std::string xHi = tickLabel(xr.hi, opts.logX);
+  std::string xAxis(gutter + 1 + static_cast<std::size_t>(w), ' ');
+  auto place = [&](std::size_t col, const std::string& s) {
+    for (std::size_t i = 0; i < s.size() && col + i < xAxis.size(); ++i)
+      xAxis[col + i] = s[i];
+  };
+  place(gutter + 1, xLo);
+  place(gutter + 1 + static_cast<std::size_t>(w) / 2 - xMid.size() / 2, xMid);
+  place(gutter + 1 + static_cast<std::size_t>(w) - xHi.size(), xHi);
+  out << xAxis << '\n';
+  if (!opts.xlabel.empty())
+    out << std::string(gutter + 1, ' ') << opts.xlabel
+        << (opts.logX ? " (log scale)" : "") << '\n';
+
+  out << "  legend:";
+  for (std::size_t si = 0; si < series.size(); ++si)
+    out << "  " << kMarkers[si % std::string_view(kMarkers).size()] << " = "
+        << series[si].name;
+  out << '\n';
+}
+
+std::string plotToString(const std::vector<PlotSeries>& series,
+                         const PlotOptions& opts) {
+  std::ostringstream os;
+  renderPlot(os, series, opts);
+  return os.str();
+}
+
+}  // namespace comb

@@ -1,0 +1,42 @@
+// Terminal line plots so every paper figure can be eyeballed without
+// leaving the shell. Supports multiple series, linear or log10 axes, a
+// legend, and axis tick labels — enough to recognise the *shape* of each
+// COMB figure (plateaus, knees, crossovers).
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace comb {
+
+struct PlotSeries {
+  std::string name;
+  std::vector<double> xs;
+  std::vector<double> ys;
+};
+
+struct PlotOptions {
+  int width = 72;    ///< plot area columns (excluding axis labels)
+  int height = 20;   ///< plot area rows
+  bool logX = false;
+  bool logY = false;
+  std::string xlabel;
+  std::string ylabel;
+  std::string title;
+  /// Clamp the y range; NaN means auto-fit to the data.
+  double ymin = kAuto;
+  double ymax = kAuto;
+  static constexpr double kAuto = -1e308;
+};
+
+/// Render series as an ASCII scatter/line chart. Each series gets a marker
+/// from "ox+*#@%&"; overlapping points show the later series' marker.
+/// Non-finite and (for log axes) non-positive samples are skipped.
+void renderPlot(std::ostream& out, const std::vector<PlotSeries>& series,
+                const PlotOptions& opts);
+
+std::string plotToString(const std::vector<PlotSeries>& series,
+                         const PlotOptions& opts);
+
+}  // namespace comb

@@ -1,0 +1,114 @@
+#include "common/cli.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/string_util.hpp"
+
+namespace comb {
+
+ArgParser::ArgParser(std::string program, std::string description)
+    : program_(std::move(program)), description_(std::move(description)) {}
+
+void ArgParser::addFlag(const std::string& name, const std::string& help) {
+  COMB_REQUIRE(!specs_.count(name), "duplicate CLI option: " + name);
+  specs_[name] = Spec{help, /*isFlag=*/true, ""};
+}
+
+void ArgParser::addOption(const std::string& name, const std::string& help,
+                          const std::string& def) {
+  COMB_REQUIRE(!specs_.count(name), "duplicate CLI option: " + name);
+  specs_[name] = Spec{help, /*isFlag=*/false, def};
+}
+
+bool ArgParser::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(helpText().c_str(), stdout);
+      return false;
+    }
+    if (!startsWith(arg, "--")) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    std::string name = arg.substr(2);
+    std::optional<std::string> inlineValue;
+    if (const auto eq = name.find('='); eq != std::string::npos) {
+      inlineValue = name.substr(eq + 1);
+      name = name.substr(0, eq);
+    }
+    const auto it = specs_.find(name);
+    if (it == specs_.end())
+      throw ConfigError("unknown option --" + name + " (try --help)");
+    if (it->second.isFlag) {
+      if (inlineValue)
+        throw ConfigError("flag --" + name + " does not take a value");
+      flags_[name] = true;
+    } else if (inlineValue) {
+      values_[name] = *inlineValue;
+    } else {
+      if (i + 1 >= argc)
+        throw ConfigError("option --" + name + " requires a value");
+      values_[name] = argv[++i];
+    }
+  }
+  return true;
+}
+
+const ArgParser::Spec& ArgParser::specFor(const std::string& name) const {
+  const auto it = specs_.find(name);
+  COMB_ASSERT(it != specs_.end(), "undeclared CLI option queried: " + name);
+  return it->second;
+}
+
+bool ArgParser::flag(const std::string& name) const {
+  COMB_ASSERT(specFor(name).isFlag, "flag() on value option: " + name);
+  const auto it = flags_.find(name);
+  return it != flags_.end() && it->second;
+}
+
+std::string ArgParser::str(const std::string& name) const {
+  const Spec& spec = specFor(name);
+  COMB_ASSERT(!spec.isFlag, "str() on flag: " + name);
+  const auto it = values_.find(name);
+  return it != values_.end() ? it->second : spec.def;
+}
+
+std::int64_t ArgParser::integer(const std::string& name) const {
+  const std::string v = str(name);
+  char* end = nullptr;
+  const long long parsed = std::strtoll(v.c_str(), &end, 10);
+  if (end == v.c_str() || *end != '\0')
+    throw ConfigError("option --" + name + " expects an integer, got '" + v +
+                      "'");
+  return parsed;
+}
+
+double ArgParser::real(const std::string& name) const {
+  const std::string v = str(name);
+  char* end = nullptr;
+  const double parsed = std::strtod(v.c_str(), &end);
+  if (end == v.c_str() || *end != '\0')
+    throw ConfigError("option --" + name + " expects a number, got '" + v +
+                      "'");
+  return parsed;
+}
+
+std::string ArgParser::helpText() const {
+  std::ostringstream os;
+  os << program_ << " — " << description_ << "\n\noptions:\n";
+  for (const auto& [name, spec] : specs_) {
+    os << "  --" << name;
+    if (!spec.isFlag) os << " <value>";
+    os << "\n      " << spec.help;
+    if (!spec.isFlag && !spec.def.empty()) os << " (default: " << spec.def << ")";
+    os << '\n';
+  }
+  os << "  --help\n      show this message\n";
+  return os.str();
+}
+
+}  // namespace comb

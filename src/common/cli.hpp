@@ -1,0 +1,56 @@
+// A small command-line parser for the bench and example binaries.
+//
+// Supports `--flag`, `--opt value` and `--opt=value`; typed accessors with
+// defaults; and an auto-generated `--help`.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace comb {
+
+class ArgParser {
+ public:
+  ArgParser(std::string program, std::string description);
+
+  /// Declare a boolean flag (present/absent).
+  void addFlag(const std::string& name, const std::string& help);
+  /// Declare an option that takes a value; `def` is rendered in --help.
+  void addOption(const std::string& name, const std::string& help,
+                 const std::string& def);
+
+  /// Parse argv. Returns false if --help was requested (help printed to
+  /// stdout); throws comb::ConfigError on unknown or malformed arguments.
+  bool parse(int argc, const char* const* argv);
+
+  bool flag(const std::string& name) const;
+  std::string str(const std::string& name) const;
+  std::int64_t integer(const std::string& name) const;
+  double real(const std::string& name) const;
+
+  /// Positional arguments left after option parsing.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  std::string helpText() const;
+
+ private:
+  struct Spec {
+    std::string help;
+    bool isFlag = false;
+    std::string def;
+  };
+
+  const Spec& specFor(const std::string& name) const;
+
+  std::string program_;
+  std::string description_;
+  std::map<std::string, Spec> specs_;
+  std::map<std::string, std::string> values_;
+  std::map<std::string, bool> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace comb

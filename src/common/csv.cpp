@@ -1,0 +1,50 @@
+#include "common/csv.hpp"
+
+#include "common/error.hpp"
+#include "common/string_util.hpp"
+
+namespace comb {
+
+CsvWriter::CsvWriter(std::ostream& out, std::vector<std::string> header)
+    : out_(out), arity_(header.size()) {
+  COMB_REQUIRE(!header.empty(), "CSV header must not be empty");
+  writeLine(header);
+}
+
+void CsvWriter::row(const std::vector<std::string>& fields) {
+  COMB_REQUIRE(fields.size() == arity_,
+               strFormat("CSV row arity %zu != header arity %zu",
+                         fields.size(), arity_));
+  writeLine(fields);
+  ++rows_;
+}
+
+void CsvWriter::rowNumeric(const std::vector<double>& values, int precision) {
+  std::vector<std::string> fields;
+  fields.reserve(values.size());
+  for (double v : values) fields.push_back(strFormat("%.*g", precision, v));
+  row(fields);
+}
+
+std::string CsvWriter::escape(const std::string& field) {
+  const bool needsQuoting =
+      field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needsQuoting) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+void CsvWriter::writeLine(const std::vector<std::string>& fields) {
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << escape(fields[i]);
+  }
+  out_ << '\n';
+}
+
+}  // namespace comb

@@ -1,0 +1,34 @@
+// CSV emission for benchmark series (RFC 4180-style quoting).
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace comb {
+
+/// Streams rows to an std::ostream. The header is written on construction;
+/// every row must have the same arity (checked).
+class CsvWriter {
+ public:
+  CsvWriter(std::ostream& out, std::vector<std::string> header);
+
+  void row(const std::vector<std::string>& fields);
+
+  /// Convenience for numeric rows.
+  void rowNumeric(const std::vector<double>& values, int precision = 9);
+
+  std::size_t rowsWritten() const { return rows_; }
+
+  /// Quote a single CSV field if it contains separators/quotes/newlines.
+  static std::string escape(const std::string& field);
+
+ private:
+  void writeLine(const std::vector<std::string>& fields);
+
+  std::ostream& out_;
+  std::size_t arity_;
+  std::size_t rows_ = 0;
+};
+
+}  // namespace comb

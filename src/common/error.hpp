@@ -1,0 +1,54 @@
+// Error handling primitives shared by every COMB module.
+//
+// COMB distinguishes programmer errors (violated invariants, checked with
+// COMB_ASSERT, fatal) from user/configuration errors (reported by throwing
+// comb::Error so callers and tests can react).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace comb {
+
+/// Base exception for all recoverable COMB errors (bad configuration,
+/// malformed input, misuse of the public API).
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when a simulation entity is driven outside its legal protocol
+/// (e.g. completing a DMA that was never started).
+class ProtocolError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Thrown for invalid user-supplied configuration values.
+class ConfigError : public Error {
+ public:
+  using Error::Error;
+};
+
+[[noreturn]] void assertFailed(const char* expr, const char* file, int line,
+                               const std::string& msg);
+
+}  // namespace comb
+
+/// Always-on invariant check. COMB is a measurement tool: silently wrong
+/// accounting is worse than a crash, so these stay enabled in release builds.
+#define COMB_ASSERT(expr, msg)                                \
+  do {                                                        \
+    if (!(expr)) [[unlikely]] {                               \
+      ::comb::assertFailed(#expr, __FILE__, __LINE__, (msg)); \
+    }                                                         \
+  } while (0)
+
+/// Validate a user-facing precondition; throws comb::ConfigError.
+#define COMB_REQUIRE(expr, msg)                                       \
+  do {                                                                \
+    if (!(expr)) [[unlikely]] {                                       \
+      throw ::comb::ConfigError(std::string("requirement failed: ") + \
+                                (msg));                               \
+    }                                                                 \
+  } while (0)

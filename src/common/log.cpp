@@ -1,0 +1,84 @@
+#include "common/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/error.hpp"
+
+namespace comb {
+
+void assertFailed(const char* expr, const char* file, int line,
+                  const std::string& msg) {
+  std::fprintf(stderr, "COMB_ASSERT failed: %s at %s:%d: %s\n", expr, file,
+               line, msg.c_str());
+  std::abort();
+}
+
+}  // namespace comb
+
+namespace comb::log {
+
+namespace {
+
+Level initialLevel() {
+  if (const char* env = std::getenv("COMB_LOG_LEVEL")) {
+    try {
+      return parseLevel(env);
+    } catch (const Error&) {
+      std::fprintf(stderr, "COMB: ignoring invalid COMB_LOG_LEVEL=%s\n", env);
+    }
+  }
+  return Level::Warn;
+}
+
+std::atomic<Level>& levelRef() {
+  static std::atomic<Level> lvl{initialLevel()};
+  return lvl;
+}
+
+}  // namespace
+
+Level level() { return levelRef().load(std::memory_order_relaxed); }
+
+void setLevel(Level lvl) { levelRef().store(lvl, std::memory_order_relaxed); }
+
+Level parseLevel(const std::string& name) {
+  if (name == "trace") return Level::Trace;
+  if (name == "debug") return Level::Debug;
+  if (name == "info") return Level::Info;
+  if (name == "warn") return Level::Warn;
+  if (name == "error") return Level::Error;
+  if (name == "off") return Level::Off;
+  throw ConfigError("unknown log level: " + name);
+}
+
+const char* levelName(Level lvl) {
+  switch (lvl) {
+    case Level::Trace: return "TRACE";
+    case Level::Debug: return "DEBUG";
+    case Level::Info: return "INFO";
+    case Level::Warn: return "WARN";
+    case Level::Error: return "ERROR";
+    case Level::Off: return "OFF";
+  }
+  return "?";
+}
+
+namespace detail {
+
+Message::Message(Level lvl, const char* file, int line) : lvl_(lvl) {
+  // Keep only the basename: full paths add noise without information.
+  const char* base = std::strrchr(file, '/');
+  stream_ << '[' << levelName(lvl) << "] " << (base ? base + 1 : file) << ':'
+          << line << ": ";
+}
+
+Message::~Message() {
+  stream_ << '\n';
+  std::fputs(stream_.str().c_str(), stderr);
+}
+
+}  // namespace detail
+}  // namespace comb::log

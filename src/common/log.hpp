@@ -1,0 +1,55 @@
+// Minimal leveled logger.
+//
+// COMB is a benchmark: logging must never perturb measurement, so the
+// logger formats lazily (the stream expression is only evaluated when the
+// level is enabled) and writes to stderr only.
+//
+// Usage:
+//   COMB_LOG(Info) << "cluster up, nodes=" << n;
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace comb::log {
+
+enum class Level : int { Trace = 0, Debug, Info, Warn, Error, Off };
+
+/// Global threshold; messages below it are discarded. Defaults to Warn so
+/// benchmark output stays clean. Override via setLevel() or the
+/// COMB_LOG_LEVEL environment variable (trace|debug|info|warn|error|off),
+/// which is read once on first use.
+Level level();
+void setLevel(Level lvl);
+
+/// Parse a level name; throws comb::ConfigError on unknown names.
+Level parseLevel(const std::string& name);
+const char* levelName(Level lvl);
+
+namespace detail {
+
+class Message {
+ public:
+  Message(Level lvl, const char* file, int line);
+  Message(const Message&) = delete;
+  Message& operator=(const Message&) = delete;
+  ~Message();
+
+  template <typename T>
+  Message& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  Level lvl_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+}  // namespace comb::log
+
+#define COMB_LOG(lvl)                                             \
+  if (::comb::log::Level::lvl < ::comb::log::level()) {           \
+  } else                                                          \
+    ::comb::log::detail::Message(::comb::log::Level::lvl, __FILE__, __LINE__)

@@ -1,0 +1,94 @@
+// Deterministic pseudo-random number generation.
+//
+// The simulator must be bit-reproducible across runs and platforms, so we
+// carry our own generator (xoshiro256**, public domain algorithm by
+// Blackman & Vigna) instead of relying on implementation-defined
+// std::default_random_engine behaviour.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/error.hpp"
+
+namespace comb {
+
+/// splitmix64: used to expand a single seed into generator state.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9E3779B97f4A7C15ull;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** 1.0 — fast, high-quality 64-bit generator.
+/// Satisfies std::uniform_random_bit_generator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  static constexpr std::uint64_t kDefaultSeed = 0xC04Bu;  // "COMB"
+
+  explicit Rng(std::uint64_t seed = kDefaultSeed) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    std::uint64_t sm = seed;
+    for (auto& word : s_) word = splitmix64(sm);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ull; }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() { return static_cast<double>((*this)() >> 11) * 0x1.0p-53; }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [0, n) without modulo bias (Lemire's method).
+  std::uint64_t below(std::uint64_t n) {
+    COMB_ASSERT(n > 0, "Rng::below(0)");
+    __uint128_t m = static_cast<__uint128_t>((*this)()) * n;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < n) {
+      const std::uint64_t threshold = (0ull - n) % n;
+      while (lo < threshold) {
+        m = static_cast<__uint128_t>((*this)()) * n;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t between(std::int64_t lo, std::int64_t hi) {
+    COMB_ASSERT(lo <= hi, "Rng::between: lo > hi");
+    return lo + static_cast<std::int64_t>(
+                    below(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  /// Fork a statistically independent child stream (seeded from this one).
+  Rng fork() { return Rng((*this)()); }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> s_{};
+};
+
+}  // namespace comb

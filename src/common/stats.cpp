@@ -1,0 +1,136 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace comb {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const auto na = static_cast<double>(n_);
+  const auto nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void RunningStats::clear() { *this = RunningStats{}; }
+
+double RunningStats::mean() const { return n_ ? mean_ : 0.0; }
+
+double RunningStats::variance() const {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::min() const {
+  COMB_ASSERT(n_ > 0, "min of empty RunningStats");
+  return min_;
+}
+
+double RunningStats::max() const {
+  COMB_ASSERT(n_ > 0, "max of empty RunningStats");
+  return max_;
+}
+
+double percentileSorted(std::span<const double> sorted, double q) {
+  COMB_REQUIRE(!sorted.empty(), "percentile of empty sample");
+  COMB_REQUIRE(q >= 0.0 && q <= 1.0, "percentile q outside [0,1]");
+  if (sorted.size() == 1) return sorted[0];
+  const double rank = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+double percentile(std::span<const double> xs, double q) {
+  std::vector<double> copy(xs.begin(), xs.end());
+  std::sort(copy.begin(), copy.end());
+  return percentileSorted(copy, q);
+}
+
+double mean(std::span<const double> xs) {
+  RunningStats s;
+  for (double x : xs) s.add(x);
+  return s.mean();
+}
+
+double median(std::span<const double> xs) { return percentile(xs, 0.5); }
+
+double geomean(std::span<const double> xs) {
+  COMB_REQUIRE(!xs.empty(), "geomean of empty sample");
+  double logSum = 0.0;
+  for (double x : xs) {
+    COMB_REQUIRE(x > 0.0, "geomean requires positive inputs");
+    logSum += std::log(x);
+  }
+  return std::exp(logSum / static_cast<double>(xs.size()));
+}
+
+LinearFit linearFit(std::span<const double> xs, std::span<const double> ys) {
+  COMB_REQUIRE(xs.size() == ys.size(), "linearFit: size mismatch");
+  COMB_REQUIRE(xs.size() >= 2, "linearFit: need at least two points");
+  const auto n = static_cast<double>(xs.size());
+  double sx = 0, sy = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sx += xs[i];
+    sy += ys[i];
+  }
+  const double mx = sx / n;
+  const double my = sy / n;
+  double sxx = 0, sxy = 0, syy = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double dx = xs[i] - mx;
+    const double dy = ys[i] - my;
+    sxx += dx * dx;
+    sxy += dx * dy;
+    syy += dy * dy;
+  }
+  LinearFit fit;
+  if (sxx == 0.0) {
+    // Vertical data: slope undefined; report flat line through mean.
+    fit.intercept = my;
+    return fit;
+  }
+  fit.slope = sxy / sxx;
+  fit.intercept = my - fit.slope * mx;
+  fit.r2 = syy == 0.0 ? 1.0 : (sxy * sxy) / (sxx * syy);
+  return fit;
+}
+
+double relDiff(double a, double b) {
+  const double denom = std::max(std::fabs(a), std::fabs(b));
+  return denom == 0.0 ? 0.0 : std::fabs(a - b) / denom;
+}
+
+bool approxEqual(double a, double b, double rtol, double atol) {
+  return std::fabs(a - b) <=
+         std::max(atol, rtol * std::max(std::fabs(a), std::fabs(b)));
+}
+
+}  // namespace comb

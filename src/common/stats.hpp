@@ -1,0 +1,63 @@
+// Streaming and batch statistics used by the measurement layer.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace comb {
+
+/// Numerically stable streaming moments (Welford's algorithm).
+class RunningStats {
+ public:
+  void add(double x);
+  void merge(const RunningStats& other);
+  void clear();
+
+  std::size_t count() const { return n_; }
+  bool empty() const { return n_ == 0; }
+  double mean() const;
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const;
+  double max() const;
+  double sum() const { return mean() * static_cast<double>(n_); }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Percentile of a sample set via linear interpolation between closest
+/// ranks (the common "type 7" estimator). `q` in [0, 1]. The input span is
+/// copied; callers with pre-sorted data should use percentileSorted.
+double percentile(std::span<const double> xs, double q);
+double percentileSorted(std::span<const double> sorted, double q);
+
+double mean(std::span<const double> xs);
+double median(std::span<const double> xs);
+
+/// Geometric mean; all inputs must be > 0.
+double geomean(std::span<const double> xs);
+
+/// Least-squares fit y = a + b*x. Returns {a, b}. Requires >= 2 points.
+struct LinearFit {
+  double intercept = 0.0;
+  double slope = 0.0;
+  /// Coefficient of determination in [0, 1].
+  double r2 = 0.0;
+};
+LinearFit linearFit(std::span<const double> xs, std::span<const double> ys);
+
+/// Relative difference |a-b| / max(|a|,|b|); 0 when both are 0.
+double relDiff(double a, double b);
+
+/// True when `a` and `b` agree within relative tolerance `rtol` or
+/// absolute tolerance `atol`.
+bool approxEqual(double a, double b, double rtol = 1e-9, double atol = 0.0);
+
+}  // namespace comb

@@ -1,0 +1,76 @@
+#include "common/string_util.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+
+namespace comb {
+
+std::string strFormat(const char* fmt, ...) {
+  std::va_list args;
+  va_start(args, fmt);
+  std::va_list args2;
+  va_copy(args2, args);
+  const int n = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string out;
+  if (n > 0) {
+    out.resize(static_cast<size_t>(n));
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args2);
+  }
+  va_end(args2);
+  return out;
+}
+
+std::vector<std::string> split(std::string_view s, char sep) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (true) {
+    const size_t pos = s.find(sep, start);
+    if (pos == std::string_view::npos) {
+      out.emplace_back(s.substr(start));
+      return out;
+    }
+    out.emplace_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+std::string_view trim(std::string_view s) {
+  size_t b = 0;
+  size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+bool startsWith(std::string_view s, std::string_view prefix) {
+  return s.substr(0, prefix.size()) == prefix;
+}
+
+std::string fmtDouble(double v, int prec) {
+  return strFormat("%.*f", prec, v);
+}
+
+std::string fmtBytes(std::uint64_t bytes) {
+  constexpr std::uint64_t kKB = 1024;
+  constexpr std::uint64_t kMB = 1024 * 1024;
+  constexpr std::uint64_t kGB = 1024ull * 1024ull * 1024ull;
+  if (bytes >= kGB && bytes % kGB == 0)
+    return strFormat("%llu GB", static_cast<unsigned long long>(bytes / kGB));
+  if (bytes >= kMB && bytes % kMB == 0)
+    return strFormat("%llu MB", static_cast<unsigned long long>(bytes / kMB));
+  if (bytes >= kKB && bytes % kKB == 0)
+    return strFormat("%llu KB", static_cast<unsigned long long>(bytes / kKB));
+  return strFormat("%llu B", static_cast<unsigned long long>(bytes));
+}
+
+std::string fmtTime(double seconds) {
+  const double a = std::fabs(seconds);
+  if (a >= 1.0) return strFormat("%.3f s", seconds);
+  if (a >= 1e-3) return strFormat("%.3f ms", seconds * 1e3);
+  if (a >= 1e-6) return strFormat("%.3f us", seconds * 1e6);
+  return strFormat("%.1f ns", seconds * 1e9);
+}
+
+}  // namespace comb

@@ -1,0 +1,32 @@
+// Small string helpers (GCC 12 lacks std::format; strFormat fills the gap).
+#pragma once
+
+#include <cstdarg>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace comb {
+
+/// printf-style formatting into a std::string.
+[[gnu::format(printf, 1, 2)]] std::string strFormat(const char* fmt, ...);
+
+/// Split `s` on `sep`, keeping empty fields.
+std::vector<std::string> split(std::string_view s, char sep);
+
+/// Strip leading/trailing ASCII whitespace.
+std::string_view trim(std::string_view s);
+
+bool startsWith(std::string_view s, std::string_view prefix);
+
+/// Render a double compactly: fixed with `prec` digits, trailing zeros kept
+/// (stable column widths for tables).
+std::string fmtDouble(double v, int prec = 3);
+
+/// Human-readable byte count: "10 KB", "1.5 MB" (binary units, paper style).
+std::string fmtBytes(std::uint64_t bytes);
+
+/// Human-readable duration: picks ns/us/ms/s.
+std::string fmtTime(double seconds);
+
+}  // namespace comb

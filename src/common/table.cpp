@@ -1,0 +1,66 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/string_util.hpp"
+
+namespace comb {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  COMB_REQUIRE(!header_.empty(), "table header must not be empty");
+}
+
+void TextTable::addRow(std::vector<std::string> fields) {
+  COMB_REQUIRE(fields.size() == header_.size(),
+               strFormat("table row arity %zu != header arity %zu",
+                         fields.size(), header_.size()));
+  rows_.push_back(std::move(fields));
+}
+
+void TextTable::addRowNumeric(const std::vector<double>& values,
+                              int precision) {
+  std::vector<std::string> fields;
+  fields.reserve(values.size());
+  for (double v : values) fields.push_back(strFormat("%.*g", precision, v));
+  addRow(std::move(fields));
+}
+
+void TextTable::render(std::ostream& out) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c)
+    widths[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  auto emitRow = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) out << "  ";
+      const auto pad = widths[c] - row[c].size();
+      if (align_ == Align::Right) out << std::string(pad, ' ');
+      out << row[c];
+      if (align_ == Align::Left && c + 1 < row.size())
+        out << std::string(pad, ' ');
+    }
+    out << '\n';
+  };
+
+  emitRow(header_);
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    if (c) out << "  ";
+    out << std::string(widths[c], '-');
+  }
+  out << '\n';
+  for (const auto& row : rows_) emitRow(row);
+}
+
+std::string TextTable::str() const {
+  std::ostringstream os;
+  render(os);
+  return os.str();
+}
+
+}  // namespace comb

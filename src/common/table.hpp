@@ -1,0 +1,38 @@
+// Aligned plain-text tables for benchmark terminal output.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace comb {
+
+/// Collects rows, then renders with per-column width alignment:
+///
+///   poll_interval  bandwidth_MBps  availability
+///   -------------  --------------  ------------
+///           1e+04           55.92         0.113
+class TextTable {
+ public:
+  enum class Align { Left, Right };
+
+  explicit TextTable(std::vector<std::string> header);
+
+  void addRow(std::vector<std::string> fields);
+  void addRowNumeric(const std::vector<double>& values, int precision = 4);
+
+  /// Column alignment; numeric tables read best right-aligned (default).
+  void setAlign(Align a) { align_ = a; }
+
+  std::size_t rowCount() const { return rows_.size(); }
+
+  void render(std::ostream& out) const;
+  std::string str() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+  Align align_ = Align::Right;
+};
+
+}  // namespace comb

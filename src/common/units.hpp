@@ -1,0 +1,77 @@
+// Units and unit literals used throughout the simulator and benchmark suite.
+//
+// Simulated time is a double counting seconds. Byte counts are
+// std::uint64_t. Rates are bytes per second (double). User-defined literals
+// make model parameters read like the paper's prose: `45.0_us`, `100_KB`,
+// `88.0_MBps`.
+#pragma once
+
+#include <cstdint>
+
+namespace comb {
+
+/// Simulated (or wall-clock) time in seconds.
+using Time = double;
+
+/// A byte count.
+using Bytes = std::uint64_t;
+
+/// A data rate in bytes per second.
+using Rate = double;
+
+namespace units {
+
+// --- time ---------------------------------------------------------------
+constexpr Time operator""_s(long double v) { return static_cast<Time>(v); }
+constexpr Time operator""_s(unsigned long long v) {
+  return static_cast<Time>(v);
+}
+constexpr Time operator""_ms(long double v) {
+  return static_cast<Time>(v) * 1e-3;
+}
+constexpr Time operator""_ms(unsigned long long v) {
+  return static_cast<Time>(v) * 1e-3;
+}
+constexpr Time operator""_us(long double v) {
+  return static_cast<Time>(v) * 1e-6;
+}
+constexpr Time operator""_us(unsigned long long v) {
+  return static_cast<Time>(v) * 1e-6;
+}
+constexpr Time operator""_ns(long double v) {
+  return static_cast<Time>(v) * 1e-9;
+}
+constexpr Time operator""_ns(unsigned long long v) {
+  return static_cast<Time>(v) * 1e-9;
+}
+
+// --- sizes (binary, matching the paper's "10 KB" usage) ------------------
+constexpr Bytes operator""_B(unsigned long long v) { return v; }
+constexpr Bytes operator""_KB(unsigned long long v) { return v * 1024ull; }
+constexpr Bytes operator""_MB(unsigned long long v) {
+  return v * 1024ull * 1024ull;
+}
+
+// --- rates (decimal MB/s as plotted by the paper) -------------------------
+constexpr Rate operator""_MBps(long double v) {
+  return static_cast<Rate>(v) * 1e6;
+}
+constexpr Rate operator""_MBps(unsigned long long v) {
+  return static_cast<Rate>(v) * 1e6;
+}
+constexpr Rate operator""_GBps(long double v) {
+  return static_cast<Rate>(v) * 1e9;
+}
+
+}  // namespace units
+
+/// Convert a rate in bytes/second to the "MB/s" the paper's figures plot
+/// (decimal megabytes).
+constexpr double toMBps(Rate bytesPerSecond) { return bytesPerSecond / 1e6; }
+
+/// Time to serialize `n` bytes at `rate` bytes/second.
+constexpr Time transferTime(Bytes n, Rate rate) {
+  return static_cast<Time>(n) / rate;
+}
+
+}  // namespace comb

@@ -1,0 +1,118 @@
+#include "host/cpu.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace comb::host {
+
+Cpu::Cpu(sim::Simulator& sim, std::string name)
+    : sim_(sim), name_(std::move(name)) {}
+
+sim::Task<void> Cpu::compute(Time seconds) {
+  COMB_ASSERT(seconds >= 0.0, "negative compute request");
+  if (sim_.tracing())
+    sim_.emitTrace(sim::TraceCategory::Compute, -1, name_, seconds);
+  Job job(sim_, seconds);
+  jobs_.push_back(&job);
+  if (jobs_.size() == 1) startFrontJob();
+  co_await job.done.wait();
+}
+
+void Cpu::startFrontJob() {
+  COMB_ASSERT(!jobs_.empty(), "startFrontJob with no jobs");
+  if (sim_.now() < isrBusyUntil_) {
+    userRunning_ = false;
+    scheduleUserResume();
+    return;
+  }
+  userRunning_ = true;
+  userStartedAt_ = sim_.now();
+  userCompletion_ =
+      sim_.schedule(jobs_.front()->remaining, [this] { onUserJobComplete(); });
+}
+
+void Cpu::onUserJobComplete() {
+  COMB_ASSERT(!jobs_.empty() && userRunning_,
+              "user completion without a running job");
+  Job* job = jobs_.front();
+  userAccum_ += job->remaining;
+  job->remaining = 0.0;
+  jobs_.pop_front();
+  userRunning_ = false;
+  job->done.fire();
+  if (!jobs_.empty()) startFrontJob();
+}
+
+void Cpu::preemptRunningJob() {
+  COMB_ASSERT(userRunning_ && !jobs_.empty(), "preempt without running job");
+  const Time elapsed = sim_.now() - userStartedAt_;
+  Job* job = jobs_.front();
+  // Guard against floating-point dust taking `remaining` negative.
+  const Time progressed = std::min(elapsed, job->remaining);
+  job->remaining -= progressed;
+  userAccum_ += progressed;
+  userCompletion_.cancel();
+  userRunning_ = false;
+}
+
+void Cpu::scheduleUserResume() {
+  userResume_.cancel();
+  userResume_ = sim_.scheduleAt(isrBusyUntil_, [this] {
+    if (sim_.now() < isrBusyUntil_) return;  // superseded by a later resume
+    if (jobs_.empty() || userRunning_) return;
+    userRunning_ = true;
+    userStartedAt_ = sim_.now();
+    userCompletion_ = sim_.schedule(jobs_.front()->remaining,
+                                    [this] { onUserJobComplete(); });
+  });
+}
+
+void Cpu::raiseInterrupt(Time service, std::function<void()> handler) {
+  COMB_ASSERT(service >= 0.0, "negative interrupt service time");
+  if (sim_.tracing())
+    sim_.emitTrace(sim::TraceCategory::Interrupt, -1, name_, service);
+  ++interruptsRaised_;
+  const Time start = std::max(sim_.now(), isrBusyUntil_);
+  const Time end = start + service;
+  isrBusyUntil_ = end;
+  isrQueue_.push_back(IsrRec{end, service, std::move(handler)});
+  sim_.scheduleAt(end, [this] { onIsrComplete(); });
+  if (!jobs_.empty()) {
+    if (userRunning_) preemptRunningJob();
+    scheduleUserResume();
+  }
+}
+
+void Cpu::onIsrComplete() {
+  COMB_ASSERT(!isrQueue_.empty(), "ISR completion with empty queue");
+  IsrRec rec = std::move(isrQueue_.front());
+  isrQueue_.pop_front();
+  isrAccum_ += rec.service;
+  if (rec.handler) rec.handler();
+}
+
+sim::Task<void> Cpu::interruptWork(Time seconds) {
+  sim::Trigger done(sim_);
+  raiseInterrupt(seconds, [&done] { done.fire(); });
+  co_await done.wait();
+}
+
+Time Cpu::userTime() const {
+  Time t = userAccum_;
+  if (userRunning_) t += sim_.now() - userStartedAt_;
+  return t;
+}
+
+Time Cpu::isrTime() const {
+  Time t = isrAccum_;
+  if (!isrQueue_.empty()) {
+    const IsrRec& front = isrQueue_.front();
+    const Time start = front.end - front.service;
+    if (sim_.now() > start)
+      t += std::min(sim_.now(), front.end) - start;
+  }
+  return t;
+}
+
+}  // namespace comb::host

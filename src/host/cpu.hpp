@@ -1,0 +1,104 @@
+// Preemptible host CPU model.
+//
+// A Cpu executes two classes of work:
+//   * user compute  — submitted by simulated processes via compute();
+//     FIFO, one job at a time (one process per node, per the paper).
+//   * interrupt service — raised by devices via raiseInterrupt(); always
+//     preempts user compute and runs FIFO at the "kernel" level.
+//
+// This is the mechanism behind every availability number COMB reports:
+// when a Portals-style NIC interrupts the host per packet, user compute
+// stretches in wall-clock terms exactly by the stolen service time, and
+// the benchmark's dry-run/live-run ratio recovers the paper's
+// "CPU availability (fraction to user)".
+//
+// The model tracks cumulative user and ISR time so tests can verify the
+// accounting identity:  userTime + isrTime + idleTime == now.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+
+#include "common/units.hpp"
+#include "sim/simulator.hpp"
+#include "sim/task.hpp"
+#include "sim/trigger.hpp"
+
+namespace comb::host {
+
+class Cpu {
+ public:
+  Cpu(sim::Simulator& sim, std::string name);
+  Cpu(const Cpu&) = delete;
+  Cpu& operator=(const Cpu&) = delete;
+
+  /// Awaitable: consume `seconds` of *user* CPU time. Wall-clock duration
+  /// is >= seconds; interrupt service raised while the job runs extends
+  /// it. Multiple callers are serviced FIFO.
+  sim::Task<void> compute(Time seconds);
+
+  /// Raise an interrupt whose service routine occupies the CPU for
+  /// `service` seconds. `handler` (optional) runs when service completes.
+  /// ISRs queue FIFO behind any ISR currently in service.
+  void raiseInterrupt(Time service, std::function<void()> handler = {});
+
+  /// Awaitable: run `seconds` of kernel-level work (scheduled through the
+  /// interrupt path — preempts user compute). Used by kernel-resident
+  /// protocol processing (the Portals model).
+  sim::Task<void> interruptWork(Time seconds);
+
+  // --- accounting -------------------------------------------------------
+  /// Cumulative user compute executed (includes the running job's
+  /// progress up to now()).
+  Time userTime() const;
+  /// Cumulative interrupt service executed (includes the in-service
+  /// ISR's progress up to now()).
+  Time isrTime() const;
+  std::uint64_t interruptsRaised() const { return interruptsRaised_; }
+  const std::string& name() const { return name_; }
+
+  /// True while a user job is queued or running.
+  bool busyWithUser() const { return !jobs_.empty(); }
+
+ private:
+  struct Job {
+    Time remaining;
+    sim::Trigger done;
+    explicit Job(sim::Simulator& s, Time r) : remaining(r), done(s) {}
+  };
+
+  struct IsrRec {
+    Time end;      ///< absolute completion time
+    Time service;  ///< service duration
+    std::function<void()> handler;
+  };
+
+  void startFrontJob();
+  void onUserJobComplete();
+  void preemptRunningJob();
+  void scheduleUserResume();
+  void onIsrComplete();
+
+  sim::Simulator& sim_;
+  std::string name_;
+
+  // User side. jobs_ front is the active job; entries point into the
+  // awaiting coroutines' frames (valid until the job's trigger fires).
+  std::deque<Job*> jobs_;
+  bool userRunning_ = false;   ///< front job actively consuming cycles now
+  Time userStartedAt_ = 0.0;   ///< when the front job (re)started running
+  Time userAccum_ = 0.0;       ///< completed user time (excl. running job)
+  sim::EventHandle userCompletion_;
+  sim::EventHandle userResume_;
+
+  // ISR side: FIFO of scheduled service intervals; back-to-back intervals
+  // form one contiguous kernel busy period ending at isrBusyUntil_.
+  std::deque<IsrRec> isrQueue_;
+  Time isrBusyUntil_ = 0.0;
+  Time isrAccum_ = 0.0;  ///< completed ISR service time
+  std::uint64_t interruptsRaised_ = 0;
+};
+
+}  // namespace comb::host

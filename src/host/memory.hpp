@@ -1,0 +1,25 @@
+// Host memory-copy cost model.
+//
+// Copies are the dominant per-byte CPU cost in non-OS-bypass stacks (the
+// paper's kernel-based Portals copies every received byte from kernel
+// buffers into user space). The model is affine: perCopy + bytes / rate.
+#pragma once
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+
+namespace comb::host {
+
+struct MemoryModel {
+  /// Sustainable memcpy bandwidth (bytes/second).
+  Rate copyRate = 300e6;
+  /// Fixed cost per copy operation (cache setup, function overhead).
+  Time perCopy = 0.5e-6;
+
+  Time copyTime(Bytes n) const {
+    COMB_ASSERT(copyRate > 0.0, "copyRate must be positive");
+    return perCopy + static_cast<Time>(n) / copyRate;
+  }
+};
+
+}  // namespace comb::host

@@ -1,0 +1,191 @@
+// MiniMPI collectives, built on the point-to-point layer with reserved
+// (negative) internal tags.
+//
+// Algorithms are the textbook ones MPICH shipped in this era:
+//   barrier    — dissemination
+//   bcast      — binomial tree
+//   reduceSum  — binomial tree reduction (commutative op)
+//   allreduce  — reduce to 0 + bcast
+//   gather     — linear to root
+//   allgather  — gather + bcast
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/error.hpp"
+#include "mpi/mpi.hpp"
+
+namespace comb::mpi {
+
+namespace {
+
+// Internal tag space; user tags are >= 0 and -1 is kAnyTag.
+constexpr Tag kTagBarrier = -1000;  // minus round index
+constexpr Tag kTagBcast = -2000;
+constexpr Tag kTagReduce = -3000;   // minus round index
+constexpr Tag kTagGather = -4000;
+
+std::span<const std::byte> asBytes(std::span<const double> xs) {
+  return std::as_bytes(xs);
+}
+
+}  // namespace
+
+sim::Task<void> Mpi::barrier(const Comm& comm) {
+  const int n = comm.size();
+  if (n == 1) co_return;
+  const Rank r = comm.rank();
+  for (int k = 0, dist = 1; dist < n; ++k, dist <<= 1) {
+    const Rank to = (r + dist) % n;
+    const Rank from = (r - dist % n + n) % n;
+    const Tag tag = kTagBarrier - k;
+    Request rx = co_await irecv(comm, from, tag, 0);
+    Request tx = co_await isend(comm, to, tag, 0);
+    co_await wait(rx);
+    co_await wait(tx);
+  }
+}
+
+sim::Task<void> Mpi::bcast(const Comm& comm, Rank root,
+                           std::span<std::byte> buf) {
+  const int n = comm.size();
+  COMB_REQUIRE(root >= 0 && root < n, "bcast root out of range");
+  if (n == 1) co_return;
+  const Rank vrank = (comm.rank() - root + n) % n;
+  const Bytes bytes = buf.size();
+
+  int mask = 1;
+  while (mask < n) {
+    if (vrank & mask) {
+      const Rank src = (vrank - mask + root) % n;
+      co_await recv(comm, src, kTagBcast, bytes, buf);
+      break;
+    }
+    mask <<= 1;
+  }
+  mask >>= 1;
+  while (mask > 0) {
+    if (vrank + mask < n) {
+      const Rank dst = (vrank + mask + root) % n;
+      co_await send(comm, dst, kTagBcast, bytes, buf);
+    }
+    mask >>= 1;
+  }
+}
+
+sim::Task<void> Mpi::reduceSum(const Comm& comm, Rank root,
+                               std::span<const double> in,
+                               std::span<double> out) {
+  const int n = comm.size();
+  COMB_REQUIRE(root >= 0 && root < n, "reduce root out of range");
+  COMB_REQUIRE(comm.rank() != root || out.size() == in.size(),
+               "reduce output size mismatch at root");
+  std::vector<double> acc(in.begin(), in.end());
+  std::vector<double> tmp(in.size());
+  const Rank vrank = (comm.rank() - root + n) % n;
+
+  for (int k = 0, mask = 1; mask < n; ++k, mask <<= 1) {
+    const Tag tag = kTagReduce - k;
+    if (vrank & mask) {
+      const Rank dst = (vrank - mask + root) % n;
+      co_await send(comm, dst, tag, acc.size() * sizeof(double),
+                    asBytes(std::span<const double>(acc)));
+      co_return;  // contributed and done
+    }
+    const Rank vsrc = vrank + mask;
+    if (vsrc < n) {
+      const Rank src = (vsrc + root) % n;
+      co_await recv(comm, src, tag, tmp.size() * sizeof(double),
+                    std::as_writable_bytes(std::span<double>(tmp)));
+      for (std::size_t i = 0; i < acc.size(); ++i) acc[i] += tmp[i];
+    }
+  }
+  COMB_ASSERT(comm.rank() == root, "non-root survived the reduction tree");
+  std::copy(acc.begin(), acc.end(), out.begin());
+}
+
+sim::Task<void> Mpi::allreduceSum(const Comm& comm,
+                                  std::span<const double> in,
+                                  std::span<double> out) {
+  COMB_REQUIRE(out.size() == in.size(), "allreduce size mismatch");
+  if (comm.rank() == 0) {
+    co_await reduceSum(comm, 0, in, out);
+  } else {
+    co_await reduceSum(comm, 0, in, {});
+    // Non-roots receive the result via the broadcast below.
+  }
+  co_await bcast(comm, 0, std::as_writable_bytes(out));
+}
+
+sim::Task<void> Mpi::gather(const Comm& comm, Rank root,
+                            std::span<const std::byte> in,
+                            std::span<std::byte> out) {
+  const int n = comm.size();
+  COMB_REQUIRE(root >= 0 && root < n, "gather root out of range");
+  const Bytes chunk = in.size();
+  if (comm.rank() != root) {
+    co_await send(comm, root, kTagGather, chunk, in);
+    co_return;
+  }
+  COMB_REQUIRE(out.size() >= chunk * static_cast<Bytes>(n),
+               "gather output buffer too small");
+  // Root's own contribution.
+  std::memcpy(out.data() + static_cast<std::size_t>(root) * chunk, in.data(),
+              chunk);
+  // Post all receives up front, then wait: lets transports overlap.
+  std::vector<Request> reqs;
+  for (Rank r = 0; r < n; ++r) {
+    if (r == root) continue;
+    auto dst = out.subspan(static_cast<std::size_t>(r) * chunk, chunk);
+    reqs.push_back(co_await irecv(comm, r, kTagGather, chunk, dst));
+  }
+  co_await waitall(reqs);
+}
+
+sim::Task<void> Mpi::allgather(const Comm& comm, std::span<const std::byte> in,
+                               std::span<std::byte> out) {
+  co_await gather(comm, 0, in, out);
+  co_await bcast(comm, 0, out);
+}
+
+sim::Task<Comm> Mpi::commDup(const Comm& comm) {
+  // Id consistency relies on every member creating communicators in the
+  // same order (an MPI requirement for collective calls); the barrier
+  // enforces that dup is, in fact, collective.
+  co_await barrier(comm);
+  co_return Comm(nextCommId_++, comm.members(), comm.rank());
+}
+
+sim::Task<Comm> Mpi::commSplit(const Comm& comm, int color, int key) {
+  const int n = comm.size();
+  struct Entry {
+    int color;
+    int key;
+  };
+  std::vector<Entry> all(static_cast<std::size_t>(n));
+  const Entry mine{color, key};
+  co_await allgather(
+      comm,
+      std::as_bytes(std::span<const Entry>(&mine, 1)),
+      std::as_writable_bytes(std::span<Entry>(all)));
+
+  // Build my group: parent ranks with my color, ordered by (key, rank).
+  std::vector<Rank> group;
+  for (Rank r = 0; r < n; ++r)
+    if (all[static_cast<std::size_t>(r)].color == color) group.push_back(r);
+  std::stable_sort(group.begin(), group.end(), [&](Rank a, Rank b) {
+    return all[static_cast<std::size_t>(a)].key <
+           all[static_cast<std::size_t>(b)].key;
+  });
+
+  std::vector<Rank> worldMembers;
+  Rank myNewRank = -1;
+  for (std::size_t i = 0; i < group.size(); ++i) {
+    worldMembers.push_back(comm.worldRank(group[i]));
+    if (group[i] == comm.rank()) myNewRank = static_cast<Rank>(i);
+  }
+  COMB_ASSERT(myNewRank >= 0, "caller missing from its own split group");
+  co_return Comm(nextCommId_++, std::move(worldMembers), myNewRank);
+}
+
+}  // namespace comb::mpi

@@ -1,0 +1,44 @@
+// Communicators: an ordered member list (comm rank -> world rank) plus a
+// process-local view (my rank within the comm).
+//
+// World rank == fabric node ID by construction of the cluster, so the
+// member table doubles as the routing table.
+#pragma once
+
+#include <vector>
+
+#include "common/error.hpp"
+#include "mpi/types.hpp"
+
+namespace comb::mpi {
+
+class Comm {
+ public:
+  Comm() = default;
+  Comm(CommId id, std::vector<Rank> members, Rank myRank)
+      : id_(id), members_(std::move(members)), myRank_(myRank) {
+    COMB_REQUIRE(!members_.empty(), "empty communicator");
+    COMB_REQUIRE(myRank_ >= 0 && myRank_ < size(),
+                 "my rank outside communicator");
+  }
+
+  CommId id() const { return id_; }
+  int size() const { return static_cast<int>(members_.size()); }
+  Rank rank() const { return myRank_; }
+
+  /// World rank (== node id) of a member.
+  Rank worldRank(Rank commRank) const {
+    COMB_REQUIRE(commRank >= 0 && commRank < size(),
+                 "rank outside communicator");
+    return members_[static_cast<std::size_t>(commRank)];
+  }
+
+  const std::vector<Rank>& members() const { return members_; }
+
+ private:
+  CommId id_ = 0;
+  std::vector<Rank> members_;
+  Rank myRank_ = 0;
+};
+
+}  // namespace comb::mpi

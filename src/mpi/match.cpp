@@ -1,0 +1,64 @@
+#include "mpi/match.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace comb::mpi {
+
+void MatchEngine::postRecv(const Pattern& pattern, Bytes maxBytes,
+                           MatchCookie cookie) {
+  posted_.push_back(PostedRecv{cookie, pattern, maxBytes});
+}
+
+std::optional<PostedRecv> MatchEngine::matchArrival(const Envelope& env) {
+  for (auto it = posted_.begin(); it != posted_.end(); ++it) {
+    if (it->pattern.matches(env)) {
+      PostedRecv hit = *it;
+      posted_.erase(it);
+      return hit;
+    }
+  }
+  return std::nullopt;
+}
+
+bool MatchEngine::cancelRecv(MatchCookie cookie) {
+  const auto it = std::find_if(
+      posted_.begin(), posted_.end(),
+      [cookie](const PostedRecv& r) { return r.cookie == cookie; });
+  if (it == posted_.end()) return false;
+  posted_.erase(it);
+  return true;
+}
+
+MatchCookie MatchEngine::addUnexpected(const Envelope& env, Bytes bytes,
+                                       std::uint64_t xportHandle) {
+  const MatchCookie cookie = nextCookie_++;
+  unexpected_.push_back(UnexpectedMsg{cookie, env, bytes, xportHandle});
+  unexpectedBytes_ += bytes;
+  return cookie;
+}
+
+std::optional<UnexpectedMsg> MatchEngine::matchUnexpected(
+    const Pattern& pattern) {
+  for (auto it = unexpected_.begin(); it != unexpected_.end(); ++it) {
+    if (pattern.matches(it->env)) {
+      UnexpectedMsg hit = *it;
+      unexpected_.erase(it);
+      COMB_ASSERT(unexpectedBytes_ >= hit.bytes, "unexpected byte underflow");
+      unexpectedBytes_ -= hit.bytes;
+      return hit;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<UnexpectedMsg> MatchEngine::peekUnexpected(
+    const Pattern& pattern) const {
+  for (const auto& msg : unexpected_) {
+    if (pattern.matches(msg.env)) return msg;
+  }
+  return std::nullopt;
+}
+
+}  // namespace comb::mpi

@@ -1,0 +1,83 @@
+// MPI message-matching engine: the posted-receive list and the unexpected
+// message queue, with MPI's ordering rules.
+//
+// This is pure logic with no simulation dependencies, deliberately: the GM
+// transport instantiates it "in the library" (driven by MPI calls), the
+// Portals transport instantiates it "in the kernel" (driven by interrupt
+// handlers), and the native thread backend wraps it in a mutex. One
+// matching semantics, three drivers — mirroring how MPICH layered over GM
+// and Portals in the paper.
+//
+// Ordering rules implemented (MPI 1.1 §3.5 "non-overtaking"):
+//  * posted receives are matched against an arrival in post order;
+//  * unexpected messages are matched against a new receive in arrival
+//    order;
+//  * two messages from the same sender that both match a receive are
+//    consumed in send order (guaranteed because arrivals are processed in
+//    order and queue FIFO).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+
+#include "common/units.hpp"
+#include "mpi/types.hpp"
+
+namespace comb::mpi {
+
+/// Opaque per-engine identifier for posted receives / unexpected entries.
+using MatchCookie = std::uint64_t;
+
+struct PostedRecv {
+  MatchCookie cookie = 0;
+  Pattern pattern;
+  Bytes maxBytes = 0;
+};
+
+struct UnexpectedMsg {
+  MatchCookie cookie = 0;
+  Envelope env;
+  Bytes bytes = 0;
+  /// Transport-defined handle (e.g. kernel buffer id or sender's request
+  /// handle for a rendezvous RTS).
+  std::uint64_t xportHandle = 0;
+};
+
+class MatchEngine {
+ public:
+  /// Add a receive to the posted list under a caller-chosen cookie
+  /// (typically the MPI-layer request handle).
+  void postRecv(const Pattern& pattern, Bytes maxBytes, MatchCookie cookie);
+
+  /// Match an arriving envelope against posted receives (in post order).
+  /// On success the receive is removed and returned.
+  std::optional<PostedRecv> matchArrival(const Envelope& env);
+
+  /// Remove a posted receive (MPI_Cancel). Returns false if it already
+  /// matched (too late to cancel).
+  bool cancelRecv(MatchCookie cookie);
+
+  /// Queue an unexpected message (no posted receive matched).
+  MatchCookie addUnexpected(const Envelope& env, Bytes bytes,
+                            std::uint64_t xportHandle);
+
+  /// Match a new receive pattern against queued unexpected messages (in
+  /// arrival order). On success the entry is removed and returned.
+  std::optional<UnexpectedMsg> matchUnexpected(const Pattern& pattern);
+
+  /// Probe: like matchUnexpected but non-consuming.
+  std::optional<UnexpectedMsg> peekUnexpected(const Pattern& pattern) const;
+
+  std::size_t postedCount() const { return posted_.size(); }
+  std::size_t unexpectedCount() const { return unexpected_.size(); }
+  Bytes unexpectedBytes() const { return unexpectedBytes_; }
+
+ private:
+  std::deque<PostedRecv> posted_;
+  std::deque<UnexpectedMsg> unexpected_;
+  Bytes unexpectedBytes_ = 0;
+  MatchCookie nextCookie_ = 1;
+};
+
+}  // namespace comb::mpi

@@ -1,0 +1,19 @@
+// MPI request handles. A Request is a value handle into the owning Mpi
+// instance's request table; completion via test/wait frees the table entry
+// and invalidates the handle (MPI_Request_free semantics folded into
+// test/wait, as in MPI's non-persistent requests).
+#pragma once
+
+#include <cstdint>
+
+namespace comb::mpi {
+
+struct Request {
+  std::uint64_t id = 0;
+  bool valid() const { return id != 0; }
+  friend bool operator==(const Request&, const Request&) = default;
+};
+
+inline constexpr Request kNullRequest{};
+
+}  // namespace comb::mpi

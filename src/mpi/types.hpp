@@ -1,0 +1,55 @@
+// Core MiniMPI types: ranks, tags, envelopes, match patterns, status.
+//
+// MiniMPI is a from-scratch subset of MPI point-to-point and collective
+// semantics, sufficient for COMB and for halo-exchange style applications:
+// matching on (communicator, source, tag) with MPI's wildcard and
+// non-overtaking rules.
+#pragma once
+
+#include <cstdint>
+
+#include "common/units.hpp"
+
+namespace comb::mpi {
+
+using Rank = int;
+using Tag = int;
+using CommId = int;
+
+/// Wildcards (match MPI_ANY_SOURCE / MPI_ANY_TAG semantics).
+inline constexpr Rank kAnySource = -1;
+inline constexpr Tag kAnyTag = -1;
+
+/// Tags below zero (other than kAnyTag) are reserved for internal
+/// protocol messages (collectives, benchmark control).
+inline constexpr Tag kMinUserTag = 0;
+
+/// What a message carries for matching purposes.
+struct Envelope {
+  CommId comm = 0;
+  Rank srcRank = 0;  ///< rank within `comm`
+  Tag tag = 0;
+};
+
+/// A posted receive's matching pattern.
+struct Pattern {
+  CommId comm = 0;
+  Rank srcRank = kAnySource;
+  Tag tag = kAnyTag;
+
+  bool matches(const Envelope& env) const {
+    if (comm != env.comm) return false;
+    if (srcRank != kAnySource && srcRank != env.srcRank) return false;
+    if (tag != kAnyTag && tag != env.tag) return false;
+    return true;
+  }
+};
+
+/// Completion information (MPI_Status equivalent).
+struct Status {
+  Rank source = kAnySource;
+  Tag tag = kAnyTag;
+  Bytes bytes = 0;
+};
+
+}  // namespace comb::mpi

@@ -1,0 +1,65 @@
+#include "net/fabric.hpp"
+
+#include "common/error.hpp"
+#include "common/string_util.hpp"
+
+namespace comb::net {
+
+Fabric::Fabric(sim::Simulator& sim, FabricConfig cfg)
+    : sim_(sim), cfg_(cfg), switch_(sim, cfg.sw, "switch0") {
+  COMB_REQUIRE(cfg.mtu > 0, "fabric MTU must be positive");
+}
+
+NodeId Fabric::addNode(DeliveryFn onDeliver) {
+  COMB_REQUIRE(static_cast<bool>(onDeliver), "node needs a delivery sink");
+  const NodeId id = static_cast<NodeId>(nodes_.size());
+  NodePort port;
+  port.up = std::make_unique<Link>(sim_, cfg_.link,
+                                   strFormat("up%d", id));
+  port.down = std::make_unique<Link>(sim_, cfg_.link,
+                                     strFormat("down%d", id));
+  port.deliver = std::move(onDeliver);
+  // uplink feeds the switch; downlink feeds the node.
+  port.up->setSink([this](Packet p) { switch_.inject(std::move(p)); });
+  Link* down = port.down.get();
+  switch_.attachOutput(id, *down);
+  nodes_.push_back(std::move(port));
+  // Index-based lookup: nodes_ may reallocate as more nodes are added.
+  down->setSink([this, id](Packet p) {
+    nodes_[static_cast<std::size_t>(id)].deliver(std::move(p));
+  });
+  return id;
+}
+
+void Fabric::inject(NodeId src, NodeId dst, Bytes payloadBytes,
+                    PayloadPtr payload) {
+  COMB_REQUIRE(src >= 0 && src < nodeCount(), "inject: bad src node");
+  COMB_REQUIRE(dst >= 0 && dst < nodeCount(), "inject: bad dst node");
+  COMB_REQUIRE(payloadBytes <= cfg_.mtu,
+               strFormat("packet payload %llu exceeds MTU %llu",
+                         static_cast<unsigned long long>(payloadBytes),
+                         static_cast<unsigned long long>(cfg_.mtu)));
+  Packet p;
+  p.src = src;
+  p.dst = dst;
+  p.wireBytes = payloadBytes + cfg_.perPacketHeader;
+  p.seq = packetsInjected_++;
+  p.payload = std::move(payload);
+  if (sim_.tracing())
+    sim_.emitTrace(sim::TraceCategory::Packet, src,
+                   strFormat("->n%d", dst),
+                   static_cast<double>(p.wireBytes));
+  nodes_[static_cast<std::size_t>(src)].up->send(std::move(p));
+}
+
+Link& Fabric::uplink(NodeId node) {
+  COMB_REQUIRE(node >= 0 && node < nodeCount(), "uplink: bad node");
+  return *nodes_[static_cast<std::size_t>(node)].up;
+}
+
+Link& Fabric::downlink(NodeId node) {
+  COMB_REQUIRE(node >= 0 && node < nodeCount(), "downlink: bad node");
+  return *nodes_[static_cast<std::size_t>(node)].down;
+}
+
+}  // namespace comb::net

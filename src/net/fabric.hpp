@@ -1,0 +1,68 @@
+// Fabric: assembles nodes, uplinks/downlinks and the central switch into
+// the paper's star topology (N nodes around one Myrinet switch), and is
+// the single injection/delivery interface NICs talk to.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/units.hpp"
+#include "net/link.hpp"
+#include "net/packet.hpp"
+#include "net/switch.hpp"
+#include "sim/simulator.hpp"
+
+namespace comb::net {
+
+struct FabricConfig {
+  LinkConfig link;               ///< per-direction node<->switch links
+  SwitchConfig sw;
+  Bytes mtu = 4096;              ///< max payload bytes per packet
+  Bytes perPacketHeader = 64;    ///< header overhead added to the wire size
+};
+
+class Fabric {
+ public:
+  using DeliveryFn = std::function<void(Packet)>;
+
+  Fabric(sim::Simulator& sim, FabricConfig cfg);
+  Fabric(const Fabric&) = delete;
+  Fabric& operator=(const Fabric&) = delete;
+
+  /// Add a node; `onDeliver` receives every packet addressed to it.
+  /// Returns the new node's ID (dense, starting at 0).
+  NodeId addNode(DeliveryFn onDeliver);
+
+  /// Inject a packet from `p.src`'s uplink toward `p.dst`. Sets the wire
+  /// size to payloadBytes + header. Returns nothing — arrival is an event
+  /// at the destination's DeliveryFn.
+  void inject(NodeId src, NodeId dst, Bytes payloadBytes, PayloadPtr payload);
+
+  /// The uplink of `node` — NIC DMA engines query freeAt() for pacing.
+  Link& uplink(NodeId node);
+  Link& downlink(NodeId node);
+
+  Bytes mtu() const { return cfg_.mtu; }
+  Bytes perPacketHeader() const { return cfg_.perPacketHeader; }
+  const FabricConfig& config() const { return cfg_; }
+  int nodeCount() const { return static_cast<int>(nodes_.size()); }
+  std::uint64_t packetsInjected() const { return packetsInjected_; }
+  const Switch& centralSwitch() const { return switch_; }
+
+ private:
+  struct NodePort {
+    std::unique_ptr<Link> up;    ///< node -> switch
+    std::unique_ptr<Link> down;  ///< switch -> node
+    DeliveryFn deliver;
+  };
+
+  sim::Simulator& sim_;
+  FabricConfig cfg_;
+  Switch switch_;
+  std::vector<NodePort> nodes_;
+  std::uint64_t packetsInjected_ = 0;
+};
+
+}  // namespace comb::net

@@ -1,0 +1,31 @@
+#include "net/link.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace comb::net {
+
+Link::Link(sim::Simulator& sim, LinkConfig cfg, std::string name)
+    : sim_(sim), cfg_(cfg), name_(std::move(name)) {
+  COMB_REQUIRE(cfg.rate > 0.0, "link rate must be positive: " + name_);
+  COMB_REQUIRE(cfg.latency >= 0.0, "link latency must be >= 0: " + name_);
+}
+
+bool Link::idleNow() const { return busyUntil_ <= sim_.now(); }
+
+Time Link::send(Packet p) {
+  COMB_ASSERT(static_cast<bool>(sink_), "link has no sink: " + name_);
+  const Time start = std::max(sim_.now(), busyUntil_);
+  const Time occupy = transferTime(p.wireBytes, cfg_.rate);
+  busyUntil_ = start + occupy;
+  busyTime_ += occupy;
+  bytesCarried_ += p.wireBytes;
+  ++packetsCarried_;
+  const Time arrival = busyUntil_ + cfg_.latency;
+  sim_.scheduleAt(arrival,
+                  [this, p = std::move(p)]() mutable { sink_(std::move(p)); });
+  return arrival;
+}
+
+}  // namespace comb::net

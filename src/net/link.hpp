@@ -1,0 +1,64 @@
+// Point-to-point unidirectional link with finite bandwidth and latency.
+//
+// Transmission model (store-and-forward at the receiving end):
+//   start    = max(now, time the link becomes free)
+//   occupy   = wireBytes / rate            (serialization)
+//   arrival  = start + occupy + latency    (propagation + receive)
+// Packets queued while the link is busy serialize FIFO — this is what
+// creates output contention and makes "all messages in flight drain in
+// one poll interval" (the paper's bandwidth knee) a real phenomenon.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/units.hpp"
+#include "net/packet.hpp"
+#include "sim/simulator.hpp"
+
+namespace comb::net {
+
+struct LinkConfig {
+  Rate rate = 132e6;     ///< bytes/second on the wire
+  Time latency = 1e-6;   ///< propagation + receive fixed delay
+};
+
+class Link {
+ public:
+  using Sink = std::function<void(Packet)>;
+
+  Link(sim::Simulator& sim, LinkConfig cfg, std::string name);
+  Link(const Link&) = delete;
+  Link& operator=(const Link&) = delete;
+
+  /// Attach the receiver. Must be set before the first send.
+  void setSink(Sink sink) { sink_ = std::move(sink); }
+
+  /// Enqueue a packet; returns its arrival time at the sink.
+  Time send(Packet p);
+
+  /// Absolute time the link becomes free for a new serialization.
+  Time freeAt() const { return busyUntil_; }
+  bool idleNow() const;
+
+  // --- statistics --------------------------------------------------------
+  Bytes bytesCarried() const { return bytesCarried_; }
+  std::uint64_t packetsCarried() const { return packetsCarried_; }
+  /// Total serialization time (the utilization numerator).
+  Time busyTime() const { return busyTime_; }
+  const std::string& name() const { return name_; }
+  const LinkConfig& config() const { return cfg_; }
+
+ private:
+  sim::Simulator& sim_;
+  LinkConfig cfg_;
+  std::string name_;
+  Sink sink_;
+  Time busyUntil_ = 0.0;
+  Bytes bytesCarried_ = 0;
+  std::uint64_t packetsCarried_ = 0;
+  Time busyTime_ = 0.0;
+};
+
+}  // namespace comb::net

@@ -1,0 +1,41 @@
+// Wire-level packet representation.
+//
+// The fabric moves opaque packets between node IDs; what a packet *means*
+// (eager fragment, RTS, CTS, DMA data...) is defined by the transport
+// layer via a type-erased payload. Packet sizes are wire sizes: payload
+// bytes plus per-packet header overhead added by the NIC.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "common/units.hpp"
+
+namespace comb::net {
+
+using NodeId = int;
+
+/// Base class for transport-defined packet payloads. Payloads are
+/// immutable and shared: a retransmission or a trace can alias them.
+struct PayloadBase {
+  virtual ~PayloadBase() = default;
+};
+
+using PayloadPtr = std::shared_ptr<const PayloadBase>;
+
+struct Packet {
+  NodeId src = -1;
+  NodeId dst = -1;
+  Bytes wireBytes = 0;   ///< bytes occupying the wire (payload + headers)
+  std::uint64_t seq = 0; ///< global injection sequence (debug/tracing)
+  PayloadPtr payload;
+};
+
+/// Convenience downcast; returns nullptr when the payload is of a
+/// different concrete type.
+template <typename T>
+const T* payloadAs(const Packet& p) {
+  return dynamic_cast<const T*>(p.payload.get());
+}
+
+}  // namespace comb::net

@@ -1,0 +1,39 @@
+#include "net/switch.hpp"
+
+#include "common/error.hpp"
+#include "common/log.hpp"
+#include "common/string_util.hpp"
+
+namespace comb::net {
+
+Switch::Switch(sim::Simulator& sim, SwitchConfig cfg, std::string name)
+    : sim_(sim), cfg_(cfg), name_(std::move(name)) {
+  COMB_REQUIRE(cfg.ports > 0, "switch needs at least one port");
+  COMB_REQUIRE(cfg.routingLatency >= 0.0, "negative routing latency");
+}
+
+void Switch::attachOutput(NodeId node, Link& downlink) {
+  COMB_REQUIRE(!routes_.count(node),
+               strFormat("switch %s: node %d already attached", name_.c_str(),
+                         node));
+  COMB_REQUIRE(static_cast<int>(routes_.size()) < cfg_.ports,
+               "switch " + name_ + " is out of ports");
+  routes_[node] = &downlink;
+}
+
+void Switch::inject(Packet p) {
+  const auto it = routes_.find(p.dst);
+  if (it == routes_.end()) {
+    // A real switch would drop or flood; our fabric is fully provisioned,
+    // so this is a wiring bug worth surfacing loudly in tests.
+    ++dropsNoRoute_;
+    COMB_LOG(Error) << "switch " << name_ << ": no route to node " << p.dst;
+    return;
+  }
+  ++packetsRouted_;
+  Link* out = it->second;
+  sim_.schedule(cfg_.routingLatency,
+                [out, p = std::move(p)]() mutable { out->send(std::move(p)); });
+}
+
+}  // namespace comb::net

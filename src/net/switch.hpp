@@ -1,0 +1,48 @@
+// Output-queued crossbar switch (the paper's Myrinet 8-port SAN/LAN
+// switch). A packet entering on any port is routed by destination node ID
+// to the output link for that node after a fixed cut-through latency.
+// Output contention is modelled by the output Link's serialization queue.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/units.hpp"
+#include "net/link.hpp"
+#include "net/packet.hpp"
+#include "sim/simulator.hpp"
+
+namespace comb::net {
+
+struct SwitchConfig {
+  Time routingLatency = 0.5e-6;  ///< per-packet routing/cut-through delay
+  int ports = 8;
+};
+
+class Switch {
+ public:
+  Switch(sim::Simulator& sim, SwitchConfig cfg, std::string name);
+  Switch(const Switch&) = delete;
+  Switch& operator=(const Switch&) = delete;
+
+  /// Register the downlink that reaches `node`. One port per node.
+  void attachOutput(NodeId node, Link& downlink);
+
+  /// Entry point for packets from node uplinks (wired as the uplink sink).
+  void inject(Packet p);
+
+  std::uint64_t packetsRouted() const { return packetsRouted_; }
+  std::uint64_t dropsNoRoute() const { return dropsNoRoute_; }
+  int portsUsed() const { return static_cast<int>(routes_.size()); }
+
+ private:
+  sim::Simulator& sim_;
+  SwitchConfig cfg_;
+  std::string name_;
+  std::map<NodeId, Link*> routes_;
+  std::uint64_t packetsRouted_ = 0;
+  std::uint64_t dropsNoRoute_ = 0;
+};
+
+}  // namespace comb::net

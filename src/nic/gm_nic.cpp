@@ -1,0 +1,148 @@
+#include "nic/gm_nic.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "common/error.hpp"
+
+namespace comb::nic {
+
+using transport::WireKind;
+using transport::WirePayload;
+
+GmNic::GmNic(sim::Simulator& sim, net::Fabric& fabric, net::NodeId node)
+    : sim_(sim), fabric_(fabric), node_(node) {}
+
+std::uint64_t GmNic::sendMessage(net::NodeId dst, WireKind kind,
+                                 const mpi::Envelope& env, Bytes wireBytes,
+                                 Bytes msgBytes, transport::DataBuffer data,
+                                 std::uint64_t senderHandle,
+                                 std::uint64_t recvHandle,
+                                 bool reportSendDone,
+                                 std::uint64_t matchSeq) {
+  const std::uint64_t msgId = nextMsgId_++;
+  ++messagesSent_;
+  const Bytes mtu = fabric_.mtu();
+
+  TxMsg msg;
+  msg.dst = dst;
+  msg.msgId = msgId;
+  msg.wireBytes = wireBytes;
+  msg.fragCount = static_cast<std::uint32_t>(
+      std::max<Bytes>(1, (wireBytes + mtu - 1) / mtu));
+  msg.reportSendDone = reportSendDone;
+  msg.control = kind == WireKind::Rts || kind == WireKind::Cts;
+  msg.meta = std::make_shared<WirePayload>();
+  msg.meta->kind = kind;
+  msg.meta->msgId = msgId;
+  msg.meta->fragCount = msg.fragCount;
+  msg.meta->env = env;
+  msg.meta->msgBytes = msgBytes;
+  msg.meta->senderHandle = senderHandle;
+  msg.meta->recvHandle = recvHandle;
+  msg.meta->matchSeq = matchSeq;
+  msg.meta->data = std::move(data);
+
+  (msg.control ? ctrlQ_ : dataQ_).push_back(std::move(msg));
+  pumpTx();
+  return msgId;
+}
+
+void GmNic::injectFragment(TxMsg& msg) {
+  const Bytes mtu = fabric_.mtu();
+  const std::uint32_t i = msg.nextFrag++;
+  auto wp = std::make_shared<WirePayload>(*msg.meta);
+  wp->fragIndex = i;
+  if (i != 0) wp->data = nullptr;  // the whole buffer rides fragment 0
+  const Bytes offset = static_cast<Bytes>(i) * mtu;
+  const Bytes fragBytes = std::min(msg.wireBytes - offset, mtu);
+  fabric_.inject(node_, msg.dst, fragBytes, std::move(wp));
+}
+
+void GmNic::pumpTx() {
+  if (txBusy_) return;
+  std::deque<TxMsg>* q = nullptr;
+  // Control packets have priority: they never wait behind a whole queued
+  // data message, only (at most) behind the fragment currently going out.
+  if (!ctrlQ_.empty()) q = &ctrlQ_;
+  else if (!dataQ_.empty()) q = &dataQ_;
+  if (!q) return;
+
+  TxMsg& msg = q->front();
+  injectFragment(msg);
+  const bool msgDone = msg.nextFrag == msg.fragCount;
+  const Time dmaFree = fabric_.uplink(node_).freeAt();
+  if (msgDone) {
+    if (msg.reportSendDone) {
+      // Outbound DMA completes when the last fragment has serialized.
+      const std::uint64_t msgId = msg.msgId;
+      sim_.scheduleAt(dmaFree, [this, msgId] {
+        GmEvent ev;
+        ev.type = GmEvent::Type::SendDone;
+        ev.msgId = msgId;
+        pushEvent(std::move(ev));
+      });
+    }
+    q->pop_front();
+  }
+  // The next fragment (of this or another message) goes out when the
+  // uplink finishes serializing this one.
+  txBusy_ = true;
+  sim_.scheduleAt(dmaFree, [this] {
+    txBusy_ = false;
+    pumpTx();
+  });
+}
+
+void GmNic::deliver(net::Packet p) {
+  const auto* wp = net::payloadAs<WirePayload>(p);
+  COMB_ASSERT(wp != nullptr, "GM NIC received a non-wire packet");
+  auto key = std::pair{p.src, wp->msgId};
+  Assembly& asmRec = assembling_[key];
+  ++asmRec.fragsSeen;
+  if (wp->fragIndex == 0) {
+    // Stash message metadata from fragment 0. (Fragment 0 always arrives
+    // first: in-order delivery per path.)
+    GmEvent ev;
+    ev.type = GmEvent::Type::MsgArrived;
+    ev.kind = wp->kind;
+    ev.msgId = wp->msgId;
+    ev.env = wp->env;
+    ev.msgBytes = wp->msgBytes;
+    ev.senderHandle = wp->senderHandle;
+    ev.recvHandle = wp->recvHandle;
+    ev.matchSeq = wp->matchSeq;
+    ev.data = wp->data;
+    ev.srcNode = p.src;
+    pending_[key] = std::move(ev);
+  }
+  if (asmRec.fragsSeen == wp->fragCount) {
+    auto it = pending_.find(key);
+    COMB_ASSERT(it != pending_.end(), "message completed without fragment 0");
+    ++messagesDelivered_;
+    pushEvent(std::move(it->second));
+    pending_.erase(it);
+    assembling_.erase(key);
+  }
+}
+
+std::optional<GmEvent> GmNic::pop() {
+  if (events_.empty()) return std::nullopt;
+  GmEvent ev = std::move(events_.front());
+  events_.pop_front();
+  return ev;
+}
+
+void GmNic::pushEvent(GmEvent ev) {
+  if (sim_.tracing()) {
+    sim_.emitTrace(sim::TraceCategory::NicEvent, node_,
+                   ev.type == GmEvent::Type::SendDone
+                       ? "send-done"
+                       : wireKindName(ev.kind),
+                   static_cast<double>(ev.msgBytes));
+  }
+  events_.push_back(std::move(ev));
+  if (eventHook_) eventHook_();
+}
+
+}  // namespace comb::nic

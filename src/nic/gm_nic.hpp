@@ -1,0 +1,128 @@
+// GM-style OS-bypass NIC model (Myrinet LANai running the GM MCP).
+//
+// Behavioural contract, matching the paper's description of GM:
+//  * Sending: once a message descriptor is handed over, the NIC fragments
+//    and streams it onto the wire *autonomously* — no host CPU, no
+//    interrupts. The transmit scheduler works at fragment granularity:
+//    control messages (RTS/CTS, single small packets) have priority and
+//    slip in between data fragments, exactly like a packetized network —
+//    a control packet never waits behind a whole queued message. Data
+//    messages transmit their fragments contiguously, FIFO per NIC.
+//  * Receiving: fragments are assembled and deposited into host memory by
+//    NIC DMA; arrival produces an entry in a user-level event queue that
+//    the *library* polls. No interrupt is ever raised.
+//
+// Everything protocol-level (eager vs rendezvous, matching) lives above,
+// in transport::GmEndpoint — the NIC is a packet engine.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <optional>
+#include <utility>
+
+#include "common/units.hpp"
+#include "net/fabric.hpp"
+#include "sim/simulator.hpp"
+#include "transport/wire.hpp"
+
+namespace comb::nic {
+
+/// A completed NIC-level event, visible to the library on poll.
+struct GmEvent {
+  enum class Type {
+    MsgArrived,  ///< a complete message (all fragments) was DMA'd to host
+    SendDone,    ///< outbound DMA for msgId finished (buffer reusable)
+  };
+  Type type = Type::MsgArrived;
+  // For MsgArrived: the message's protocol description (from fragment 0).
+  transport::WireKind kind = transport::WireKind::Eager;
+  std::uint64_t msgId = 0;
+  mpi::Envelope env;
+  Bytes msgBytes = 0;
+  std::uint64_t senderHandle = 0;
+  std::uint64_t recvHandle = 0;
+  std::uint64_t matchSeq = 0;
+  transport::DataBuffer data;
+  net::NodeId srcNode = -1;
+};
+
+class GmNic {
+ public:
+  GmNic(sim::Simulator& sim, net::Fabric& fabric, net::NodeId node);
+  GmNic(const GmNic&) = delete;
+  GmNic& operator=(const GmNic&) = delete;
+
+  /// Hand a message to the NIC for autonomous transmission. `wireBytes`
+  /// is what travels (control messages are small); `msgBytes` is the
+  /// declared MPI message length carried in the metadata. If
+  /// `reportSendDone`, a SendDone event is queued when the last fragment
+  /// has left host memory. Returns the NIC-level message id.
+  std::uint64_t sendMessage(net::NodeId dst, transport::WireKind kind,
+                            const mpi::Envelope& env, Bytes wireBytes,
+                            Bytes msgBytes, transport::DataBuffer data,
+                            std::uint64_t senderHandle,
+                            std::uint64_t recvHandle, bool reportSendDone,
+                            std::uint64_t matchSeq = 0);
+
+  /// Poll the user-level event queue (library context; zero cost here —
+  /// the caller charges it).
+  std::optional<GmEvent> pop();
+
+  /// Packet entry point — wire this as the node's fabric delivery sink.
+  void deliver(net::Packet p);
+
+  bool hasEvents() const { return !events_.empty(); }
+  net::NodeId node() const { return node_; }
+  std::uint64_t messagesSent() const { return messagesSent_; }
+  std::uint64_t messagesDelivered() const { return messagesDelivered_; }
+
+  /// Set a hook invoked whenever an event is queued (the endpoint uses it
+  /// to version its activity signal).
+  void setEventHook(std::function<void()> hook) {
+    eventHook_ = std::move(hook);
+  }
+
+ private:
+  struct TxMsg {
+    net::NodeId dst = -1;
+    std::uint64_t msgId = 0;
+    std::shared_ptr<transport::WirePayload> meta;  ///< template for frags
+    Bytes wireBytes = 0;
+    std::uint32_t fragCount = 1;
+    std::uint32_t nextFrag = 0;
+    bool reportSendDone = false;
+    bool control = false;
+  };
+
+  void pushEvent(GmEvent ev);
+  /// Transmit scheduler: one fragment at a time; control queue first.
+  void pumpTx();
+  void injectFragment(TxMsg& msg);
+
+  sim::Simulator& sim_;
+  net::Fabric& fabric_;
+  net::NodeId node_;
+  std::deque<GmEvent> events_;
+  std::function<void()> eventHook_;
+
+  std::deque<TxMsg> ctrlQ_;
+  std::deque<TxMsg> dataQ_;
+  bool txBusy_ = false;
+
+  struct Assembly {
+    std::uint32_t fragsSeen = 0;
+  };
+  std::map<std::pair<net::NodeId, std::uint64_t>, Assembly> assembling_;
+  /// Metadata captured from fragment 0, released when the last fragment
+  /// of the message lands.
+  std::map<std::pair<net::NodeId, std::uint64_t>, GmEvent> pending_;
+
+  std::uint64_t nextMsgId_ = 1;
+  std::uint64_t messagesSent_ = 0;
+  std::uint64_t messagesDelivered_ = 0;
+};
+
+}  // namespace comb::nic

@@ -1,0 +1,86 @@
+#include "nic/portals_nic.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace comb::nic {
+
+using transport::WireKind;
+using transport::WirePayload;
+
+PortalsNic::PortalsNic(sim::Simulator& sim, net::Fabric& fabric,
+                       host::Cpu& cpu, net::NodeId node, PortalsNicConfig cfg)
+    : sim_(sim), fabric_(fabric), cpu_(cpu), node_(node), cfg_(cfg) {
+  COMB_REQUIRE(cfg.kernelCopyRate > 0.0, "kernelCopyRate must be positive");
+}
+
+std::uint64_t PortalsNic::sendMessage(net::NodeId dst, WireKind kind,
+                                      const mpi::Envelope& env,
+                                      Bytes wireBytes, Bytes msgBytes,
+                                      transport::DataBuffer data,
+                                      std::uint64_t senderHandle,
+                                      std::uint64_t recvHandle) {
+  const std::uint64_t msgId = nextMsgId_++;
+  ++messagesSent_;
+  const Bytes mtu = fabric_.mtu();
+  const auto fragCount = static_cast<std::uint32_t>(
+      std::max<Bytes>(1, (wireBytes + mtu - 1) / mtu));
+  Bytes remaining = wireBytes;
+  for (std::uint32_t i = 0; i < fragCount; ++i) {
+    auto wp = std::make_shared<WirePayload>();
+    wp->kind = kind;
+    wp->msgId = msgId;
+    wp->fragIndex = i;
+    wp->fragCount = fragCount;
+    wp->env = env;
+    wp->msgBytes = msgBytes;
+    wp->senderHandle = senderHandle;
+    wp->recvHandle = recvHandle;
+    if (i == 0) wp->data = data;
+    const Bytes fragBytes = std::min(remaining, mtu);
+    remaining -= fragBytes;
+    txQueue_.push_back(
+        TxFrag{dst, fragBytes, std::move(wp), i + 1 == fragCount, msgId});
+  }
+  COMB_ASSERT(remaining == 0, "fragmentation lost bytes");
+  pumpTx();
+  return msgId;
+}
+
+void PortalsNic::pumpTx() {
+  if (txBusy_ || txQueue_.empty()) return;
+  txBusy_ = true;
+  TxFrag frag = std::move(txQueue_.front());
+  txQueue_.pop_front();
+  const Time service =
+      cfg_.perFragTx +
+      static_cast<Time>(frag.fragBytes) / cfg_.kernelCopyRate;
+  cpu_.raiseInterrupt(service, [this, frag = std::move(frag)] {
+    fabric_.inject(node_, frag.dst, frag.fragBytes, frag.payload);
+    if (frag.lastOfMessage && txDone_) txDone_(frag.msgId);
+    txBusy_ = false;
+    pumpTx();
+  });
+}
+
+void PortalsNic::deliver(net::Packet p) {
+  const auto* wp = net::payloadAs<WirePayload>(p);
+  COMB_ASSERT(wp != nullptr, "Portals NIC received a non-wire packet");
+  ++fragmentsReceived_;
+  // Service = interrupt + protocol + copy of this fragment through kernel
+  // buffers. The transport's handler runs at the end of service, still at
+  // interrupt level (matching happens in the kernel).
+  const Bytes headerAdj =
+      std::min<Bytes>(p.wireBytes, fabric_.perPacketHeader());
+  const Bytes fragBytes = p.wireBytes - headerAdj;
+  const Time service =
+      cfg_.perFragRx + static_cast<Time>(fragBytes) / cfg_.kernelCopyRate;
+  cpu_.raiseInterrupt(service, [this, payload = p.payload, src = p.src] {
+    const auto* frag = dynamic_cast<const WirePayload*>(payload.get());
+    COMB_ASSERT(frag != nullptr, "payload type changed in flight");
+    if (rxHandler_) rxHandler_(*frag, src);
+  });
+}
+
+}  // namespace comb::nic

@@ -1,0 +1,140 @@
+#include "report/expectations.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+#include "common/error.hpp"
+#include "common/string_util.hpp"
+
+namespace comb::report {
+
+namespace {
+
+double peak(std::span<const double> ys) {
+  COMB_REQUIRE(!ys.empty(), "shape check on empty series");
+  return *std::max_element(ys.begin(), ys.end());
+}
+
+}  // namespace
+
+ShapeCheck checkPlateauThenDecline(std::string name,
+                                   std::span<const double> ys,
+                                   double plateauBand, double endBelowFrac) {
+  COMB_REQUIRE(ys.size() >= 4, "plateau check needs >= 4 points");
+  const double pk = peak(ys);
+  // Plateau: the first quarter of the sweep holds within the band.
+  const std::size_t q = std::max<std::size_t>(2, ys.size() / 4);
+  bool plateau = true;
+  for (std::size_t i = 0; i < q; ++i)
+    plateau = plateau && ys[i] >= (1.0 - plateauBand) * pk;
+  const bool declines = ys.back() <= endBelowFrac * pk;
+  ShapeCheck c{std::move(name), plateau && declines, ""};
+  c.detail = strFormat("peak=%.4g first%zu>=%.0f%%peak:%s end=%.4g (%.0f%% of peak)",
+                       pk, q, (1.0 - plateauBand) * 100,
+                       plateau ? "yes" : "NO", ys.back(),
+                       100.0 * ys.back() / pk);
+  return c;
+}
+
+ShapeCheck checkRisesFromLowToHigh(std::string name,
+                                   std::span<const double> ys, double lowMax,
+                                   double highMin) {
+  COMB_REQUIRE(ys.size() >= 3, "rise check needs >= 3 points");
+  const double start = *std::min_element(ys.begin(), ys.begin() + 2);
+  const double end = *std::max_element(ys.end() - 2, ys.end());
+  ShapeCheck c{std::move(name), start <= lowMax && end >= highMin, ""};
+  c.detail = strFormat("start=%.4g (need <=%.3g) end=%.4g (need >=%.3g)",
+                       start, lowMax, end, highMin);
+  return c;
+}
+
+ShapeCheck checkPeakRatio(std::string name, std::span<const double> a,
+                          std::span<const double> b, double minRatio,
+                          double maxRatio) {
+  const double pa = peak(a);
+  const double pb = peak(b);
+  const double ratio = pb == 0.0 ? 1e18 : pa / pb;
+  ShapeCheck c{std::move(name), ratio >= minRatio && ratio <= maxRatio, ""};
+  c.detail = strFormat("peakA=%.4g peakB=%.4g ratio=%.3g (need %.3g..%.3g)",
+                       pa, pb, ratio, minRatio, maxRatio);
+  return c;
+}
+
+ShapeCheck checkFlat(std::string name, std::span<const double> ys,
+                     double relBand) {
+  const double hi = peak(ys);
+  const double lo = *std::min_element(ys.begin(), ys.end());
+  const bool flat = hi == 0.0 ? true : (hi - lo) <= relBand * hi;
+  ShapeCheck c{std::move(name), flat, ""};
+  c.detail = strFormat("min=%.4g max=%.4g spread=%.2f%% (allow %.0f%%)", lo,
+                       hi, hi == 0 ? 0.0 : 100.0 * (hi - lo) / hi,
+                       100.0 * relBand);
+  return c;
+}
+
+ShapeCheck checkEndsBelow(std::string name, std::span<const double> ys,
+                          double floorValue) {
+  COMB_REQUIRE(!ys.empty(), "shape check on empty series");
+  ShapeCheck c{std::move(name), ys.back() < floorValue, ""};
+  c.detail = strFormat("end=%.4g (need < %.4g)", ys.back(), floorValue);
+  return c;
+}
+
+ShapeCheck checkEndsAbove(std::string name, std::span<const double> ys,
+                          double floorValue) {
+  COMB_REQUIRE(!ys.empty(), "shape check on empty series");
+  ShapeCheck c{std::move(name), ys.back() > floorValue, ""};
+  c.detail = strFormat("end=%.4g (need > %.4g)", ys.back(), floorValue);
+  return c;
+}
+
+ShapeCheck checkNearlyMonotone(std::string name, std::span<const double> ys,
+                               bool increasing, double slack) {
+  COMB_REQUIRE(ys.size() >= 2, "monotone check needs >= 2 points");
+  bool ok = true;
+  double worst = 0.0;
+  for (std::size_t i = 1; i < ys.size(); ++i) {
+    const double step = increasing ? ys[i] - ys[i - 1] : ys[i - 1] - ys[i];
+    if (step < -slack) {
+      ok = false;
+      worst = std::min(worst, step);
+    }
+  }
+  ShapeCheck c{std::move(name), ok, ""};
+  c.detail = ok ? "monotone within slack"
+              : strFormat("worst regression %.4g (slack %.4g)", -worst, slack);
+  return c;
+}
+
+ShapeCheck checkCoexists(std::string name, std::span<const double> y1,
+                         std::span<const double> y2, double y1Min,
+                         double y2Min) {
+  COMB_REQUIRE(y1.size() == y2.size(), "coexist check size mismatch");
+  bool found = false;
+  double best1 = 0, best2 = 0;
+  for (std::size_t i = 0; i < y1.size(); ++i) {
+    if (y1[i] >= y1Min && y2[i] >= y2Min) {
+      found = true;
+      best1 = y1[i];
+      best2 = y2[i];
+      break;
+    }
+  }
+  ShapeCheck c{std::move(name), found, ""};
+  c.detail = found ? strFormat("found point (%.4g, %.4g)", best1, best2)
+                   : strFormat("no point with y1>=%.4g and y2>=%.4g", y1Min,
+                               y2Min);
+  return c;
+}
+
+bool reportChecks(std::ostream& out, const std::vector<ShapeCheck>& checks) {
+  bool all = true;
+  for (const auto& c : checks) {
+    out << (c.pass ? "  [PASS] " : "  [FAIL] ") << c.name << " — "
+        << c.detail << '\n';
+    all = all && c.pass;
+  }
+  return all;
+}
+
+}  // namespace comb::report

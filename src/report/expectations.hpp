@@ -1,0 +1,66 @@
+// Shape expectations: machine-checkable statements about curve *shapes*
+// (plateaus, knees, crossovers, who-wins) — the reproduction criterion for
+// a simulator-based substrate, where absolute numbers are calibrated but
+// shapes must emerge from the mechanisms.
+//
+// Used by the figure benches (printed PASS/FAIL next to each figure) and
+// by the integration test suite.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace comb::report {
+
+struct ShapeCheck {
+  std::string name;
+  bool pass = false;
+  std::string detail;
+};
+
+/// y starts at a plateau (within `plateauBand` of its peak over the first
+/// points) and ends below `endBelowFrac` of the peak.
+ShapeCheck checkPlateauThenDecline(std::string name,
+                                   std::span<const double> ys,
+                                   double plateauBand = 0.15,
+                                   double endBelowFrac = 0.5);
+
+/// y starts below `lowMax` and ends above `highMin` (the availability
+/// S-curve of Figs 4 and 6).
+ShapeCheck checkRisesFromLowToHigh(std::string name,
+                                   std::span<const double> ys, double lowMax,
+                                   double highMin);
+
+/// peak(a) >= minRatio * peak(b) — "who wins, by roughly what factor".
+ShapeCheck checkPeakRatio(std::string name, std::span<const double> a,
+                          std::span<const double> b, double minRatio,
+                          double maxRatio = 1e9);
+
+/// Curve is flat: (max-min) <= relBand * max.
+ShapeCheck checkFlat(std::string name, std::span<const double> ys,
+                     double relBand = 0.1);
+
+/// Final value drops below `floorValue`.
+ShapeCheck checkEndsBelow(std::string name, std::span<const double> ys,
+                          double floorValue);
+
+/// Final value stays above `floorValue`.
+ShapeCheck checkEndsAbove(std::string name, std::span<const double> ys,
+                          double floorValue);
+
+/// Nearly monotone in the given direction; each step may regress at most
+/// `slack` (absolute).
+ShapeCheck checkNearlyMonotone(std::string name, std::span<const double> ys,
+                               bool increasing, double slack);
+
+/// There exists a point with y1 >= y1Min while y2 >= y2Min (e.g. "full
+/// bandwidth at >= 0.9 availability", Fig 14).
+ShapeCheck checkCoexists(std::string name, std::span<const double> y1,
+                         std::span<const double> y2, double y1Min,
+                         double y2Min);
+
+/// Render PASS/FAIL lines; returns false if any check failed.
+bool reportChecks(std::ostream& out, const std::vector<ShapeCheck>& checks);
+
+}  // namespace comb::report

@@ -1,0 +1,88 @@
+#include "report/figure.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+
+#include "common/csv.hpp"
+#include "common/error.hpp"
+#include "common/string_util.hpp"
+#include "common/table.hpp"
+
+namespace comb::report {
+
+Figure::Figure(std::string id, std::string title, std::string xlabel,
+               std::string ylabel)
+    : id_(std::move(id)),
+      title_(std::move(title)),
+      xlabel_(std::move(xlabel)),
+      ylabel_(std::move(ylabel)) {}
+
+void Figure::addSeries(Series s) {
+  COMB_REQUIRE(s.xs.size() == s.ys.size(),
+               "figure series x/y mismatch: " + s.name);
+  series_.push_back(std::move(s));
+}
+
+void Figure::render(std::ostream& out) const {
+  out << "== " << id_ << ": " << title_ << " ==\n";
+  PlotOptions opts;
+  opts.logX = logX_;
+  opts.xlabel = xlabel_;
+  opts.ylabel = ylabel_;
+  opts.ymin = ymin_;
+  opts.ymax = ymax_;
+  std::vector<PlotSeries> ps;
+  for (const auto& s : series_) ps.push_back(PlotSeries{s.name, s.xs, s.ys});
+  renderPlot(out, ps, opts);
+  out << '\n';
+
+  TextTable table([&] {
+    std::vector<std::string> hdr{xlabel_};
+    for (const auto& s : series_) hdr.push_back(s.name);
+    return hdr;
+  }());
+  // Collate by x across series (series may have distinct x sets).
+  std::vector<double> allX;
+  for (const auto& s : series_)
+    allX.insert(allX.end(), s.xs.begin(), s.xs.end());
+  std::sort(allX.begin(), allX.end());
+  allX.erase(std::unique(allX.begin(), allX.end()), allX.end());
+  for (const double x : allX) {
+    std::vector<std::string> row{strFormat("%.6g", x)};
+    for (const auto& s : series_) {
+      std::string cell = "-";
+      for (std::size_t i = 0; i < s.xs.size(); ++i) {
+        if (s.xs[i] == x) {
+          cell = strFormat("%.4g", s.ys[i]);
+          break;
+        }
+      }
+      row.push_back(std::move(cell));
+    }
+    table.addRow(std::move(row));
+  }
+  table.render(out);
+  if (!expectation_.empty())
+    out << "\npaper: " << expectation_ << '\n';
+  out << '\n';
+}
+
+void Figure::writeCsv(std::ostream& out) const {
+  CsvWriter csv(out, {"series", xlabel_, ylabel_});
+  for (const auto& s : series_)
+    for (std::size_t i = 0; i < s.xs.size(); ++i)
+      csv.row({s.name, strFormat("%.9g", s.xs[i]),
+               strFormat("%.9g", s.ys[i])});
+}
+
+std::string Figure::writeCsvFile(const std::string& dir) const {
+  std::filesystem::create_directories(dir);
+  const std::string path = dir + "/" + id_ + ".csv";
+  std::ofstream f(path);
+  COMB_REQUIRE(f.good(), "cannot open " + path);
+  writeCsv(f);
+  return path;
+}
+
+}  // namespace comb::report

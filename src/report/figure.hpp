@@ -1,0 +1,65 @@
+// Figure: a reproduced paper figure — titled series plus rendering to an
+// ASCII plot, an aligned data table, and CSV.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/ascii_plot.hpp"
+
+namespace comb::report {
+
+struct Series {
+  std::string name;
+  std::vector<double> xs;
+  std::vector<double> ys;
+};
+
+class Figure {
+ public:
+  Figure(std::string id, std::string title, std::string xlabel,
+         std::string ylabel);
+
+  Figure& logX(bool v = true) {
+    logX_ = v;
+    return *this;
+  }
+  Figure& yRange(double lo, double hi) {
+    ymin_ = lo;
+    ymax_ = hi;
+    return *this;
+  }
+  /// One-line statement of what the paper's version of this figure shows,
+  /// printed with the reproduction for side-by-side judgement.
+  Figure& paperExpectation(std::string text) {
+    expectation_ = std::move(text);
+    return *this;
+  }
+
+  void addSeries(Series s);
+  const std::vector<Series>& series() const { return series_; }
+  const std::string& id() const { return id_; }
+  const std::string& title() const { return title_; }
+
+  /// ASCII plot + data table + expectation note.
+  void render(std::ostream& out) const;
+
+  /// CSV: one row per (series, x, y).
+  void writeCsv(std::ostream& out) const;
+  /// Write CSV to `<dir>/<id>.csv`; creates the directory. Returns path.
+  std::string writeCsvFile(const std::string& dir) const;
+
+ private:
+  std::string id_;
+  std::string title_;
+  std::string xlabel_;
+  std::string ylabel_;
+  std::string expectation_;
+  bool logX_ = false;
+  double ymin_ = PlotOptions::kAuto;
+  double ymax_ = PlotOptions::kAuto;
+  std::vector<Series> series_;
+};
+
+}  // namespace comb::report

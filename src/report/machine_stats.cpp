@@ -1,0 +1,80 @@
+#include "report/machine_stats.hpp"
+
+#include "backend/sim_cluster.hpp"
+#include "common/string_util.hpp"
+#include "common/table.hpp"
+
+namespace comb::report {
+
+MachineStats snapshot(backend::SimCluster& cluster) {
+  MachineStats stats;
+  stats.machineName = cluster.config().name;
+  stats.simulatedTime = cluster.simulator().now();
+  stats.eventsExecuted = cluster.simulator().eventsExecuted();
+  stats.switchPacketsRouted = cluster.fabric().centralSwitch().packetsRouted();
+  for (int r = 0; r < cluster.nodeCount(); ++r) {
+    NodeStats node;
+    node.rank = r;
+    for (int c = 0; c < cluster.config().cpusPerNode; ++c) {
+      auto& cpu = cluster.cpu(r, c);
+      node.cpus.push_back(
+          NodeStats::CpuStats{cpu.userTime(), cpu.isrTime(),
+                              cpu.interruptsRaised()});
+    }
+    auto& mpi = cluster.mpi(r);
+    node.sendsPosted = mpi.sendsPosted();
+    node.recvsPosted = mpi.recvsPosted();
+    node.bytesSent = mpi.bytesSent();
+    node.bytesReceived = mpi.bytesReceived();
+    node.requestsPending = mpi.pendingRequests();
+    auto& up = cluster.fabric().uplink(r);
+    auto& down = cluster.fabric().downlink(r);
+    node.uplinkBytes = up.bytesCarried();
+    node.uplinkBusy = up.busyTime();
+    node.downlinkBytes = down.bytesCarried();
+    node.downlinkBusy = down.busyTime();
+    stats.nodes.push_back(std::move(node));
+  }
+  return stats;
+}
+
+void renderStats(std::ostream& out, const MachineStats& stats) {
+  out << "machine '" << stats.machineName << "': simulated "
+      << fmtTime(stats.simulatedTime) << ", "
+      << stats.eventsExecuted << " events, "
+      << stats.switchPacketsRouted << " packets routed\n";
+
+  const double horizon = stats.simulatedTime > 0 ? stats.simulatedTime : 1.0;
+  TextTable table({"node", "cpu", "user%", "isr%", "irqs", "sends", "recvs",
+                   "tx", "rx", "uplink%", "downlink%"});
+  for (const auto& node : stats.nodes) {
+    for (std::size_t c = 0; c < node.cpus.size(); ++c) {
+      const auto& cpu = node.cpus[c];
+      std::vector<std::string> row;
+      row.push_back(c == 0 ? strFormat("%d", node.rank) : "");
+      row.push_back(strFormat("%zu", c));
+      row.push_back(strFormat("%.1f", 100.0 * cpu.userTime / horizon));
+      row.push_back(strFormat("%.1f", 100.0 * cpu.isrTime / horizon));
+      row.push_back(strFormat("%llu", (unsigned long long)cpu.interrupts));
+      if (c == 0) {
+        row.push_back(strFormat("%llu", (unsigned long long)node.sendsPosted));
+        row.push_back(strFormat("%llu", (unsigned long long)node.recvsPosted));
+        row.push_back(fmtBytes(node.bytesSent));
+        row.push_back(fmtBytes(node.bytesReceived));
+        row.push_back(strFormat("%.1f", 100.0 * node.uplinkBusy / horizon));
+        row.push_back(strFormat("%.1f", 100.0 * node.downlinkBusy / horizon));
+      } else {
+        for (int i = 0; i < 6; ++i) row.push_back("");
+      }
+      table.addRow(std::move(row));
+    }
+  }
+  table.render(out);
+  for (const auto& node : stats.nodes) {
+    if (node.requestsPending > 0)
+      out << "WARNING: node " << node.rank << " has "
+          << node.requestsPending << " pending request(s)\n";
+  }
+}
+
+}  // namespace comb::report

@@ -1,0 +1,55 @@
+// Machine statistics snapshot: everything the simulated substrate counted
+// during a run, formatted for humans. This is the suite's observability
+// surface — "where did the cycles and bytes go" — complementing the
+// benchmark-level phase timings.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace comb::backend {
+class SimCluster;
+}
+
+namespace comb::report {
+
+struct NodeStats {
+  int rank = 0;
+  // Per-CPU accounting (index 0 = application CPU).
+  struct CpuStats {
+    Time userTime = 0;
+    Time isrTime = 0;
+    std::uint64_t interrupts = 0;
+  };
+  std::vector<CpuStats> cpus;
+  // MPI layer.
+  std::uint64_t sendsPosted = 0;
+  std::uint64_t recvsPosted = 0;
+  Bytes bytesSent = 0;
+  Bytes bytesReceived = 0;
+  std::size_t requestsPending = 0;
+  // Fabric attachment.
+  Bytes uplinkBytes = 0;
+  Time uplinkBusy = 0;
+  Bytes downlinkBytes = 0;
+  Time downlinkBusy = 0;
+};
+
+struct MachineStats {
+  std::string machineName;
+  Time simulatedTime = 0;
+  std::uint64_t eventsExecuted = 0;
+  std::vector<NodeStats> nodes;
+  std::uint64_t switchPacketsRouted = 0;
+};
+
+/// Snapshot a cluster after (or during) a run.
+MachineStats snapshot(backend::SimCluster& cluster);
+
+/// Render as an aligned table with utilization percentages.
+void renderStats(std::ostream& out, const MachineStats& stats);
+
+}  // namespace comb::report

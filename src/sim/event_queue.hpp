@@ -1,0 +1,110 @@
+// The simulator's pending-event set: a binary heap ordered by
+// (time, sequence number). The sequence number makes same-timestamp events
+// FIFO, which is what makes every simulation bit-reproducible.
+//
+// Cancellation is lazy: EventHandle::cancel() marks the record; the heap
+// drops cancelled records when they surface. This keeps cancellation O(1)
+// (the preemptible CPU model cancels and reschedules completion events on
+// every interrupt).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace comb::sim {
+
+using EventFn = std::function<void()>;
+
+namespace detail {
+
+struct EventRecord {
+  Time when;
+  std::uint64_t seq;
+  EventFn fn;
+  bool cancelled = false;
+};
+
+struct EventLater {
+  bool operator()(const std::shared_ptr<EventRecord>& a,
+                  const std::shared_ptr<EventRecord>& b) const {
+    if (a->when != b->when) return a->when > b->when;
+    return a->seq > b->seq;
+  }
+};
+
+}  // namespace detail
+
+/// A cancellable reference to a scheduled event. Default-constructed
+/// handles are inert. Holding a handle does not keep the event alive past
+/// execution.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  /// Cancel the event if it has not fired yet. Idempotent.
+  void cancel() {
+    if (auto rec = rec_.lock()) rec->cancelled = true;
+  }
+
+  /// True while the event is still scheduled (not fired, not cancelled).
+  bool pending() const {
+    auto rec = rec_.lock();
+    return rec && !rec->cancelled;
+  }
+
+ private:
+  friend class EventQueue;
+  explicit EventHandle(std::weak_ptr<detail::EventRecord> rec)
+      : rec_(std::move(rec)) {}
+
+  std::weak_ptr<detail::EventRecord> rec_;
+};
+
+class EventQueue {
+ public:
+  EventHandle push(Time when, EventFn fn) {
+    auto rec = std::make_shared<detail::EventRecord>(
+        detail::EventRecord{when, nextSeq_++, std::move(fn)});
+    EventHandle handle{rec};
+    heap_.push(std::move(rec));
+    return handle;
+  }
+
+  bool empty() {
+    skipCancelled();
+    return heap_.empty();
+  }
+
+  Time nextTime() {
+    skipCancelled();
+    return heap_.top()->when;
+  }
+
+  /// Pop and return the earliest live event's action (with its time).
+  std::pair<Time, EventFn> pop() {
+    skipCancelled();
+    auto rec = heap_.top();
+    heap_.pop();
+    return {rec->when, std::move(rec->fn)};
+  }
+
+  std::uint64_t scheduledCount() const { return nextSeq_; }
+
+ private:
+  void skipCancelled() {
+    while (!heap_.empty() && heap_.top()->cancelled) heap_.pop();
+  }
+
+  std::priority_queue<std::shared_ptr<detail::EventRecord>,
+                      std::vector<std::shared_ptr<detail::EventRecord>>,
+                      detail::EventLater>
+      heap_;
+  std::uint64_t nextSeq_ = 0;
+};
+
+}  // namespace comb::sim

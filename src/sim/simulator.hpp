@@ -1,0 +1,113 @@
+// The discrete-event simulator driving every COMB experiment.
+//
+// A Simulator owns a virtual clock and an event queue. Simulated
+// processes are coroutines (sim::Task<void>) spawned onto the simulator;
+// they advance virtual time by awaiting delays or synchronization objects
+// (Trigger, Channel, the host CPU model, ...). Execution is single-threaded
+// and bit-reproducible: same program, same seed, same event order.
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/task.hpp"
+#include "sim/tracelog.hpp"
+
+namespace comb::sim {
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+  ~Simulator();
+
+  /// Current virtual time in seconds.
+  Time now() const { return now_; }
+
+  /// Schedule `fn` to run `delay` seconds from now (delay >= 0).
+  EventHandle schedule(Time delay, EventFn fn);
+  /// Schedule `fn` at absolute virtual time `when` (>= now()).
+  EventHandle scheduleAt(Time when, EventFn fn);
+
+  /// Launch a simulated process. The coroutine starts at the current
+  /// virtual time (before run() it starts at t = 0 when run() begins).
+  /// The simulator owns the coroutine; exceptions it throws abort the
+  /// simulation and are rethrown from run()/step().
+  void spawn(Task<void> process, std::string name = {});
+
+  /// Run until the event queue drains or `until` is reached (events at
+  /// exactly `until` still run). Returns the final virtual time.
+  Time run(Time until = std::numeric_limits<Time>::infinity());
+
+  /// Execute a single event; returns false when none are pending.
+  bool step();
+
+  /// Number of processes spawned that have not yet finished.
+  std::size_t liveProcesses() const { return liveProcesses_; }
+  std::uint64_t eventsExecuted() const { return eventsExecuted_; }
+  std::uint64_t eventsScheduled() const { return queue_.scheduledCount(); }
+
+  /// Optional hook invoked before each event executes — used by the trace
+  /// tests to record exact event ordering.
+  using TraceFn = std::function<void(Time, std::uint64_t /*eventIndex*/)>;
+  void setTrace(TraceFn fn) { trace_ = std::move(fn); }
+
+  /// Attach a structured trace log (see sim/tracelog.hpp). Instrumented
+  /// components emit through emitTrace(); pass nullptr to detach.
+  void attachTraceLog(TraceLog* log) { traceLog_ = log; }
+  TraceLog* traceLog() const { return traceLog_; }
+  bool tracing() const { return traceLog_ != nullptr; }
+  void emitTrace(TraceCategory cat, int node, std::string label,
+                 double a = 0, double b = 0) {
+    if (traceLog_) traceLog_->emit(now_, cat, node, std::move(label), a, b);
+  }
+
+  /// Awaitable: suspend the calling coroutine for `d` simulated seconds.
+  /// A zero delay still round-trips through the event queue, which
+  /// deterministically yields to other ready processes.
+  auto delay(Time d);
+  /// Awaitable: yield once (equivalent to delay(0)).
+  auto yield();
+
+ private:
+  struct Detached;
+  Detached runProcess(Task<void> t, std::string name);
+  void recordFailure(std::exception_ptr e, const std::string& name);
+  void rethrowIfFailed();
+
+  Time now_ = 0.0;
+  EventQueue queue_;
+  std::uint64_t eventsExecuted_ = 0;
+  std::size_t liveProcesses_ = 0;
+  std::exception_ptr failure_;
+  std::string failedProcess_;
+  TraceFn trace_;
+  TraceLog* traceLog_ = nullptr;
+};
+
+namespace detail {
+
+struct DelayAwaiter {
+  Simulator& sim;
+  Time d;
+  bool await_ready() const noexcept { return false; }
+  void await_suspend(std::coroutine_handle<> h) {
+    sim.schedule(d, [h] { h.resume(); });
+  }
+  void await_resume() const noexcept {}
+};
+
+}  // namespace detail
+
+inline auto Simulator::delay(Time d) { return detail::DelayAwaiter{*this, d}; }
+inline auto Simulator::yield() { return delay(0); }
+
+}  // namespace comb::sim

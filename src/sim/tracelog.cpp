@@ -1,0 +1,88 @@
+#include "sim/tracelog.hpp"
+
+#include "common/error.hpp"
+#include "common/string_util.hpp"
+
+namespace comb::sim {
+
+const char* traceCategoryName(TraceCategory c) {
+  switch (c) {
+    case TraceCategory::Process: return "process";
+    case TraceCategory::Compute: return "compute";
+    case TraceCategory::Interrupt: return "interrupt";
+    case TraceCategory::Packet: return "packet";
+    case TraceCategory::NicEvent: return "nic-event";
+    case TraceCategory::Protocol: return "protocol";
+    case TraceCategory::MpiCall: return "mpi-call";
+  }
+  return "?";
+}
+
+TraceLog::TraceLog(std::size_t capacity) : capacity_(capacity) {
+  COMB_REQUIRE(capacity > 0, "trace capacity must be positive");
+}
+
+void TraceLog::emit(Time t, TraceCategory cat, int node, std::string label,
+                    double a, double b) {
+  if (records_.size() == capacity_) {
+    records_.pop_front();
+    ++dropped_;
+  }
+  records_.push_back(TraceRecord{t, cat, node, std::move(label), a, b});
+}
+
+void TraceLog::clear() {
+  records_.clear();
+  dropped_ = 0;
+}
+
+std::size_t TraceLog::count(TraceCategory cat, int node) const {
+  std::size_t n = 0;
+  for (const auto& r : records_)
+    if (r.cat == cat && (node < 0 || r.node == node)) ++n;
+  return n;
+}
+
+std::vector<const TraceRecord*> TraceLog::select(TraceCategory cat,
+                                                 int node) const {
+  std::vector<const TraceRecord*> out;
+  for (const auto& r : records_)
+    if (r.cat == cat && (node < 0 || r.node == node)) out.push_back(&r);
+  return out;
+}
+
+void TraceLog::dump(std::ostream& out, std::size_t maxRows) const {
+  const std::size_t start =
+      records_.size() > maxRows ? records_.size() - maxRows : 0;
+  if (dropped_ > 0)
+    out << "(" << dropped_ << " older records dropped from the ring)\n";
+  if (start > 0) out << "(showing last " << maxRows << " records)\n";
+  for (std::size_t i = start; i < records_.size(); ++i) {
+    const auto& r = records_[i];
+    out << strFormat("%12.6f ms  %-9s", r.t * 1e3, traceCategoryName(r.cat));
+    if (r.node >= 0) out << strFormat("  n%d", r.node);
+    out << "  " << r.label;
+    if (r.a != 0) out << strFormat("  a=%.6g", r.a);
+    if (r.b != 0) out << strFormat("  b=%.6g", r.b);
+    out << '\n';
+  }
+}
+
+std::string TraceLog::summary() const {
+  std::string s;
+  for (const TraceCategory cat :
+       {TraceCategory::Process, TraceCategory::Compute,
+        TraceCategory::Interrupt, TraceCategory::Packet,
+        TraceCategory::NicEvent, TraceCategory::Protocol,
+        TraceCategory::MpiCall}) {
+    const auto n = count(cat);
+    if (n > 0) {
+      if (!s.empty()) s += ", ";
+      s += strFormat("%s=%zu", traceCategoryName(cat), n);
+    }
+  }
+  if (dropped_ > 0) s += strFormat(" (+%zu dropped)", dropped_);
+  return s.empty() ? "no trace records" : s;
+}
+
+}  // namespace comb::sim

@@ -1,0 +1,78 @@
+// TraceLog: structured event capture across the simulated substrate.
+//
+// When attached to a Simulator, instrumented components (CPU, links, NICs,
+// transports, MiniMPI) emit one record per interesting event into a
+// bounded ring. The result is a per-run timeline that answers "what
+// actually happened": every interrupt, every packet, every protocol
+// transition, every MPI call — the observability layer behind
+// `comb stats --trace`.
+//
+// Disabled (no log attached) the cost is a single pointer test per
+// emission site.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace comb::sim {
+
+enum class TraceCategory : std::uint8_t {
+  Process,    ///< process spawn/finish
+  Compute,    ///< user compute on a CPU (label: start/done; a = seconds)
+  Interrupt,  ///< ISR raised (a = service seconds)
+  Packet,     ///< packet injected into the fabric (a = wire bytes)
+  NicEvent,   ///< NIC-level event queued (label: kind)
+  Protocol,   ///< transport state transition (label: e.g. "rts", "cts")
+  MpiCall,    ///< MiniMPI entry point (label: call name; a = bytes)
+};
+
+const char* traceCategoryName(TraceCategory c);
+
+struct TraceRecord {
+  Time t = 0;
+  TraceCategory cat = TraceCategory::Process;
+  int node = -1;  ///< node id; -1 when not node-specific
+  std::string label;
+  double a = 0;  ///< category-specific payload (bytes, seconds, handle...)
+  double b = 0;
+};
+
+class TraceLog {
+ public:
+  /// Ring capacity: oldest records are dropped past this.
+  explicit TraceLog(std::size_t capacity = 1 << 16);
+
+  void emit(Time t, TraceCategory cat, int node, std::string label,
+            double a = 0, double b = 0);
+
+  const std::deque<TraceRecord>& records() const { return records_; }
+  std::size_t size() const { return records_.size(); }
+  std::size_t dropped() const { return dropped_; }
+  std::size_t capacity() const { return capacity_; }
+  void clear();
+
+  /// Count records in a category (optionally for one node).
+  std::size_t count(TraceCategory cat, int node = -1) const;
+
+  /// Records of one category, in time order.
+  std::vector<const TraceRecord*> select(TraceCategory cat,
+                                         int node = -1) const;
+
+  /// Human-readable dump of (up to) the last `maxRows` records.
+  void dump(std::ostream& out, std::size_t maxRows = 50) const;
+
+  /// Per-category counts summary line.
+  std::string summary() const;
+
+ private:
+  std::size_t capacity_;
+  std::deque<TraceRecord> records_;
+  std::size_t dropped_ = 0;
+};
+
+}  // namespace comb::sim

@@ -1,0 +1,87 @@
+// Awaitable synchronization primitives for simulated processes.
+//
+// Trigger      — a one-shot latch: waiters suspend until fire(); waiting on
+//                an already-fired trigger completes immediately. reset()
+//                re-arms it.
+// CountLatch   — completes waiters once `n` arrivals were counted.
+//
+// Resumptions are routed through the event queue at the current virtual
+// time (never inline) so that wake-ups interleave deterministically with
+// other same-timestamp events.
+#pragma once
+
+#include <coroutine>
+#include <cstddef>
+#include <vector>
+
+#include "common/error.hpp"
+#include "sim/simulator.hpp"
+
+namespace comb::sim {
+
+class Trigger {
+ public:
+  explicit Trigger(Simulator& sim) : sim_(&sim) {}
+  Trigger(const Trigger&) = delete;
+  Trigger& operator=(const Trigger&) = delete;
+
+  bool fired() const { return fired_; }
+
+  /// Latch and wake all current waiters (at the current virtual time).
+  /// Idempotent while latched.
+  void fire() {
+    if (fired_) return;
+    fired_ = true;
+    auto waiters = std::move(waiters_);
+    waiters_.clear();
+    for (auto h : waiters) {
+      sim_->schedule(0.0, [h] { h.resume(); });
+    }
+  }
+
+  /// Re-arm. Only valid when no one is waiting.
+  void reset() {
+    COMB_ASSERT(waiters_.empty(), "Trigger::reset with pending waiters");
+    fired_ = false;
+  }
+
+  struct Awaiter {
+    Trigger& t;
+    bool await_ready() const noexcept { return t.fired_; }
+    void await_suspend(std::coroutine_handle<> h) { t.waiters_.push_back(h); }
+    void await_resume() const noexcept {}
+  };
+
+  /// Awaitable: suspend until fired.
+  Awaiter wait() { return Awaiter{*this}; }
+
+  std::size_t waiterCount() const { return waiters_.size(); }
+
+ private:
+  Simulator* sim_;
+  bool fired_ = false;
+  std::vector<std::coroutine_handle<>> waiters_;
+};
+
+/// Completes waiters after arrive() was called `expected` times.
+class CountLatch {
+ public:
+  CountLatch(Simulator& sim, std::size_t expected)
+      : trigger_(sim), remaining_(expected) {
+    if (remaining_ == 0) trigger_.fire();
+  }
+
+  void arrive() {
+    COMB_ASSERT(remaining_ > 0, "CountLatch::arrive past zero");
+    if (--remaining_ == 0) trigger_.fire();
+  }
+
+  std::size_t remaining() const { return remaining_; }
+  auto wait() { return trigger_.wait(); }
+
+ private:
+  Trigger trigger_;
+  std::size_t remaining_;
+};
+
+}  // namespace comb::sim

@@ -1,0 +1,38 @@
+// Message data buffers.
+//
+// Benchmarks usually run "size-only" (null buffer): the simulator moves
+// byte *counts*, which is all timing needs. Correctness tests attach real
+// buffers; every transport then delivers the exact bytes end-to-end, so
+// the same machinery validates data integrity.
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace comb::transport {
+
+using DataBuffer = std::shared_ptr<const std::vector<std::byte>>;
+
+/// Snapshot user data into an immutable shared buffer (send-side copy,
+/// analogous to the library/NIC owning the bytes once posted).
+inline DataBuffer captureData(std::span<const std::byte> src) {
+  if (src.empty()) return nullptr;
+  return std::make_shared<const std::vector<std::byte>>(src.begin(),
+                                                        src.end());
+}
+
+/// Copy a delivered buffer into the user's receive span (no-op for
+/// size-only messages). Returns bytes copied.
+inline Bytes deliverData(const DataBuffer& data, std::span<std::byte> dst) {
+  if (!data || dst.empty()) return 0;
+  const std::size_t n = std::min(data->size(), dst.size());
+  std::memcpy(dst.data(), data->data(), n);
+  return n;
+}
+
+}  // namespace comb::transport

@@ -1,0 +1,109 @@
+// Abstract transport endpoint: what MiniMPI needs from a message layer.
+//
+// The two implementations embody the paper's two systems:
+//   * GmEndpoint      — OS-bypass user-level networking; matching and
+//                       rendezvous control live in the *library*, so
+//                       progress happens only inside MPI calls (no
+//                       application offload).
+//   * PortalsEndpoint — kernel-based stack; matching and progress run in
+//                       interrupt context independent of the application
+//                       (application offload), at the price of host CPU.
+//
+// All posting/progress entry points are coroutines: each implementation
+// charges its own CPU costs on the calling process's host CPU, which is
+// exactly how the real systems differ.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+
+#include "common/units.hpp"
+#include "mpi/types.hpp"
+#include "net/packet.hpp"
+#include "sim/activity.hpp"
+#include "sim/task.hpp"
+#include "transport/data.hpp"
+
+namespace comb::transport {
+
+/// A send posted by the MPI layer. `handle` is MPI-layer-chosen and echoed
+/// back in the completion callback.
+struct TxReq {
+  std::uint64_t handle = 0;
+  net::NodeId dstNode = -1;
+  mpi::Envelope env;
+  Bytes bytes = 0;
+  DataBuffer data;  ///< optional real payload
+};
+
+/// A receive posted by the MPI layer.
+struct RxReq {
+  std::uint64_t handle = 0;
+  mpi::Pattern pattern;
+  Bytes maxBytes = 0;
+};
+
+class Endpoint {
+ public:
+  using TxDoneFn = std::function<void(std::uint64_t handle)>;
+  using RxDoneFn = std::function<void(std::uint64_t handle,
+                                      const mpi::Status&, const DataBuffer&)>;
+
+  virtual ~Endpoint() = default;
+
+  /// Wire the MPI layer's completion callbacks. Must be called once before
+  /// any post. Callbacks may run in library-call context (GM) or interrupt
+  /// context (Portals).
+  void setCallbacks(TxDoneFn txDone, RxDoneFn rxDone) {
+    txDone_ = std::move(txDone);
+    rxDone_ = std::move(rxDone);
+  }
+
+  virtual sim::Task<void> postSend(TxReq req) = 0;
+  virtual sim::Task<void> postRecv(RxReq req) = 0;
+
+  /// One library progress call: charges the call's CPU cost and performs
+  /// whatever protocol work this transport does in library context.
+  virtual sim::Task<void> progress() = 0;
+
+  /// Cancel a posted receive that has not matched yet. Returns true on
+  /// success; false means the receive already matched (completion callback
+  /// fired or imminent).
+  virtual sim::Task<bool> cancelRecv(std::uint64_t handle) = 0;
+
+  /// Non-consuming check of the unexpected queue (call progress() first
+  /// for fresh results). Used by MPI_Iprobe.
+  virtual std::optional<mpi::Status> peekUnexpected(
+      const mpi::Pattern& pattern) const = 0;
+
+  /// True when messages progress without library calls (the paper's
+  /// "application offload").
+  virtual bool applicationOffload() const = 0;
+
+  /// Base CPU cost of one MPI library call into this transport.
+  virtual Time libCallCost() const = 0;
+
+  virtual net::NodeId nodeId() const = 0;
+
+  /// Versioned "protocol activity happened" signal (NIC event queued,
+  /// completion flagged). MPI blocking waits re-check their predicate
+  /// after each version change instead of burning simulator events on a
+  /// spin loop; the paper's busy-wait has the same *timing*, we just skip
+  /// simulating the idle spins.
+  sim::ActivitySignal& activity() { return *activity_; }
+
+ protected:
+  void initActivity(sim::Simulator& sim) {
+    activity_ = std::make_unique<sim::ActivitySignal>(sim);
+  }
+  void signalActivity() { activity_->signal(); }
+
+  TxDoneFn txDone_;
+  RxDoneFn rxDone_;
+
+ private:
+  std::unique_ptr<sim::ActivitySignal> activity_;
+};
+
+}  // namespace comb::transport

@@ -1,0 +1,126 @@
+#include "transport/portals.hpp"
+
+#include "common/error.hpp"
+
+namespace comb::transport {
+
+PortalsEndpoint::PortalsEndpoint(sim::Simulator& sim, host::Cpu& libCpu,
+                                 host::Cpu& kernelCpu, net::Fabric& fabric,
+                                 net::NodeId node, PortalsConfig cfg)
+    : sim_(sim),
+      cpu_(libCpu),
+      node_(node),
+      cfg_(cfg),
+      nic_(sim, fabric, kernelCpu, node, cfg.nic) {
+  initActivity(sim);
+  nic_.setRxHandler(
+      [this](const WirePayload& frag, net::NodeId src) { kernelRx(frag, src); });
+  nic_.setTxDoneHandler([this](std::uint64_t msgId) { kernelTxDone(msgId); });
+}
+
+sim::Task<void> PortalsEndpoint::postSend(TxReq req) {
+  if (sim_.tracing())
+    sim_.emitTrace(sim::TraceCategory::Protocol, node_, "kernel-send-post",
+                   static_cast<double>(req.bytes));
+  co_await cpu_.compute(cfg_.postSyscall + cfg_.postKernel);
+  const std::uint64_t msgId =
+      nic_.sendMessage(req.dstNode, WireKind::Eager, req.env, req.bytes,
+                       req.bytes, req.data, req.handle, 0);
+  txByMsgId_[msgId] = req.handle;
+  // From here the kernel owns the transfer: application offload.
+}
+
+void PortalsEndpoint::kernelTxDone(std::uint64_t msgId) {
+  const auto it = txByMsgId_.find(msgId);
+  COMB_ASSERT(it != txByMsgId_.end(), "tx completion for unknown message");
+  const std::uint64_t handle = it->second;
+  txByMsgId_.erase(it);
+  txDone_(handle);
+  signalActivity();
+}
+
+void PortalsEndpoint::kernelRx(const WirePayload& frag, net::NodeId src) {
+  const auto key = std::pair{src, frag.msgId};
+  Assembly& a = assembling_[key];
+  if (frag.fragIndex == 0) {
+    a.env = frag.env;
+    a.bytes = frag.msgBytes;
+    a.data = frag.data;
+    // Portals matches on the first fragment (kernel match entries).
+    if (auto rec = matchK_.matchArrival(frag.env)) {
+      COMB_ASSERT(frag.msgBytes <= rec->maxBytes,
+                  "message exceeds posted receive buffer");
+      a.matched = true;
+      a.matchedHandle = rec->cookie;
+    }
+  }
+  if (++a.fragsSeen == frag.fragCount) {
+    Assembly done = std::move(a);
+    assembling_.erase(key);
+    if (!done.matched) {
+      // A receive may have been posted while fragments were in flight;
+      // the kernel re-checks before declaring the message unexpected.
+      if (auto rec = matchK_.matchArrival(done.env)) {
+        COMB_ASSERT(done.bytes <= rec->maxBytes,
+                    "message exceeds posted receive buffer");
+        done.matched = true;
+        done.matchedHandle = rec->cookie;
+      }
+    }
+    if (done.matched) {
+      if (sim_.tracing())
+        sim_.emitTrace(sim::TraceCategory::Protocol, node_, "kernel-match",
+                       static_cast<double>(done.bytes));
+      rxDone_(done.matchedHandle,
+              mpi::Status{done.env.srcRank, done.env.tag, done.bytes},
+              done.data);
+    } else {
+      const std::uint64_t id = nextUnexId_++;
+      unexpected_[id] = UnexRec{done.env, done.bytes, done.data};
+      matchK_.addUnexpected(done.env, done.bytes, id);
+    }
+    signalActivity();
+  }
+}
+
+sim::Task<void> PortalsEndpoint::postRecv(RxReq req) {
+  co_await cpu_.compute(cfg_.postSyscall + cfg_.postKernel);
+  if (auto u = matchK_.matchUnexpected(req.pattern)) {
+    const auto it = unexpected_.find(u->xportHandle);
+    COMB_ASSERT(it != unexpected_.end(), "stale unexpected record");
+    UnexRec rec = std::move(it->second);
+    unexpected_.erase(it);
+    COMB_ASSERT(rec.bytes <= req.maxBytes,
+                "unexpected message exceeds posted receive buffer");
+    // Claiming a kernel-buffered message pays the kernel->user copy here.
+    co_await cpu_.compute(static_cast<Time>(rec.bytes) /
+                          cfg_.unexpectedCopyRate);
+    rxDone_(req.handle, mpi::Status{rec.env.srcRank, rec.env.tag, rec.bytes},
+            rec.data);
+    signalActivity();
+    co_return;
+  }
+  matchK_.postRecv(req.pattern, req.maxBytes, req.handle);
+}
+
+sim::Task<void> PortalsEndpoint::progress() {
+  // The kernel progresses communication on its own; a library call only
+  // inspects completion state.
+  co_await cpu_.compute(cfg_.libCallCost);
+}
+
+sim::Task<bool> PortalsEndpoint::cancelRecv(std::uint64_t handle) {
+  // Unlinking a kernel match entry is a syscall.
+  co_await cpu_.compute(cfg_.postSyscall);
+  co_return matchK_.cancelRecv(handle);
+}
+
+std::optional<mpi::Status> PortalsEndpoint::peekUnexpected(
+    const mpi::Pattern& pattern) const {
+  if (auto u = matchK_.peekUnexpected(pattern)) {
+    return mpi::Status{u->env.srcRank, u->env.tag, u->bytes};
+  }
+  return std::nullopt;
+}
+
+}  // namespace comb::transport

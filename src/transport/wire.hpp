@@ -1,0 +1,49 @@
+// Wire payload shared by the NIC models: every fabric packet carries one
+// WirePayload describing which protocol message (or fragment of one) it is.
+#pragma once
+
+#include <cstdint>
+
+#include "common/units.hpp"
+#include "mpi/types.hpp"
+#include "net/packet.hpp"
+#include "transport/data.hpp"
+
+namespace comb::transport {
+
+enum class WireKind : std::uint8_t {
+  Eager,  ///< self-describing data message (matching info + data)
+  Rts,    ///< rendezvous request-to-send (control)
+  Cts,    ///< rendezvous clear-to-send (control)
+  Data,   ///< rendezvous payload addressed to a receiver handle
+};
+
+inline const char* wireKindName(WireKind k) {
+  switch (k) {
+    case WireKind::Eager: return "Eager";
+    case WireKind::Rts: return "Rts";
+    case WireKind::Cts: return "Cts";
+    case WireKind::Data: return "Data";
+  }
+  return "?";
+}
+
+struct WirePayload : net::PayloadBase {
+  WireKind kind = WireKind::Eager;
+  std::uint64_t msgId = 0;      ///< sender-scoped message identifier
+  std::uint32_t fragIndex = 0;
+  std::uint32_t fragCount = 1;
+  mpi::Envelope env;            ///< valid for Eager and Rts
+  Bytes msgBytes = 0;           ///< full message payload length
+  std::uint64_t senderHandle = 0;  ///< sender request handle (Rts; echoed in Cts)
+  std::uint64_t recvHandle = 0;    ///< receiver request handle (Cts; echoed in Data)
+  /// Per-(sender, destination) matching sequence number carried by
+  /// envelope-bearing messages (Eager, Rts). The receiving library matches
+  /// envelopes in this order even when the NIC's priority scheduler lets a
+  /// small control packet arrive before an earlier message's data — MPI's
+  /// non-overtaking rule restored in software, as MPICH does.
+  std::uint64_t matchSeq = 0;
+  DataBuffer data;              ///< whole-message buffer (fragments alias it)
+};
+
+}  // namespace comb::transport

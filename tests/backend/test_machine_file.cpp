@@ -1,0 +1,135 @@
+#include "backend/machine_file.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace comb::backend {
+namespace {
+
+MachineConfig parse(const std::string& text) {
+  std::istringstream in(text);
+  return parseMachineFile(in, "test.ini");
+}
+
+TEST(MachineFile, EmptyFileYieldsGmDefaults) {
+  const auto m = parse("");
+  EXPECT_EQ(m.kind, TransportKind::Gm);
+  EXPECT_EQ(m.name, "gm");
+  EXPECT_DOUBLE_EQ(m.fabric.link.rate, 90e6);
+  EXPECT_EQ(m.cpusPerNode, 1);
+}
+
+TEST(MachineFile, FullGmDefinition) {
+  const auto m = parse(R"(
+name = custom-gm
+transport = gm
+
+[fabric]
+link_rate_MBps = 200
+link_latency_us = 1.5
+mtu = 8192
+
+[host]
+seconds_per_iter_ns = 2
+
+[gm]
+eager_threshold_kb = 32
+post_overhead_us = 3
+)");
+  EXPECT_EQ(m.name, "custom-gm");
+  EXPECT_DOUBLE_EQ(m.fabric.link.rate, 200e6);
+  EXPECT_DOUBLE_EQ(m.fabric.link.latency, 1.5e-6);
+  EXPECT_EQ(m.fabric.mtu, 8192u);
+  EXPECT_DOUBLE_EQ(m.secondsPerWorkIter, 2e-9);
+  EXPECT_EQ(m.gm.eagerThreshold, 32u * 1024u);
+  EXPECT_DOUBLE_EQ(m.gm.postOverhead, 3e-6);
+  // Untouched keys keep preset defaults.
+  EXPECT_DOUBLE_EQ(m.gm.libCallCost, 0.7e-6);
+}
+
+TEST(MachineFile, PortalsDefinitionWithSmp) {
+  const auto m = parse(R"(
+transport = portals
+[host]
+cpus_per_node = 2
+nic_cpu = 1
+[portals]
+per_frag_rx_us = 10
+kernel_copy_MBps = 500
+)");
+  EXPECT_EQ(m.kind, TransportKind::Portals);
+  EXPECT_EQ(m.cpusPerNode, 2);
+  EXPECT_EQ(m.nicCpu, 1);
+  EXPECT_DOUBLE_EQ(m.portals.nic.perFragRx, 10e-6);
+  EXPECT_DOUBLE_EQ(m.portals.nic.kernelCopyRate, 500e6);
+  EXPECT_DOUBLE_EQ(m.portals.postSyscall, 15e-6);  // default kept
+}
+
+TEST(MachineFile, CommentsAndWhitespaceIgnored) {
+  const auto m = parse(R"(
+# full-line comment
+name = spaced   ; trailing comment
+   [fabric]
+  link_rate_MBps =   42   # another
+)");
+  EXPECT_EQ(m.name, "spaced");
+  EXPECT_DOUBLE_EQ(m.fabric.link.rate, 42e6);
+}
+
+TEST(MachineFile, UnknownKeyRejected) {
+  EXPECT_THROW(parse("[fabric]\nlink_rate_mbps = 90\n"), ConfigError);
+  EXPECT_THROW(parse("typo_toplevel = 1\n"), ConfigError);
+}
+
+TEST(MachineFile, WrongSectionKeyRejected) {
+  // gm keys are unknown when transport = portals.
+  EXPECT_THROW(parse("transport = portals\n[gm]\npost_overhead_us = 5\n"),
+               ConfigError);
+}
+
+TEST(MachineFile, BadValueRejected) {
+  EXPECT_THROW(parse("[fabric]\nlink_rate_MBps = fast\n"), ConfigError);
+  EXPECT_THROW(parse("transport = infiniband\n"), ConfigError);
+  EXPECT_THROW(parse("[fabric]\nlink_rate_MBps = 0\n"), ConfigError);
+}
+
+TEST(MachineFile, MalformedSyntaxRejected) {
+  EXPECT_THROW(parse("[fabric\nmtu = 1\n"), ConfigError);
+  EXPECT_THROW(parse("justakey\n"), ConfigError);
+  EXPECT_THROW(parse("name =\n"), ConfigError);
+  EXPECT_THROW(parse("name = a\nname = b\n"), ConfigError);  // duplicate
+}
+
+TEST(MachineFile, BadSmpComboRejected) {
+  EXPECT_THROW(parse("[host]\nnic_cpu = 1\n"), ConfigError);  // 1 CPU only
+}
+
+TEST(MachineFile, BundledFilesParse) {
+  // The files shipped in machines/ must stay valid and match the presets.
+  const auto gm = loadMachineFile(std::string(COMB_SOURCE_DIR) +
+                                  "/machines/paper_gm.ini");
+  EXPECT_EQ(gm.kind, TransportKind::Gm);
+  EXPECT_DOUBLE_EQ(gm.fabric.link.rate, gmMachine().fabric.link.rate);
+  EXPECT_EQ(gm.gm.eagerThreshold, gmMachine().gm.eagerThreshold);
+
+  const auto portals = loadMachineFile(std::string(COMB_SOURCE_DIR) +
+                                       "/machines/paper_portals.ini");
+  EXPECT_EQ(portals.kind, TransportKind::Portals);
+  EXPECT_DOUBLE_EQ(portals.portals.nic.perFragRx,
+                   portalsMachine().portals.nic.perFragRx);
+
+  const auto smp = loadMachineFile(std::string(COMB_SOURCE_DIR) +
+                                   "/machines/smp_steered_portals.ini");
+  EXPECT_EQ(smp.cpusPerNode, 2);
+  EXPECT_EQ(smp.nicCpu, 1);
+}
+
+TEST(MachineFile, MissingFileRejected) {
+  EXPECT_THROW(loadMachineFile("/nonexistent/machine.ini"), ConfigError);
+}
+
+}  // namespace
+}  // namespace comb::backend

@@ -1,0 +1,207 @@
+// Native thread backend: MPI semantics under both progress models.
+// (No timing assertions — this box may have a single core.)
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "backend/thread_cluster.hpp"
+#include "common/units.hpp"
+
+namespace comb::backend {
+namespace {
+
+using namespace comb::units;
+using mpi::kAnySource;
+using mpi::kAnyTag;
+using mpi::Request;
+using mpi::Status;
+
+std::vector<std::byte> patternBytes(std::size_t n, std::uint8_t seed) {
+  std::vector<std::byte> v(n);
+  for (std::size_t i = 0; i < n; ++i)
+    v[i] = static_cast<std::byte>((seed + i * 31) & 0xff);
+  return v;
+}
+
+class ThreadMpiTest : public ::testing::TestWithParam<bool> {
+ protected:
+  bool offload() const { return GetParam(); }
+};
+
+TEST_P(ThreadMpiTest, SendRecvDataIntegrity) {
+  ThreadCluster cluster(2, offload());
+  const auto payload = patternBytes(4096, 7);
+  std::vector<std::byte> rx(4096);
+  Status st;
+  cluster.run({[&](ThreadProc& p) {
+                 p.mpi().send(p.mpi().world(), 1, 5, payload.size(), payload);
+               },
+               [&](ThreadProc& p) {
+                 p.mpi().recv(p.mpi().world(), 0, 5, rx.size(), rx, &st);
+               }});
+  EXPECT_EQ(rx, payload);
+  EXPECT_EQ(st.source, 0);
+  EXPECT_EQ(st.tag, 5);
+  EXPECT_EQ(st.bytes, 4096u);
+}
+
+TEST_P(ThreadMpiTest, ManyMessagesInOrder) {
+  ThreadCluster cluster(2, offload());
+  constexpr int kN = 200;
+  std::vector<int> got;
+  cluster.run({[&](ThreadProc& p) {
+                 for (int i = 0; i < kN; ++i)
+                   p.mpi().send(
+                       p.mpi().world(), 1, 1, sizeof(int),
+                       std::as_bytes(std::span<const int>(&i, 1)));
+               },
+               [&](ThreadProc& p) {
+                 for (int i = 0; i < kN; ++i) {
+                   int v = -1;
+                   p.mpi().recv(p.mpi().world(), 0, 1, sizeof(int),
+                                std::as_writable_bytes(std::span<int>(&v, 1)));
+                   got.push_back(v);
+                 }
+               }});
+  ASSERT_EQ(got.size(), static_cast<std::size_t>(kN));
+  for (int i = 0; i < kN; ++i) EXPECT_EQ(got[static_cast<std::size_t>(i)], i);
+}
+
+TEST_P(ThreadMpiTest, WildcardRecvWithStatus) {
+  ThreadCluster cluster(3, offload());
+  Status st;
+  cluster.run({[&](ThreadProc&) {},
+               [&](ThreadProc& p) {
+                 p.mpi().send(p.mpi().world(), 2, 42, 128);
+               },
+               [&](ThreadProc& p) {
+                 p.mpi().recv(p.mpi().world(), kAnySource, kAnyTag, 128, {},
+                              &st);
+               }});
+  EXPECT_EQ(st.source, 1);
+  EXPECT_EQ(st.tag, 42);
+}
+
+TEST_P(ThreadMpiTest, IsendTestLoopCompletes) {
+  ThreadCluster cluster(2, offload());
+  bool completed = false;
+  cluster.run({[&](ThreadProc& p) {
+                 auto req = p.mpi().isend(p.mpi().world(), 1, 9, 1_KB).value;
+                 p.mpi().wait(req);
+               },
+               [&](ThreadProc& p) {
+                 auto req = p.mpi().irecv(p.mpi().world(), 0, 9, 1_KB).value;
+                 while (!p.mpi().test(req).value) std::this_thread::yield();
+                 completed = true;
+               }});
+  EXPECT_TRUE(completed);
+}
+
+TEST_P(ThreadMpiTest, BidirectionalWaitall) {
+  ThreadCluster cluster(2, offload());
+  auto side = [](ThreadProc& p) {
+    const int peer = 1 - p.rank();
+    std::vector<Request> reqs;
+    for (int i = 0; i < 4; ++i)
+      reqs.push_back(
+          p.mpi().irecv(p.mpi().world(), peer, 10 + i, 2_KB).value);
+    for (int i = 0; i < 4; ++i)
+      reqs.push_back(
+          p.mpi().isend(p.mpi().world(), peer, 10 + i, 2_KB).value);
+    p.mpi().waitall(reqs);
+    EXPECT_EQ(p.mpi().pendingRequests(), 0u);
+  };
+  cluster.run({side, side});
+}
+
+TEST_P(ThreadMpiTest, UnexpectedThenLateRecv) {
+  ThreadCluster cluster(2, offload());
+  const auto payload = patternBytes(512, 3);
+  std::vector<std::byte> rx(512);
+  cluster.run({[&](ThreadProc& p) {
+                 // Send first, then barrier: the message is in the
+                 // receiver's layer before its receive exists.
+                 p.mpi().send(p.mpi().world(), 1, 8, payload.size(), payload);
+                 p.mpi().barrier(p.mpi().world());
+               },
+               [&](ThreadProc& p) {
+                 p.mpi().barrier(p.mpi().world());
+                 p.mpi().recv(p.mpi().world(), 0, 8, rx.size(), rx);
+               }});
+  EXPECT_EQ(rx, payload);
+}
+
+TEST_P(ThreadMpiTest, IprobeSeesPendingMessage) {
+  ThreadCluster cluster(2, offload());
+  bool seen = false;
+  cluster.run({[&](ThreadProc& p) {
+                 p.mpi().send(p.mpi().world(), 1, 30, 256);
+                 p.mpi().barrier(p.mpi().world());
+               },
+               [&](ThreadProc& p) {
+                 p.mpi().barrier(p.mpi().world());
+                 Status st;
+                 // Message may still be "in flight" under the no-offload
+                 // model until a library call; iprobe IS a library call.
+                 while (!p.mpi().iprobe(p.mpi().world(), kAnySource, kAnyTag,
+                                        &st).value)
+                   std::this_thread::yield();
+                 seen = true;
+                 p.mpi().recv(p.mpi().world(), 0, 30, 256);
+               }});
+  EXPECT_TRUE(seen);
+}
+
+TEST_P(ThreadMpiTest, CancelUnmatchedRecv) {
+  ThreadCluster cluster(2, offload());
+  bool cancelled = false;
+  cluster.run({[&](ThreadProc&) {},
+               [&](ThreadProc& p) {
+                 auto req = p.mpi().irecv(p.mpi().world(), 0, 77, 64).value;
+                 cancelled = p.mpi().cancel(req).value;
+               }});
+  EXPECT_TRUE(cancelled);
+}
+
+TEST_P(ThreadMpiTest, OffloadSemanticsMatchMode) {
+  // In offload mode a receive completes with NO receiver library calls;
+  // in library mode it must not (until the receiver calls in).
+  ThreadCluster cluster(2, offload());
+  bool doneWithoutCalls = false;
+  cluster.run({[&](ThreadProc& p) {
+                 p.mpi().barrier(p.mpi().world());  // recv posted
+                 p.mpi().send(p.mpi().world(), 1, 2, 128);
+                 p.mpi().barrier(p.mpi().world());  // sender done
+               },
+               [&](ThreadProc& p) {
+                 auto req = p.mpi().irecv(p.mpi().world(), 0, 2, 128).value;
+                 p.mpi().barrier(p.mpi().world());
+                 p.mpi().barrier(p.mpi().world());
+                 // No library call between the barriers on this rank.
+                 doneWithoutCalls = p.mpi().peekDone(req);
+                 p.mpi().wait(req);
+               }});
+  EXPECT_EQ(doneWithoutCalls, offload());
+}
+
+TEST_P(ThreadMpiTest, SelfSend) {
+  ThreadCluster cluster(1, offload());
+  std::vector<std::byte> rx(64);
+  const auto payload = patternBytes(64, 9);
+  cluster.run({[&](ThreadProc& p) {
+    auto req = p.mpi().irecv(p.mpi().world(), 0, 1, 64, rx).value;
+    p.mpi().send(p.mpi().world(), 0, 1, 64, payload);
+    p.mpi().wait(req);
+  }});
+  EXPECT_EQ(rx, payload);
+}
+
+INSTANTIATE_TEST_SUITE_P(ProgressModels, ThreadMpiTest,
+                         ::testing::Values(true, false),
+                         [](const auto& suiteInfo) {
+                           return suiteInfo.param ? std::string("offload")
+                                             : std::string("library");
+                         });
+
+}  // namespace
+}  // namespace comb::backend

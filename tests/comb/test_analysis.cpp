@@ -1,0 +1,79 @@
+// The assessment module must reach the paper's §4 conclusions about the
+// paper's two systems on its own.
+#include "comb/analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include "backend/machine.hpp"
+#include "common/units.hpp"
+
+namespace comb::bench {
+namespace {
+
+using namespace comb::units;
+
+AssessOptions quick() {
+  AssessOptions o;
+  o.pointsPerDecade = 1;  // keep test runtime modest
+  return o;
+}
+
+TEST(Assessment, GmVerdict) {
+  const auto a = assessMachine(backend::gmMachine(), quick());
+  EXPECT_EQ(a.machineName, "gm");
+  EXPECT_FALSE(a.applicationOffload);
+  EXPECT_TRUE(a.libraryDrivenProgress);
+  EXPECT_NEAR(a.workInflation, 0.0, 0.001);
+  EXPECT_GT(toMBps(a.peakBandwidthBps), 80.0);
+  EXPECT_GT(a.availabilityAtFullRate, 0.9);
+  const auto text = a.verdictText();
+  EXPECT_NE(text.find("application offload: NO"), std::string::npos);
+  EXPECT_NE(text.find("library-driven"), std::string::npos);
+}
+
+TEST(Assessment, PortalsVerdict) {
+  const auto a = assessMachine(backend::portalsMachine(), quick());
+  EXPECT_TRUE(a.applicationOffload);
+  EXPECT_FALSE(a.libraryDrivenProgress);
+  EXPECT_GT(a.workInflation, 0.02);
+  EXPECT_LT(toMBps(a.peakBandwidthBps), 70.0);
+  EXPECT_LT(a.availabilityAtFullRate, 0.3);
+  const auto text = a.verdictText();
+  EXPECT_NE(text.find("application offload: YES"), std::string::npos);
+  EXPECT_NE(text.find("paid for on the host"), std::string::npos);
+}
+
+TEST(Assessment, SmpSteeredPortalsVerdict) {
+  auto machine = backend::portalsMachine();
+  machine.name = "portals-smp";
+  machine.cpusPerNode = 2;
+  machine.nicCpu = 1;
+  const auto a = assessMachine(machine, quick());
+  EXPECT_TRUE(a.applicationOffload);
+  // With kernel work off the application CPU, overlap becomes ~free.
+  EXPECT_LT(a.workInflation, 0.02);
+  EXPECT_GT(a.availabilityAtFullRate, 0.7);
+  EXPECT_NE(a.verdictText().find("overlap is free"), std::string::npos);
+}
+
+TEST(Assessment, MessageSizeRespected) {
+  AssessOptions o = quick();
+  o.msgBytes = 10_KB;
+  const auto a = assessMachine(backend::gmMachine(), o);
+  EXPECT_EQ(a.msgBytes, 10_KB);
+  EXPECT_EQ(a.pingPong.msgBytes, 10_KB);
+  // 10 KB is eager on GM: the long-work wait is only the receive-side
+  // copy + completion, far below the rendezvous wait.
+  EXPECT_LT(a.longWork.avgWaitPerMsg, 500e-6);
+}
+
+TEST(Assessment, Deterministic) {
+  const auto a = assessMachine(backend::gmMachine(), quick());
+  const auto b = assessMachine(backend::gmMachine(), quick());
+  EXPECT_DOUBLE_EQ(a.peakBandwidthBps, b.peakBandwidthBps);
+  EXPECT_DOUBLE_EQ(a.availabilityAtFullRate, b.availabilityAtFullRate);
+  EXPECT_DOUBLE_EQ(a.longWork.avgWaitPerMsg, b.longWork.avgWaitPerMsg);
+}
+
+}  // namespace
+}  // namespace comb::bench

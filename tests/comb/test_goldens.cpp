@@ -1,0 +1,72 @@
+// Golden regression values.
+//
+// The simulator is bit-reproducible, so a handful of operating points can
+// be pinned to their exact measured values. A failure here means the
+// *model* changed (parameters, protocol, scheduling) — which is fine when
+// intentional, but must never happen by accident: recalibrate against
+// docs/machine_models.md and EXPERIMENTS.md, then update these numbers.
+#include <gtest/gtest.h>
+
+#include "backend/machine.hpp"
+#include "comb/presets.hpp"
+#include "comb/runner.hpp"
+#include "common/units.hpp"
+
+namespace comb::bench {
+namespace {
+
+using namespace comb::units;
+
+// Tight relative tolerance: these are equality checks with room for
+// harmless floating-point re-association only.
+constexpr double kRel = 1e-6;
+
+TEST(Goldens, PollingGm100KbAt10kIters) {
+  auto p = presets::pollingBase(100_KB);
+  p.pollInterval = 10'000;
+  const auto pt = runPollingPoint(backend::gmMachine(), p);
+  EXPECT_NEAR(pt.bandwidthBps, 86856212.25, 86856212.25 * kRel);
+  EXPECT_NEAR(pt.availability, 0.9703467463, 0.9703467463 * kRel);
+  EXPECT_EQ(pt.messagesReceived, 25u);
+}
+
+TEST(Goldens, PollingPortals100KbAt10kIters) {
+  auto p = presets::pollingBase(100_KB);
+  p.pollInterval = 10'000;
+  const auto pt = runPollingPoint(backend::portalsMachine(), p);
+  EXPECT_NEAR(pt.bandwidthBps, 59330732.26, 59330732.26 * kRel);
+  EXPECT_NEAR(pt.availability, 0.03812063482, 0.03812063482 * kRel);
+  EXPECT_EQ(pt.messagesReceived, 435u);
+}
+
+TEST(Goldens, PwwGm100KbAt1MIters) {
+  auto p = presets::pwwBase(100_KB);
+  p.workInterval = 1'000'000;
+  const auto pt = runPwwPoint(backend::gmMachine(), p);
+  EXPECT_NEAR(pt.avgPost, 1e-05, 1e-05 * kRel);
+  EXPECT_NEAR(pt.avgWork, 0.004, 0.004 * kRel);
+  EXPECT_NEAR(pt.avgWait, 0.001218011111, 0.001218011111 * kRel);
+}
+
+TEST(Goldens, PwwPortals100KbAt1MIters) {
+  auto p = presets::pwwBase(100_KB);
+  p.workInterval = 1'000'000;
+  const auto pt = runPwwPoint(backend::portalsMachine(), p);
+  EXPECT_NEAR(pt.avgPost, 0.0006096, 0.0006096 * kRel);
+  EXPECT_NEAR(pt.avgWork, 0.005403571429, 0.005403571429 * kRel);
+  EXPECT_NEAR(pt.avgWait, 1.2e-06, 1.2e-06 * kRel);
+}
+
+TEST(Goldens, Latency10Kb) {
+  LatencyParams lp;
+  lp.msgBytes = 10_KB;
+  const auto gm = runLatencyPoint(backend::gmMachine(), lp);
+  const auto ptl = runLatencyPoint(backend::portalsMachine(), lp);
+  EXPECT_NEAR(gm.halfRoundTripAvg, 0.0002355147619,
+              0.0002355147619 * kRel);
+  EXPECT_NEAR(ptl.halfRoundTripAvg, 0.0003299380952,
+              0.0003299380952 * kRel);
+}
+
+}  // namespace
+}  // namespace comb::bench

@@ -1,0 +1,81 @@
+#include "comb/runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include "backend/machine.hpp"
+#include "comb/presets.hpp"
+#include "common/error.hpp"
+
+namespace comb::bench {
+namespace {
+
+TEST(LogSweep, CoversDecades) {
+  const auto xs = logSweep(10, 100'000, 1);
+  EXPECT_EQ(xs, (std::vector<std::uint64_t>{10, 100, 1000, 10000, 100000}));
+}
+
+TEST(LogSweep, DensityAddsIntermediatePoints) {
+  const auto xs = logSweep(10, 1000, 2);
+  // 10, ~31.6, 100, ~316, 1000.
+  ASSERT_EQ(xs.size(), 5u);
+  EXPECT_EQ(xs.front(), 10u);
+  EXPECT_EQ(xs.back(), 1000u);
+  EXPECT_NEAR(static_cast<double>(xs[1]), 31.6, 1.0);
+}
+
+TEST(LogSweep, EndpointAlwaysIncluded) {
+  const auto xs = logSweep(10, 70'000, 1);
+  EXPECT_EQ(xs.back(), 70'000u);
+}
+
+TEST(LogSweep, SinglePointRange) {
+  const auto xs = logSweep(50, 50, 3);
+  ASSERT_EQ(xs.size(), 1u);
+  EXPECT_EQ(xs[0], 50u);
+}
+
+TEST(LogSweep, RejectsBadBounds) {
+  EXPECT_THROW(logSweep(0, 10, 1), ConfigError);
+  EXPECT_THROW(logSweep(100, 10, 1), ConfigError);
+  EXPECT_THROW(logSweep(1, 10, 0), ConfigError);
+}
+
+TEST(Presets, PaperSizesAndSweeps) {
+  const auto sizes = presets::paperMessageSizes();
+  ASSERT_EQ(sizes.size(), 4u);
+  EXPECT_EQ(sizes[0], 10u * 1024u);
+  EXPECT_EQ(sizes[3], 300u * 1024u);
+  const auto polls = presets::pollSweep(1);
+  EXPECT_EQ(polls.front(), 10u);
+  EXPECT_EQ(polls.back(), 100'000'000u);
+  const auto works = presets::workSweep(1);
+  EXPECT_EQ(works.front(), 1'000u);
+  EXPECT_EQ(works.back(), 10'000'000u);
+}
+
+TEST(Runner, SweepOverridesInterval) {
+  auto base = presets::pollingBase(10 * 1024);
+  base.targetDuration = 3e-3;
+  base.maxPolls = 2'000;
+  const std::vector<std::uint64_t> intervals{1'000, 100'000};
+  const auto pts =
+      runPollingSweep(backend::gmMachine(), base, intervals);
+  ASSERT_EQ(pts.size(), 2u);
+  EXPECT_EQ(pts[0].pollInterval, 1'000u);
+  EXPECT_EQ(pts[1].pollInterval, 100'000u);
+  EXPECT_EQ(pts[0].msgBytes, 10u * 1024u);
+}
+
+TEST(Runner, PwwSweepOverridesInterval) {
+  auto base = presets::pwwBase(10 * 1024);
+  base.reps = 4;
+  const std::vector<std::uint64_t> intervals{5'000, 500'000};
+  const auto pts = runPwwSweep(backend::portalsMachine(), base, intervals);
+  ASSERT_EQ(pts.size(), 2u);
+  EXPECT_EQ(pts[0].workInterval, 5'000u);
+  EXPECT_EQ(pts[1].workInterval, 500'000u);
+  EXPECT_EQ(pts[1].reps, 3);  // reps minus warm-up
+}
+
+}  // namespace
+}  // namespace comb::bench

@@ -1,0 +1,117 @@
+// COMB methods on the native thread backend: the same templates that run
+// on the simulator drive real threads. Only correctness/termination and
+// very loose sanity are asserted (this box may have one core).
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "backend/thread_cluster.hpp"
+#include "comb/params.hpp"
+#include "comb/polling.hpp"
+#include "comb/pww.hpp"
+#include "common/units.hpp"
+
+namespace comb::bench {
+namespace {
+
+using namespace comb::units;
+using backend::ThreadCluster;
+using backend::ThreadProc;
+
+PollingPoint runPollingThreads(ThreadCluster& cluster, PollingParams p) {
+  PollingPoint out;
+  cluster.run({[&](ThreadProc& env) {
+                 auto task = pollingWorker(env, p);
+                 out = task.runSync();
+               },
+               [&](ThreadProc& env) {
+                 auto task = pollingSupport(env, p);
+                 task.runSync();
+               }});
+  return out;
+}
+
+PwwPoint runPwwThreads(ThreadCluster& cluster, PwwParams p) {
+  PwwPoint out;
+  cluster.run({[&](ThreadProc& env) {
+                 auto task = pwwWorker(env, p);
+                 out = task.runSync();
+               },
+               [&](ThreadProc& env) {
+                 auto task = pwwSupport(env, p);
+                 task.runSync();
+               }});
+  return out;
+}
+
+PollingParams quickPolling() {
+  PollingParams p;
+  p.msgBytes = 8_KB;
+  p.queueDepth = 4;
+  p.pollInterval = 2'000;
+  p.targetDuration = 20e-3;
+  p.maxPolls = 4'000;
+  p.minPolls = 4;
+  return p;
+}
+
+class ThreadCombTest : public ::testing::TestWithParam<bool> {};
+
+TEST_P(ThreadCombTest, PollingRunsToCompletion) {
+  ThreadCluster cluster(2, GetParam());
+  const auto pt = runPollingThreads(cluster, quickPolling());
+  EXPECT_GT(pt.availability, 0.0);
+  // Wall-clock jitter on a loaded single-core box can push the ratio a
+  // bit past 1 (the dry run itself got descheduled); allow generous slack.
+  EXPECT_LE(pt.availability, 1.5);
+  EXPECT_GT(pt.dryTime, 0.0);
+  EXPECT_GT(pt.liveTime, 0.0);
+  // On a single-core host the worker's measured window may elapse before
+  // the support thread is ever scheduled, so zero messages in-window is
+  // legitimate; throughput is only meaningful when messages moved.
+  if (pt.messagesReceived > 0) {
+    EXPECT_GT(pt.bandwidthBps, 0.0);
+  }
+}
+
+TEST_P(ThreadCombTest, PwwRunsToCompletion) {
+  ThreadCluster cluster(2, GetParam());
+  PwwParams p;
+  p.msgBytes = 8_KB;
+  p.workInterval = 50'000;
+  p.reps = 5;
+  const auto pt = runPwwThreads(cluster, p);
+  EXPECT_GT(pt.avgPost, 0.0);
+  EXPECT_GT(pt.avgWork, 0.0);
+  EXPECT_GE(pt.avgWait, 0.0);
+  EXPECT_GT(pt.bandwidthBps, 0.0);
+  EXPECT_GT(pt.availability, 0.0);
+}
+
+TEST_P(ThreadCombTest, PwwWithTestCallRuns) {
+  ThreadCluster cluster(2, GetParam());
+  PwwParams p;
+  p.msgBytes = 8_KB;
+  p.workInterval = 50'000;
+  p.reps = 4;
+  p.testCallAtFraction = 0.25;
+  const auto pt = runPwwThreads(cluster, p);
+  EXPECT_GT(pt.bandwidthBps, 0.0);
+}
+
+TEST_P(ThreadCombTest, PollingLeavesNoPendingRequests) {
+  ThreadCluster cluster(2, GetParam());
+  runPollingThreads(cluster, quickPolling());
+  EXPECT_EQ(cluster.mpi(0).pendingRequests(), 0u);
+  EXPECT_EQ(cluster.mpi(1).pendingRequests(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(ProgressModels, ThreadCombTest,
+                         ::testing::Values(true, false),
+                         [](const auto& suiteInfo) {
+                           return suiteInfo.param ? std::string("offload")
+                                             : std::string("library");
+                         });
+
+}  // namespace
+}  // namespace comb::bench

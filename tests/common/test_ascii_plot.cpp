@@ -1,0 +1,92 @@
+#include "common/ascii_plot.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace comb {
+namespace {
+
+PlotSeries line(const std::string& name, double x0, double x1, int n,
+                double a, double b) {
+  PlotSeries s;
+  s.name = name;
+  for (int i = 0; i < n; ++i) {
+    const double x = x0 + (x1 - x0) * i / (n - 1);
+    s.xs.push_back(x);
+    s.ys.push_back(a + b * x);
+  }
+  return s;
+}
+
+TEST(AsciiPlot, RendersMarkersAndLegend) {
+  PlotOptions opts;
+  opts.title = "test plot";
+  const auto out = plotToString({line("up", 0, 10, 20, 0, 1)}, opts);
+  EXPECT_NE(out.find("test plot"), std::string::npos);
+  EXPECT_NE(out.find("legend:"), std::string::npos);
+  EXPECT_NE(out.find("o = up"), std::string::npos);
+  EXPECT_NE(out.find('o'), std::string::npos);
+}
+
+TEST(AsciiPlot, TwoSeriesGetDistinctMarkers) {
+  PlotOptions opts;
+  const auto out = plotToString(
+      {line("a", 0, 10, 5, 0, 1), line("b", 0, 10, 5, 10, -1)}, opts);
+  EXPECT_NE(out.find("o = a"), std::string::npos);
+  EXPECT_NE(out.find("x = b"), std::string::npos);
+}
+
+TEST(AsciiPlot, LogXSkipsNonPositive) {
+  PlotSeries s;
+  s.name = "log";
+  s.xs = {0.0, -1.0, 10.0, 100.0, 1000.0};
+  s.ys = {1.0, 1.0, 1.0, 2.0, 3.0};
+  PlotOptions opts;
+  opts.logX = true;
+  const auto out = plotToString({s}, opts);
+  // Tick labels rendered in scientific form for log axes.
+  EXPECT_NE(out.find("1e+01"), std::string::npos);
+  EXPECT_NE(out.find("1e+03"), std::string::npos);
+}
+
+TEST(AsciiPlot, EmptyDataHandled) {
+  const auto out = plotToString({}, PlotOptions{});
+  EXPECT_NE(out.find("no plottable data"), std::string::npos);
+}
+
+TEST(AsciiPlot, DegenerateSinglePoint) {
+  PlotSeries s;
+  s.name = "pt";
+  s.xs = {5.0};
+  s.ys = {7.0};
+  const auto out = plotToString({s}, PlotOptions{});
+  EXPECT_NE(out.find('o'), std::string::npos);
+}
+
+TEST(AsciiPlot, YClampApplies) {
+  PlotOptions opts;
+  opts.ymin = 0.0;
+  opts.ymax = 1.0;
+  auto s = line("avail", 0, 10, 11, 0, 0.05);
+  const auto out = plotToString({s}, opts);
+  // Top tick label should be the clamp, not the data max (0.5).
+  EXPECT_NE(out.find("1|"), std::string::npos);
+}
+
+TEST(AsciiPlot, TooSmallAreaThrows) {
+  PlotOptions opts;
+  opts.width = 2;
+  EXPECT_THROW(plotToString({}, opts), ConfigError);
+}
+
+TEST(AsciiPlot, MismatchedSeriesThrows) {
+  PlotSeries s;
+  s.name = "bad";
+  s.xs = {1.0, 2.0};
+  s.ys = {1.0};
+  EXPECT_THROW(plotToString({s}, PlotOptions{}), ConfigError);
+}
+
+}  // namespace
+}  // namespace comb

@@ -1,0 +1,106 @@
+#include "common/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace comb {
+namespace {
+
+ArgParser makeParser() {
+  ArgParser p("prog", "test program");
+  p.addFlag("csv", "emit csv");
+  p.addOption("size", "message size", "100");
+  p.addOption("name", "series name", "default");
+  return p;
+}
+
+TEST(Cli, DefaultsApply) {
+  auto p = makeParser();
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(p.parse(1, argv));
+  EXPECT_FALSE(p.flag("csv"));
+  EXPECT_EQ(p.integer("size"), 100);
+  EXPECT_EQ(p.str("name"), "default");
+}
+
+TEST(Cli, SeparateValueForm) {
+  auto p = makeParser();
+  const char* argv[] = {"prog", "--size", "300", "--csv"};
+  ASSERT_TRUE(p.parse(4, argv));
+  EXPECT_TRUE(p.flag("csv"));
+  EXPECT_EQ(p.integer("size"), 300);
+}
+
+TEST(Cli, EqualsForm) {
+  auto p = makeParser();
+  const char* argv[] = {"prog", "--size=42", "--name=gm"};
+  ASSERT_TRUE(p.parse(3, argv));
+  EXPECT_EQ(p.integer("size"), 42);
+  EXPECT_EQ(p.str("name"), "gm");
+}
+
+TEST(Cli, PositionalCollected) {
+  auto p = makeParser();
+  const char* argv[] = {"prog", "pos1", "--csv", "pos2"};
+  ASSERT_TRUE(p.parse(4, argv));
+  ASSERT_EQ(p.positional().size(), 2u);
+  EXPECT_EQ(p.positional()[0], "pos1");
+  EXPECT_EQ(p.positional()[1], "pos2");
+}
+
+TEST(Cli, UnknownOptionThrows) {
+  auto p = makeParser();
+  const char* argv[] = {"prog", "--bogus"};
+  EXPECT_THROW(p.parse(2, argv), ConfigError);
+}
+
+TEST(Cli, MissingValueThrows) {
+  auto p = makeParser();
+  const char* argv[] = {"prog", "--size"};
+  EXPECT_THROW(p.parse(2, argv), ConfigError);
+}
+
+TEST(Cli, FlagWithValueThrows) {
+  auto p = makeParser();
+  const char* argv[] = {"prog", "--csv=yes"};
+  EXPECT_THROW(p.parse(2, argv), ConfigError);
+}
+
+TEST(Cli, BadIntegerThrows) {
+  auto p = makeParser();
+  const char* argv[] = {"prog", "--size", "ten"};
+  ASSERT_TRUE(p.parse(3, argv));
+  EXPECT_THROW(p.integer("size"), ConfigError);
+}
+
+TEST(Cli, RealParsing) {
+  ArgParser p("prog", "d");
+  p.addOption("frac", "fraction", "0.5");
+  const char* argv[] = {"prog", "--frac", "0.25"};
+  ASSERT_TRUE(p.parse(3, argv));
+  EXPECT_DOUBLE_EQ(p.real("frac"), 0.25);
+}
+
+TEST(Cli, HelpReturnsFalse) {
+  auto p = makeParser();
+  const char* argv[] = {"prog", "--help"};
+  EXPECT_FALSE(p.parse(2, argv));
+}
+
+TEST(Cli, HelpTextListsOptions) {
+  auto p = makeParser();
+  const auto help = p.helpText();
+  EXPECT_NE(help.find("--csv"), std::string::npos);
+  EXPECT_NE(help.find("--size"), std::string::npos);
+  EXPECT_NE(help.find("default: 100"), std::string::npos);
+}
+
+TEST(Cli, DuplicateDeclarationThrows) {
+  ArgParser p("prog", "d");
+  p.addFlag("x", "flag");
+  EXPECT_THROW(p.addOption("x", "opt", ""), ConfigError);
+}
+
+}  // namespace
+}  // namespace comb

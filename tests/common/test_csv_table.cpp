@@ -1,0 +1,64 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/csv.hpp"
+#include "common/error.hpp"
+#include "common/table.hpp"
+
+namespace comb {
+namespace {
+
+TEST(Csv, HeaderAndRows) {
+  std::ostringstream os;
+  CsvWriter w(os, {"a", "b"});
+  w.row({"1", "2"});
+  w.rowNumeric({3.5, 4.25});
+  EXPECT_EQ(os.str(), "a,b\n1,2\n3.5,4.25\n");
+  EXPECT_EQ(w.rowsWritten(), 2u);
+}
+
+TEST(Csv, EscapesSpecialCharacters) {
+  EXPECT_EQ(CsvWriter::escape("plain"), "plain");
+  EXPECT_EQ(CsvWriter::escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvWriter::escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(CsvWriter::escape("two\nlines"), "\"two\nlines\"");
+}
+
+TEST(Csv, ArityMismatchThrows) {
+  std::ostringstream os;
+  CsvWriter w(os, {"a", "b"});
+  EXPECT_THROW(w.row({"only-one"}), ConfigError);
+}
+
+TEST(Csv, EmptyHeaderThrows) {
+  std::ostringstream os;
+  EXPECT_THROW(CsvWriter(os, {}), ConfigError);
+}
+
+TEST(Table, AlignsColumns) {
+  TextTable t({"name", "val"});
+  t.addRow({"x", "1"});
+  t.addRow({"longer", "22"});
+  const std::string s = t.str();
+  // Header, separator, two rows.
+  EXPECT_EQ(std::count(s.begin(), s.end(), '\n'), 4);
+  // Right alignment: short values padded on the left.
+  EXPECT_NE(s.find("     x"), std::string::npos);
+  EXPECT_NE(s.find("longer"), std::string::npos);
+}
+
+TEST(Table, NumericRows) {
+  TextTable t({"v"});
+  t.addRowNumeric({1.23456789}, 3);
+  EXPECT_NE(t.str().find("1.23"), std::string::npos);
+  EXPECT_EQ(t.rowCount(), 1u);
+}
+
+TEST(Table, ArityMismatchThrows) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.addRow({"x"}), ConfigError);
+}
+
+}  // namespace
+}  // namespace comb

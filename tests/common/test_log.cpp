@@ -1,0 +1,64 @@
+#include "common/log.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace comb::log {
+namespace {
+
+class LogLevelGuard {
+ public:
+  LogLevelGuard() : saved_(level()) {}
+  ~LogLevelGuard() { setLevel(saved_); }
+
+ private:
+  Level saved_;
+};
+
+TEST(Log, ParseLevelRoundTrips) {
+  for (const Level lvl : {Level::Trace, Level::Debug, Level::Info,
+                          Level::Warn, Level::Error, Level::Off}) {
+    std::string name = levelName(lvl);
+    for (auto& c : name) c = static_cast<char>(std::tolower(c));
+    EXPECT_EQ(parseLevel(name), lvl);
+  }
+}
+
+TEST(Log, ParseUnknownThrows) {
+  EXPECT_THROW(parseLevel("verbose"), ConfigError);
+  EXPECT_THROW(parseLevel(""), ConfigError);
+}
+
+TEST(Log, SetAndGetLevel) {
+  LogLevelGuard guard;
+  setLevel(Level::Error);
+  EXPECT_EQ(level(), Level::Error);
+  setLevel(Level::Trace);
+  EXPECT_EQ(level(), Level::Trace);
+}
+
+TEST(Log, DisabledLevelDoesNotEvaluateStream) {
+  LogLevelGuard guard;
+  setLevel(Level::Error);
+  int evaluations = 0;
+  auto expensive = [&] {
+    ++evaluations;
+    return 42;
+  };
+  COMB_LOG(Debug) << "value " << expensive();
+  EXPECT_EQ(evaluations, 0);
+  COMB_LOG(Error) << "value " << expensive();
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST(Log, LevelOrderingIsSane) {
+  EXPECT_LT(static_cast<int>(Level::Trace), static_cast<int>(Level::Debug));
+  EXPECT_LT(static_cast<int>(Level::Debug), static_cast<int>(Level::Info));
+  EXPECT_LT(static_cast<int>(Level::Info), static_cast<int>(Level::Warn));
+  EXPECT_LT(static_cast<int>(Level::Warn), static_cast<int>(Level::Error));
+  EXPECT_LT(static_cast<int>(Level::Error), static_cast<int>(Level::Off));
+}
+
+}  // namespace
+}  // namespace comb::log

@@ -1,0 +1,128 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace comb {
+namespace {
+
+TEST(RunningStats, EmptyIsSafe) {
+  RunningStats s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, KnownMoments) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance with n-1 denominator: sum sq dev = 32, /7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, SingleSampleHasZeroVariance) {
+  RunningStats s;
+  s.add(42.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 42.0);
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+  Rng rng(7);
+  RunningStats whole, a, b;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform(-5.0, 11.0);
+    whole.add(x);
+    (i % 3 == 0 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), whole.count());
+  EXPECT_NEAR(a.mean(), whole.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), whole.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), whole.min());
+  EXPECT_DOUBLE_EQ(a.max(), whole.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a, b;
+  a.add(1.0);
+  a.add(3.0);
+  a.merge(b);  // no-op
+  EXPECT_EQ(a.count(), 2u);
+  b.merge(a);  // b becomes a copy
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(Percentile, InterpolatesBetweenRanks) {
+  const std::array<double, 5> xs{10.0, 20.0, 30.0, 40.0, 50.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 1.0), 50.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.5), 30.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.25), 20.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.125), 15.0);
+}
+
+TEST(Percentile, UnsortedInputIsSorted) {
+  const std::array<double, 4> xs{40.0, 10.0, 30.0, 20.0};
+  EXPECT_DOUBLE_EQ(median(xs), 25.0);
+}
+
+TEST(Percentile, EmptyThrows) {
+  EXPECT_THROW(percentile({}, 0.5), ConfigError);
+  EXPECT_THROW(percentile(std::array<double, 1>{1.0}, 1.5), ConfigError);
+}
+
+TEST(Geomean, KnownValue) {
+  const std::array<double, 3> xs{1.0, 10.0, 100.0};
+  EXPECT_NEAR(geomean(xs), 10.0, 1e-12);
+}
+
+TEST(Geomean, RejectsNonPositive) {
+  const std::array<double, 2> xs{1.0, 0.0};
+  EXPECT_THROW(geomean(xs), ConfigError);
+}
+
+TEST(LinearFit, ExactLine) {
+  std::vector<double> xs{1, 2, 3, 4};
+  std::vector<double> ys{3, 5, 7, 9};  // y = 1 + 2x
+  const auto fit = linearFit(xs, ys);
+  EXPECT_NEAR(fit.intercept, 1.0, 1e-12);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-12);
+  EXPECT_NEAR(fit.r2, 1.0, 1e-12);
+}
+
+TEST(LinearFit, FlatData) {
+  std::vector<double> xs{1, 2, 3};
+  std::vector<double> ys{5, 5, 5};
+  const auto fit = linearFit(xs, ys);
+  EXPECT_NEAR(fit.slope, 0.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, 5.0, 1e-12);
+}
+
+TEST(ApproxEqual, RelativeAndAbsolute) {
+  EXPECT_TRUE(approxEqual(100.0, 100.0 + 1e-8, 1e-9, 1e-6));
+  EXPECT_FALSE(approxEqual(100.0, 101.0, 1e-9));
+  EXPECT_TRUE(approxEqual(0.0, 1e-12, 1e-9, 1e-9));
+  EXPECT_TRUE(approxEqual(1e6, 1.0000001e6, 1e-6));
+}
+
+TEST(RelDiff, Basics) {
+  EXPECT_DOUBLE_EQ(relDiff(0.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(relDiff(1.0, 2.0), 0.5);
+  EXPECT_DOUBLE_EQ(relDiff(-1.0, 1.0), 2.0);
+}
+
+}  // namespace
+}  // namespace comb

@@ -1,0 +1,75 @@
+#include "common/string_util.hpp"
+
+#include <gtest/gtest.h>
+
+namespace comb {
+namespace {
+
+TEST(StrFormat, Basic) {
+  EXPECT_EQ(strFormat("x=%d y=%.2f", 3, 1.5), "x=3 y=1.50");
+  EXPECT_EQ(strFormat("%s", ""), "");
+  EXPECT_EQ(strFormat("plain"), "plain");
+}
+
+TEST(StrFormat, LongOutput) {
+  const std::string s = strFormat("%0512d", 7);
+  EXPECT_EQ(s.size(), 512u);
+  EXPECT_EQ(s.back(), '7');
+}
+
+TEST(Split, KeepsEmptyFields) {
+  const auto parts = split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[3], "c");
+}
+
+TEST(Split, NoSeparator) {
+  const auto parts = split("abc", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(Split, TrailingSeparator) {
+  const auto parts = split("a,", ',');
+  ASSERT_EQ(parts.size(), 2u);
+  EXPECT_EQ(parts[1], "");
+}
+
+TEST(Trim, Whitespace) {
+  EXPECT_EQ(trim("  hi \t\n"), "hi");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim("x"), "x");
+}
+
+TEST(StartsWith, Basics) {
+  EXPECT_TRUE(startsWith("--flag", "--"));
+  EXPECT_FALSE(startsWith("-f", "--"));
+  EXPECT_TRUE(startsWith("abc", ""));
+  EXPECT_FALSE(startsWith("", "a"));
+}
+
+TEST(FmtBytes, PicksLargestExactUnit) {
+  EXPECT_EQ(fmtBytes(10 * 1024), "10 KB");
+  EXPECT_EQ(fmtBytes(300 * 1024), "300 KB");
+  EXPECT_EQ(fmtBytes(2 * 1024 * 1024), "2 MB");
+  EXPECT_EQ(fmtBytes(1536), "1536 B");  // not an exact KB multiple
+  EXPECT_EQ(fmtBytes(0), "0 B");
+}
+
+TEST(FmtTime, PicksUnit) {
+  EXPECT_EQ(fmtTime(2.5), "2.500 s");
+  EXPECT_EQ(fmtTime(3e-3), "3.000 ms");
+  EXPECT_EQ(fmtTime(45e-6), "45.000 us");
+  EXPECT_EQ(fmtTime(7e-9), "7.0 ns");
+}
+
+TEST(FmtDouble, Precision) {
+  EXPECT_EQ(fmtDouble(1.23456, 2), "1.23");
+  EXPECT_EQ(fmtDouble(1.0, 0), "1");
+}
+
+}  // namespace
+}  // namespace comb

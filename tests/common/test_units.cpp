@@ -1,0 +1,45 @@
+#include "common/units.hpp"
+
+#include <gtest/gtest.h>
+
+namespace comb {
+namespace {
+
+using namespace comb::units;
+
+TEST(Units, TimeLiterals) {
+  EXPECT_DOUBLE_EQ(1.5_s, 1.5);
+  EXPECT_DOUBLE_EQ(2_s, 2.0);
+  EXPECT_DOUBLE_EQ(3_ms, 3e-3);
+  EXPECT_DOUBLE_EQ(4.5_us, 4.5e-6);
+  EXPECT_DOUBLE_EQ(7_ns, 7e-9);
+  EXPECT_DOUBLE_EQ(1000_us, 1_ms);
+}
+
+TEST(Units, SizeLiteralsAreBinary) {
+  EXPECT_EQ(1_KB, 1024u);
+  EXPECT_EQ(10_KB, 10240u);
+  EXPECT_EQ(1_MB, 1048576u);
+  EXPECT_EQ(300_KB, 300u * 1024u);
+  EXPECT_EQ(5_B, 5u);
+}
+
+TEST(Units, RateLiteralsAreDecimal) {
+  EXPECT_DOUBLE_EQ(88.0_MBps, 88e6);
+  EXPECT_DOUBLE_EQ(1.28_GBps, 1.28e9);
+}
+
+TEST(Units, ToMBps) {
+  EXPECT_DOUBLE_EQ(toMBps(88e6), 88.0);
+  EXPECT_DOUBLE_EQ(toMBps(0.0), 0.0);
+}
+
+TEST(Units, TransferTime) {
+  // 100 decimal MB at 100 MB/s takes exactly one second.
+  EXPECT_DOUBLE_EQ(transferTime(100'000'000, 100.0_MBps), 1.0);
+  // Zero bytes transfer instantly.
+  EXPECT_DOUBLE_EQ(transferTime(0, 1.0_MBps), 0.0);
+}
+
+}  // namespace
+}  // namespace comb

@@ -1,0 +1,29 @@
+#include "host/memory.hpp"
+
+#include <gtest/gtest.h>
+
+namespace comb::host {
+namespace {
+
+TEST(MemoryModel, AffineCost) {
+  MemoryModel m{.copyRate = 100e6, .perCopy = 1e-6};
+  EXPECT_DOUBLE_EQ(m.copyTime(0), 1e-6);
+  EXPECT_DOUBLE_EQ(m.copyTime(100'000'000), 1.0 + 1e-6);
+  EXPECT_DOUBLE_EQ(m.copyTime(1'000'000), 0.01 + 1e-6);
+}
+
+TEST(MemoryModel, DefaultsSane) {
+  MemoryModel m;
+  // 1 MB at the default 300 MB/s: ~3.3 ms.
+  EXPECT_NEAR(m.copyTime(1'000'000), 1e6 / 300e6 + 0.5e-6, 1e-9);
+  EXPECT_GT(m.copyTime(1), m.perCopy);
+}
+
+TEST(MemoryModel, MonotoneInSize) {
+  MemoryModel m;
+  EXPECT_LT(m.copyTime(1024), m.copyTime(2048));
+  EXPECT_LT(m.copyTime(2048), m.copyTime(1 << 20));
+}
+
+}  // namespace
+}  // namespace comb::host

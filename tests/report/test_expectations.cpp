@@ -1,0 +1,87 @@
+#include "report/expectations.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace comb::report {
+namespace {
+
+TEST(Expectations, PlateauThenDecline) {
+  const std::vector<double> good{88, 87, 88, 86, 85, 70, 40, 10};
+  EXPECT_TRUE(checkPlateauThenDecline("p", good).pass);
+  const std::vector<double> noDecline{88, 87, 88, 86, 85, 88, 87, 88};
+  EXPECT_FALSE(checkPlateauThenDecline("p", noDecline).pass);
+  const std::vector<double> noPlateau{20, 40, 88, 87, 60, 40, 20, 10};
+  EXPECT_FALSE(checkPlateauThenDecline("p", noPlateau).pass);
+}
+
+TEST(Expectations, RisesFromLowToHigh) {
+  const std::vector<double> rise{0.05, 0.06, 0.1, 0.5, 0.95, 0.99};
+  EXPECT_TRUE(checkRisesFromLowToHigh("r", rise, 0.2, 0.9).pass);
+  const std::vector<double> flat{0.5, 0.5, 0.5, 0.5};
+  EXPECT_FALSE(checkRisesFromLowToHigh("r", flat, 0.2, 0.9).pass);
+}
+
+TEST(Expectations, PeakRatio) {
+  const std::vector<double> a{80, 88, 60};
+  const std::vector<double> b{50, 55, 40};
+  EXPECT_TRUE(checkPeakRatio("w", a, b, 1.3, 2.0).pass);
+  EXPECT_FALSE(checkPeakRatio("w", a, b, 1.7, 2.0).pass);
+  EXPECT_FALSE(checkPeakRatio("w", a, b, 1.0, 1.5).pass);
+}
+
+TEST(Expectations, Flat) {
+  const std::vector<double> flat{100, 99, 101, 100};
+  EXPECT_TRUE(checkFlat("f", flat, 0.05).pass);
+  const std::vector<double> slope{100, 150, 200};
+  EXPECT_FALSE(checkFlat("f", slope, 0.05).pass);
+  const std::vector<double> zeros{0, 0, 0};
+  EXPECT_TRUE(checkFlat("f", zeros, 0.05).pass);
+}
+
+TEST(Expectations, EndsBelowAbove) {
+  const std::vector<double> falling{100, 50, 5};
+  EXPECT_TRUE(checkEndsBelow("e", falling, 10).pass);
+  EXPECT_FALSE(checkEndsBelow("e", falling, 5).pass);
+  EXPECT_TRUE(checkEndsAbove("e", falling, 4).pass);
+  EXPECT_FALSE(checkEndsAbove("e", falling, 6).pass);
+}
+
+TEST(Expectations, NearlyMonotone) {
+  const std::vector<double> up{1, 2, 1.95, 3, 4};
+  EXPECT_TRUE(checkNearlyMonotone("m", up, true, 0.1).pass);
+  EXPECT_FALSE(checkNearlyMonotone("m", up, true, 0.01).pass);
+  const std::vector<double> down{4, 3, 2, 1};
+  EXPECT_TRUE(checkNearlyMonotone("m", down, false, 0.0).pass);
+  EXPECT_FALSE(checkNearlyMonotone("m", down, true, 0.0).pass);
+}
+
+TEST(Expectations, Coexists) {
+  const std::vector<double> avail{0.1, 0.5, 0.95};
+  const std::vector<double> bw{88, 88, 86};
+  EXPECT_TRUE(checkCoexists("c", avail, bw, 0.9, 85).pass);
+  EXPECT_FALSE(checkCoexists("c", avail, bw, 0.99, 85).pass);
+}
+
+TEST(Expectations, ReportChecksAggregates) {
+  std::ostringstream os;
+  std::vector<ShapeCheck> checks{{"ok", true, "fine"},
+                                 {"bad", false, "broken"}};
+  EXPECT_FALSE(reportChecks(os, checks));
+  EXPECT_NE(os.str().find("[PASS] ok"), std::string::npos);
+  EXPECT_NE(os.str().find("[FAIL] bad"), std::string::npos);
+  checks.pop_back();
+  std::ostringstream os2;
+  EXPECT_TRUE(reportChecks(os2, checks));
+}
+
+TEST(Expectations, EmptySeriesRejected) {
+  EXPECT_THROW(checkEndsBelow("e", {}, 1.0), ConfigError);
+}
+
+}  // namespace
+}  // namespace comb::report

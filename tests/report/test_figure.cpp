@@ -1,0 +1,66 @@
+#include "report/figure.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace comb::report {
+namespace {
+
+Figure sample() {
+  Figure fig("figX", "Sample", "x_axis", "y_axis");
+  fig.addSeries(Series{"a", {1, 10, 100}, {5.0, 6.0, 7.0}});
+  fig.addSeries(Series{"b", {1, 10, 1000}, {1.0, 2.0, 3.0}});
+  return fig;
+}
+
+TEST(Figure, RenderContainsPlotTableAndTitle) {
+  auto fig = sample();
+  fig.logX().paperExpectation("expected shape");
+  std::ostringstream os;
+  fig.render(os);
+  const auto s = os.str();
+  EXPECT_NE(s.find("figX: Sample"), std::string::npos);
+  EXPECT_NE(s.find("legend:"), std::string::npos);
+  EXPECT_NE(s.find("paper: expected shape"), std::string::npos);
+  // Collated table has a dash for missing x values of a series.
+  EXPECT_NE(s.find('-'), std::string::npos);
+  EXPECT_NE(s.find("x_axis"), std::string::npos);
+}
+
+TEST(Figure, CsvLongFormat) {
+  auto fig = sample();
+  std::ostringstream os;
+  fig.writeCsv(os);
+  const auto s = os.str();
+  EXPECT_NE(s.find("series,x_axis,y_axis"), std::string::npos);
+  EXPECT_NE(s.find("a,1,5"), std::string::npos);
+  EXPECT_NE(s.find("b,1000,3"), std::string::npos);
+  // 6 data rows + header.
+  EXPECT_EQ(std::count(s.begin(), s.end(), '\n'), 7);
+}
+
+TEST(Figure, CsvFileWritten) {
+  auto fig = sample();
+  const auto dir = std::filesystem::temp_directory_path() / "comb_fig_test";
+  std::filesystem::remove_all(dir);
+  const auto path = fig.writeCsvFile(dir.string());
+  EXPECT_TRUE(std::filesystem::exists(path));
+  std::ifstream f(path);
+  std::string header;
+  std::getline(f, header);
+  EXPECT_EQ(header, "series,x_axis,y_axis");
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Figure, MismatchedSeriesRejected) {
+  Figure fig("f", "t", "x", "y");
+  EXPECT_THROW(fig.addSeries(Series{"bad", {1, 2}, {1}}), ConfigError);
+}
+
+}  // namespace
+}  // namespace comb::report

@@ -1,0 +1,76 @@
+#include "report/machine_stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "backend/machine.hpp"
+#include "backend/sim_cluster.hpp"
+#include "common/units.hpp"
+#include "mpi/mpi.hpp"
+
+namespace comb::report {
+namespace {
+
+using namespace comb::units;
+using sim::Task;
+
+void runExchange(backend::SimCluster& cluster, Bytes bytes) {
+  auto sender = [](backend::SimProc& p, Bytes n) -> Task<void> {
+    co_await p.mpi().send(p.mpi().world(), 1, 1, n);
+  };
+  auto receiver = [](backend::SimProc& p, Bytes n) -> Task<void> {
+    co_await p.mpi().recv(p.mpi().world(), 0, 1, n);
+  };
+  cluster.launch(0, sender(cluster.proc(0), bytes));
+  cluster.launch(1, receiver(cluster.proc(1), bytes));
+  cluster.run();
+}
+
+TEST(MachineStats, SnapshotCountsExchange) {
+  backend::SimCluster cluster(backend::portalsMachine(), 2);
+  runExchange(cluster, 100_KB);
+  const auto stats = snapshot(cluster);
+  EXPECT_EQ(stats.machineName, "portals");
+  EXPECT_GT(stats.simulatedTime, 0.0);
+  EXPECT_GT(stats.eventsExecuted, 0u);
+  // 25 fragments routed through the switch.
+  EXPECT_EQ(stats.switchPacketsRouted, 25u);
+  ASSERT_EQ(stats.nodes.size(), 2u);
+  EXPECT_EQ(stats.nodes[0].bytesSent, 100_KB);
+  EXPECT_EQ(stats.nodes[1].bytesReceived, 100_KB);
+  EXPECT_EQ(stats.nodes[0].requestsPending, 0u);
+  // Portals: both sides paid ISR time; bytes crossed the links.
+  EXPECT_GT(stats.nodes[0].cpus.at(0).isrTime, 0.0);
+  EXPECT_GT(stats.nodes[1].cpus.at(0).isrTime, 0.0);
+  EXPECT_GT(stats.nodes[0].uplinkBytes, 100_KB);  // payload + headers
+  EXPECT_EQ(stats.nodes[0].uplinkBytes, stats.nodes[1].downlinkBytes);
+}
+
+TEST(MachineStats, SmpSnapshotShowsBothCpus) {
+  auto machine = backend::portalsMachine();
+  machine.cpusPerNode = 2;
+  machine.nicCpu = 1;
+  backend::SimCluster cluster(machine, 2);
+  runExchange(cluster, 50_KB);
+  const auto stats = snapshot(cluster);
+  ASSERT_EQ(stats.nodes[0].cpus.size(), 2u);
+  EXPECT_DOUBLE_EQ(stats.nodes[0].cpus[0].isrTime, 0.0);
+  EXPECT_GT(stats.nodes[0].cpus[1].isrTime, 0.0);
+}
+
+TEST(MachineStats, RenderProducesTable) {
+  backend::SimCluster cluster(backend::gmMachine(), 2);
+  runExchange(cluster, 10_KB);
+  std::ostringstream os;
+  renderStats(os, snapshot(cluster));
+  const auto s = os.str();
+  EXPECT_NE(s.find("machine 'gm'"), std::string::npos);
+  EXPECT_NE(s.find("user%"), std::string::npos);
+  EXPECT_NE(s.find("uplink%"), std::string::npos);
+  EXPECT_EQ(s.find("WARNING"), std::string::npos);
+  EXPECT_NE(s.find("10 KB"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace comb::report

@@ -1,0 +1,84 @@
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace comb::sim {
+namespace {
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.push(3.0, [&] { order.push_back(3); });
+  q.push(1.0, [&] { order.push_back(1); });
+  q.push(2.0, [&] { order.push_back(2); });
+  while (!q.empty()) {
+    auto [t, fn] = q.pop();
+    fn();
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, FifoAtSameTime) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) q.push(1.0, [&order, i] { order.push_back(i); });
+  while (!q.empty()) q.pop().second();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, NextTimePeeks) {
+  EventQueue q;
+  q.push(5.0, [] {});
+  q.push(2.0, [] {});
+  EXPECT_DOUBLE_EQ(q.nextTime(), 2.0);
+  q.pop();
+  EXPECT_DOUBLE_EQ(q.nextTime(), 5.0);
+}
+
+TEST(EventQueue, CancelledEventsSkipped) {
+  EventQueue q;
+  int ran = 0;
+  auto h1 = q.push(1.0, [&] { ++ran; });
+  q.push(2.0, [&] { ++ran; });
+  auto h3 = q.push(3.0, [&] { ++ran; });
+  h1.cancel();
+  h3.cancel();
+  EXPECT_FALSE(h1.pending());
+  int pops = 0;
+  while (!q.empty()) {
+    q.pop().second();
+    ++pops;
+  }
+  EXPECT_EQ(pops, 1);
+  EXPECT_EQ(ran, 1);
+}
+
+TEST(EventQueue, CancelAllMakesEmpty) {
+  EventQueue q;
+  std::vector<EventHandle> handles;
+  for (int i = 0; i < 10; ++i) handles.push_back(q.push(1.0, [] {}));
+  for (auto& h : handles) h.cancel();
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, HandleOutlivesExecution) {
+  EventQueue q;
+  auto h = q.push(1.0, [] {});
+  EXPECT_TRUE(h.pending());
+  q.pop().second();
+  EXPECT_FALSE(h.pending());
+  h.cancel();  // no-op, no crash
+}
+
+TEST(EventQueue, ScheduledCountMonotonic) {
+  EventQueue q;
+  EXPECT_EQ(q.scheduledCount(), 0u);
+  q.push(1.0, [] {});
+  q.push(1.0, [] {});
+  EXPECT_EQ(q.scheduledCount(), 2u);
+}
+
+}  // namespace
+}  // namespace comb::sim

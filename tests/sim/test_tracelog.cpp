@@ -1,0 +1,138 @@
+#include "sim/tracelog.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "backend/machine.hpp"
+#include "backend/sim_cluster.hpp"
+#include "common/error.hpp"
+#include "common/units.hpp"
+#include "mpi/mpi.hpp"
+
+namespace comb::sim {
+namespace {
+
+using namespace comb::units;
+
+TEST(TraceLog, EmitAndQuery) {
+  TraceLog log(16);
+  log.emit(1e-3, TraceCategory::Packet, 0, "->n1", 4160);
+  log.emit(2e-3, TraceCategory::Packet, 1, "->n0", 96);
+  log.emit(3e-3, TraceCategory::Interrupt, 1, "cpu1", 20e-6);
+  EXPECT_EQ(log.size(), 3u);
+  EXPECT_EQ(log.count(TraceCategory::Packet), 2u);
+  EXPECT_EQ(log.count(TraceCategory::Packet, 0), 1u);
+  EXPECT_EQ(log.count(TraceCategory::Interrupt), 1u);
+  EXPECT_EQ(log.count(TraceCategory::MpiCall), 0u);
+  const auto packets = log.select(TraceCategory::Packet);
+  ASSERT_EQ(packets.size(), 2u);
+  EXPECT_DOUBLE_EQ(packets[0]->a, 4160.0);
+  EXPECT_EQ(packets[1]->label, "->n0");
+}
+
+TEST(TraceLog, RingDropsOldest) {
+  TraceLog log(4);
+  for (int i = 0; i < 10; ++i)
+    log.emit(i * 1e-3, TraceCategory::Compute, -1, "cpu", i);
+  EXPECT_EQ(log.size(), 4u);
+  EXPECT_EQ(log.dropped(), 6u);
+  EXPECT_DOUBLE_EQ(log.records().front().a, 6.0);
+}
+
+TEST(TraceLog, ClearResets) {
+  TraceLog log(4);
+  log.emit(0, TraceCategory::Process, -1, "p:start");
+  log.clear();
+  EXPECT_EQ(log.size(), 0u);
+  EXPECT_EQ(log.dropped(), 0u);
+  EXPECT_EQ(log.summary(), "no trace records");
+}
+
+TEST(TraceLog, DumpFormats) {
+  TraceLog log(8);
+  log.emit(1.5e-3, TraceCategory::Protocol, 2, "rts", 100.0);
+  std::ostringstream os;
+  log.dump(os);
+  EXPECT_NE(os.str().find("protocol"), std::string::npos);
+  EXPECT_NE(os.str().find("n2"), std::string::npos);
+  EXPECT_NE(os.str().find("rts"), std::string::npos);
+}
+
+TEST(TraceLog, SummaryCounts) {
+  TraceLog log(8);
+  log.emit(0, TraceCategory::Packet, 0, "x");
+  log.emit(0, TraceCategory::Packet, 0, "y");
+  log.emit(0, TraceCategory::MpiCall, 0, "isend");
+  const auto s = log.summary();
+  EXPECT_NE(s.find("packet=2"), std::string::npos);
+  EXPECT_NE(s.find("mpi-call=1"), std::string::npos);
+}
+
+TEST(TraceLog, ZeroCapacityRejected) {
+  EXPECT_THROW(TraceLog(0), ConfigError);
+}
+
+// --- end-to-end instrumentation ---------------------------------------------
+
+TEST(TraceIntegration, ExchangeProducesExpectedRecords) {
+  backend::SimCluster cluster(backend::gmMachine(), 2);
+  auto& log = cluster.enableTracing();
+  auto sender = [](backend::SimProc& p) -> Task<void> {
+    co_await p.mpi().send(p.mpi().world(), 1, 1, 100_KB);
+  };
+  auto receiver = [](backend::SimProc& p) -> Task<void> {
+    co_await p.mpi().recv(p.mpi().world(), 0, 1, 100_KB);
+  };
+  cluster.launch(0, sender(cluster.proc(0)), "sender");
+  cluster.launch(1, receiver(cluster.proc(1)), "receiver");
+  cluster.run();
+
+  // Process start/finish for both ranks.
+  EXPECT_EQ(log.count(TraceCategory::Process), 4u);
+  // One rendezvous: RTS + CTS + 25 data fragments on the wire.
+  EXPECT_EQ(log.count(TraceCategory::Packet), 27u);
+  // Protocol markers: the rendezvous post and the CTS->DMA transition.
+  EXPECT_EQ(log.count(TraceCategory::Protocol), 2u);
+  // MPI calls: one isend (rank 0), one irecv (rank 1).
+  EXPECT_EQ(log.count(TraceCategory::MpiCall, 0), 1u);
+  EXPECT_EQ(log.count(TraceCategory::MpiCall, 1), 1u);
+  // GM never interrupts.
+  EXPECT_EQ(log.count(TraceCategory::Interrupt), 0u);
+}
+
+TEST(TraceIntegration, PortalsExchangeRaisesInterrupts) {
+  backend::SimCluster cluster(backend::portalsMachine(), 2);
+  auto& log = cluster.enableTracing();
+  auto sender = [](backend::SimProc& p) -> Task<void> {
+    co_await p.mpi().send(p.mpi().world(), 1, 1, 100_KB);
+  };
+  auto receiver = [](backend::SimProc& p) -> Task<void> {
+    co_await p.mpi().recv(p.mpi().world(), 0, 1, 100_KB);
+  };
+  cluster.launch(0, sender(cluster.proc(0)));
+  cluster.launch(1, receiver(cluster.proc(1)));
+  cluster.run();
+  // 25 tx-pump interrupts on the sender + 25 rx interrupts on the receiver.
+  EXPECT_EQ(log.count(TraceCategory::Interrupt), 50u);
+  EXPECT_EQ(log.count(TraceCategory::Packet), 25u);
+  // Kernel-level protocol markers: the send post and the kernel match.
+  EXPECT_GE(log.count(TraceCategory::Protocol), 2u);
+}
+
+TEST(TraceIntegration, DisabledTracingCostsNothingAndRecordsNothing) {
+  backend::SimCluster cluster(backend::gmMachine(), 2);
+  auto sender = [](backend::SimProc& p) -> Task<void> {
+    co_await p.mpi().send(p.mpi().world(), 1, 1, 10_KB);
+  };
+  auto receiver = [](backend::SimProc& p) -> Task<void> {
+    co_await p.mpi().recv(p.mpi().world(), 0, 1, 10_KB);
+  };
+  cluster.launch(0, sender(cluster.proc(0)));
+  cluster.launch(1, receiver(cluster.proc(1)));
+  cluster.run();
+  EXPECT_EQ(cluster.traceLog(), nullptr);
+}
+
+}  // namespace
+}  // namespace comb::sim

@@ -1,0 +1,229 @@
+// comb — the command-line front end of the benchmark suite.
+//
+//   comb polling --machine gm --size-kb 100 --interval 10000
+//   comb polling --machine portals --size-kb 300 --sweep
+//   comb pww     --machine gm --work 1000000 [--test-at 0.1] [--sweep]
+//   comb latency --machine portals --size-kb 100
+//   comb assess  --machine gm
+//
+// Machines are the bundled models (gm | portals), optionally modified by
+// --cpus N --nic-cpu K (SMP extension) and --queue / --batch knobs.
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "backend/machine.hpp"
+#include "backend/machine_file.hpp"
+#include "backend/sim_cluster.hpp"
+#include "comb/analysis.hpp"
+#include "comb/polling.hpp"
+#include "comb/presets.hpp"
+#include "comb/runner.hpp"
+#include "common/cli.hpp"
+#include "common/error.hpp"
+#include "common/string_util.hpp"
+#include "common/table.hpp"
+#include "common/units.hpp"
+#include "report/machine_stats.hpp"
+
+using namespace comb;
+using namespace comb::units;
+
+namespace {
+
+void usage() {
+  std::puts(
+      "usage: comb <polling|pww|latency|assess|stats> [options]\n"
+      "  common options:\n"
+      "    --machine gm|portals    machine model (default gm)\n"
+      "    --machine-file F        load a machine definition (.ini)\n"
+      "    --size-kb N             message size in KB (default 100)\n"
+      "    --cpus N --nic-cpu K    SMP extension knobs\n"
+      "  polling: --interval I | --sweep    --queue Q\n"
+      "  pww:     --work W | --sweep        --batch B  --test-at F\n"
+      "  latency: (size only)\n"
+      "  assess:  full overlap assessment (all methods)\n"
+      "  stats:   run a polling workload and dump substrate statistics\n"
+      "  try `comb <method> --help` for details");
+}
+
+ArgParser makeParser(const std::string& method) {
+  ArgParser args("comb " + method, "COMB benchmark suite");
+  args.addOption("machine", "gm | portals", "gm");
+  args.addOption("machine-file", "load a machine definition file (.ini)", "");
+  args.addOption("size-kb", "message size in KB", "100");
+  args.addOption("cpus", "CPUs per node (SMP extension)", "1");
+  args.addOption("nic-cpu", "CPU servicing NIC kernel work", "0");
+  args.addFlag("sweep", "sweep the primary variable over the paper range");
+  args.addOption("interval", "polling interval (loop iterations)", "10000");
+  args.addOption("work", "PWW work interval (loop iterations)", "1000000");
+  args.addOption("queue", "polling queue depth", "8");
+  args.addOption("batch", "PWW batch size", "1");
+  args.addOption("test-at", "insert MPI_Test at this work fraction (-1=off)",
+                 "-1");
+  args.addFlag("trace", "stats: also dump the substrate event trace");
+  args.addOption("trace-rows", "stats: trace rows to print", "40");
+  return args;
+}
+
+backend::MachineConfig machineFrom(const ArgParser& args) {
+  backend::MachineConfig m;
+  if (const std::string file = args.str("machine-file"); !file.empty()) {
+    m = backend::loadMachineFile(file);
+  } else {
+    const std::string name = args.str("machine");
+    if (name == "gm") {
+      m = backend::gmMachine();
+    } else if (name == "portals") {
+      m = backend::portalsMachine();
+    } else {
+      throw ConfigError("unknown machine '" + name + "' (gm | portals)");
+    }
+    m.cpusPerNode = static_cast<int>(args.integer("cpus"));
+    m.nicCpu = static_cast<int>(args.integer("nic-cpu"));
+  }
+  return m;
+}
+
+void printPollingRow(TextTable& t, const bench::PollingPoint& pt) {
+  t.addRow({strFormat("%llu", (unsigned long long)pt.pollInterval),
+            strFormat("%.2f", toMBps(pt.bandwidthBps)),
+            strFormat("%.3f", pt.availability),
+            strFormat("%llu", (unsigned long long)pt.messagesReceived)});
+}
+
+int runPolling(const ArgParser& args) {
+  const auto machine = machineFrom(args);
+  auto params = bench::presets::pollingBase(
+      static_cast<Bytes>(args.integer("size-kb")) * 1024);
+  params.queueDepth = static_cast<int>(args.integer("queue"));
+  TextTable t({"poll_interval", "bandwidth_MBps", "availability", "messages"});
+  if (args.flag("sweep")) {
+    for (const auto& pt : bench::runPollingSweep(
+             machine, params, bench::presets::pollSweep(2)))
+      printPollingRow(t, pt);
+  } else {
+    params.pollInterval =
+        static_cast<std::uint64_t>(args.integer("interval"));
+    printPollingRow(t, bench::runPollingPoint(machine, params));
+  }
+  std::printf("polling method, machine=%s, size=%s, queue=%d\n\n%s",
+              machine.name.c_str(), fmtBytes(params.msgBytes).c_str(),
+              params.queueDepth, t.str().c_str());
+  return 0;
+}
+
+void printPwwRow(TextTable& t, const bench::PwwPoint& pt) {
+  t.addRow({strFormat("%llu", (unsigned long long)pt.workInterval),
+            strFormat("%.2f", toMBps(pt.bandwidthBps)),
+            strFormat("%.3f", pt.availability),
+            strFormat("%.1f", pt.avgPostPerOp * 1e6),
+            strFormat("%.1f", pt.avgWork * 1e6),
+            strFormat("%.1f", pt.avgWaitPerMsg * 1e6)});
+}
+
+int runPww(const ArgParser& args) {
+  const auto machine = machineFrom(args);
+  auto params = bench::presets::pwwBase(
+      static_cast<Bytes>(args.integer("size-kb")) * 1024);
+  params.batch = static_cast<int>(args.integer("batch"));
+  params.testCallAtFraction = args.real("test-at");
+  TextTable t({"work_interval", "bandwidth_MBps", "availability",
+               "post_us_per_op", "work_us", "wait_us_per_msg"});
+  if (args.flag("sweep")) {
+    for (const auto& pt :
+         bench::runPwwSweep(machine, params, bench::presets::workSweep(2)))
+      printPwwRow(t, pt);
+  } else {
+    params.workInterval = static_cast<std::uint64_t>(args.integer("work"));
+    printPwwRow(t, bench::runPwwPoint(machine, params));
+  }
+  std::printf("post-work-wait method, machine=%s, size=%s, batch=%d%s\n\n%s",
+              machine.name.c_str(), fmtBytes(params.msgBytes).c_str(),
+              params.batch,
+              params.testCallAtFraction >= 0 ? " (+MPI_Test in work)" : "",
+              t.str().c_str());
+  return 0;
+}
+
+int runLatency(const ArgParser& args) {
+  const auto machine = machineFrom(args);
+  bench::LatencyParams params;
+  params.msgBytes = static_cast<Bytes>(args.integer("size-kb")) * 1024;
+  const auto pt = bench::runLatencyPoint(machine, params);
+  std::printf("ping-pong, machine=%s, size=%s\n", machine.name.c_str(),
+              fmtBytes(pt.msgBytes).c_str());
+  std::printf("  half round trip: avg %s, min %s\n",
+              fmtTime(pt.halfRoundTripAvg).c_str(),
+              fmtTime(pt.halfRoundTripMin).c_str());
+  std::printf("  bandwidth: %.2f MB/s\n", toMBps(pt.bandwidthBps));
+  return 0;
+}
+
+int runAssess(const ArgParser& args) {
+  const auto machine = machineFrom(args);
+  bench::AssessOptions options;
+  options.msgBytes = static_cast<Bytes>(args.integer("size-kb")) * 1024;
+  const auto a = bench::assessMachine(machine, options);
+  std::printf("COMB assessment, machine=%s, size=%s\n\n%s",
+              a.machineName.c_str(), fmtBytes(a.msgBytes).c_str(),
+              a.verdictText().c_str());
+  return 0;
+}
+
+sim::Task<void> statsWorkerDriver(backend::SimProc& env,
+                                  bench::PollingParams p,
+                                  bench::PollingPoint& out) {
+  out = co_await bench::pollingWorker(env, p);
+}
+
+int runStats(const ArgParser& args) {
+  const auto machine = machineFrom(args);
+  auto params = bench::presets::pollingBase(
+      static_cast<Bytes>(args.integer("size-kb")) * 1024);
+  params.pollInterval = static_cast<std::uint64_t>(args.integer("interval"));
+  backend::SimCluster cluster(machine, 2);
+  if (args.flag("trace")) cluster.enableTracing();
+  bench::PollingPoint point;
+  cluster.launch(0, statsWorkerDriver(cluster.proc(0), params, point));
+  cluster.launch(1, bench::pollingSupport(cluster.proc(1), params));
+  cluster.run();
+  std::printf("polling workload: bw %.2f MB/s, availability %.3f\n\n",
+              toMBps(point.bandwidthBps), point.availability);
+  report::renderStats(std::cout, report::snapshot(cluster));
+  if (auto* log = cluster.traceLog()) {
+    std::printf("\ntrace: %s\n", log->summary().c_str());
+    log->dump(std::cout,
+              static_cast<std::size_t>(args.integer("trace-rows")));
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage();
+    return 2;
+  }
+  const std::string method = argv[1];
+  if (method == "--help" || method == "-h" || method == "help") {
+    usage();
+    return 0;
+  }
+  try {
+    auto args = makeParser(method);
+    if (!args.parse(argc - 1, argv + 1)) return 0;
+    if (method == "polling") return runPolling(args);
+    if (method == "pww") return runPww(args);
+    if (method == "latency") return runLatency(args);
+    if (method == "assess") return runAssess(args);
+    if (method == "stats") return runStats(args);
+    std::fprintf(stderr, "comb: unknown method '%s'\n\n", method.c_str());
+    usage();
+    return 2;
+  } catch (const Error& e) {
+    std::fprintf(stderr, "comb: %s\n", e.what());
+    return 2;
+  }
+}
