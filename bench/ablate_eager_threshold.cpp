@@ -32,7 +32,7 @@ double availAtPeak(const std::vector<PollingPoint>& pts) {
 int main(int argc, char** argv) {
   const FigArgs args = parseFigArgs(argc, argv, "ablate_eager_threshold",
                                     "GM eager threshold vs availability");
-  if (!args.parsedOk) return 0;
+  if (!args.parsedOk) return args.exitCode;
 
   const auto intervals = logSweep(1'000, 3'000'000, 2);
   report::Figure fig(
@@ -52,7 +52,7 @@ int main(int argc, char** argv) {
       auto machine = backend::gmMachine();
       machine.gm.eagerThreshold = thr;
       auto base = presets::pollingBase(msg);
-      const auto pts = runPollingSweep(machine, base, intervals);
+      const auto pts = runPollingSweep(machine, base, intervals, args.jobs);
       s.xs.push_back(static_cast<double>(thr) / 1024.0);
       s.ys.push_back(availAtPeak(pts));
     }

@@ -16,7 +16,7 @@ int main(int argc, char** argv) {
   const FigArgs args =
       parseFigArgs(argc, argv, "ablate_interrupt_cost",
                    "Portals bandwidth/availability vs per-fragment ISR cost");
-  if (!args.parsedOk) return 0;
+  if (!args.parsedOk) return args.exitCode;
 
   report::Figure fig(
       "ablate_interrupt_cost",

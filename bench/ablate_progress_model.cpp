@@ -17,7 +17,7 @@ int main(int argc, char** argv) {
   const FigArgs args =
       parseFigArgs(argc, argv, "ablate_progress_model",
                    "GM PWW wait phase vs in-work progress-call density");
-  if (!args.parsedOk) return 0;
+  if (!args.parsedOk) return args.exitCode;
 
   report::Figure fig(
       "ablate_progress_model",

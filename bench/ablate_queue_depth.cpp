@@ -13,7 +13,7 @@ using namespace comb::units;
 int main(int argc, char** argv) {
   const FigArgs args = parseFigArgs(argc, argv, "ablate_queue_depth",
                                     "polling bandwidth vs queue depth");
-  if (!args.parsedOk) return 0;
+  if (!args.parsedOk) return args.exitCode;
 
   report::Figure fig("ablate_queue_depth",
                      "Ablation: Polling Bandwidth vs Queue Depth (100 KB)",

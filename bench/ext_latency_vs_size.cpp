@@ -14,12 +14,12 @@ using namespace comb::units;
 int main(int argc, char** argv) {
   const FigArgs args = parseFigArgs(argc, argv, "ext_latency",
                                     "ping-pong latency vs message size");
-  if (!args.parsedOk) return 0;
+  if (!args.parsedOk) return args.exitCode;
 
   const std::vector<Bytes> sizes{64, 1_KB, 4_KB, 10_KB, 50_KB, 100_KB,
                                  300_KB};
-  const auto gm = runLatencySweep(backend::gmMachine(), sizes);
-  const auto portals = runLatencySweep(backend::portalsMachine(), sizes);
+  const auto gm = runLatencySweep(backend::gmMachine(), sizes, 30, args.jobs);
+  const auto portals = runLatencySweep(backend::portalsMachine(), sizes, 30, args.jobs);
 
   report::Figure fig("ext_latency", "Extension: Ping-Pong Latency vs Size",
                      "message_bytes", "half_round_trip_us");

@@ -41,7 +41,7 @@ int main(int argc, char** argv) {
   const FigArgs args =
       parseFigArgs(argc, argv, "ext_multipair",
                    "concurrent polling pairs through one switch");
-  if (!args.parsedOk) return 0;
+  if (!args.parsedOk) return args.exitCode;
 
   report::Figure fig(
       "ext_multipair",

@@ -16,7 +16,7 @@ int main(int argc, char** argv) {
   const FigArgs args = parseFigArgs(
       argc, argv, "ext_smp_steering",
       "Portals polling availability: uniprocessor vs SMP-steered");
-  if (!args.parsedOk) return 0;
+  if (!args.parsedOk) return args.exitCode;
 
   auto uni = backend::portalsMachine();
   auto smp = backend::portalsMachine();
@@ -26,9 +26,9 @@ int main(int argc, char** argv) {
 
   const auto intervals = presets::pollSweep(args.pointsPerDecade);
   const auto uniPts =
-      runPollingSweep(uni, presets::pollingBase(100_KB), intervals);
+      runPollingSweep(uni, presets::pollingBase(100_KB), intervals, args.jobs);
   const auto smpPts =
-      runPollingSweep(smp, presets::pollingBase(100_KB), intervals);
+      runPollingSweep(smp, presets::pollingBase(100_KB), intervals, args.jobs);
 
   report::Figure fig("ext_smp_steering",
                      "Extension: SMP Interrupt Steering (Portals, 100 KB)",

@@ -13,11 +13,11 @@ int main(int argc, char** argv) {
   const FigArgs args = parseFigArgs(
       argc, argv, "fig04",
       "Polling method: CPU availability vs poll interval (Portals)");
-  if (!args.parsedOk) return 0;
+  if (!args.parsedOk) return args.exitCode;
 
   const auto machine = backend::portalsMachine();
   const auto fam = runPollingFamily(machine, presets::paperMessageSizes(),
-                                    args.pointsPerDecade);
+                                    args.pointsPerDecade, args.jobs);
 
   report::Figure fig("fig04",
                      "Polling Method: CPU Availability (Portals)",

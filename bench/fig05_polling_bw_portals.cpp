@@ -12,11 +12,11 @@ int main(int argc, char** argv) {
   const FigArgs args =
       parseFigArgs(argc, argv, "fig05",
                    "Polling method: bandwidth vs poll interval (Portals)");
-  if (!args.parsedOk) return 0;
+  if (!args.parsedOk) return args.exitCode;
 
   const auto machine = backend::portalsMachine();
   const auto fam = runPollingFamily(machine, presets::paperMessageSizes(),
-                                    args.pointsPerDecade);
+                                    args.pointsPerDecade, args.jobs);
 
   report::Figure fig("fig05", "Polling Method: Bandwidth (Portals)",
                      "poll_interval_iters", "bandwidth_MBps");

@@ -13,11 +13,11 @@ int main(int argc, char** argv) {
   const FigArgs args = parseFigArgs(
       argc, argv, "fig06",
       "PWW method: CPU availability vs work interval (Portals)");
-  if (!args.parsedOk) return 0;
+  if (!args.parsedOk) return args.exitCode;
 
   const auto machine = backend::portalsMachine();
   const auto fam = runPwwFamily(machine, presets::paperMessageSizes(),
-                                args.pointsPerDecade);
+                                args.pointsPerDecade, -1.0, args.jobs);
 
   report::Figure fig("fig06", "PWW Method: CPU Availability (Portals)",
                      "work_interval_iters", "cpu_availability");

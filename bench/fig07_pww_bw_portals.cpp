@@ -11,11 +11,11 @@ using namespace comb::bench;
 int main(int argc, char** argv) {
   const FigArgs args = parseFigArgs(
       argc, argv, "fig07", "PWW method: bandwidth vs work interval (Portals)");
-  if (!args.parsedOk) return 0;
+  if (!args.parsedOk) return args.exitCode;
 
   const auto machine = backend::portalsMachine();
   const auto fam = runPwwFamily(machine, presets::paperMessageSizes(),
-                                args.pointsPerDecade);
+                                args.pointsPerDecade, -1.0, args.jobs);
 
   report::Figure fig("fig07", "PWW Method: Bandwidth (Portals)",
                      "work_interval_iters", "bandwidth_MBps");

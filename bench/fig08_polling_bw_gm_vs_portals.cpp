@@ -13,13 +13,13 @@ int main(int argc, char** argv) {
   const FigArgs args =
       parseFigArgs(argc, argv, "fig08",
                    "Polling method: bandwidth, GM vs Portals (100 KB)");
-  if (!args.parsedOk) return 0;
+  if (!args.parsedOk) return args.exitCode;
 
   const auto intervals = presets::pollSweep(args.pointsPerDecade);
   const auto gm = runPollingSweep(backend::gmMachine(),
-                                  presets::pollingBase(100_KB), intervals);
+                                  presets::pollingBase(100_KB), intervals, args.jobs);
   const auto portals = runPollingSweep(
-      backend::portalsMachine(), presets::pollingBase(100_KB), intervals);
+      backend::portalsMachine(), presets::pollingBase(100_KB), intervals, args.jobs);
 
   report::Figure fig("fig08", "Polling Method: Bandwidth, GM vs Portals",
                      "poll_interval_iters", "bandwidth_MBps");

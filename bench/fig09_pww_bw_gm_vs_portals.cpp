@@ -12,13 +12,15 @@ using namespace comb::units;
 int main(int argc, char** argv) {
   const FigArgs args = parseFigArgs(
       argc, argv, "fig09", "PWW method: bandwidth, GM vs Portals (100 KB)");
-  if (!args.parsedOk) return 0;
+  if (!args.parsedOk) return args.exitCode;
 
   const auto intervals = presets::workSweep(args.pointsPerDecade);
   const auto gm =
-      runPwwSweep(backend::gmMachine(), presets::pwwBase(100_KB), intervals);
+      runPwwSweep(backend::gmMachine(), presets::pwwBase(100_KB), intervals,
+                  args.jobs);
   const auto portals = runPwwSweep(backend::portalsMachine(),
-                                   presets::pwwBase(100_KB), intervals);
+                                   presets::pwwBase(100_KB), intervals,
+                                   args.jobs);
 
   report::Figure fig("fig09", "PWW Method: Bandwidth, GM vs Portals",
                      "work_interval_iters", "bandwidth_MBps");

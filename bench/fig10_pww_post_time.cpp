@@ -13,13 +13,15 @@ using namespace comb::units;
 int main(int argc, char** argv) {
   const FigArgs args = parseFigArgs(
       argc, argv, "fig10", "PWW method: average post time (100 KB)");
-  if (!args.parsedOk) return 0;
+  if (!args.parsedOk) return args.exitCode;
 
   const auto intervals = presets::workSweep(args.pointsPerDecade);
   const auto gm =
-      runPwwSweep(backend::gmMachine(), presets::pwwBase(100_KB), intervals);
+      runPwwSweep(backend::gmMachine(), presets::pwwBase(100_KB), intervals,
+                  args.jobs);
   const auto portals = runPwwSweep(backend::portalsMachine(),
-                                   presets::pwwBase(100_KB), intervals);
+                                   presets::pwwBase(100_KB), intervals,
+                                   args.jobs);
 
   report::Figure fig("fig10", "PWW Method: Average Post Time (100 KB)",
                      "work_interval_iters", "time_to_post_us");

@@ -13,13 +13,15 @@ using namespace comb::units;
 int main(int argc, char** argv) {
   const FigArgs args = parseFigArgs(
       argc, argv, "fig11", "PWW method: average wait time (100 KB)");
-  if (!args.parsedOk) return 0;
+  if (!args.parsedOk) return args.exitCode;
 
   const auto intervals = presets::workSweep(args.pointsPerDecade);
   const auto gm =
-      runPwwSweep(backend::gmMachine(), presets::pwwBase(100_KB), intervals);
+      runPwwSweep(backend::gmMachine(), presets::pwwBase(100_KB), intervals,
+                  args.jobs);
   const auto portals = runPwwSweep(backend::portalsMachine(),
-                                   presets::pwwBase(100_KB), intervals);
+                                   presets::pwwBase(100_KB), intervals,
+                                   args.jobs);
 
   report::Figure fig("fig11", "PWW Method: Average Wait Time (100 KB)",
                      "work_interval_iters", "wait_time_us");

@@ -24,11 +24,12 @@ std::vector<std::uint64_t> linearSweep() {
 int main(int argc, char** argv) {
   const FigArgs args = parseFigArgs(argc, argv, "fig12",
                                     "PWW method: CPU overhead (Portals)");
-  if (!args.parsedOk) return 0;
+  if (!args.parsedOk) return args.exitCode;
 
   const auto intervals = linearSweep();
   const auto pts = runPwwSweep(backend::portalsMachine(),
-                               presets::pwwBase(100_KB), intervals);
+                               presets::pwwBase(100_KB), intervals,
+                               args.jobs);
 
   report::Figure fig("fig12", "PWW Method: CPU Overhead (Portals)",
                      "work_interval_iters", "work_phase_us");

@@ -24,11 +24,12 @@ std::vector<std::uint64_t> linearSweep() {
 int main(int argc, char** argv) {
   const FigArgs args =
       parseFigArgs(argc, argv, "fig13", "PWW method: CPU overhead (GM)");
-  if (!args.parsedOk) return 0;
+  if (!args.parsedOk) return args.exitCode;
 
   const auto intervals = linearSweep();
   const auto pts =
-      runPwwSweep(backend::gmMachine(), presets::pwwBase(100_KB), intervals);
+      runPwwSweep(backend::gmMachine(), presets::pwwBase(100_KB), intervals,
+                  args.jobs);
 
   report::Figure fig("fig13", "PWW Method: CPU Overhead (GM)",
                      "work_interval_iters", "work_phase_us");

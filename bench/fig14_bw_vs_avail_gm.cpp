@@ -16,11 +16,11 @@ int main(int argc, char** argv) {
   const FigArgs args = parseFigArgs(
       argc, argv, "fig14",
       "Polling method: bandwidth vs CPU availability (GM)");
-  if (!args.parsedOk) return 0;
+  if (!args.parsedOk) return args.exitCode;
 
   const auto machine = backend::gmMachine();
   const auto fam = runPollingFamily(machine, presets::paperMessageSizes(),
-                                    args.pointsPerDecade + 1);
+                                    args.pointsPerDecade + 1, args.jobs);
 
   report::Figure fig("fig14",
                      "Polling Method: Bandwidth vs CPU Availability (GM)",

@@ -13,11 +13,11 @@ int main(int argc, char** argv) {
   const FigArgs args = parseFigArgs(
       argc, argv, "fig15",
       "Polling method: bandwidth vs CPU availability (Portals)");
-  if (!args.parsedOk) return 0;
+  if (!args.parsedOk) return args.exitCode;
 
   const auto machine = backend::portalsMachine();
   const auto fam = runPollingFamily(machine, presets::paperMessageSizes(),
-                                    args.pointsPerDecade + 1);
+                                    args.pointsPerDecade + 1, args.jobs);
 
   report::Figure fig(
       "fig15", "Polling Method: Bandwidth vs CPU Availability (Portals)",

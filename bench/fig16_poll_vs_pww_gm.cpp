@@ -15,14 +15,14 @@ int main(int argc, char** argv) {
   const FigArgs args = parseFigArgs(
       argc, argv, "fig16",
       "Polling + PWW: bandwidth vs availability, GM (100 KB)");
-  if (!args.parsedOk) return 0;
+  if (!args.parsedOk) return args.exitCode;
 
   const auto poll =
       runPollingSweep(backend::gmMachine(), presets::pollingBase(100_KB),
-                      presets::pollSweep(args.pointsPerDecade + 1));
+                      presets::pollSweep(args.pointsPerDecade + 1), args.jobs);
   const auto pww =
       runPwwSweep(backend::gmMachine(), presets::pwwBase(100_KB),
-                  presets::workSweep(args.pointsPerDecade + 1));
+                  presets::workSweep(args.pointsPerDecade + 1), args.jobs);
 
   report::Figure fig("fig16",
                      "Polling and PWW: Bandwidth vs Availability (GM)",

@@ -16,19 +16,19 @@ int main(int argc, char** argv) {
   const FigArgs args = parseFigArgs(
       argc, argv, "fig17",
       "Polling + PWW + PWW-with-MPI_Test: bandwidth vs availability, GM");
-  if (!args.parsedOk) return 0;
+  if (!args.parsedOk) return args.exitCode;
 
   const auto poll =
       runPollingSweep(backend::gmMachine(), presets::pollingBase(100_KB),
-                      presets::pollSweep(args.pointsPerDecade + 1));
+                      presets::pollSweep(args.pointsPerDecade + 1), args.jobs);
   const auto workIntervals = presets::workSweep(args.pointsPerDecade + 1);
   const auto pww =
       runPwwSweep(backend::gmMachine(), presets::pwwBase(100_KB),
-                  workIntervals);
+                  workIntervals, args.jobs);
   auto testBase = presets::pwwBase(100_KB);
   testBase.testCallAtFraction = 0.1;  // one MPI_Test early in the work phase
   const auto pwwTest =
-      runPwwSweep(backend::gmMachine(), testBase, workIntervals);
+      runPwwSweep(backend::gmMachine(), testBase, workIntervals, args.jobs);
 
   report::Figure fig(
       "fig17", "Polling and Modified PWW: Bandwidth vs Availability (GM)",

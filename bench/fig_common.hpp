@@ -17,7 +17,9 @@
 #include "comb/presets.hpp"
 #include "comb/runner.hpp"
 #include "common/cli.hpp"
+#include "common/error.hpp"
 #include "common/string_util.hpp"
+#include "common/thread_pool.hpp"
 #include "common/units.hpp"
 #include "report/expectations.hpp"
 #include "report/figure.hpp"
@@ -26,25 +28,52 @@ namespace comb::bench {
 
 struct FigArgs {
   int pointsPerDecade = 2;
+  /// Worker threads for sweep points; defaults to all hardware threads.
+  /// Results are bit-identical for any value (per-point isolation).
+  int jobs = 1;
   bool csv = false;
   std::string outDir = "bench_out";
-  bool parsedOk = true;  ///< false => --help shown, exit 0
+  bool parsedOk = true;  ///< false => exit with exitCode without running
+  int exitCode = 0;      ///< 0 after --help, 2 on invalid arguments
 };
 
-inline FigArgs parseFigArgs(int argc, char** argv, const std::string& name,
+/// Parse and *validate* the common figure-bench arguments. Bad values
+/// (non-numeric, --points-per-decade < 1, --jobs < 1) are reported on
+/// stderr at parse time with parsedOk=false / exitCode=2, instead of
+/// failing later inside the sweep.
+inline FigArgs parseFigArgs(int argc, const char* const* argv,
+                            const std::string& name,
                             const std::string& description) {
   ArgParser parser(name, description);
   parser.addFlag("csv", "also write the series as CSV");
   parser.addOption("out", "directory for CSV output", "bench_out");
   parser.addOption("points-per-decade", "sweep density on log axes", "2");
+  parser.addOption("jobs",
+                   "worker threads for sweep points (results are "
+                   "bit-identical for any value)",
+                   std::to_string(hardwareJobs()));
   FigArgs args;
-  if (!parser.parse(argc, argv)) {
+  args.jobs = hardwareJobs();
+  try {
+    if (!parser.parse(argc, argv)) {
+      args.parsedOk = false;  // --help printed; exit 0
+      return args;
+    }
+    args.pointsPerDecade =
+        static_cast<int>(parser.integer("points-per-decade"));
+    if (args.pointsPerDecade < 1)
+      throw ConfigError("--points-per-decade must be >= 1, got " +
+                        parser.str("points-per-decade"));
+    args.jobs = static_cast<int>(parser.integer("jobs"));
+    if (args.jobs < 1)
+      throw ConfigError("--jobs must be >= 1, got " + parser.str("jobs"));
+    args.csv = parser.flag("csv");
+    args.outDir = parser.str("out");
+  } catch (const Error& e) {
+    std::fprintf(stderr, "%s: %s\n", name.c_str(), e.what());
     args.parsedOk = false;
-    return args;
+    args.exitCode = 2;
   }
-  args.pointsPerDecade = static_cast<int>(parser.integer("points-per-decade"));
-  args.csv = parser.flag("csv");
-  args.outDir = parser.str("out");
   return args;
 }
 
@@ -79,13 +108,13 @@ struct PollingFamily {
 
 inline PollingFamily runPollingFamily(const backend::MachineConfig& machine,
                                       const std::vector<Bytes>& sizes,
-                                      int pointsPerDecade) {
+                                      int pointsPerDecade, int jobs = 1) {
   PollingFamily fam;
   fam.sizes = sizes;
   fam.intervals = presets::pollSweep(pointsPerDecade);
   for (const Bytes size : sizes) {
-    fam.results.push_back(
-        runPollingSweep(machine, presets::pollingBase(size), fam.intervals));
+    fam.results.push_back(runPollingSweep(machine, presets::pollingBase(size),
+                                          fam.intervals, jobs));
   }
   return fam;
 }
@@ -99,14 +128,15 @@ struct PwwFamily {
 inline PwwFamily runPwwFamily(const backend::MachineConfig& machine,
                               const std::vector<Bytes>& sizes,
                               int pointsPerDecade,
-                              double testCallAtFraction = -1.0) {
+                              double testCallAtFraction = -1.0,
+                              int jobs = 1) {
   PwwFamily fam;
   fam.sizes = sizes;
   fam.intervals = presets::workSweep(pointsPerDecade);
   for (const Bytes size : sizes) {
     auto base = presets::pwwBase(size);
     base.testCallAtFraction = testCallAtFraction;
-    fam.results.push_back(runPwwSweep(machine, base, fam.intervals));
+    fam.results.push_back(runPwwSweep(machine, base, fam.intervals, jobs));
   }
   return fam;
 }

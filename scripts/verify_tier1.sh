@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Tier-1 verify flow:
+#   1. standard build + the full test suite;
+#   2. rebuild the concurrency-sensitive pieces under ThreadSanitizer
+#      (-DCOMB_SANITIZE=thread) and run the thread-pool / parallel-sweep /
+#      logger tests, which exercise every cross-thread interaction the
+#      parallel sweep executor introduces.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -S .
+cmake --build build -j
+(cd build && ctest --output-on-failure -j"$(nproc)")
+
+cmake -B build-tsan -S . -DCOMB_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build build-tsan -j --target test_thread_pool test_runner test_log test_thread_comb
+(cd build-tsan && ctest --output-on-failure -j"$(nproc)" \
+  -R 'ThreadPool|ParallelFor|ParallelSweep|LogSweep|Log\.|Runner')
+
+echo "tier-1 verify: OK (standard suite + TSan concurrency tests)"

@@ -22,7 +22,8 @@ OverlapAssessment assessMachine(const backend::MachineConfig& machine,
   // Polling sweep: find the bandwidth/availability frontier.
   const auto sweep =
       runPollingSweep(machine, presets::pollingBase(options.msgBytes),
-                      presets::pollSweep(options.pointsPerDecade));
+                      presets::pollSweep(options.pointsPerDecade),
+                      options.jobs);
   for (const auto& p : sweep)
     a.peakBandwidthBps = std::max(a.peakBandwidthBps, p.bandwidthBps);
   for (const auto& p : sweep)

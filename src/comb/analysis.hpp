@@ -23,6 +23,9 @@ struct AssessOptions {
   std::uint64_t longWorkInterval = 5'000'000;
   /// Where the inserted MPI_Test goes in the call-effect probe.
   double testCallAtFraction = 0.1;
+  /// Worker threads for the internal sweeps (1 = serial). Results are
+  /// bit-identical for any value — sweep points are fully isolated.
+  int jobs = 1;
 };
 
 struct OverlapAssessment {

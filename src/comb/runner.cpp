@@ -34,15 +34,24 @@ std::vector<std::uint64_t> logSweep(std::uint64_t lo, std::uint64_t hi,
   COMB_REQUIRE(lo > 0 && hi >= lo, "bad sweep bounds");
   COMB_REQUIRE(pointsPerDecade >= 1, "need at least one point per decade");
   std::vector<std::uint64_t> xs;
+  const double e0 = std::log10(static_cast<double>(lo));
   const double step = 1.0 / pointsPerDecade;
-  for (double e = std::log10(static_cast<double>(lo));
-       ; e += step) {
-    const auto v = static_cast<std::uint64_t>(
-        std::llround(std::pow(10.0, e)));
+  // Values at or above 2^64 are unrepresentable; break before casting
+  // (the cast itself would be UB, and llround saturates at 2^63 anyway).
+  constexpr double kTwoPow64 = 18446744073709551616.0;
+  for (std::uint64_t i = 0;; ++i) {
+    // Recompute from the integer index: accumulating `e += step` drifts
+    // after tens of additions and can skip or duplicate a grid point.
+    const double e = e0 + static_cast<double>(i) * step;
+    const double vd = std::round(std::pow(10.0, e));
+    if (!(vd < kTwoPow64)) break;
+    const auto v = static_cast<std::uint64_t>(vd);
     if (v > hi) break;
     if (xs.empty() || v != xs.back()) xs.push_back(v);
   }
   if (xs.empty() || xs.back() != hi) xs.push_back(hi);
+  for (std::size_t i = 1; i < xs.size(); ++i)
+    COMB_ASSERT(xs[i] > xs[i - 1], "logSweep grid not strictly increasing");
   return xs;
 }
 
@@ -71,15 +80,25 @@ PwwPoint runPwwPoint(const backend::MachineConfig& machine,
 
 std::vector<PollingPoint> runPollingSweep(
     const backend::MachineConfig& machine, PollingParams base,
-    const std::vector<std::uint64_t>& pollIntervals) {
-  std::vector<PollingPoint> points;
-  points.reserve(pollIntervals.size());
+    const std::vector<std::uint64_t>& pollIntervals, int jobs) {
+  std::vector<PollingParams> paramSets;
+  paramSets.reserve(pollIntervals.size());
   for (const auto interval : pollIntervals) {
     base.pollInterval = interval;
-    points.push_back(runPollingPoint(machine, base));
-    COMB_LOG(Debug) << machine.name << " polling interval=" << interval
-                    << " bw=" << toMBps(points.back().bandwidthBps)
-                    << " MB/s avail=" << points.back().availability;
+    paramSets.push_back(base);
+  }
+  auto points = runSweepParallel(
+      machine, paramSets,
+      [](const backend::MachineConfig& m, const PollingParams& p) {
+        return runPollingPoint(m, p);
+      },
+      jobs);
+  // Log after the sweep, in input order, so the trace reads identically
+  // whether points ran serially or on the pool.
+  for (const auto& p : points) {
+    COMB_LOG(Debug) << machine.name << " polling interval=" << p.pollInterval
+                    << " bw=" << toMBps(p.bandwidthBps)
+                    << " MB/s avail=" << p.availability;
   }
   return points;
 }
@@ -97,29 +116,42 @@ LatencyPoint runLatencyPoint(const backend::MachineConfig& machine,
 
 std::vector<LatencyPoint> runLatencySweep(
     const backend::MachineConfig& machine, const std::vector<Bytes>& sizes,
-    int reps) {
-  std::vector<LatencyPoint> points;
-  points.reserve(sizes.size());
+    int reps, int jobs) {
+  std::vector<LatencyParams> paramSets;
+  paramSets.reserve(sizes.size());
   for (const Bytes size : sizes) {
     LatencyParams p;
     p.msgBytes = size;
     p.reps = reps;
-    points.push_back(runLatencyPoint(machine, p));
+    paramSets.push_back(p);
   }
-  return points;
+  return runSweepParallel(
+      machine, paramSets,
+      [](const backend::MachineConfig& m, const LatencyParams& p) {
+        return runLatencyPoint(m, p);
+      },
+      jobs);
 }
 
 std::vector<PwwPoint> runPwwSweep(
     const backend::MachineConfig& machine, PwwParams base,
-    const std::vector<std::uint64_t>& workIntervals) {
-  std::vector<PwwPoint> points;
-  points.reserve(workIntervals.size());
+    const std::vector<std::uint64_t>& workIntervals, int jobs) {
+  std::vector<PwwParams> paramSets;
+  paramSets.reserve(workIntervals.size());
   for (const auto interval : workIntervals) {
     base.workInterval = interval;
-    points.push_back(runPwwPoint(machine, base));
-    COMB_LOG(Debug) << machine.name << " pww work=" << interval
-                    << " bw=" << toMBps(points.back().bandwidthBps)
-                    << " MB/s avail=" << points.back().availability;
+    paramSets.push_back(base);
+  }
+  auto points = runSweepParallel(
+      machine, paramSets,
+      [](const backend::MachineConfig& m, const PwwParams& p) {
+        return runPwwPoint(m, p);
+      },
+      jobs);
+  for (const auto& p : points) {
+    COMB_LOG(Debug) << machine.name << " pww work=" << p.workInterval
+                    << " bw=" << toMBps(p.bandwidthBps)
+                    << " MB/s avail=" << p.availability;
   }
   return points;
 }

@@ -1,13 +1,22 @@
 // Runners: execute one COMB measurement (or a sweep) on a simulated
 // machine. Each point runs on a freshly built two-node cluster so sweep
 // points are independent and bit-reproducible.
+//
+// That per-point isolation is what makes the parallel sweep executor
+// safe: `runSweepParallel` fans points out across a host thread pool and
+// is guaranteed to return results bit-identical to the serial path — the
+// simulator is deterministic and no state is shared between points (the
+// only process-global facility the workers touch, the logger, is
+// thread-safe; see common/log.hpp).
 #pragma once
 
+#include <type_traits>
 #include <vector>
 
 #include "backend/machine.hpp"
 #include "comb/latency.hpp"
 #include "comb/params.hpp"
+#include "common/thread_pool.hpp"
 
 namespace comb::bench {
 
@@ -16,21 +25,45 @@ PollingPoint runPollingPoint(const backend::MachineConfig& machine,
 PwwPoint runPwwPoint(const backend::MachineConfig& machine,
                      const PwwParams& params);
 
-/// Sweep the polling interval (params.pollInterval is overridden per point).
+/// Generic parallel sweep executor: run `runOne(machine, paramSets[i])`
+/// for every parameter set, using up to `jobs` worker threads.
+///
+/// * Results come back in input order (slot i = paramSets[i]) no matter
+///   how the points were scheduled.
+/// * `jobs <= 1` (or a single point) degenerates to the serial in-order
+///   loop on the calling thread — no pool is created.
+/// * If points throw, the exception from the lowest-index point is
+///   rethrown after all workers finish (deterministic across runs).
+template <typename Param, typename RunOne>
+auto runSweepParallel(const backend::MachineConfig& machine,
+                      const std::vector<Param>& paramSets, RunOne&& runOne,
+                      int jobs)
+    -> std::vector<std::decay_t<
+        decltype(runOne(machine, std::declval<const Param&>()))>> {
+  using Point = std::decay_t<decltype(runOne(machine, std::declval<const Param&>()))>;
+  std::vector<Point> points(paramSets.size());
+  parallelFor(paramSets.size(), jobs,
+              [&](std::size_t i) { points[i] = runOne(machine, paramSets[i]); });
+  return points;
+}
+
+/// Sweep the polling interval (params.pollInterval is overridden per
+/// point). `jobs` worker threads run points concurrently; results are
+/// bit-identical to jobs=1.
 std::vector<PollingPoint> runPollingSweep(
     const backend::MachineConfig& machine, PollingParams base,
-    const std::vector<std::uint64_t>& pollIntervals);
+    const std::vector<std::uint64_t>& pollIntervals, int jobs = 1);
 
 /// Sweep the work interval (params.workInterval is overridden per point).
-std::vector<PwwPoint> runPwwSweep(const backend::MachineConfig& machine,
-                                  PwwParams base,
-                                  const std::vector<std::uint64_t>& workIntervals);
+std::vector<PwwPoint> runPwwSweep(
+    const backend::MachineConfig& machine, PwwParams base,
+    const std::vector<std::uint64_t>& workIntervals, int jobs = 1);
 
 // Ping-pong latency microbenchmark (comb/latency.hpp).
 LatencyPoint runLatencyPoint(const backend::MachineConfig& machine,
                              const LatencyParams& params);
 std::vector<LatencyPoint> runLatencySweep(const backend::MachineConfig& machine,
                                           const std::vector<Bytes>& sizes,
-                                          int reps = 30);
+                                          int reps = 30, int jobs = 1);
 
 }  // namespace comb::bench

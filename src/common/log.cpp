@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <mutex>
+#include <utility>
 
 #include "common/error.hpp"
 
@@ -38,11 +40,29 @@ std::atomic<Level>& levelRef() {
   return lvl;
 }
 
+// One lock guards both the sink pointer and delivery, so a message is
+// always handed to a coherent sink and concurrent messages never
+// interleave (sweep workers log from pool threads, see thread_pool.hpp).
+std::mutex& sinkMutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+Sink& sinkRef() {
+  static Sink sink;  // empty => default stderr writer
+  return sink;
+}
+
 }  // namespace
 
 Level level() { return levelRef().load(std::memory_order_relaxed); }
 
 void setLevel(Level lvl) { levelRef().store(lvl, std::memory_order_relaxed); }
+
+void setSink(Sink sink) {
+  std::lock_guard<std::mutex> lock(sinkMutex());
+  sinkRef() = std::move(sink);
+}
 
 Level parseLevel(const std::string& name) {
   if (name == "trace") return Level::Trace;
@@ -68,6 +88,15 @@ const char* levelName(Level lvl) {
 
 namespace detail {
 
+void emit(Level lvl, const std::string& text) {
+  std::lock_guard<std::mutex> lock(sinkMutex());
+  if (Sink& sink = sinkRef()) {
+    sink(lvl, text);
+  } else {
+    std::fputs(text.c_str(), stderr);
+  }
+}
+
 Message::Message(Level lvl, const char* file, int line) : lvl_(lvl) {
   // Keep only the basename: full paths add noise without information.
   const char* base = std::strrchr(file, '/');
@@ -77,7 +106,7 @@ Message::Message(Level lvl, const char* file, int line) : lvl_(lvl) {
 
 Message::~Message() {
   stream_ << '\n';
-  std::fputs(stream_.str().c_str(), stderr);
+  emit(lvl_, stream_.str());
 }
 
 }  // namespace detail

@@ -8,6 +8,7 @@
 //   COMB_LOG(Info) << "cluster up, nodes=" << n;
 #pragma once
 
+#include <functional>
 #include <sstream>
 #include <string>
 
@@ -26,7 +27,21 @@ void setLevel(Level lvl);
 Level parseLevel(const std::string& name);
 const char* levelName(Level lvl);
 
+/// A sink receives one fully formatted message (no trailing newline
+/// handling required — the newline is already appended). The logger is
+/// safe to use from concurrent threads: each message is delivered to the
+/// sink as a single call under the logger's lock, so messages never
+/// interleave; *order* across threads follows completion order.
+using Sink = std::function<void(Level, const std::string&)>;
+
+/// Replace the sink (nullptr restores the default stderr writer).
+/// Thread-safe; intended for tests and embedders that capture logs.
+void setSink(Sink sink);
+
 namespace detail {
+
+/// Deliver a finished message to the current sink under the logger lock.
+void emit(Level lvl, const std::string& text);
 
 class Message {
  public:

@@ -113,8 +113,14 @@ LinearFit linearFit(std::span<const double> xs, std::span<const double> ys) {
   }
   LinearFit fit;
   if (sxx == 0.0) {
-    // Vertical data: slope undefined; report flat line through mean.
+    // Vertical data: slope undefined; report the flat line through the
+    // mean with r2 = 0 set explicitly (see the convention in stats.hpp —
+    // this keeps degenerate input distinguishable from a perfect flat
+    // fit, which reports r2 = 1).
     fit.intercept = my;
+    fit.slope = 0.0;
+    fit.r2 = 0.0;
+    fit.degenerate = true;
     return fit;
   }
   fit.slope = sxy / sxx;

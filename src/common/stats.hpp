@@ -45,11 +45,21 @@ double median(std::span<const double> xs);
 double geomean(std::span<const double> xs);
 
 /// Least-squares fit y = a + b*x. Returns {a, b}. Requires >= 2 points.
+///
+/// Degenerate-input convention: when all x are equal ("vertical" data)
+/// the slope is undefined; the fit reports the flat line through the mean
+/// (slope = 0, intercept = mean(y)) with `degenerate = true` and r2 = 0 —
+/// the fit explains none of the y variance. A genuinely flat input (all y
+/// equal, x varying) is a perfect fit: slope = 0, r2 = 1, not degenerate.
 struct LinearFit {
   double intercept = 0.0;
   double slope = 0.0;
-  /// Coefficient of determination in [0, 1].
+  /// Coefficient of determination in [0, 1]. Explicitly 0 for degenerate
+  /// (vertical) input, 1 for an exact fit.
   double r2 = 0.0;
+  /// True when the slope was undefined (all x equal) and the flat-line
+  /// convention above was applied.
+  bool degenerate = false;
 };
 LinearFit linearFit(std::span<const double> xs, std::span<const double> ys);
 

@@ -1,0 +1,93 @@
+#include "common/thread_pool.hpp"
+
+#include <algorithm>
+#include <exception>
+
+#include "common/error.hpp"
+
+namespace comb {
+
+ThreadPool::ThreadPool(int threads) {
+  const int count = std::max(threads, 1);
+  workers_.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i)
+    workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  jobReady_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> job) {
+  COMB_ASSERT(job != nullptr, "ThreadPool::submit: empty job");
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    COMB_ASSERT(!stop_, "ThreadPool::submit after shutdown");
+    queue_.push_back(std::move(job));
+  }
+  jobReady_.notify_one();
+}
+
+void ThreadPool::wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  allIdle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+}
+
+void ThreadPool::workerLoop() {
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      jobReady_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and nothing left to drain
+      job = std::move(queue_.front());
+      queue_.pop_front();
+      ++active_;
+    }
+    job();
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      --active_;
+      if (queue_.empty() && active_ == 0) allIdle_.notify_all();
+    }
+  }
+}
+
+int hardwareJobs() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+void parallelFor(std::size_t n, int jobs,
+                 const std::function<void(std::size_t)>& body) {
+  if (n == 0) return;
+  if (jobs <= 1 || n == 1) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+  const int threads =
+      static_cast<int>(std::min<std::size_t>(static_cast<std::size_t>(jobs), n));
+  std::vector<std::exception_ptr> errors(n);
+  {
+    ThreadPool pool(threads);
+    for (std::size_t i = 0; i < n; ++i) {
+      pool.submit([&body, &errors, i] {
+        try {
+          body(i);
+        } catch (...) {
+          errors[i] = std::current_exception();
+        }
+      });
+    }
+    pool.wait();
+  }
+  for (auto& err : errors)
+    if (err) std::rethrow_exception(err);
+}
+
+}  // namespace comb

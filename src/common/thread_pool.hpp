@@ -1,0 +1,69 @@
+// Fixed-size worker-thread pool and an indexed parallel-for built on it.
+//
+// COMB sweeps are embarrassingly parallel: every measurement point owns a
+// complete simulated machine (see comb/runner.hpp), so points share no
+// mutable state and can run on host threads concurrently without changing
+// their results. This header provides the host-side machinery: a small
+// pool of `std::thread` workers draining a FIFO job queue, plus
+// `parallelFor`, which runs `body(0..n-1)` across the pool, preserves the
+// by-index meaning of results (callers write into a preallocated slot per
+// index), and rethrows the lowest-index exception on the calling thread.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace comb {
+
+class ThreadPool {
+ public:
+  /// Spawn `threads` workers (clamped to >= 1).
+  explicit ThreadPool(int threads);
+  /// Waits for queued jobs to finish, then joins the workers.
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue a job. Jobs must not throw out of the callable unhandled —
+  /// wrap and capture (parallelFor does this for its bodies).
+  void submit(std::function<void()> job);
+
+  /// Block until every job submitted so far has completed.
+  void wait();
+
+  int threadCount() const { return static_cast<int>(workers_.size()); }
+
+ private:
+  void workerLoop();
+
+  std::mutex mu_;
+  std::condition_variable jobReady_;   // workers: queue non-empty or stopping
+  std::condition_variable allIdle_;    // wait(): queue empty and none active
+  std::deque<std::function<void()>> queue_;
+  std::size_t active_ = 0;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// std::thread::hardware_concurrency() clamped to at least 1 (the standard
+/// allows it to return 0 when unknown).
+int hardwareJobs();
+
+/// Run `body(i)` for i in [0, n) using up to `jobs` worker threads.
+///
+/// * jobs <= 1 (or n <= 1): serial in-order execution on the calling
+///   thread — the exact legacy code path, no pool is created.
+/// * Indices are dispatched in increasing order; completion order is
+///   unspecified, so bodies must only touch their own index's state.
+/// * If bodies throw, the exception thrown by the lowest index is
+///   rethrown on the calling thread after all bodies have finished
+///   (deterministic regardless of scheduling); the others are dropped.
+void parallelFor(std::size_t n, int jobs,
+                 const std::function<void(std::size_t)>& body);
+
+}  // namespace comb

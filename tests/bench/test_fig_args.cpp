@@ -1,0 +1,87 @@
+// parseFigArgs is shared by all 21 figure/ablation/extension benches;
+// these tests pin down its parse-time validation (satellite of the
+// parallel-sweep PR): bad values must be rejected up front with
+// exitCode 2 instead of exploding later inside COMB_REQUIRE mid-sweep.
+#include "bench/fig_common.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace comb::bench {
+namespace {
+
+FigArgs parse(std::vector<const char*> argv) {
+  argv.insert(argv.begin(), "figtest");
+  return parseFigArgs(static_cast<int>(argv.size()), argv.data(), "figtest",
+                      "parseFigArgs unit test");
+}
+
+TEST(FigArgs, DefaultsAreValid) {
+  const auto args = parse({});
+  EXPECT_TRUE(args.parsedOk);
+  EXPECT_EQ(args.exitCode, 0);
+  EXPECT_EQ(args.pointsPerDecade, 2);
+  EXPECT_GE(args.jobs, 1);  // defaults to hardware concurrency
+  EXPECT_EQ(args.jobs, hardwareJobs());
+  EXPECT_FALSE(args.csv);
+  EXPECT_EQ(args.outDir, "bench_out");
+}
+
+TEST(FigArgs, ParsesExplicitValues) {
+  const auto args =
+      parse({"--points-per-decade", "5", "--jobs", "3", "--csv", "--out",
+             "results"});
+  EXPECT_TRUE(args.parsedOk);
+  EXPECT_EQ(args.pointsPerDecade, 5);
+  EXPECT_EQ(args.jobs, 3);
+  EXPECT_TRUE(args.csv);
+  EXPECT_EQ(args.outDir, "results");
+}
+
+TEST(FigArgs, RejectsZeroPointsPerDecade) {
+  const auto args = parse({"--points-per-decade", "0"});
+  EXPECT_FALSE(args.parsedOk);
+  EXPECT_EQ(args.exitCode, 2);
+}
+
+TEST(FigArgs, RejectsNegativePointsPerDecade) {
+  const auto args = parse({"--points-per-decade=-3"});
+  EXPECT_FALSE(args.parsedOk);
+  EXPECT_EQ(args.exitCode, 2);
+}
+
+TEST(FigArgs, RejectsNonNumericPointsPerDecade) {
+  const auto args = parse({"--points-per-decade", "many"});
+  EXPECT_FALSE(args.parsedOk);
+  EXPECT_EQ(args.exitCode, 2);
+}
+
+TEST(FigArgs, RejectsZeroOrNegativeJobs) {
+  for (const char* bad : {"0", "-2"}) {
+    const auto args = parse({"--jobs", bad});
+    EXPECT_FALSE(args.parsedOk) << "--jobs " << bad;
+    EXPECT_EQ(args.exitCode, 2) << "--jobs " << bad;
+  }
+}
+
+TEST(FigArgs, RejectsNonNumericJobs) {
+  const auto args = parse({"--jobs", "all"});
+  EXPECT_FALSE(args.parsedOk);
+  EXPECT_EQ(args.exitCode, 2);
+}
+
+TEST(FigArgs, RejectsUnknownOption) {
+  const auto args = parse({"--frobnicate"});
+  EXPECT_FALSE(args.parsedOk);
+  EXPECT_EQ(args.exitCode, 2);
+}
+
+TEST(FigArgs, HelpExitsZeroWithoutRunning) {
+  const auto args = parse({"--help"});
+  EXPECT_FALSE(args.parsedOk);
+  EXPECT_EQ(args.exitCode, 0);
+}
+
+}  // namespace
+}  // namespace comb::bench

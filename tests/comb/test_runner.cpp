@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+
 #include "backend/machine.hpp"
 #include "comb/presets.hpp"
 #include "common/error.hpp"
@@ -40,6 +44,50 @@ TEST(LogSweep, RejectsBadBounds) {
   EXPECT_THROW(logSweep(1, 10, 0), ConfigError);
 }
 
+TEST(LogSweep, StrictlyIncreasingAtHighDensityOverManyDecades) {
+  // Regression: the old implementation accumulated the exponent with
+  // repeated `e += step`; after dozens of additions the drift could skip
+  // or duplicate a grid point. Recomputing from the integer index keeps
+  // the grid exact: p*(decades) interior steps + 1, strictly increasing.
+  for (const int ppd : {1, 2, 3, 7, 10}) {
+    const auto xs = logSweep(10, 100'000'000, ppd);
+    EXPECT_EQ(xs.size(), static_cast<std::size_t>(7 * ppd + 1))
+        << "points-per-decade=" << ppd;
+    EXPECT_EQ(xs.front(), 10u);
+    EXPECT_EQ(xs.back(), 100'000'000u);
+    for (std::size_t i = 1; i < xs.size(); ++i)
+      ASSERT_LT(xs[i - 1], xs[i]) << "ppd=" << ppd << " i=" << i;
+  }
+}
+
+TEST(LogSweep, DecadeBoundariesStayExactAtHighDensity) {
+  // With drift, a boundary like 10^6 could come back as 999999 or be
+  // skipped entirely. Every decade boundary must appear exactly.
+  const auto xs = logSweep(10, 10'000'000, 10);
+  for (std::uint64_t decade = 10; decade <= 10'000'000; decade *= 10)
+    EXPECT_NE(std::find(xs.begin(), xs.end(), decade), xs.end())
+        << "missing decade boundary " << decade;
+}
+
+TEST(LogSweep, LargeBoundsDoNotOverflow) {
+  // Regression: llround returns long long, so values above 2^63-1
+  // (~9.2e18) invoked UB even though they fit in uint64_t. 10^19 is such
+  // a value.
+  const auto xs = logSweep(1'000'000'000'000'000'000ull,  // 10^18
+                           10'000'000'000'000'000'000ull,  // 10^19
+                           1);
+  EXPECT_EQ(xs, (std::vector<std::uint64_t>{1'000'000'000'000'000'000ull,
+                                            10'000'000'000'000'000'000ull}));
+}
+
+TEST(LogSweep, Uint64MaxUpperBoundIsSafe) {
+  const auto xs = logSweep(1, std::numeric_limits<std::uint64_t>::max(), 1);
+  EXPECT_EQ(xs.front(), 1u);
+  EXPECT_EQ(xs.back(), std::numeric_limits<std::uint64_t>::max());
+  for (std::size_t i = 1; i < xs.size(); ++i)
+    ASSERT_LT(xs[i - 1], xs[i]);
+}
+
 TEST(Presets, PaperSizesAndSweeps) {
   const auto sizes = presets::paperMessageSizes();
   ASSERT_EQ(sizes.size(), 4u);
@@ -75,6 +123,98 @@ TEST(Runner, PwwSweepOverridesInterval) {
   EXPECT_EQ(pts[0].workInterval, 5'000u);
   EXPECT_EQ(pts[1].workInterval, 500'000u);
   EXPECT_EQ(pts[1].reps, 3);  // reps minus warm-up
+}
+
+// Every field compared exactly: the parallel executor must be
+// *bit-identical* to the serial path, not merely close.
+void expectSamePoint(const PollingPoint& a, const PollingPoint& b,
+                     std::size_t i) {
+  EXPECT_EQ(a.pollInterval, b.pollInterval) << "point " << i;
+  EXPECT_EQ(a.msgBytes, b.msgBytes) << "point " << i;
+  EXPECT_EQ(a.availability, b.availability) << "point " << i;
+  EXPECT_EQ(a.bandwidthBps, b.bandwidthBps) << "point " << i;
+  EXPECT_EQ(a.dryTime, b.dryTime) << "point " << i;
+  EXPECT_EQ(a.liveTime, b.liveTime) << "point " << i;
+  EXPECT_EQ(a.messagesReceived, b.messagesReceived) << "point " << i;
+  EXPECT_EQ(a.pollsExecuted, b.pollsExecuted) << "point " << i;
+}
+
+TEST(ParallelSweep, PollingBitIdenticalToSerialOnBothMachines) {
+  auto base = presets::pollingBase(10 * 1024);
+  base.targetDuration = 3e-3;
+  base.maxPolls = 2'000;
+  const auto intervals = logSweep(10, 1'000'000, 1);
+  for (const auto& machine :
+       {backend::gmMachine(), backend::portalsMachine()}) {
+    const auto serial = runPollingSweep(machine, base, intervals, 1);
+    const auto parallel = runPollingSweep(machine, base, intervals, 4);
+    ASSERT_EQ(serial.size(), parallel.size()) << machine.name;
+    for (std::size_t i = 0; i < serial.size(); ++i)
+      expectSamePoint(serial[i], parallel[i], i);
+  }
+}
+
+TEST(ParallelSweep, PwwBitIdenticalToSerial) {
+  auto base = presets::pwwBase(10 * 1024);
+  base.reps = 4;
+  const std::vector<std::uint64_t> intervals{5'000, 50'000, 500'000,
+                                             5'000'000};
+  const auto serial = runPwwSweep(backend::gmMachine(), base, intervals, 1);
+  const auto parallel = runPwwSweep(backend::gmMachine(), base, intervals, 3);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].workInterval, parallel[i].workInterval);
+    EXPECT_EQ(serial[i].availability, parallel[i].availability);
+    EXPECT_EQ(serial[i].bandwidthBps, parallel[i].bandwidthBps);
+    EXPECT_EQ(serial[i].avgPost, parallel[i].avgPost);
+    EXPECT_EQ(serial[i].avgWork, parallel[i].avgWork);
+    EXPECT_EQ(serial[i].avgWait, parallel[i].avgWait);
+    EXPECT_EQ(serial[i].dryWork, parallel[i].dryWork);
+  }
+}
+
+TEST(ParallelSweep, LatencyBitIdenticalToSerial) {
+  const std::vector<Bytes> sizes{64, 1024, 10 * 1024, 100 * 1024};
+  const auto serial =
+      runLatencySweep(backend::portalsMachine(), sizes, /*reps=*/5, 1);
+  const auto parallel =
+      runLatencySweep(backend::portalsMachine(), sizes, /*reps=*/5, 4);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].msgBytes, parallel[i].msgBytes);
+    EXPECT_EQ(serial[i].halfRoundTripAvg, parallel[i].halfRoundTripAvg);
+    EXPECT_EQ(serial[i].halfRoundTripMin, parallel[i].halfRoundTripMin);
+    EXPECT_EQ(serial[i].bandwidthBps, parallel[i].bandwidthBps);
+  }
+}
+
+TEST(ParallelSweep, RunSweepParallelPropagatesFirstPointException) {
+  const std::vector<int> params{0, 1, 2, 3, 4, 5};
+  for (const int jobs : {1, 3}) {
+    try {
+      runSweepParallel(
+          backend::gmMachine(), params,
+          [](const backend::MachineConfig&, int p) {
+            if (p >= 2) throw std::runtime_error("point " + std::to_string(p));
+            return p;
+          },
+          jobs);
+      FAIL() << "expected exception, jobs=" << jobs;
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "point 2") << "jobs=" << jobs;
+    }
+  }
+}
+
+TEST(ParallelSweep, JobsGreaterThanPointsWorks) {
+  auto base = presets::pollingBase(10 * 1024);
+  base.targetDuration = 3e-3;
+  base.maxPolls = 2'000;
+  const std::vector<std::uint64_t> intervals{1'000, 100'000};
+  const auto pts = runPollingSweep(backend::gmMachine(), base, intervals, 64);
+  ASSERT_EQ(pts.size(), 2u);
+  EXPECT_EQ(pts[0].pollInterval, 1'000u);
+  EXPECT_EQ(pts[1].pollInterval, 100'000u);
 }
 
 }  // namespace

@@ -2,6 +2,14 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
 #include "common/error.hpp"
 
 namespace comb::log {
@@ -14,6 +22,29 @@ class LogLevelGuard {
 
  private:
   Level saved_;
+};
+
+/// Captures messages for the duration of a test, restoring the default
+/// stderr sink afterwards. The internal vector is guarded because the
+/// logger may deliver from worker threads.
+class CaptureSink {
+ public:
+  CaptureSink() {
+    setSink([this](Level lvl, const std::string& text) {
+      std::lock_guard<std::mutex> lock(mu_);
+      messages_.push_back({lvl, text});
+    });
+  }
+  ~CaptureSink() { setSink(nullptr); }
+
+  std::vector<std::pair<Level, std::string>> take() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return messages_;
+  }
+
+ private:
+  std::mutex mu_;
+  std::vector<std::pair<Level, std::string>> messages_;
 };
 
 TEST(Log, ParseLevelRoundTrips) {
@@ -50,6 +81,67 @@ TEST(Log, DisabledLevelDoesNotEvaluateStream) {
   EXPECT_EQ(evaluations, 0);
   COMB_LOG(Error) << "value " << expensive();
   EXPECT_EQ(evaluations, 1);
+}
+
+TEST(Log, SinkReceivesFormattedMessages) {
+  LogLevelGuard guard;
+  setLevel(Level::Info);
+  CaptureSink sink;
+  COMB_LOG(Info) << "hello " << 42;
+  COMB_LOG(Debug) << "filtered out";
+  const auto msgs = sink.take();
+  ASSERT_EQ(msgs.size(), 1u);
+  EXPECT_EQ(msgs[0].first, Level::Info);
+  EXPECT_NE(msgs[0].second.find("hello 42"), std::string::npos);
+  EXPECT_NE(msgs[0].second.find("[INFO]"), std::string::npos);
+  EXPECT_EQ(msgs[0].second.back(), '\n');
+}
+
+TEST(Log, NullSinkRestoresDefault) {
+  // Must not crash or deliver to a stale sink after reset.
+  setSink(nullptr);
+  LogLevelGuard guard;
+  setLevel(Level::Off);
+  COMB_LOG(Error) << "discarded";
+}
+
+TEST(Log, ConcurrentMessagesNeverInterleave) {
+  // The parallel sweep executor logs from pool threads; each message must
+  // arrive at the sink whole. 8 threads × 50 messages, each tagged with
+  // its thread id and sequence — every captured line must parse back
+  // exactly.
+  LogLevelGuard guard;
+  setLevel(Level::Info);
+  CaptureSink sink;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 50;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t] {
+      for (int i = 0; i < kPerThread; ++i)
+        COMB_LOG(Info) << "msg t=" << t << " i=" << i << " end";
+    });
+  }
+  for (auto& th : threads) th.join();
+  const auto msgs = sink.take();
+  ASSERT_EQ(msgs.size(),
+            static_cast<std::size_t>(kThreads) * kPerThread);
+  std::vector<std::vector<bool>> seen(kThreads,
+                                      std::vector<bool>(kPerThread, false));
+  for (const auto& [lvl, text] : msgs) {
+    EXPECT_EQ(lvl, Level::Info);
+    int t = -1, i = -1;
+    const auto at = text.find("msg t=");
+    ASSERT_NE(at, std::string::npos) << "mangled message: " << text;
+    ASSERT_EQ(std::sscanf(text.c_str() + at, "msg t=%d i=%d end", &t, &i), 2)
+        << "interleaved message: " << text;
+    ASSERT_GE(t, 0);
+    ASSERT_LT(t, kThreads);
+    ASSERT_GE(i, 0);
+    ASSERT_LT(i, kPerThread);
+    EXPECT_FALSE(seen[t][i]) << "duplicate t=" << t << " i=" << i;
+    seen[t][i] = true;
+  }
 }
 
 TEST(Log, LevelOrderingIsSane) {

@@ -109,6 +109,34 @@ TEST(LinearFit, FlatData) {
   const auto fit = linearFit(xs, ys);
   EXPECT_NEAR(fit.slope, 0.0, 1e-12);
   EXPECT_NEAR(fit.intercept, 5.0, 1e-12);
+  // A flat line through varying x is a *perfect* fit, not a degenerate
+  // one: every y is explained exactly.
+  EXPECT_FALSE(fit.degenerate);
+  EXPECT_DOUBLE_EQ(fit.r2, 1.0);
+}
+
+TEST(LinearFit, VerticalDataReportsDegenerateConvention) {
+  // All x equal: the slope is undefined. Convention (see stats.hpp):
+  // flat line through mean(y), r2 = 0 set explicitly, degenerate = true.
+  std::vector<double> xs{2, 2, 2, 2};
+  std::vector<double> ys{1, 3, 5, 7};
+  const auto fit = linearFit(xs, ys);
+  EXPECT_TRUE(fit.degenerate);
+  EXPECT_DOUBLE_EQ(fit.slope, 0.0);
+  EXPECT_DOUBLE_EQ(fit.intercept, 4.0);
+  EXPECT_DOUBLE_EQ(fit.r2, 0.0);
+}
+
+TEST(LinearFit, VerticalConstantDataStillDegenerate) {
+  // Same point repeated: also vertical (sxx == 0), same convention —
+  // previously this fell through with a default-initialized r2, which
+  // made "no information" indistinguishable from "terrible fit".
+  std::vector<double> xs{3, 3};
+  std::vector<double> ys{9, 9};
+  const auto fit = linearFit(xs, ys);
+  EXPECT_TRUE(fit.degenerate);
+  EXPECT_DOUBLE_EQ(fit.intercept, 9.0);
+  EXPECT_DOUBLE_EQ(fit.r2, 0.0);
 }
 
 TEST(ApproxEqual, RelativeAndAbsolute) {

@@ -1,0 +1,129 @@
+#include "common/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace comb {
+namespace {
+
+TEST(ThreadPool, RunsEverySubmittedJob) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.threadCount(), 4);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 100; ++i) pool.submit([&] { ++ran; });
+  pool.wait();
+  EXPECT_EQ(ran.load(), 100);
+}
+
+TEST(ThreadPool, WaitIsReusableAcrossBatches) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  for (int batch = 0; batch < 3; ++batch) {
+    for (int i = 0; i < 10; ++i) pool.submit([&] { ++ran; });
+    pool.wait();
+    EXPECT_EQ(ran.load(), 10 * (batch + 1));
+  }
+}
+
+TEST(ThreadPool, ClampsThreadCountToAtLeastOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.threadCount(), 1);
+  std::atomic<bool> ran{false};
+  pool.submit([&] { ran = true; });
+  pool.wait();
+  EXPECT_TRUE(ran.load());
+}
+
+TEST(ThreadPool, DestructorDrainsQueuedJobs) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) pool.submit([&] { ++ran; });
+    // No wait(): the destructor must let queued jobs finish.
+  }
+  EXPECT_EQ(ran.load(), 50);
+}
+
+TEST(HardwareJobs, AtLeastOne) { EXPECT_GE(hardwareJobs(), 1); }
+
+TEST(ParallelFor, PreservesIndexMeaningAcrossSchedules) {
+  for (const int jobs : {1, 2, 8, 64}) {
+    std::vector<int> out(1000, -1);
+    parallelFor(out.size(), jobs, [&](std::size_t i) {
+      out[i] = static_cast<int>(i) * 3;
+    });
+    for (std::size_t i = 0; i < out.size(); ++i)
+      ASSERT_EQ(out[i], static_cast<int>(i) * 3) << "jobs=" << jobs;
+  }
+}
+
+TEST(ParallelFor, SerialFallbackRunsInOrderOnCallingThread) {
+  const auto caller = std::this_thread::get_id();
+  std::vector<std::size_t> order;
+  parallelFor(16, /*jobs=*/1, [&](std::size_t i) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    order.push_back(i);  // safe: serial path, single thread
+  });
+  std::vector<std::size_t> expect(16);
+  std::iota(expect.begin(), expect.end(), 0u);
+  EXPECT_EQ(order, expect);
+}
+
+TEST(ParallelFor, SingleItemAvoidsPoolEvenWithManyJobs) {
+  const auto caller = std::this_thread::get_id();
+  parallelFor(1, /*jobs=*/16, [&](std::size_t i) {
+    EXPECT_EQ(i, 0u);
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+  });
+}
+
+TEST(ParallelFor, EmptyRangeIsANoOp) {
+  parallelFor(0, 8, [&](std::size_t) { FAIL() << "body must not run"; });
+}
+
+TEST(ParallelFor, PropagatesLowestIndexException) {
+  // Several bodies throw; the caller must deterministically see the
+  // lowest-index one regardless of which worker finished first.
+  for (const int jobs : {1, 4}) {
+    std::atomic<int> completed{0};
+    try {
+      parallelFor(32, jobs, [&](std::size_t i) {
+        if (i == 5 || i == 20) throw std::runtime_error("boom " + std::to_string(i));
+        ++completed;
+      });
+      FAIL() << "expected an exception (jobs=" << jobs << ")";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "boom 5") << "jobs=" << jobs;
+    }
+    if (jobs == 1) {
+      // Serial path throws immediately at index 5: exactly 5 completions.
+      EXPECT_EQ(completed.load(), 5);
+    } else {
+      // Parallel path finishes all non-throwing bodies before rethrow.
+      EXPECT_EQ(completed.load(), 30);
+    }
+  }
+}
+
+TEST(ParallelFor, ComBErrorsPropagateTyped) {
+  EXPECT_THROW(
+      parallelFor(4, 4,
+                  [](std::size_t) { COMB_REQUIRE(false, "typed failure"); }),
+      Error);
+}
+
+TEST(ParallelFor, MoreJobsThanItemsIsFine) {
+  std::vector<int> out(3, 0);
+  parallelFor(out.size(), 100, [&](std::size_t i) { out[i] = 1; });
+  EXPECT_EQ(out, (std::vector<int>{1, 1, 1}));
+}
+
+}  // namespace
+}  // namespace comb

@@ -23,6 +23,7 @@
 #include "common/error.hpp"
 #include "common/string_util.hpp"
 #include "common/table.hpp"
+#include "common/thread_pool.hpp"
 #include "common/units.hpp"
 #include "report/machine_stats.hpp"
 
@@ -39,6 +40,8 @@ void usage() {
       "    --machine-file F        load a machine definition (.ini)\n"
       "    --size-kb N             message size in KB (default 100)\n"
       "    --cpus N --nic-cpu K    SMP extension knobs\n"
+      "    --jobs N                worker threads for sweeps (0 = all\n"
+      "                            cores); results are bit-identical\n"
       "  polling: --interval I | --sweep    --queue Q\n"
       "  pww:     --work W | --sweep        --batch B  --test-at F\n"
       "  latency: (size only)\n"
@@ -55,6 +58,10 @@ ArgParser makeParser(const std::string& method) {
   args.addOption("cpus", "CPUs per node (SMP extension)", "1");
   args.addOption("nic-cpu", "CPU servicing NIC kernel work", "0");
   args.addFlag("sweep", "sweep the primary variable over the paper range");
+  args.addOption("jobs",
+                 "worker threads for sweep points (0 = all cores); results "
+                 "are bit-identical for any value",
+                 "0");
   args.addOption("interval", "polling interval (loop iterations)", "10000");
   args.addOption("work", "PWW work interval (loop iterations)", "1000000");
   args.addOption("queue", "polling queue depth", "8");
@@ -64,6 +71,16 @@ ArgParser makeParser(const std::string& method) {
   args.addFlag("trace", "stats: also dump the substrate event trace");
   args.addOption("trace-rows", "stats: trace rows to print", "40");
   return args;
+}
+
+/// Resolve --jobs: 0 means "all hardware threads"; anything negative is a
+/// configuration error reported before any simulation starts.
+int jobsFrom(const ArgParser& args) {
+  const auto jobs = args.integer("jobs");
+  if (jobs < 0)
+    throw ConfigError("--jobs must be >= 0 (0 = all cores), got " +
+                      args.str("jobs"));
+  return jobs == 0 ? hardwareJobs() : static_cast<int>(jobs);
 }
 
 backend::MachineConfig machineFrom(const ArgParser& args) {
@@ -100,7 +117,7 @@ int runPolling(const ArgParser& args) {
   TextTable t({"poll_interval", "bandwidth_MBps", "availability", "messages"});
   if (args.flag("sweep")) {
     for (const auto& pt : bench::runPollingSweep(
-             machine, params, bench::presets::pollSweep(2)))
+             machine, params, bench::presets::pollSweep(2), jobsFrom(args)))
       printPollingRow(t, pt);
   } else {
     params.pollInterval =
@@ -132,7 +149,8 @@ int runPww(const ArgParser& args) {
                "post_us_per_op", "work_us", "wait_us_per_msg"});
   if (args.flag("sweep")) {
     for (const auto& pt :
-         bench::runPwwSweep(machine, params, bench::presets::workSweep(2)))
+         bench::runPwwSweep(machine, params, bench::presets::workSweep(2),
+                            jobsFrom(args)))
       printPwwRow(t, pt);
   } else {
     params.workInterval = static_cast<std::uint64_t>(args.integer("work"));
@@ -164,6 +182,7 @@ int runAssess(const ArgParser& args) {
   const auto machine = machineFrom(args);
   bench::AssessOptions options;
   options.msgBytes = static_cast<Bytes>(args.integer("size-kb")) * 1024;
+  options.jobs = jobsFrom(args);
   const auto a = bench::assessMachine(machine, options);
   std::printf("COMB assessment, machine=%s, size=%s\n\n%s",
               a.machineName.c_str(), fmtBytes(a.msgBytes).c_str(),
