@@ -18,8 +18,13 @@ int main(int argc, char** argv) {
 
   const std::vector<Bytes> sizes{64, 1_KB, 4_KB, 10_KB, 50_KB, 100_KB,
                                  300_KB};
-  const auto gm = runLatencySweep(backend::gmMachine(), sizes, 30, args.jobs);
-  const auto portals = runLatencySweep(backend::portalsMachine(), sizes, 30, args.jobs);
+  SweepSpec<LatencyParams> spec;
+  spec.base.reps = 30;
+  spec.values = sizes;
+  const auto gm =
+      runLatencySweep(backend::gmMachine(), spec, args.runOptions());
+  const auto portals =
+      runLatencySweep(backend::portalsMachine(), spec, args.runOptions());
 
   report::Figure fig("ext_latency", "Extension: Ping-Pong Latency vs Size",
                      "message_bytes", "half_round_trip_us");

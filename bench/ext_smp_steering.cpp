@@ -25,10 +25,9 @@ int main(int argc, char** argv) {
   smp.nicCpu = 1;  // kernel/NIC work on the second CPU
 
   const auto intervals = presets::pollSweep(args.pointsPerDecade);
-  const auto uniPts =
-      runPollingSweep(uni, presets::pollingBase(100_KB), intervals, args.jobs);
-  const auto smpPts =
-      runPollingSweep(smp, presets::pollingBase(100_KB), intervals, args.jobs);
+  const auto spec = sweepOver(presets::pollingBase(100_KB), intervals);
+  const auto uniPts = runPollingSweep(uni, spec, args.runOptions());
+  const auto smpPts = runPollingSweep(smp, spec, args.runOptions());
 
   report::Figure fig("ext_smp_steering",
                      "Extension: SMP Interrupt Steering (Portals, 100 KB)",

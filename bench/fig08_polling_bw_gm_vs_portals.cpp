@@ -16,10 +16,11 @@ int main(int argc, char** argv) {
   if (!args.parsedOk) return args.exitCode;
 
   const auto intervals = presets::pollSweep(args.pointsPerDecade);
-  const auto gm = runPollingSweep(backend::gmMachine(),
-                                  presets::pollingBase(100_KB), intervals, args.jobs);
-  const auto portals = runPollingSweep(
-      backend::portalsMachine(), presets::pollingBase(100_KB), intervals, args.jobs);
+  const auto spec = sweepOver(presets::pollingBase(100_KB), intervals);
+  const auto gm =
+      runPollingSweep(backend::gmMachine(), spec, args.runOptions());
+  const auto portals =
+      runPollingSweep(backend::portalsMachine(), spec, args.runOptions());
 
   report::Figure fig("fig08", "Polling Method: Bandwidth, GM vs Portals",
                      "poll_interval_iters", "bandwidth_MBps");

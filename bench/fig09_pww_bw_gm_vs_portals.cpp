@@ -15,12 +15,10 @@ int main(int argc, char** argv) {
   if (!args.parsedOk) return args.exitCode;
 
   const auto intervals = presets::workSweep(args.pointsPerDecade);
-  const auto gm =
-      runPwwSweep(backend::gmMachine(), presets::pwwBase(100_KB), intervals,
-                  args.jobs);
-  const auto portals = runPwwSweep(backend::portalsMachine(),
-                                   presets::pwwBase(100_KB), intervals,
-                                   args.jobs);
+  const auto spec = sweepOver(presets::pwwBase(100_KB), intervals);
+  const auto gm = runPwwSweep(backend::gmMachine(), spec, args.runOptions());
+  const auto portals =
+      runPwwSweep(backend::portalsMachine(), spec, args.runOptions());
 
   report::Figure fig("fig09", "PWW Method: Bandwidth, GM vs Portals",
                      "work_interval_iters", "bandwidth_MBps");

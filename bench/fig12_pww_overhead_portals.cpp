@@ -27,9 +27,10 @@ int main(int argc, char** argv) {
   if (!args.parsedOk) return args.exitCode;
 
   const auto intervals = linearSweep();
-  const auto pts = runPwwSweep(backend::portalsMachine(),
-                               presets::pwwBase(100_KB), intervals,
-                               args.jobs);
+  const auto pts =
+      runPwwSweep(backend::portalsMachine(),
+                  sweepOver(presets::pwwBase(100_KB), intervals),
+                  args.runOptions());
 
   report::Figure fig("fig12", "PWW Method: CPU Overhead (Portals)",
                      "work_interval_iters", "work_phase_us");

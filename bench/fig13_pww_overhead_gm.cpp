@@ -27,9 +27,9 @@ int main(int argc, char** argv) {
   if (!args.parsedOk) return args.exitCode;
 
   const auto intervals = linearSweep();
-  const auto pts =
-      runPwwSweep(backend::gmMachine(), presets::pwwBase(100_KB), intervals,
-                  args.jobs);
+  const auto pts = runPwwSweep(backend::gmMachine(),
+                               sweepOver(presets::pwwBase(100_KB), intervals),
+                               args.runOptions());
 
   report::Figure fig("fig13", "PWW Method: CPU Overhead (GM)",
                      "work_interval_iters", "work_phase_us");

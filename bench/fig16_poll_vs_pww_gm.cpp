@@ -17,12 +17,16 @@ int main(int argc, char** argv) {
       "Polling + PWW: bandwidth vs availability, GM (100 KB)");
   if (!args.parsedOk) return args.exitCode;
 
-  const auto poll =
-      runPollingSweep(backend::gmMachine(), presets::pollingBase(100_KB),
-                      presets::pollSweep(args.pointsPerDecade + 1), args.jobs);
-  const auto pww =
-      runPwwSweep(backend::gmMachine(), presets::pwwBase(100_KB),
-                  presets::workSweep(args.pointsPerDecade + 1), args.jobs);
+  const auto poll = runPollingSweep(
+      backend::gmMachine(),
+      sweepOver(presets::pollingBase(100_KB),
+                presets::pollSweep(args.pointsPerDecade + 1)),
+      args.runOptions());
+  const auto pww = runPwwSweep(
+      backend::gmMachine(),
+      sweepOver(presets::pwwBase(100_KB),
+                presets::workSweep(args.pointsPerDecade + 1)),
+      args.runOptions());
 
   report::Figure fig("fig16",
                      "Polling and PWW: Bandwidth vs Availability (GM)",

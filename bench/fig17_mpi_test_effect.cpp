@@ -18,17 +18,21 @@ int main(int argc, char** argv) {
       "Polling + PWW + PWW-with-MPI_Test: bandwidth vs availability, GM");
   if (!args.parsedOk) return args.exitCode;
 
-  const auto poll =
-      runPollingSweep(backend::gmMachine(), presets::pollingBase(100_KB),
-                      presets::pollSweep(args.pointsPerDecade + 1), args.jobs);
+  const auto poll = runPollingSweep(
+      backend::gmMachine(),
+      sweepOver(presets::pollingBase(100_KB),
+                presets::pollSweep(args.pointsPerDecade + 1)),
+      args.runOptions());
   const auto workIntervals = presets::workSweep(args.pointsPerDecade + 1);
   const auto pww =
-      runPwwSweep(backend::gmMachine(), presets::pwwBase(100_KB),
-                  workIntervals, args.jobs);
+      runPwwSweep(backend::gmMachine(),
+                  sweepOver(presets::pwwBase(100_KB), workIntervals),
+                  args.runOptions());
   auto testBase = presets::pwwBase(100_KB);
   testBase.testCallAtFraction = 0.1;  // one MPI_Test early in the work phase
-  const auto pwwTest =
-      runPwwSweep(backend::gmMachine(), testBase, workIntervals, args.jobs);
+  const auto pwwTest = runPwwSweep(backend::gmMachine(),
+                                   sweepOver(testBase, workIntervals),
+                                   args.runOptions());
 
   report::Figure fig(
       "fig17", "Polling and Modified PWW: Bandwidth vs Availability (GM)",

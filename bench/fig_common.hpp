@@ -10,6 +10,7 @@
 
 #include <cstdio>
 #include <iostream>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -21,6 +22,7 @@
 #include "common/string_util.hpp"
 #include "common/thread_pool.hpp"
 #include "common/units.hpp"
+#include "net/fault.hpp"
 #include "report/expectations.hpp"
 #include "report/figure.hpp"
 
@@ -31,16 +33,27 @@ struct FigArgs {
   /// Worker threads for sweep points; defaults to all hardware threads.
   /// Results are bit-identical for any value (per-point isolation).
   int jobs = 1;
+  /// Fault model override from --fault (per-point results stay
+  /// bit-reproducible: link fault streams are seeded per link name).
+  std::optional<net::FaultSpec> fault;
   bool csv = false;
   std::string outDir = "bench_out";
   bool parsedOk = true;  ///< false => exit with exitCode without running
   int exitCode = 0;      ///< 0 after --help, 2 on invalid arguments
+
+  /// The sweep-execution options these args describe.
+  RunOptions runOptions() const {
+    RunOptions opts;
+    opts.jobs = jobs;
+    opts.fault = fault;
+    return opts;
+  }
 };
 
 /// Parse and *validate* the common figure-bench arguments. Bad values
-/// (non-numeric, --points-per-decade < 1, --jobs < 1) are reported on
-/// stderr at parse time with parsedOk=false / exitCode=2, instead of
-/// failing later inside the sweep.
+/// (non-numeric, --points-per-decade < 1, --jobs < 1, malformed --fault)
+/// are reported on stderr at parse time with parsedOk=false / exitCode=2,
+/// instead of failing later inside the sweep.
 inline FigArgs parseFigArgs(int argc, const char* const* argv,
                             const std::string& name,
                             const std::string& description) {
@@ -52,6 +65,10 @@ inline FigArgs parseFigArgs(int argc, const char* const* argv,
                    "worker threads for sweep points (results are "
                    "bit-identical for any value)",
                    std::to_string(hardwareJobs()));
+  parser.addOption("fault",
+                   "inject link faults, e.g. drop=0.01,burst=4,seed=7 "
+                   "(keys: drop, burst, corrupt, jitter_us, seed)",
+                   "");
   FigArgs args;
   args.jobs = hardwareJobs();
   try {
@@ -67,6 +84,8 @@ inline FigArgs parseFigArgs(int argc, const char* const* argv,
     args.jobs = static_cast<int>(parser.integer("jobs"));
     if (args.jobs < 1)
       throw ConfigError("--jobs must be >= 1, got " + parser.str("jobs"));
+    if (const auto spec = parser.str("fault"); !spec.empty())
+      args.fault = net::parseFaultSpec(spec);
     args.csv = parser.flag("csv");
     args.outDir = parser.str("out");
   } catch (const Error& e) {
@@ -108,13 +127,14 @@ struct PollingFamily {
 
 inline PollingFamily runPollingFamily(const backend::MachineConfig& machine,
                                       const std::vector<Bytes>& sizes,
-                                      int pointsPerDecade, int jobs = 1) {
+                                      int pointsPerDecade,
+                                      const RunOptions& opts = {}) {
   PollingFamily fam;
   fam.sizes = sizes;
   fam.intervals = presets::pollSweep(pointsPerDecade);
   for (const Bytes size : sizes) {
-    fam.results.push_back(runPollingSweep(machine, presets::pollingBase(size),
-                                          fam.intervals, jobs));
+    fam.results.push_back(runPollingSweep(
+        machine, sweepOver(presets::pollingBase(size), fam.intervals), opts));
   }
   return fam;
 }
@@ -129,14 +149,15 @@ inline PwwFamily runPwwFamily(const backend::MachineConfig& machine,
                               const std::vector<Bytes>& sizes,
                               int pointsPerDecade,
                               double testCallAtFraction = -1.0,
-                              int jobs = 1) {
+                              const RunOptions& opts = {}) {
   PwwFamily fam;
   fam.sizes = sizes;
   fam.intervals = presets::workSweep(pointsPerDecade);
   for (const Bytes size : sizes) {
     auto base = presets::pwwBase(size);
     base.testCallAtFraction = testCallAtFraction;
-    fam.results.push_back(runPwwSweep(machine, base, fam.intervals, jobs));
+    fam.results.push_back(
+        runPwwSweep(machine, sweepOver(base, fam.intervals), opts));
   }
   return fam;
 }

@@ -37,7 +37,8 @@ int main(int argc, char** argv) {
   // 1. Polling sweep: the unfettered view.
   const auto pollIntervals = bench::logSweep(10, 100'000'000, 2);
   const auto poll = bench::runPollingSweep(
-      machine, bench::presets::pollingBase(msgBytes), pollIntervals);
+      machine,
+      bench::sweepOver(bench::presets::pollingBase(msgBytes), pollIntervals));
   double peakBw = 0, bestAvailNearPeak = 0;
   for (const auto& p : poll) peakBw = std::max(peakBw, p.bandwidthBps);
   for (const auto& p : poll)

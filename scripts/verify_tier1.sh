@@ -4,7 +4,9 @@
 #   2. rebuild the concurrency-sensitive pieces under ThreadSanitizer
 #      (-DCOMB_SANITIZE=thread) and run the thread-pool / parallel-sweep /
 #      logger tests, which exercise every cross-thread interaction the
-#      parallel sweep executor introduces.
+#      parallel sweep executor introduces — plus the fault-injection
+#      tests (`faults` label), whose parallel sweeps run retransmission
+#      machinery on every worker thread.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -13,8 +15,10 @@ cmake --build build -j
 (cd build && ctest --output-on-failure -j"$(nproc)")
 
 cmake -B build-tsan -S . -DCOMB_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
-cmake --build build-tsan -j --target test_thread_pool test_runner test_log test_thread_comb
+cmake --build build-tsan -j --target test_thread_pool test_runner test_log \
+  test_thread_comb test_fault test_fault_injection
 (cd build-tsan && ctest --output-on-failure -j"$(nproc)" \
   -R 'ThreadPool|ParallelFor|ParallelSweep|LogSweep|Log\.|Runner')
+(cd build-tsan && ctest --output-on-failure -j"$(nproc)" -L faults)
 
-echo "tier-1 verify: OK (standard suite + TSan concurrency tests)"
+echo "tier-1 verify: OK (standard suite + TSan concurrency/fault tests)"

@@ -9,6 +9,7 @@
 
 #include "common/error.hpp"
 #include "common/string_util.hpp"
+#include "net/fault.hpp"
 
 namespace comb::backend {
 
@@ -145,6 +146,22 @@ MachineConfig parseMachineFile(std::istream& in, const std::string& source) {
   bind.integer("host", "cpus_per_node", m.cpusPerNode);
   bind.integer("host", "nic_cpu", m.nicCpu);
 
+  auto& fault = m.fabric.link.fault;
+  bind.number("fault", "drop", fault.dropProb);
+  bind.integer("fault", "burst", fault.burstLen);
+  bind.number("fault", "corrupt", fault.corruptProb);
+  bind.number("fault", "jitter_us", fault.jitter, kUs);
+  bind.integer("fault", "seed", fault.seed);
+
+  // Retransmission protocol knobs land on whichever stack is active.
+  auto& rel = m.kind == TransportKind::Gm ? m.gm.rel : m.portals.rel;
+  const std::string relSection =
+      m.kind == TransportKind::Gm ? "gm" : "portals";
+  bind.number(relSection, "ack_timeout_us", rel.ackTimeout, kUs);
+  bind.integer(relSection, "ack_bytes", rel.ackBytes);
+  bind.integer(relSection, "max_retries", rel.maxRetries);
+  bind.number(relSection, "backoff", rel.backoff);
+
   if (m.kind == TransportKind::Gm) {
     double thr = static_cast<double>(m.gm.eagerThreshold);
     bind.number("gm", "eager_threshold_kb", thr, kKB);
@@ -167,6 +184,10 @@ MachineConfig parseMachineFile(std::istream& in, const std::string& source) {
   }
   bind.finish();
 
+  net::validateFaultSpec(m.fabric.link.fault);
+  COMB_REQUIRE(rel.ackTimeout > 0 && rel.backoff >= 1.0 && rel.maxRetries >= 1,
+               source + ": bad reliability configuration (ack_timeout_us > 0, "
+                        "backoff >= 1, max_retries >= 1)");
   COMB_REQUIRE(m.fabric.link.rate > 0, source + ": link rate must be > 0");
   COMB_REQUIRE(m.secondsPerWorkIter > 0,
                source + ": seconds_per_iter must be > 0");

@@ -98,6 +98,26 @@ sim::TraceLog& SimCluster::enableTracing(std::size_t capacity) {
   return *traceLog_;
 }
 
+net::FaultCounters SimCluster::faultCounters() const {
+  net::FaultCounters c = fabric_->linkFaultCounters();
+  for (const auto& node : nodes_) {
+    if (cfg_.kind == TransportKind::Gm) {
+      const auto& nic =
+          static_cast<const transport::GmEndpoint&>(*node.endpoint).nic();
+      c.retransmits += nic.retransmits();
+      c.timeoutWakeups += nic.timeoutWakeups();
+      c.duplicatesFiltered += nic.duplicatesFiltered();
+    } else {
+      const auto& nic =
+          static_cast<const transport::PortalsEndpoint&>(*node.endpoint).nic();
+      c.retransmits += nic.retransmits();
+      c.timeoutWakeups += nic.timeoutWakeups();
+      c.duplicatesFiltered += nic.duplicatesFiltered();
+    }
+  }
+  return c;
+}
+
 void SimCluster::run() {
   sim_.run();
   COMB_ASSERT(sim_.liveProcesses() == 0,

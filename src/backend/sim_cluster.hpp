@@ -84,6 +84,11 @@ class SimCluster {
   /// Run the simulation to completion (all processes finished).
   void run();
 
+  /// Aggregate fault-injection and reliability counters: link-level drops
+  /// and corruptions plus per-node NIC retransmission work. All zero on a
+  /// lossless fabric.
+  net::FaultCounters faultCounters() const;
+
   /// Attach a structured trace log (owned by the cluster); returns it.
   sim::TraceLog& enableTracing(std::size_t capacity = 1 << 16);
   sim::TraceLog* traceLog() { return traceLog_.get(); }

@@ -20,10 +20,13 @@ OverlapAssessment assessMachine(const backend::MachineConfig& machine,
   a.pingPong = runLatencyPoint(machine, lat);
 
   // Polling sweep: find the bandwidth/availability frontier.
+  RunOptions opts;
+  opts.jobs = options.jobs;
   const auto sweep =
-      runPollingSweep(machine, presets::pollingBase(options.msgBytes),
-                      presets::pollSweep(options.pointsPerDecade),
-                      options.jobs);
+      runPollingSweep(machine,
+                      sweepOver(presets::pollingBase(options.msgBytes),
+                                presets::pollSweep(options.pointsPerDecade)),
+                      opts);
   for (const auto& p : sweep)
     a.peakBandwidthBps = std::max(a.peakBandwidthBps, p.bandwidthBps);
   for (const auto& p : sweep)

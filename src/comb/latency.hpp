@@ -32,6 +32,8 @@ struct LatencyPoint {
   /// msgBytes / halfRoundTripAvg: the ping-pong "bandwidth".
   double bandwidthBps = 0.0;
   int reps = 0;
+  /// Fault-injection/reliability counters for the whole cluster run.
+  net::FaultCounters fault;
 };
 
 /// Initiator role (rank 0 of `world`, any 2-rank communicator).

@@ -6,6 +6,7 @@
 
 #include "common/units.hpp"
 #include "mpi/types.hpp"
+#include "net/fault.hpp"
 
 namespace comb::bench {
 
@@ -42,6 +43,9 @@ struct PollingPoint {
   Time liveTime = 0.0;
   std::uint64_t messagesReceived = 0;
   std::uint64_t pollsExecuted = 0;
+  /// Fault-injection/reliability counters for the whole cluster run (all
+  /// zero on a lossless fabric). Filled in by the point runner.
+  net::FaultCounters fault;
 };
 
 // ---------------------------------------------------------------------------
@@ -80,6 +84,8 @@ struct PwwPoint {
   Time avgPostPerOp = 0.0;   ///< avgPost / (2*batch): one send or recv post
   Time avgWaitPerMsg = 0.0;  ///< avgWait / batch
   int reps = 0;
+  /// Fault-injection/reliability counters for the whole cluster run.
+  net::FaultCounters fault;
 };
 
 /// Log-spaced sweep values (paper x-axes are log poll/work interval).

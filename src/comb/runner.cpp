@@ -29,6 +29,15 @@ sim::Task<void> latencyDriver(backend::SimProc& env, LatencyParams p,
 
 }  // namespace
 
+backend::MachineConfig machineWithOptions(const backend::MachineConfig& machine,
+                                          const RunOptions& opts) {
+  if (!opts.fault) return machine;
+  net::validateFaultSpec(*opts.fault);
+  backend::MachineConfig m = machine;
+  m.fabric.link.fault = *opts.fault;
+  return m;
+}
+
 std::vector<std::uint64_t> logSweep(std::uint64_t lo, std::uint64_t hi,
                                     int pointsPerDecade) {
   COMB_REQUIRE(lo > 0 && hi >= lo, "bad sweep bounds");
@@ -56,43 +65,74 @@ std::vector<std::uint64_t> logSweep(std::uint64_t lo, std::uint64_t hi,
 }
 
 PollingPoint runPollingPoint(const backend::MachineConfig& machine,
-                             const PollingParams& params) {
-  backend::SimCluster cluster(machine, 2);
+                             const PollingParams& params,
+                             const RunOptions& opts) {
+  backend::SimCluster cluster(machineWithOptions(machine, opts), 2);
   PollingPoint point;
   cluster.launch(0, pollingWorkerDriver(cluster.proc(0), params, point),
                  "polling-worker");
   cluster.launch(1, pollingSupport(cluster.proc(1), params),
                  "polling-support");
   cluster.run();
+  point.fault = cluster.faultCounters();
   return point;
 }
 
 PwwPoint runPwwPoint(const backend::MachineConfig& machine,
-                     const PwwParams& params) {
-  backend::SimCluster cluster(machine, 2);
+                     const PwwParams& params, const RunOptions& opts) {
+  backend::SimCluster cluster(machineWithOptions(machine, opts), 2);
   PwwPoint point;
   cluster.launch(0, pwwWorkerDriver(cluster.proc(0), params, point),
                  "pww-worker");
   cluster.launch(1, pwwSupport(cluster.proc(1), params), "pww-support");
   cluster.run();
+  point.fault = cluster.faultCounters();
   return point;
 }
 
-std::vector<PollingPoint> runPollingSweep(
-    const backend::MachineConfig& machine, PollingParams base,
-    const std::vector<std::uint64_t>& pollIntervals, int jobs) {
-  std::vector<PollingParams> paramSets;
-  paramSets.reserve(pollIntervals.size());
-  for (const auto interval : pollIntervals) {
-    base.pollInterval = interval;
-    paramSets.push_back(base);
+LatencyPoint runLatencyPoint(const backend::MachineConfig& machine,
+                             const LatencyParams& params,
+                             const RunOptions& opts) {
+  backend::SimCluster cluster(machineWithOptions(machine, opts), 2);
+  LatencyPoint point;
+  cluster.launch(0, latencyDriver(cluster.proc(0), params, point),
+                 "latency-initiator");
+  cluster.launch(1, latencyEcho(cluster.proc(1), params), "latency-echo");
+  cluster.run();
+  point.fault = cluster.faultCounters();
+  return point;
+}
+
+namespace {
+
+/// Expand a SweepSpec into per-point parameter sets.
+template <typename Param>
+std::vector<Param> expandSpec(const SweepSpec<Param>& spec,
+                              std::uint64_t Param::*primary) {
+  auto axis = spec.axis != nullptr ? spec.axis : primary;
+  std::vector<Param> paramSets;
+  paramSets.reserve(spec.values.size());
+  for (const auto v : spec.values) {
+    Param p = spec.base;
+    p.*axis = v;
+    paramSets.push_back(p);
   }
+  return paramSets;
+}
+
+}  // namespace
+
+std::vector<PollingPoint> runPollingSweep(const backend::MachineConfig& machine,
+                                          const SweepSpec<PollingParams>& spec,
+                                          const RunOptions& opts) {
+  const auto m = machineWithOptions(machine, opts);
+  const auto paramSets = expandSpec(spec, &PollingParams::pollInterval);
   auto points = runSweepParallel(
-      machine, paramSets,
-      [](const backend::MachineConfig& m, const PollingParams& p) {
-        return runPollingPoint(m, p);
+      m, paramSets,
+      [](const backend::MachineConfig& mc, const PollingParams& p) {
+        return runPollingPoint(mc, p);
       },
-      jobs);
+      opts.jobs);
   // Log after the sweep, in input order, so the trace reads identically
   // whether points ran serially or on the pool.
   for (const auto& p : points) {
@@ -103,57 +143,71 @@ std::vector<PollingPoint> runPollingSweep(
   return points;
 }
 
-LatencyPoint runLatencyPoint(const backend::MachineConfig& machine,
-                             const LatencyParams& params) {
-  backend::SimCluster cluster(machine, 2);
-  LatencyPoint point;
-  cluster.launch(0, latencyDriver(cluster.proc(0), params, point),
-                 "latency-initiator");
-  cluster.launch(1, latencyEcho(cluster.proc(1), params), "latency-echo");
-  cluster.run();
-  return point;
-}
-
-std::vector<LatencyPoint> runLatencySweep(
-    const backend::MachineConfig& machine, const std::vector<Bytes>& sizes,
-    int reps, int jobs) {
-  std::vector<LatencyParams> paramSets;
-  paramSets.reserve(sizes.size());
-  for (const Bytes size : sizes) {
-    LatencyParams p;
-    p.msgBytes = size;
-    p.reps = reps;
-    paramSets.push_back(p);
-  }
-  return runSweepParallel(
-      machine, paramSets,
-      [](const backend::MachineConfig& m, const LatencyParams& p) {
-        return runLatencyPoint(m, p);
-      },
-      jobs);
-}
-
-std::vector<PwwPoint> runPwwSweep(
-    const backend::MachineConfig& machine, PwwParams base,
-    const std::vector<std::uint64_t>& workIntervals, int jobs) {
-  std::vector<PwwParams> paramSets;
-  paramSets.reserve(workIntervals.size());
-  for (const auto interval : workIntervals) {
-    base.workInterval = interval;
-    paramSets.push_back(base);
-  }
+std::vector<PwwPoint> runPwwSweep(const backend::MachineConfig& machine,
+                                  const SweepSpec<PwwParams>& spec,
+                                  const RunOptions& opts) {
+  const auto m = machineWithOptions(machine, opts);
+  const auto paramSets = expandSpec(spec, &PwwParams::workInterval);
   auto points = runSweepParallel(
-      machine, paramSets,
-      [](const backend::MachineConfig& m, const PwwParams& p) {
-        return runPwwPoint(m, p);
+      m, paramSets,
+      [](const backend::MachineConfig& mc, const PwwParams& p) {
+        return runPwwPoint(mc, p);
       },
-      jobs);
+      opts.jobs);
   for (const auto& p : points) {
     COMB_LOG(Debug) << machine.name << " pww work=" << p.workInterval
                     << " bw=" << toMBps(p.bandwidthBps)
                     << " MB/s avail=" << p.availability;
   }
   return points;
+}
+
+std::vector<LatencyPoint> runLatencySweep(const backend::MachineConfig& machine,
+                                          const SweepSpec<LatencyParams>& spec,
+                                          const RunOptions& opts) {
+  const auto m = machineWithOptions(machine, opts);
+  const auto paramSets = expandSpec(spec, &LatencyParams::msgBytes);
+  return runSweepParallel(
+      m, paramSets,
+      [](const backend::MachineConfig& mc, const LatencyParams& p) {
+        return runLatencyPoint(mc, p);
+      },
+      opts.jobs);
+}
+
+// --- deprecated positional overloads ---------------------------------------
+
+std::vector<PollingPoint> runPollingSweep(
+    const backend::MachineConfig& machine, PollingParams base,
+    const std::vector<std::uint64_t>& pollIntervals, int jobs) {
+  SweepSpec<PollingParams> spec;
+  spec.base = base;
+  spec.values = pollIntervals;
+  RunOptions opts;
+  opts.jobs = jobs;
+  return runPollingSweep(machine, spec, opts);
+}
+
+std::vector<PwwPoint> runPwwSweep(
+    const backend::MachineConfig& machine, PwwParams base,
+    const std::vector<std::uint64_t>& workIntervals, int jobs) {
+  SweepSpec<PwwParams> spec;
+  spec.base = base;
+  spec.values = workIntervals;
+  RunOptions opts;
+  opts.jobs = jobs;
+  return runPwwSweep(machine, spec, opts);
+}
+
+std::vector<LatencyPoint> runLatencySweep(const backend::MachineConfig& machine,
+                                          const std::vector<Bytes>& sizes,
+                                          int reps, int jobs) {
+  SweepSpec<LatencyParams> spec;
+  spec.base.reps = reps;
+  spec.values = sizes;
+  RunOptions opts;
+  opts.jobs = jobs;
+  return runLatencySweep(machine, spec, opts);
 }
 
 }  // namespace comb::bench

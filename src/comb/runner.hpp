@@ -7,9 +7,17 @@
 // is guaranteed to return results bit-identical to the serial path — the
 // simulator is deterministic and no state is shared between points (the
 // only process-global facility the workers touch, the logger, is
-// thread-safe; see common/log.hpp).
+// thread-safe; see common/log.hpp). The same holds under fault
+// injection: each link's fault stream is seeded from (spec.seed, link
+// name), never from global RNG state.
+//
+// The sweep API: a SweepSpec<Param> names the base parameter set and the
+// swept axis; RunOptions carries everything about *how* to run (worker
+// threads, fault injection) so new knobs never change runner signatures
+// again. The older positional overloads are kept as deprecated shims.
 #pragma once
 
+#include <optional>
 #include <type_traits>
 #include <vector>
 
@@ -17,13 +25,57 @@
 #include "comb/latency.hpp"
 #include "comb/params.hpp"
 #include "common/thread_pool.hpp"
+#include "net/fault.hpp"
 
 namespace comb::bench {
 
+/// How to execute a point or sweep, as opposed to *what* to measure
+/// (that's the Param struct). Extend here instead of adding positional
+/// parameters to runner signatures.
+struct RunOptions {
+  /// Worker threads for sweeps. Results are bit-identical to jobs=1.
+  int jobs = 1;
+  /// When set, overrides the machine's fabric fault model for this run
+  /// (the CLI's --fault flag lands here).
+  std::optional<net::FaultSpec> fault;
+};
+
+/// A sweep: the base parameter set plus the axis being swept. With
+/// `axis == nullptr` the method's primary variable is swept (polling:
+/// pollInterval; PWW: workInterval; latency: msgBytes); any other
+/// std::uint64_t member can be named explicitly, e.g.
+/// `spec.axis = &PollingParams::msgBytes`.
+template <typename Param>
+struct SweepSpec {
+  Param base{};
+  std::uint64_t Param::*axis = nullptr;
+  std::vector<std::uint64_t> values;
+};
+
+/// Convenience maker: `sweepOver(base, values)` sweeps the method's
+/// primary axis; name any other std::uint64_t member to sweep it instead.
+template <typename Param>
+SweepSpec<Param> sweepOver(Param base, std::vector<std::uint64_t> values,
+                           std::uint64_t Param::*axis = nullptr) {
+  SweepSpec<Param> spec;
+  spec.base = std::move(base);
+  spec.axis = axis;
+  spec.values = std::move(values);
+  return spec;
+}
+
+/// Apply a RunOptions fault override to a machine description.
+backend::MachineConfig machineWithOptions(const backend::MachineConfig& machine,
+                                          const RunOptions& opts);
+
 PollingPoint runPollingPoint(const backend::MachineConfig& machine,
-                             const PollingParams& params);
+                             const PollingParams& params,
+                             const RunOptions& opts = {});
 PwwPoint runPwwPoint(const backend::MachineConfig& machine,
-                     const PwwParams& params);
+                     const PwwParams& params, const RunOptions& opts = {});
+LatencyPoint runLatencyPoint(const backend::MachineConfig& machine,
+                             const LatencyParams& params,
+                             const RunOptions& opts = {});
 
 /// Generic parallel sweep executor: run `runOne(machine, paramSets[i])`
 /// for every parameter set, using up to `jobs` worker threads.
@@ -47,21 +99,35 @@ auto runSweepParallel(const backend::MachineConfig& machine,
   return points;
 }
 
-/// Sweep the polling interval (params.pollInterval is overridden per
-/// point). `jobs` worker threads run points concurrently; results are
-/// bit-identical to jobs=1.
+/// Sweep the axis named by `spec` (default: the polling interval).
+std::vector<PollingPoint> runPollingSweep(const backend::MachineConfig& machine,
+                                          const SweepSpec<PollingParams>& spec,
+                                          const RunOptions& opts = {});
+
+/// Sweep the axis named by `spec` (default: the work interval).
+std::vector<PwwPoint> runPwwSweep(const backend::MachineConfig& machine,
+                                  const SweepSpec<PwwParams>& spec,
+                                  const RunOptions& opts = {});
+
+/// Sweep the axis named by `spec` (default: the message size). Reps and
+/// tag ride along in spec.base like every other method parameter.
+std::vector<LatencyPoint> runLatencySweep(const backend::MachineConfig& machine,
+                                          const SweepSpec<LatencyParams>& spec,
+                                          const RunOptions& opts = {});
+
+// --- deprecated positional overloads (pre-SweepSpec API) -------------------
+
+[[deprecated("use runPollingSweep(machine, SweepSpec, RunOptions)")]]
 std::vector<PollingPoint> runPollingSweep(
     const backend::MachineConfig& machine, PollingParams base,
     const std::vector<std::uint64_t>& pollIntervals, int jobs = 1);
 
-/// Sweep the work interval (params.workInterval is overridden per point).
+[[deprecated("use runPwwSweep(machine, SweepSpec, RunOptions)")]]
 std::vector<PwwPoint> runPwwSweep(
     const backend::MachineConfig& machine, PwwParams base,
     const std::vector<std::uint64_t>& workIntervals, int jobs = 1);
 
-// Ping-pong latency microbenchmark (comb/latency.hpp).
-LatencyPoint runLatencyPoint(const backend::MachineConfig& machine,
-                             const LatencyParams& params);
+[[deprecated("use runLatencySweep(machine, SweepSpec, RunOptions)")]]
 std::vector<LatencyPoint> runLatencySweep(const backend::MachineConfig& machine,
                                           const std::vector<Bytes>& sizes,
                                           int reps = 30, int jobs = 1);

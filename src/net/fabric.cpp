@@ -57,6 +57,17 @@ Link& Fabric::uplink(NodeId node) {
   return *nodes_[static_cast<std::size_t>(node)].up;
 }
 
+FaultCounters Fabric::linkFaultCounters() const {
+  FaultCounters c;
+  for (const auto& port : nodes_) {
+    for (const Link* link : {port.up.get(), port.down.get()}) {
+      c.dropsInjected += link->packetsDropped();
+      c.corruptsInjected += link->packetsCorrupted();
+    }
+  }
+  return c;
+}
+
 Link& Fabric::downlink(NodeId node) {
   COMB_REQUIRE(node >= 0 && node < nodeCount(), "downlink: bad node");
   return *nodes_[static_cast<std::size_t>(node)].down;

@@ -51,6 +51,12 @@ class Fabric {
   std::uint64_t packetsInjected() const { return packetsInjected_; }
   const Switch& centralSwitch() const { return switch_; }
 
+  /// True when the configured fault model can destroy packets — the NICs
+  /// use this to decide whether to run their reliability protocol.
+  bool lossy() const { return cfg_.link.fault.lossy(); }
+  /// Drop/corruption totals summed over every link of the fabric.
+  FaultCounters linkFaultCounters() const;
+
  private:
   struct NodePort {
     std::unique_ptr<Link> up;    ///< node -> switch

@@ -1,0 +1,83 @@
+#include "net/fault.hpp"
+
+#include <cstdlib>
+
+#include "common/error.hpp"
+#include "common/string_util.hpp"
+
+namespace comb::net {
+
+void validateFaultSpec(const FaultSpec& spec) {
+  COMB_REQUIRE(spec.dropProb >= 0.0 && spec.dropProb <= 1.0,
+               strFormat("fault drop probability must be in [0,1], got %g",
+                         spec.dropProb));
+  COMB_REQUIRE(spec.corruptProb >= 0.0 && spec.corruptProb <= 1.0,
+               strFormat("fault corrupt probability must be in [0,1], got %g",
+                         spec.corruptProb));
+  COMB_REQUIRE(spec.burstLen >= 1,
+               strFormat("fault burst length must be >= 1, got %d",
+                         spec.burstLen));
+  COMB_REQUIRE(spec.jitter >= 0.0,
+               strFormat("fault jitter must be >= 0, got %g", spec.jitter));
+}
+
+namespace {
+
+double parseNumber(std::string_view key, const std::string& value) {
+  char* end = nullptr;
+  const double v = std::strtod(value.c_str(), &end);
+  COMB_REQUIRE(end != value.c_str() && *end == '\0',
+               strFormat("--fault key '%.*s' expects a number, got '%s'",
+                         static_cast<int>(key.size()), key.data(),
+                         value.c_str()));
+  return v;
+}
+
+}  // namespace
+
+FaultSpec parseFaultSpec(std::string_view text) {
+  FaultSpec spec;
+  while (!text.empty()) {
+    const auto comma = text.find(',');
+    const auto part = text.substr(0, comma);
+    text = comma == std::string_view::npos ? std::string_view{}
+                                           : text.substr(comma + 1);
+    const auto body = trim(part);
+    if (body.empty()) continue;
+    const auto eq = body.find('=');
+    COMB_REQUIRE(eq != std::string_view::npos,
+                 "--fault expects key=value pairs, got '" + std::string(body) +
+                     "'");
+    const auto key = trim(body.substr(0, eq));
+    const auto value = std::string(trim(body.substr(eq + 1)));
+    COMB_REQUIRE(!value.empty(),
+                 "--fault key '" + std::string(key) + "' has an empty value");
+    if (key == "drop") {
+      spec.dropProb = parseNumber(key, value);
+    } else if (key == "burst") {
+      spec.burstLen = static_cast<int>(parseNumber(key, value));
+    } else if (key == "corrupt") {
+      spec.corruptProb = parseNumber(key, value);
+    } else if (key == "jitter_us") {
+      spec.jitter = parseNumber(key, value) * 1e-6;
+    } else if (key == "seed") {
+      spec.seed = static_cast<std::uint64_t>(parseNumber(key, value));
+    } else {
+      throw ConfigError("--fault: unknown key '" + std::string(key) +
+                        "' (drop, burst, corrupt, jitter_us, seed)");
+    }
+  }
+  validateFaultSpec(spec);
+  return spec;
+}
+
+std::string faultSpecSummary(const FaultSpec& spec) {
+  std::string s = strFormat("drop=%g,burst=%d", spec.dropProb, spec.burstLen);
+  if (spec.corruptProb > 0.0)
+    s += strFormat(",corrupt=%g", spec.corruptProb);
+  if (spec.jitter > 0.0) s += strFormat(",jitter_us=%g", spec.jitter * 1e6);
+  s += strFormat(",seed=%llu", static_cast<unsigned long long>(spec.seed));
+  return s;
+}
+
+}  // namespace comb::net

@@ -7,9 +7,16 @@
 namespace comb::net {
 
 Link::Link(sim::Simulator& sim, LinkConfig cfg, std::string name)
-    : sim_(sim), cfg_(cfg), name_(std::move(name)) {
+    : sim_(sim),
+      cfg_(cfg),
+      name_(std::move(name)),
+      // Per-link stream: mixing the spec seed with the link name keeps
+      // streams independent across links yet reproducible for a fixed
+      // seed, regardless of construction order or host threading.
+      faultRng_(cfg.fault.seed ^ fnv1a64(name_)) {
   COMB_REQUIRE(cfg.rate > 0.0, "link rate must be positive: " + name_);
   COMB_REQUIRE(cfg.latency >= 0.0, "link latency must be >= 0: " + name_);
+  validateFaultSpec(cfg.fault);
 }
 
 bool Link::idleNow() const { return busyUntil_ <= sim_.now(); }
@@ -22,7 +29,42 @@ Time Link::send(Packet p) {
   busyTime_ += occupy;
   bytesCarried_ += p.wireBytes;
   ++packetsCarried_;
-  const Time arrival = busyUntil_ + cfg_.latency;
+  Time arrival = busyUntil_ + cfg_.latency;
+  if (cfg_.fault.active()) {
+    const FaultSpec& f = cfg_.fault;
+    // A dropped packet still occupied the wire (counted above) — it is
+    // lost, not unsent.
+    bool drop = false;
+    if (burstRemaining_ > 0) {
+      drop = true;
+      --burstRemaining_;
+    } else if (f.dropProb > 0.0 && faultRng_.uniform() < f.dropProb) {
+      drop = true;
+      burstRemaining_ = f.burstLen - 1;
+    }
+    if (drop) {
+      ++packetsDropped_;
+      if (sim_.tracing())
+        sim_.emitTrace(sim::TraceCategory::Fault, p.dst, name_ + ":drop",
+                       static_cast<double>(p.wireBytes),
+                       static_cast<double>(p.seq));
+      return arrival;
+    }
+    if (f.corruptProb > 0.0 && faultRng_.uniform() < f.corruptProb) {
+      p.corrupted = true;
+      ++packetsCorrupted_;
+      if (sim_.tracing())
+        sim_.emitTrace(sim::TraceCategory::Fault, p.dst, name_ + ":corrupt",
+                       static_cast<double>(p.wireBytes),
+                       static_cast<double>(p.seq));
+    }
+    if (f.jitter > 0.0) {
+      // Jitter delays delivery but never reorders: a link is a FIFO pipe.
+      arrival =
+          std::max(arrival + faultRng_.uniform(0.0, f.jitter), lastArrival_);
+    }
+    lastArrival_ = arrival;
+  }
   sim_.scheduleAt(arrival,
                   [this, p = std::move(p)]() mutable { sink_(std::move(p)); });
   return arrival;

@@ -13,7 +13,9 @@
 #include <functional>
 #include <string>
 
+#include "common/rng.hpp"
 #include "common/units.hpp"
+#include "net/fault.hpp"
 #include "net/packet.hpp"
 #include "sim/simulator.hpp"
 
@@ -22,6 +24,7 @@ namespace comb::net {
 struct LinkConfig {
   Rate rate = 132e6;     ///< bytes/second on the wire
   Time latency = 1e-6;   ///< propagation + receive fixed delay
+  FaultSpec fault;       ///< loss/corruption/jitter model (inactive default)
 };
 
 class Link {
@@ -47,6 +50,8 @@ class Link {
   std::uint64_t packetsCarried() const { return packetsCarried_; }
   /// Total serialization time (the utilization numerator).
   Time busyTime() const { return busyTime_; }
+  std::uint64_t packetsDropped() const { return packetsDropped_; }
+  std::uint64_t packetsCorrupted() const { return packetsCorrupted_; }
   const std::string& name() const { return name_; }
   const LinkConfig& config() const { return cfg_; }
 
@@ -59,6 +64,13 @@ class Link {
   Bytes bytesCarried_ = 0;
   std::uint64_t packetsCarried_ = 0;
   Time busyTime_ = 0.0;
+
+  // Fault injection (all untouched when cfg_.fault is inactive).
+  Rng faultRng_;
+  int burstRemaining_ = 0;   ///< packets left to discard in the loss event
+  Time lastArrival_ = 0.0;   ///< jitter clamp: deliveries stay FIFO
+  std::uint64_t packetsDropped_ = 0;
+  std::uint64_t packetsCorrupted_ = 0;
 };
 
 }  // namespace comb::net

@@ -28,6 +28,9 @@ struct Packet {
   NodeId dst = -1;
   Bytes wireBytes = 0;   ///< bytes occupying the wire (payload + headers)
   std::uint64_t seq = 0; ///< global injection sequence (debug/tracing)
+  /// Set by a faulty link: the packet arrives but fails its checksum.
+  /// Receiving NICs discard it without acting on the payload.
+  bool corrupted = false;
   PayloadPtr payload;
 };
 

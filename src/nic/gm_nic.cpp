@@ -10,8 +10,10 @@ namespace comb::nic {
 using transport::WireKind;
 using transport::WirePayload;
 
-GmNic::GmNic(sim::Simulator& sim, net::Fabric& fabric, net::NodeId node)
-    : sim_(sim), fabric_(fabric), node_(node) {}
+GmNic::GmNic(sim::Simulator& sim, net::Fabric& fabric, net::NodeId node,
+             transport::ReliabilityConfig rel)
+    : sim_(sim), fabric_(fabric), node_(node), rel_(rel),
+      reliable_(fabric.lossy()) {}
 
 std::uint64_t GmNic::sendMessage(net::NodeId dst, WireKind kind,
                                  const mpi::Envelope& env, Bytes wireBytes,
@@ -43,20 +45,39 @@ std::uint64_t GmNic::sendMessage(net::NodeId dst, WireKind kind,
   msg.meta->matchSeq = matchSeq;
   msg.meta->data = std::move(data);
 
+  if (reliable_ && kind != WireKind::Ack) {
+    Unacked u;
+    u.dst = dst;
+    u.kind = kind;
+    u.wireBytes = wireBytes;
+    u.fragCount = msg.fragCount;
+    u.acked.assign(msg.fragCount, false);
+    u.reportSendDone = reportSendDone;
+    u.meta = msg.meta;
+    unacked_.emplace(msgId, std::move(u));
+  }
+
   (msg.control ? ctrlQ_ : dataQ_).push_back(std::move(msg));
   pumpTx();
   return msgId;
 }
 
-void GmNic::injectFragment(TxMsg& msg) {
+Bytes GmNic::fragPayloadBytes(Bytes wireBytes, std::uint32_t frag) const {
   const Bytes mtu = fabric_.mtu();
-  const std::uint32_t i = msg.nextFrag++;
+  const Bytes offset = static_cast<Bytes>(frag) * mtu;
+  return std::min(wireBytes - offset, mtu);
+}
+
+void GmNic::injectFragment(TxMsg& msg) {
+  const std::uint32_t i = msg.fragList.empty()
+                              ? msg.nextFrag
+                              : msg.fragList[msg.nextFrag];
+  ++msg.nextFrag;
   auto wp = std::make_shared<WirePayload>(*msg.meta);
   wp->fragIndex = i;
   if (i != 0) wp->data = nullptr;  // the whole buffer rides fragment 0
-  const Bytes offset = static_cast<Bytes>(i) * mtu;
-  const Bytes fragBytes = std::min(msg.wireBytes - offset, mtu);
-  fabric_.inject(node_, msg.dst, fragBytes, std::move(wp));
+  fabric_.inject(node_, msg.dst, fragPayloadBytes(msg.wireBytes, i),
+                 std::move(wp));
 }
 
 void GmNic::pumpTx() {
@@ -70,10 +91,17 @@ void GmNic::pumpTx() {
 
   TxMsg& msg = q->front();
   injectFragment(msg);
-  const bool msgDone = msg.nextFrag == msg.fragCount;
+  const std::uint32_t fragsToSend =
+      msg.fragList.empty() ? msg.fragCount
+                           : static_cast<std::uint32_t>(msg.fragList.size());
+  const bool msgDone = msg.nextFrag == fragsToSend;
   const Time dmaFree = fabric_.uplink(node_).freeAt();
   if (msgDone) {
-    if (msg.reportSendDone) {
+    if (reliable_ && unacked_.count(msg.msgId) != 0) {
+      // Ack protocol owns completion: SendDone fires on full ack, and the
+      // retransmission clock starts once the DMA has drained.
+      armTimer(msg.msgId, dmaFree);
+    } else if (msg.reportSendDone) {
       // Outbound DMA completes when the last fragment has serialized.
       const std::uint64_t msgId = msg.msgId;
       sim_.scheduleAt(dmaFree, [this, msgId] {
@@ -94,15 +122,135 @@ void GmNic::pumpTx() {
   });
 }
 
+void GmNic::armTimer(std::uint64_t msgId, Time at) {
+  auto it = unacked_.find(msgId);
+  if (it == unacked_.end()) return;  // fully acked before the DMA drained
+  Time rto = rel_.ackTimeout;
+  for (int i = 0; i < it->second.retries; ++i) rto *= rel_.backoff;
+  it->second.timer.cancel();
+  it->second.timer =
+      sim_.scheduleAt(at + rto, [this, msgId] { onTimer(msgId); });
+}
+
+void GmNic::onTimer(std::uint64_t msgId) {
+  ++timeoutWakeups_;
+  auto it = unacked_.find(msgId);
+  if (it == unacked_.end() || it->second.timeoutQueued) return;
+  // GM progress is library-driven: the NIC cannot retransmit on its own.
+  // Queue a Timeout event and wait for the library to poll it — the timer
+  // is re-armed only once the retransmission actually goes out.
+  it->second.timeoutQueued = true;
+  GmEvent ev;
+  ev.type = GmEvent::Type::Timeout;
+  ev.msgId = msgId;
+  pushEvent(std::move(ev));
+}
+
+std::optional<GmNic::RetransmitPlan> GmNic::planRetransmit(
+    std::uint64_t msgId) const {
+  auto it = unacked_.find(msgId);
+  if (it == unacked_.end()) return std::nullopt;  // acked meanwhile: stale
+  const Unacked& u = it->second;
+  RetransmitPlan plan;
+  plan.kind = u.kind;
+  plan.retries = u.retries;
+  plan.budgetExhausted = u.retries >= rel_.maxRetries;
+  for (std::uint32_t i = 0; i < u.fragCount; ++i)
+    if (!u.acked[i]) plan.missingBytes += fragPayloadBytes(u.wireBytes, i);
+  return plan;
+}
+
+void GmNic::executeRetransmit(std::uint64_t msgId) {
+  auto it = unacked_.find(msgId);
+  COMB_ASSERT(it != unacked_.end(), "retransmit of a fully-acked message");
+  Unacked& u = it->second;
+  COMB_ASSERT(u.retries < rel_.maxRetries, "retransmit budget exhausted");
+  ++u.retries;
+  u.timeoutQueued = false;
+
+  TxMsg msg;
+  msg.dst = u.dst;
+  msg.msgId = msgId;
+  msg.meta = u.meta;
+  msg.wireBytes = u.wireBytes;
+  msg.fragCount = u.fragCount;
+  msg.control = u.kind == WireKind::Rts || u.kind == WireKind::Cts;
+  for (std::uint32_t i = 0; i < u.fragCount; ++i)
+    if (!u.acked[i]) msg.fragList.push_back(i);
+  COMB_ASSERT(!msg.fragList.empty(), "retransmit with nothing missing");
+  retransmits_ += msg.fragList.size();
+  if (sim_.tracing())
+    sim_.emitTrace(sim::TraceCategory::Fault, node_, "gm:retransmit",
+                   static_cast<double>(msg.fragList.size()));
+  (msg.control ? ctrlQ_ : dataQ_).push_back(std::move(msg));
+  pumpTx();
+}
+
+void GmNic::handleAck(const WirePayload& ack) {
+  auto it = unacked_.find(ack.msgId);
+  if (it == unacked_.end()) return;  // duplicate ack after completion
+  Unacked& u = it->second;
+  if (ack.ackFragIndex >= u.fragCount || u.acked[ack.ackFragIndex]) return;
+  u.acked[ack.ackFragIndex] = true;
+  if (++u.ackedCount < u.fragCount) return;
+  u.timer.cancel();
+  const bool report = u.reportSendDone;
+  unacked_.erase(it);
+  if (report) {
+    GmEvent ev;
+    ev.type = GmEvent::Type::SendDone;
+    ev.msgId = ack.msgId;
+    pushEvent(std::move(ev));
+  }
+}
+
+void GmNic::sendAck(net::NodeId dst, std::uint64_t msgId,
+                    std::uint32_t fragIndex) {
+  // Firmware-level ack: a tiny untracked control packet, free for the
+  // host (the MCP generates it while depositing the fragment).
+  TxMsg msg;
+  msg.dst = dst;
+  msg.msgId = nextMsgId_++;
+  msg.wireBytes = rel_.ackBytes;
+  msg.control = true;
+  msg.meta = std::make_shared<WirePayload>();
+  msg.meta->kind = WireKind::Ack;
+  msg.meta->msgId = msgId;
+  msg.meta->ackFragIndex = fragIndex;
+  ctrlQ_.push_back(std::move(msg));
+  pumpTx();
+}
+
 void GmNic::deliver(net::Packet p) {
   const auto* wp = net::payloadAs<WirePayload>(p);
   COMB_ASSERT(wp != nullptr, "GM NIC received a non-wire packet");
+  if (reliable_) {
+    if (wp->kind == WireKind::Ack) {
+      // Acks are firmware-to-firmware and never acked themselves; a
+      // corrupted ack is simply useless.
+      if (!p.corrupted) handleAck(*wp);
+      return;
+    }
+    if (p.corrupted) return;  // failed checksum: silence forces retransmit
+    // Ack every healthy fragment — including duplicates, whose original
+    // ack may have been the packet that was lost.
+    sendAck(p.src, wp->msgId, wp->fragIndex);
+    auto& seen = rxSeen_[{p.src, wp->msgId}];
+    if (!seen.insert(wp->fragIndex).second) {
+      ++duplicatesFiltered_;
+      if (sim_.tracing())
+        sim_.emitTrace(sim::TraceCategory::Fault, node_, "gm:dup",
+                       static_cast<double>(wp->fragIndex));
+      return;
+    }
+  }
   auto key = std::pair{p.src, wp->msgId};
   Assembly& asmRec = assembling_[key];
   ++asmRec.fragsSeen;
   if (wp->fragIndex == 0) {
-    // Stash message metadata from fragment 0. (Fragment 0 always arrives
-    // first: in-order delivery per path.)
+    // Stash message metadata from fragment 0. On a lossless fabric it
+    // always arrives first (in-order delivery per path); under loss it may
+    // arrive in any retransmission round, but exactly once (dedup above).
     GmEvent ev;
     ev.type = GmEvent::Type::MsgArrived;
     ev.kind = wp->kind;
@@ -135,10 +283,10 @@ std::optional<GmEvent> GmNic::pop() {
 
 void GmNic::pushEvent(GmEvent ev) {
   if (sim_.tracing()) {
-    sim_.emitTrace(sim::TraceCategory::NicEvent, node_,
-                   ev.type == GmEvent::Type::SendDone
-                       ? "send-done"
-                       : wireKindName(ev.kind),
+    const char* label = wireKindName(ev.kind);
+    if (ev.type == GmEvent::Type::SendDone) label = "send-done";
+    else if (ev.type == GmEvent::Type::Timeout) label = "timeout";
+    sim_.emitTrace(sim::TraceCategory::NicEvent, node_, label,
                    static_cast<double>(ev.msgBytes));
   }
   events_.push_back(std::move(ev));

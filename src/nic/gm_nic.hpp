@@ -12,6 +12,15 @@
 //    NIC DMA; arrival produces an entry in a user-level event queue that
 //    the *library* polls. No interrupt is ever raised.
 //
+// On a lossy fabric (FaultSpec) the NIC additionally runs a per-fragment
+// ack protocol: the receive side acknowledges and de-duplicates fragments
+// in firmware (no host cost), while the transmit side tracks unacked
+// fragments and arms a backoff timer. Crucially the NIC *cannot*
+// retransmit on its own — GM progress is library-driven — so a timeout
+// only queues a Timeout event; the library reacts during a later MPI call
+// via planRetransmit()/executeRetransmit(), paying host CPU to re-stage
+// the data.
+//
 // Everything protocol-level (eager vs rendezvous, matching) lives above,
 // in transport::GmEndpoint — the NIC is a packet engine.
 #pragma once
@@ -20,12 +29,16 @@
 #include <deque>
 #include <functional>
 #include <map>
+#include <memory>
 #include <optional>
+#include <set>
 #include <utility>
+#include <vector>
 
 #include "common/units.hpp"
 #include "net/fabric.hpp"
 #include "sim/simulator.hpp"
+#include "transport/reliability.hpp"
 #include "transport/wire.hpp"
 
 namespace comb::nic {
@@ -35,6 +48,7 @@ struct GmEvent {
   enum class Type {
     MsgArrived,  ///< a complete message (all fragments) was DMA'd to host
     SendDone,    ///< outbound DMA for msgId finished (buffer reusable)
+    Timeout,     ///< msgId has unacked fragments; the library must act
   };
   Type type = Type::MsgArrived;
   // For MsgArrived: the message's protocol description (from fragment 0).
@@ -51,7 +65,8 @@ struct GmEvent {
 
 class GmNic {
  public:
-  GmNic(sim::Simulator& sim, net::Fabric& fabric, net::NodeId node);
+  GmNic(sim::Simulator& sim, net::Fabric& fabric, net::NodeId node,
+        transport::ReliabilityConfig rel = {});
   GmNic(const GmNic&) = delete;
   GmNic& operator=(const GmNic&) = delete;
 
@@ -59,7 +74,8 @@ class GmNic {
   /// is what travels (control messages are small); `msgBytes` is the
   /// declared MPI message length carried in the metadata. If
   /// `reportSendDone`, a SendDone event is queued when the last fragment
-  /// has left host memory. Returns the NIC-level message id.
+  /// has left host memory (on a lossy fabric: when every fragment has
+  /// been acked). Returns the NIC-level message id.
   std::uint64_t sendMessage(net::NodeId dst, transport::WireKind kind,
                             const mpi::Envelope& env, Bytes wireBytes,
                             Bytes msgBytes, transport::DataBuffer data,
@@ -85,6 +101,28 @@ class GmNic {
     eventHook_ = std::move(hook);
   }
 
+  // --- reliability (library-facing) --------------------------------------
+  /// True when the fabric can lose packets and the ack protocol runs.
+  bool reliable() const { return reliable_; }
+
+  struct RetransmitPlan {
+    transport::WireKind kind;     ///< what the message is (cost attribution)
+    Bytes missingBytes = 0;       ///< payload bytes to re-stage
+    int retries = 0;              ///< rounds already spent
+    bool budgetExhausted = false; ///< retries >= maxRetries: abort the run
+  };
+  /// Inspect a Timeout event's message. Returns nullopt when the message
+  /// has been fully acked in the meantime (stale timeout — no-op).
+  std::optional<RetransmitPlan> planRetransmit(std::uint64_t msgId) const;
+  /// Re-enqueue the missing fragments of msgId and re-arm its timer with
+  /// one more round of backoff. Library context; the caller has already
+  /// charged the host CPU per its plan.
+  void executeRetransmit(std::uint64_t msgId);
+
+  std::uint64_t retransmits() const { return retransmits_; }
+  std::uint64_t timeoutWakeups() const { return timeoutWakeups_; }
+  std::uint64_t duplicatesFiltered() const { return duplicatesFiltered_; }
+
  private:
   struct TxMsg {
     net::NodeId dst = -1;
@@ -95,16 +133,42 @@ class GmNic {
     std::uint32_t nextFrag = 0;
     bool reportSendDone = false;
     bool control = false;
+    /// Retransmission: explicit fragment indices to send (empty =
+    /// initial transmission, all fragments in order).
+    std::vector<std::uint32_t> fragList;
+  };
+
+  /// Sender-side reliability record, one per in-flight tracked message.
+  struct Unacked {
+    net::NodeId dst = -1;
+    transport::WireKind kind = transport::WireKind::Eager;
+    Bytes wireBytes = 0;
+    std::uint32_t fragCount = 1;
+    std::vector<bool> acked;
+    std::uint32_t ackedCount = 0;
+    int retries = 0;
+    bool reportSendDone = false;
+    bool timeoutQueued = false;  ///< Timeout event awaiting the library
+    sim::EventHandle timer;
+    /// Retained metadata so missing fragments can be re-staged.
+    std::shared_ptr<transport::WirePayload> meta;
   };
 
   void pushEvent(GmEvent ev);
   /// Transmit scheduler: one fragment at a time; control queue first.
   void pumpTx();
   void injectFragment(TxMsg& msg);
+  Bytes fragPayloadBytes(Bytes wireBytes, std::uint32_t frag) const;
+  void armTimer(std::uint64_t msgId, Time at);
+  void onTimer(std::uint64_t msgId);
+  void handleAck(const transport::WirePayload& ack);
+  void sendAck(net::NodeId dst, std::uint64_t msgId, std::uint32_t fragIndex);
 
   sim::Simulator& sim_;
   net::Fabric& fabric_;
   net::NodeId node_;
+  transport::ReliabilityConfig rel_;
+  bool reliable_ = false;
   std::deque<GmEvent> events_;
   std::function<void()> eventHook_;
 
@@ -120,9 +184,20 @@ class GmNic {
   /// of the message lands.
   std::map<std::pair<net::NodeId, std::uint64_t>, GmEvent> pending_;
 
+  // Reliability state (used only when reliable_).
+  std::map<std::uint64_t, Unacked> unacked_;  ///< by msgId
+  /// Receive-side firmware dedup: fragments already seen (and acked) per
+  /// (source, message). Persists past delivery so late duplicates are
+  /// re-acked without re-raising events.
+  std::map<std::pair<net::NodeId, std::uint64_t>, std::set<std::uint32_t>>
+      rxSeen_;
+
   std::uint64_t nextMsgId_ = 1;
   std::uint64_t messagesSent_ = 0;
   std::uint64_t messagesDelivered_ = 0;
+  std::uint64_t retransmits_ = 0;
+  std::uint64_t timeoutWakeups_ = 0;
+  std::uint64_t duplicatesFiltered_ = 0;
 };
 
 }  // namespace comb::nic

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "common/string_util.hpp"
 
 namespace comb::nic {
 
@@ -10,8 +11,10 @@ using transport::WireKind;
 using transport::WirePayload;
 
 PortalsNic::PortalsNic(sim::Simulator& sim, net::Fabric& fabric,
-                       host::Cpu& cpu, net::NodeId node, PortalsNicConfig cfg)
-    : sim_(sim), fabric_(fabric), cpu_(cpu), node_(node), cfg_(cfg) {
+                       host::Cpu& cpu, net::NodeId node, PortalsNicConfig cfg,
+                       transport::ReliabilityConfig rel)
+    : sim_(sim), fabric_(fabric), cpu_(cpu), node_(node), cfg_(cfg),
+      rel_(rel), reliable_(fabric.lossy()) {
   COMB_REQUIRE(cfg.kernelCopyRate > 0.0, "kernelCopyRate must be positive");
 }
 
@@ -26,6 +29,12 @@ std::uint64_t PortalsNic::sendMessage(net::NodeId dst, WireKind kind,
   const Bytes mtu = fabric_.mtu();
   const auto fragCount = static_cast<std::uint32_t>(
       std::max<Bytes>(1, (wireBytes + mtu - 1) / mtu));
+  Unacked* u = nullptr;
+  if (reliable_) {
+    u = &unacked_[msgId];
+    u->dst = dst;
+    u->acked.assign(fragCount, false);
+  }
   Bytes remaining = wireBytes;
   for (std::uint32_t i = 0; i < fragCount; ++i) {
     auto wp = std::make_shared<WirePayload>();
@@ -40,6 +49,11 @@ std::uint64_t PortalsNic::sendMessage(net::NodeId dst, WireKind kind,
     if (i == 0) wp->data = data;
     const Bytes fragBytes = std::min(remaining, mtu);
     remaining -= fragBytes;
+    if (u != nullptr) {
+      // Retain the fragment in NIC buffers for autonomous replay.
+      u->frags.push_back(wp);
+      u->fragBytes.push_back(fragBytes);
+    }
     txQueue_.push_back(
         TxFrag{dst, fragBytes, std::move(wp), i + 1 == fragCount, msgId});
   }
@@ -58,15 +72,108 @@ void PortalsNic::pumpTx() {
       static_cast<Time>(frag.fragBytes) / cfg_.kernelCopyRate;
   cpu_.raiseInterrupt(service, [this, frag = std::move(frag)] {
     fabric_.inject(node_, frag.dst, frag.fragBytes, frag.payload);
-    if (frag.lastOfMessage && txDone_) txDone_(frag.msgId);
+    if (frag.lastOfMessage) {
+      if (reliable_ && unacked_.count(frag.msgId) != 0) {
+        // The ack protocol owns completion: txDone fires on full ack and
+        // the retransmission clock starts once the DMA has drained.
+        armTimer(frag.msgId);
+      } else if (txDone_) {
+        txDone_(frag.msgId);
+      }
+    }
     txBusy_ = false;
     pumpTx();
   });
 }
 
+void PortalsNic::armTimer(std::uint64_t msgId) {
+  auto it = unacked_.find(msgId);
+  if (it == unacked_.end()) return;  // fully acked already
+  Time rto = rel_.ackTimeout;
+  for (int i = 0; i < it->second.retries; ++i) rto *= rel_.backoff;
+  it->second.timer.cancel();
+  it->second.timer = sim_.scheduleAt(fabric_.uplink(node_).freeAt() + rto,
+                                     [this, msgId] { onTimer(msgId); });
+}
+
+void PortalsNic::onTimer(std::uint64_t msgId) {
+  ++timeoutWakeups_;
+  auto it = unacked_.find(msgId);
+  if (it == unacked_.end()) return;  // stale: fully acked meanwhile
+  Unacked& u = it->second;
+  if (u.retries >= rel_.maxRetries)
+    throw comb::Error(strFormat(
+        "Portals: retransmit budget exhausted for message %llu after %d "
+        "rounds",
+        static_cast<unsigned long long>(msgId), u.retries));
+  ++u.retries;
+  // NIC-resident replay: the MCP re-injects the missing fragments from
+  // its retained buffers — no interrupt, no kernel work, no host CPU.
+  // This is the structural difference from GM, where a timeout must wait
+  // for the library to poll.
+  std::uint64_t count = 0;
+  for (std::uint32_t i = 0; i < u.frags.size(); ++i) {
+    if (u.acked[i]) continue;
+    fabric_.inject(node_, u.dst, u.fragBytes[i], u.frags[i]);
+    ++count;
+  }
+  COMB_ASSERT(count > 0, "timeout with nothing missing");
+  retransmits_ += count;
+  if (sim_.tracing())
+    sim_.emitTrace(sim::TraceCategory::Fault, node_, "ptl:retransmit",
+                   static_cast<double>(count));
+  armTimer(msgId);
+}
+
+void PortalsNic::sendAck(net::NodeId dst, std::uint64_t msgId,
+                         std::uint32_t fragIndex) {
+  auto wp = std::make_shared<WirePayload>();
+  wp->kind = WireKind::Ack;
+  wp->msgId = msgId;
+  wp->ackFragIndex = fragIndex;
+  fabric_.inject(node_, dst, rel_.ackBytes, std::move(wp));
+}
+
+void PortalsNic::onAck(const WirePayload& ack) {
+  auto it = unacked_.find(ack.msgId);
+  if (it == unacked_.end()) return;  // duplicate ack after completion
+  Unacked& u = it->second;
+  if (ack.ackFragIndex >= u.acked.size() || u.acked[ack.ackFragIndex]) return;
+  u.acked[ack.ackFragIndex] = true;
+  if (++u.ackedCount < u.acked.size()) return;
+  u.timer.cancel();
+  const std::uint64_t msgId = ack.msgId;
+  unacked_.erase(it);
+  if (txDone_) txDone_(msgId);
+}
+
 void PortalsNic::deliver(net::Packet p) {
   const auto* wp = net::payloadAs<WirePayload>(p);
   COMB_ASSERT(wp != nullptr, "Portals NIC received a non-wire packet");
+  if (reliable_) {
+    if (wp->kind == WireKind::Ack) {
+      // Acks terminate in the MCP — no interrupt, no kernel work.
+      if (!p.corrupted) onAck(*wp);
+      return;
+    }
+    if (p.corrupted) {
+      // Reliability lives in the kernel here: even a fragment that fails
+      // its checksum costs an interrupt before being thrown away.
+      cpu_.raiseInterrupt(cfg_.perFragRx, [] {});
+      return;
+    }
+    auto& seen = rxSeen_[{p.src, wp->msgId}];
+    if (!seen.insert(wp->fragIndex).second) {
+      // Duplicate: the MCP recognises the sequence number and re-acks
+      // autonomously (the original ack may have been lost) — free.
+      ++duplicatesFiltered_;
+      sendAck(p.src, wp->msgId, wp->fragIndex);
+      if (sim_.tracing())
+        sim_.emitTrace(sim::TraceCategory::Fault, node_, "ptl:dup",
+                       static_cast<double>(wp->fragIndex));
+      return;
+    }
+  }
   ++fragmentsReceived_;
   // Service = interrupt + protocol + copy of this fragment through kernel
   // buffers. The transport's handler runs at the end of service, still at
@@ -79,6 +186,11 @@ void PortalsNic::deliver(net::Packet p) {
   cpu_.raiseInterrupt(service, [this, payload = p.payload, src = p.src] {
     const auto* frag = dynamic_cast<const WirePayload*>(payload.get());
     COMB_ASSERT(frag != nullptr, "payload type changed in flight");
+    if (reliable_) {
+      // The fragment is safely in kernel buffers: ack it now. Sent from
+      // the MCP directly, so the ack itself costs no further host CPU.
+      sendAck(src, frag->msgId, frag->fragIndex);
+    }
     if (rxHandler_) rxHandler_(*frag, src);
   });
 }

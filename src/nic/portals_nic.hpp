@@ -20,11 +20,17 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <utility>
+#include <vector>
 
 #include "common/units.hpp"
 #include "host/cpu.hpp"
 #include "net/fabric.hpp"
 #include "sim/simulator.hpp"
+#include "transport/reliability.hpp"
 #include "transport/wire.hpp"
 
 namespace comb::nic {
@@ -51,7 +57,8 @@ class PortalsNic {
   using TxDoneHandler = std::function<void(std::uint64_t msgId)>;
 
   PortalsNic(sim::Simulator& sim, net::Fabric& fabric, host::Cpu& cpu,
-             net::NodeId node, PortalsNicConfig cfg);
+             net::NodeId node, PortalsNicConfig cfg,
+             transport::ReliabilityConfig rel = {});
   PortalsNic(const PortalsNic&) = delete;
   PortalsNic& operator=(const PortalsNic&) = delete;
 
@@ -74,6 +81,15 @@ class PortalsNic {
   std::uint64_t fragmentsReceived() const { return fragmentsReceived_; }
   const PortalsNicConfig& config() const { return cfg_; }
 
+  /// True when the fabric can lose packets and the ack protocol runs.
+  /// Unlike GM, retransmission here is fully NIC/kernel-resident: the
+  /// fragments stay in NIC buffers and a timeout replays the missing ones
+  /// autonomously, with zero host CPU and no library involvement.
+  bool reliable() const { return reliable_; }
+  std::uint64_t retransmits() const { return retransmits_; }
+  std::uint64_t timeoutWakeups() const { return timeoutWakeups_; }
+  std::uint64_t duplicatesFiltered() const { return duplicatesFiltered_; }
+
  private:
   struct TxFrag {
     net::NodeId dst;
@@ -83,7 +99,24 @@ class PortalsNic {
     std::uint64_t msgId;
   };
 
+  /// Sender-side reliability record: fragments retained in NIC buffers
+  /// for autonomous replay.
+  struct Unacked {
+    net::NodeId dst = -1;
+    std::vector<std::shared_ptr<transport::WirePayload>> frags;
+    std::vector<Bytes> fragBytes;
+    std::vector<bool> acked;
+    std::uint32_t ackedCount = 0;
+    int retries = 0;
+    sim::EventHandle timer;
+  };
+
   void pumpTx();
+  void armTimer(std::uint64_t msgId);
+  void onTimer(std::uint64_t msgId);
+  void onAck(const transport::WirePayload& ack);
+  /// MCP-generated ack: injected straight onto the wire, zero host CPU.
+  void sendAck(net::NodeId dst, std::uint64_t msgId, std::uint32_t fragIndex);
 
   sim::Simulator& sim_;
   net::Fabric& fabric_;
@@ -98,6 +131,19 @@ class PortalsNic {
   std::uint64_t nextMsgId_ = 1;
   std::uint64_t messagesSent_ = 0;
   std::uint64_t fragmentsReceived_ = 0;
+
+  // Reliability state (used only when reliable_).
+  transport::ReliabilityConfig rel_;
+  bool reliable_ = false;
+  std::map<std::uint64_t, Unacked> unacked_;  ///< by msgId
+  /// Receive-side dedup in the MCP: fragments already seen (and acked)
+  /// per (source, message). Persists past delivery so late duplicates are
+  /// re-acked without re-raising interrupts.
+  std::map<std::pair<net::NodeId, std::uint64_t>, std::set<std::uint32_t>>
+      rxSeen_;
+  std::uint64_t retransmits_ = 0;
+  std::uint64_t timeoutWakeups_ = 0;
+  std::uint64_t duplicatesFiltered_ = 0;
 };
 
 }  // namespace comb::nic

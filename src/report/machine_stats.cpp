@@ -12,6 +12,7 @@ MachineStats snapshot(backend::SimCluster& cluster) {
   stats.simulatedTime = cluster.simulator().now();
   stats.eventsExecuted = cluster.simulator().eventsExecuted();
   stats.switchPacketsRouted = cluster.fabric().centralSwitch().packetsRouted();
+  stats.fault = cluster.faultCounters();
   for (int r = 0; r < cluster.nodeCount(); ++r) {
     NodeStats node;
     node.rank = r;
@@ -43,6 +44,16 @@ void renderStats(std::ostream& out, const MachineStats& stats) {
       << fmtTime(stats.simulatedTime) << ", "
       << stats.eventsExecuted << " events, "
       << stats.switchPacketsRouted << " packets routed\n";
+  if (stats.fault.any()) {
+    out << strFormat(
+        "faults: %llu drops, %llu corruptions injected; %llu retransmits, "
+        "%llu timeout wakeups, %llu duplicates filtered\n",
+        (unsigned long long)stats.fault.dropsInjected,
+        (unsigned long long)stats.fault.corruptsInjected,
+        (unsigned long long)stats.fault.retransmits,
+        (unsigned long long)stats.fault.timeoutWakeups,
+        (unsigned long long)stats.fault.duplicatesFiltered);
+  }
 
   const double horizon = stats.simulatedTime > 0 ? stats.simulatedTime : 1.0;
   TextTable table({"node", "cpu", "user%", "isr%", "irqs", "sends", "recvs",

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/units.hpp"
+#include "net/fault.hpp"
 
 namespace comb::backend {
 class SimCluster;
@@ -44,6 +45,9 @@ struct MachineStats {
   std::uint64_t eventsExecuted = 0;
   std::vector<NodeStats> nodes;
   std::uint64_t switchPacketsRouted = 0;
+  /// Fault-injection / reliability counters, cluster-wide (all zero on a
+  /// lossless fabric).
+  net::FaultCounters fault;
 };
 
 /// Snapshot a cluster after (or during) a run.

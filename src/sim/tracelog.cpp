@@ -14,6 +14,7 @@ const char* traceCategoryName(TraceCategory c) {
     case TraceCategory::NicEvent: return "nic-event";
     case TraceCategory::Protocol: return "protocol";
     case TraceCategory::MpiCall: return "mpi-call";
+    case TraceCategory::Fault: return "fault";
   }
   return "?";
 }

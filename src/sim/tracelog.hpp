@@ -29,6 +29,8 @@ enum class TraceCategory : std::uint8_t {
   NicEvent,   ///< NIC-level event queued (label: kind)
   Protocol,   ///< transport state transition (label: e.g. "rts", "cts")
   MpiCall,    ///< MiniMPI entry point (label: call name; a = bytes)
+  Fault,      ///< injected fault / reliability action (label: e.g.
+              ///< "up0:drop", "retransmit"; a = bytes, b = seq/msgId)
 };
 
 const char* traceCategoryName(TraceCategory c);

@@ -1,12 +1,14 @@
 #include "transport/gm.hpp"
 
 #include "common/error.hpp"
+#include "common/string_util.hpp"
 
 namespace comb::transport {
 
 GmEndpoint::GmEndpoint(sim::Simulator& sim, host::Cpu& cpu,
                        net::Fabric& fabric, net::NodeId node, GmConfig cfg)
-    : sim_(sim), cpu_(cpu), node_(node), cfg_(cfg), nic_(sim, fabric, node) {
+    : sim_(sim), cpu_(cpu), node_(node), cfg_(cfg),
+      nic_(sim, fabric, node, cfg.rel) {
   COMB_REQUIRE(cfg.eagerThreshold > 0, "eager threshold must be positive");
   initActivity(sim);
   nic_.setEventHook([this] { signalActivity(); });
@@ -23,9 +25,16 @@ sim::Task<void> GmEndpoint::postSend(TxReq req) {
     // Eager: the post itself copies the payload into NIC send buffers.
     co_await cpu_.compute(cfg_.postOverhead +
                           copyTimeAt(cfg_.eagerTxCopyRate, req.bytes));
-    nic_.sendMessage(req.dstNode, WireKind::Eager, req.env, req.bytes,
-                     req.bytes, req.data, req.handle, 0,
-                     /*reportSendDone=*/false, seq);
+    // On a lossy fabric the send buffer must stay pinned until every
+    // fragment is acked, so completion is gated on the NIC's SendDone.
+    const bool ackGated = nic_.reliable();
+    const std::uint64_t msgId = nic_.sendMessage(
+        req.dstNode, WireKind::Eager, req.env, req.bytes, req.bytes,
+        req.data, req.handle, 0, /*reportSendDone=*/ackGated, seq);
+    if (ackGated) {
+      txByMsgId_[msgId] = req.handle;
+      co_return;
+    }
     // Buffer handed off: the MPI send is locally complete right away.
     txDone_(req.handle);
     signalActivity();
@@ -80,6 +89,26 @@ sim::Task<void> GmEndpoint::progress() {
 
 sim::Task<void> GmEndpoint::handleEvent(nic::GmEvent ev) {
   using EvType = nic::GmEvent::Type;
+  if (ev.type == EvType::Timeout) {
+    // The NIC cannot retransmit on its own — the library re-stages the
+    // missing fragments here, on the host CPU. Eager payloads must be
+    // re-copied into NIC send buffers; rendezvous data re-DMAs from the
+    // (still pinned) user buffer for just the descriptor cost.
+    auto plan = nic_.planRetransmit(ev.msgId);
+    if (!plan) co_return;  // fully acked while the event sat in the queue
+    if (plan->budgetExhausted)
+      throw Error(strFormat(
+          "GM: retransmit budget exhausted for message %llu after %d rounds",
+          static_cast<unsigned long long>(ev.msgId), plan->retries));
+    Time cost = cfg_.ctrlHandleCost;
+    if (plan->kind == WireKind::Eager)
+      cost += copyTimeAt(cfg_.eagerTxCopyRate, plan->missingBytes);
+    co_await cpu_.compute(cost);
+    // Acks may have landed while we were re-staging.
+    if (!nic_.planRetransmit(ev.msgId)) co_return;
+    nic_.executeRetransmit(ev.msgId);
+    co_return;
+  }
   if (ev.type == EvType::SendDone) {
     co_await cpu_.compute(cfg_.ctrlHandleCost);
     const auto it = txByMsgId_.find(ev.msgId);

@@ -32,6 +32,7 @@
 #include "nic/gm_nic.hpp"
 #include "sim/simulator.hpp"
 #include "transport/endpoint.hpp"
+#include "transport/reliability.hpp"
 
 namespace comb::transport {
 
@@ -49,6 +50,8 @@ struct GmConfig {
   Time ctrlHandleCost = 1.0e-6;
   /// Wire payload of RTS/CTS control packets.
   Bytes ctrlBytes = 32;
+  /// Ack/retransmit protocol parameters (engaged only on lossy fabrics).
+  ReliabilityConfig rel;
 };
 
 class GmEndpoint final : public Endpoint {
@@ -67,6 +70,7 @@ class GmEndpoint final : public Endpoint {
   net::NodeId nodeId() const override { return node_; }
 
   nic::GmNic& nic() { return nic_; }
+  const nic::GmNic& nic() const { return nic_; }
   const GmConfig& config() const { return cfg_; }
 
  private:

@@ -11,7 +11,7 @@ PortalsEndpoint::PortalsEndpoint(sim::Simulator& sim, host::Cpu& libCpu,
       cpu_(libCpu),
       node_(node),
       cfg_(cfg),
-      nic_(sim, fabric, kernelCpu, node, cfg.nic) {
+      nic_(sim, fabric, kernelCpu, node, cfg.nic, cfg.rel) {
   initActivity(sim);
   nic_.setRxHandler(
       [this](const WirePayload& frag, net::NodeId src) { kernelRx(frag, src); });

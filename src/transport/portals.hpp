@@ -27,6 +27,7 @@
 #include "nic/portals_nic.hpp"
 #include "sim/simulator.hpp"
 #include "transport/endpoint.hpp"
+#include "transport/reliability.hpp"
 
 namespace comb::transport {
 
@@ -43,6 +44,8 @@ struct PortalsConfig {
   /// receive (charged in the posting syscall).
   Rate unexpectedCopyRate = 250e6;
   nic::PortalsNicConfig nic;
+  /// Ack/retransmit protocol parameters (engaged only on lossy fabrics).
+  ReliabilityConfig rel;
 };
 
 class PortalsEndpoint final : public Endpoint {
@@ -66,6 +69,7 @@ class PortalsEndpoint final : public Endpoint {
   net::NodeId nodeId() const override { return node_; }
 
   nic::PortalsNic& nic() { return nic_; }
+  const nic::PortalsNic& nic() const { return nic_; }
   const PortalsConfig& config() const { return cfg_; }
 
  private:

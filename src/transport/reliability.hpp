@@ -1,0 +1,41 @@
+// Timeout/retransmit protocol parameters shared by both NIC stacks.
+//
+// On a lossy fabric (FaultSpec with dropProb or corruptProb > 0) every
+// non-Ack fragment must be acknowledged by the receiving NIC. The sender
+// keeps per-message state: which fragments are still unacked, how many
+// retransmission rounds have been spent, and a timer that fires after
+// `ackTimeout * backoff^retries`. What happens on a timeout differs per
+// stack — that is the point of the extension:
+//
+//  * GM (OS-bypass, library-driven progress): the NIC can only queue a
+//    Timeout event; the *library* notices it during some later MPI call,
+//    pays host CPU to re-stage the missing fragments (eager messages are
+//    re-copied into NIC send buffers) and restarts the DMA. Retransmit
+//    latency is bounded below by the application's polling interval.
+//  * Portals (NIC/kernel-resident progress): the packet engine retains
+//    the fragments in NIC buffers and replays the missing ones
+//    autonomously — no host CPU, no waiting for a library call.
+//
+// On a lossless fabric (the default) none of this machinery engages and
+// event timings are bit-identical to builds without it.
+#pragma once
+
+#include "common/units.hpp"
+
+namespace comb::transport {
+
+struct ReliabilityConfig {
+  /// Base ack timeout, measured from the instant the message's last
+  /// fragment entered the wire. Generous by design: a spurious timeout
+  /// costs a wasted retransmission, a tight one costs correctness of the
+  /// availability numbers.
+  Time ackTimeout = 2e-3;
+  /// Timeout multiplier per retransmission round (exponential backoff).
+  double backoff = 2.0;
+  /// Retransmission rounds per message before the run is aborted.
+  int maxRetries = 10;
+  /// Wire payload of one Ack packet.
+  Bytes ackBytes = 16;
+};
+
+}  // namespace comb::transport

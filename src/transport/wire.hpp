@@ -16,6 +16,7 @@ enum class WireKind : std::uint8_t {
   Rts,    ///< rendezvous request-to-send (control)
   Cts,    ///< rendezvous clear-to-send (control)
   Data,   ///< rendezvous payload addressed to a receiver handle
+  Ack,    ///< per-fragment reliability acknowledgement (lossy fabrics only)
 };
 
 inline const char* wireKindName(WireKind k) {
@@ -24,6 +25,7 @@ inline const char* wireKindName(WireKind k) {
     case WireKind::Rts: return "Rts";
     case WireKind::Cts: return "Cts";
     case WireKind::Data: return "Data";
+    case WireKind::Ack: return "Ack";
   }
   return "?";
 }
@@ -43,6 +45,9 @@ struct WirePayload : net::PayloadBase {
   /// small control packet arrive before an earlier message's data — MPI's
   /// non-overtaking rule restored in software, as MPICH does.
   std::uint64_t matchSeq = 0;
+  /// For Ack packets: the fragment index being acknowledged (msgId names
+  /// the acked message; fragIndex is the ack packet's own index, always 0).
+  std::uint32_t ackFragIndex = 0;
   DataBuffer data;              ///< whole-message buffer (fragments alias it)
 };
 

@@ -107,6 +107,45 @@ TEST(MachineFile, BadSmpComboRejected) {
   EXPECT_THROW(parse("[host]\nnic_cpu = 1\n"), ConfigError);  // 1 CPU only
 }
 
+TEST(MachineFile, FaultSectionAndReliabilityKeys) {
+  const auto m = parse(R"(
+transport = portals
+[fault]
+drop = 0.02
+burst = 3
+corrupt = 0.01
+jitter_us = 2
+seed = 42
+[portals]
+ack_timeout_us = 500
+ack_bytes = 32
+max_retries = 4
+backoff = 1.5
+)");
+  EXPECT_DOUBLE_EQ(m.fabric.link.fault.dropProb, 0.02);
+  EXPECT_EQ(m.fabric.link.fault.burstLen, 3);
+  EXPECT_DOUBLE_EQ(m.fabric.link.fault.corruptProb, 0.01);
+  EXPECT_NEAR(m.fabric.link.fault.jitter, 2e-6, 1e-15);
+  EXPECT_EQ(m.fabric.link.fault.seed, 42u);
+  EXPECT_NEAR(m.portals.rel.ackTimeout, 500e-6, 1e-12);
+  EXPECT_EQ(m.portals.rel.ackBytes, 32u);
+  EXPECT_EQ(m.portals.rel.maxRetries, 4);
+  EXPECT_DOUBLE_EQ(m.portals.rel.backoff, 1.5);
+
+  const auto gm = parse("[gm]\nmax_retries = 6\n");
+  EXPECT_EQ(gm.gm.rel.maxRetries, 6);
+}
+
+TEST(MachineFile, BadFaultOrReliabilityRejected) {
+  EXPECT_THROW(parse("[fault]\ndrop = 1.5\n"), ConfigError);
+  EXPECT_THROW(parse("[fault]\nburst = 0\n"), ConfigError);
+  EXPECT_THROW(parse("[gm]\nmax_retries = 0\n"), ConfigError);
+  EXPECT_THROW(parse("[gm]\nbackoff = 0.5\n"), ConfigError);
+  // Reliability keys follow the active transport's section.
+  EXPECT_THROW(parse("transport = portals\n[gm]\nack_timeout_us = 5\n"),
+               ConfigError);
+}
+
 TEST(MachineFile, BundledFilesParse) {
   // The files shipped in machines/ must stay valid and match the presets.
   const auto gm = loadMachineFile(std::string(COMB_SOURCE_DIR) +

@@ -71,6 +71,34 @@ TEST(FigArgs, RejectsNonNumericJobs) {
   EXPECT_EQ(args.exitCode, 2);
 }
 
+TEST(FigArgs, ParsesFaultSpec) {
+  const auto args = parse({"--fault", "drop=0.01,burst=4,seed=7"});
+  EXPECT_TRUE(args.parsedOk);
+  ASSERT_TRUE(args.fault.has_value());
+  EXPECT_DOUBLE_EQ(args.fault->dropProb, 0.01);
+  EXPECT_EQ(args.fault->burstLen, 4);
+  EXPECT_EQ(args.fault->seed, 7u);
+  // The fault spec rides into the sweep via RunOptions.
+  const auto opts = args.runOptions();
+  ASSERT_TRUE(opts.fault.has_value());
+  EXPECT_DOUBLE_EQ(opts.fault->dropProb, 0.01);
+}
+
+TEST(FigArgs, NoFaultFlagMeansNoOverride) {
+  const auto args = parse({});
+  EXPECT_FALSE(args.fault.has_value());
+  EXPECT_FALSE(args.runOptions().fault.has_value());
+}
+
+TEST(FigArgs, RejectsMalformedFaultSpec) {
+  for (const char* bad :
+       {"drop=2", "drop=-1", "burst=0", "oops=1", "drop", "drop=x"}) {
+    const auto args = parse({"--fault", bad});
+    EXPECT_FALSE(args.parsedOk) << "--fault " << bad;
+    EXPECT_EQ(args.exitCode, 2) << "--fault " << bad;
+  }
+}
+
 TEST(FigArgs, RejectsUnknownOption) {
   const auto args = parse({"--frobnicate"});
   EXPECT_FALSE(args.parsedOk);

@@ -24,8 +24,10 @@ TEST(Latency, PositiveAndOrdered) {
 }
 
 TEST(Latency, GrowsWithSize) {
-  const auto pts = runLatencySweep(backend::gmMachine(),
-                                   {1_KB, 10_KB, 100_KB}, 8);
+  LatencyParams base;
+  base.reps = 8;
+  const auto pts = runLatencySweep(
+      backend::gmMachine(), sweepOver(base, {1_KB, 10_KB, 100_KB}));
   ASSERT_EQ(pts.size(), 3u);
   EXPECT_LT(pts[0].halfRoundTripAvg, pts[1].halfRoundTripAvg);
   EXPECT_LT(pts[1].halfRoundTripAvg, pts[2].halfRoundTripAvg);

@@ -13,6 +13,12 @@
 namespace comb::bench {
 namespace {
 
+RunOptions withJobs(int jobs) {
+  RunOptions opts;
+  opts.jobs = jobs;
+  return opts;
+}
+
 TEST(LogSweep, CoversDecades) {
   const auto xs = logSweep(10, 100'000, 1);
   EXPECT_EQ(xs, (std::vector<std::uint64_t>{10, 100, 1000, 10000, 100000}));
@@ -107,7 +113,7 @@ TEST(Runner, SweepOverridesInterval) {
   base.maxPolls = 2'000;
   const std::vector<std::uint64_t> intervals{1'000, 100'000};
   const auto pts =
-      runPollingSweep(backend::gmMachine(), base, intervals);
+      runPollingSweep(backend::gmMachine(), sweepOver(base, intervals));
   ASSERT_EQ(pts.size(), 2u);
   EXPECT_EQ(pts[0].pollInterval, 1'000u);
   EXPECT_EQ(pts[1].pollInterval, 100'000u);
@@ -118,7 +124,8 @@ TEST(Runner, PwwSweepOverridesInterval) {
   auto base = presets::pwwBase(10 * 1024);
   base.reps = 4;
   const std::vector<std::uint64_t> intervals{5'000, 500'000};
-  const auto pts = runPwwSweep(backend::portalsMachine(), base, intervals);
+  const auto pts =
+      runPwwSweep(backend::portalsMachine(), sweepOver(base, intervals));
   ASSERT_EQ(pts.size(), 2u);
   EXPECT_EQ(pts[0].workInterval, 5'000u);
   EXPECT_EQ(pts[1].workInterval, 500'000u);
@@ -146,8 +153,9 @@ TEST(ParallelSweep, PollingBitIdenticalToSerialOnBothMachines) {
   const auto intervals = logSweep(10, 1'000'000, 1);
   for (const auto& machine :
        {backend::gmMachine(), backend::portalsMachine()}) {
-    const auto serial = runPollingSweep(machine, base, intervals, 1);
-    const auto parallel = runPollingSweep(machine, base, intervals, 4);
+    const auto spec = sweepOver(base, intervals);
+    const auto serial = runPollingSweep(machine, spec, withJobs(1));
+    const auto parallel = runPollingSweep(machine, spec, withJobs(4));
     ASSERT_EQ(serial.size(), parallel.size()) << machine.name;
     for (std::size_t i = 0; i < serial.size(); ++i)
       expectSamePoint(serial[i], parallel[i], i);
@@ -159,8 +167,11 @@ TEST(ParallelSweep, PwwBitIdenticalToSerial) {
   base.reps = 4;
   const std::vector<std::uint64_t> intervals{5'000, 50'000, 500'000,
                                              5'000'000};
-  const auto serial = runPwwSweep(backend::gmMachine(), base, intervals, 1);
-  const auto parallel = runPwwSweep(backend::gmMachine(), base, intervals, 3);
+  const auto spec = sweepOver(base, intervals);
+  const auto serial =
+      runPwwSweep(backend::gmMachine(), spec, withJobs(1));
+  const auto parallel =
+      runPwwSweep(backend::gmMachine(), spec, withJobs(3));
   ASSERT_EQ(serial.size(), parallel.size());
   for (std::size_t i = 0; i < serial.size(); ++i) {
     EXPECT_EQ(serial[i].workInterval, parallel[i].workInterval);
@@ -175,10 +186,13 @@ TEST(ParallelSweep, PwwBitIdenticalToSerial) {
 
 TEST(ParallelSweep, LatencyBitIdenticalToSerial) {
   const std::vector<Bytes> sizes{64, 1024, 10 * 1024, 100 * 1024};
+  SweepSpec<LatencyParams> spec;
+  spec.base.reps = 5;
+  spec.values = sizes;
   const auto serial =
-      runLatencySweep(backend::portalsMachine(), sizes, /*reps=*/5, 1);
+      runLatencySweep(backend::portalsMachine(), spec, withJobs(1));
   const auto parallel =
-      runLatencySweep(backend::portalsMachine(), sizes, /*reps=*/5, 4);
+      runLatencySweep(backend::portalsMachine(), spec, withJobs(4));
   ASSERT_EQ(serial.size(), parallel.size());
   for (std::size_t i = 0; i < serial.size(); ++i) {
     EXPECT_EQ(serial[i].msgBytes, parallel[i].msgBytes);
@@ -211,11 +225,43 @@ TEST(ParallelSweep, JobsGreaterThanPointsWorks) {
   base.targetDuration = 3e-3;
   base.maxPolls = 2'000;
   const std::vector<std::uint64_t> intervals{1'000, 100'000};
-  const auto pts = runPollingSweep(backend::gmMachine(), base, intervals, 64);
+  const auto pts = runPollingSweep(backend::gmMachine(),
+                                   sweepOver(base, intervals),
+                                   withJobs(64));
   ASSERT_EQ(pts.size(), 2u);
   EXPECT_EQ(pts[0].pollInterval, 1'000u);
   EXPECT_EQ(pts[1].pollInterval, 100'000u);
 }
+
+// The pre-SweepSpec positional overloads must keep working (deprecated
+// shims forwarding to the new API).
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+TEST(Runner, DeprecatedPositionalOverloadsStillWork) {
+  auto base = presets::pollingBase(10 * 1024);
+  base.targetDuration = 3e-3;
+  base.maxPolls = 2'000;
+  const std::vector<std::uint64_t> intervals{1'000, 100'000};
+  const auto oldApi = runPollingSweep(backend::gmMachine(), base, intervals);
+  const auto newApi =
+      runPollingSweep(backend::gmMachine(), sweepOver(base, intervals));
+  ASSERT_EQ(oldApi.size(), newApi.size());
+  for (std::size_t i = 0; i < oldApi.size(); ++i)
+    expectSamePoint(oldApi[i], newApi[i], i);
+
+  const std::vector<Bytes> sizes{1024};
+  const auto oldLat =
+      runLatencySweep(backend::gmMachine(), sizes, /*reps=*/5, /*jobs=*/1);
+  SweepSpec<LatencyParams> spec;
+  spec.base.reps = 5;
+  spec.values = sizes;
+  const auto newLat = runLatencySweep(backend::gmMachine(), spec);
+  ASSERT_EQ(oldLat.size(), 1u);
+  ASSERT_EQ(newLat.size(), 1u);
+  EXPECT_EQ(oldLat[0].halfRoundTripAvg, newLat[0].halfRoundTripAvg);
+  EXPECT_EQ(oldLat[0].reps, newLat[0].reps);
+}
+#pragma GCC diagnostic pop
 
 }  // namespace
 }  // namespace comb::bench

@@ -25,6 +25,7 @@
 #include "common/table.hpp"
 #include "common/thread_pool.hpp"
 #include "common/units.hpp"
+#include "net/fault.hpp"
 #include "report/machine_stats.hpp"
 
 using namespace comb;
@@ -42,6 +43,9 @@ void usage() {
       "    --cpus N --nic-cpu K    SMP extension knobs\n"
       "    --jobs N                worker threads for sweeps (0 = all\n"
       "                            cores); results are bit-identical\n"
+      "    --fault SPEC            inject link faults, e.g.\n"
+      "                            drop=0.01,burst=4,seed=7 (keys: drop,\n"
+      "                            burst, corrupt, jitter_us, seed)\n"
       "  polling: --interval I | --sweep    --queue Q\n"
       "  pww:     --work W | --sweep        --batch B  --test-at F\n"
       "  latency: (size only)\n"
@@ -68,6 +72,10 @@ ArgParser makeParser(const std::string& method) {
   args.addOption("batch", "PWW batch size", "1");
   args.addOption("test-at", "insert MPI_Test at this work fraction (-1=off)",
                  "-1");
+  args.addOption("fault",
+                 "inject link faults, e.g. drop=0.01,burst=4,seed=7 "
+                 "(keys: drop, burst, corrupt, jitter_us, seed)",
+                 "");
   args.addFlag("trace", "stats: also dump the substrate event trace");
   args.addOption("trace-rows", "stats: trace rows to print", "40");
   return args;
@@ -99,6 +107,9 @@ backend::MachineConfig machineFrom(const ArgParser& args) {
     m.cpusPerNode = static_cast<int>(args.integer("cpus"));
     m.nicCpu = static_cast<int>(args.integer("nic-cpu"));
   }
+  // --fault overrides whatever the machine (or machine file) specified.
+  if (const std::string spec = args.str("fault"); !spec.empty())
+    m.fabric.link.fault = net::parseFaultSpec(spec);
   return m;
 }
 
@@ -116,8 +127,11 @@ int runPolling(const ArgParser& args) {
   params.queueDepth = static_cast<int>(args.integer("queue"));
   TextTable t({"poll_interval", "bandwidth_MBps", "availability", "messages"});
   if (args.flag("sweep")) {
+    bench::RunOptions opts;
+    opts.jobs = jobsFrom(args);
     for (const auto& pt : bench::runPollingSweep(
-             machine, params, bench::presets::pollSweep(2), jobsFrom(args)))
+             machine, bench::sweepOver(params, bench::presets::pollSweep(2)),
+             opts))
       printPollingRow(t, pt);
   } else {
     params.pollInterval =
@@ -148,9 +162,11 @@ int runPww(const ArgParser& args) {
   TextTable t({"work_interval", "bandwidth_MBps", "availability",
                "post_us_per_op", "work_us", "wait_us_per_msg"});
   if (args.flag("sweep")) {
-    for (const auto& pt :
-         bench::runPwwSweep(machine, params, bench::presets::workSweep(2),
-                            jobsFrom(args)))
+    bench::RunOptions opts;
+    opts.jobs = jobsFrom(args);
+    for (const auto& pt : bench::runPwwSweep(
+             machine, bench::sweepOver(params, bench::presets::workSweep(2)),
+             opts))
       printPwwRow(t, pt);
   } else {
     params.workInterval = static_cast<std::uint64_t>(args.integer("work"));
