@@ -3,11 +3,16 @@
 // millions of events, so event-queue and coroutine costs matter.
 #include <benchmark/benchmark.h>
 
+#include <memory>
+
 #include "common/units.hpp"
 #include "host/cpu.hpp"
+#include "net/fabric.hpp"
 #include "sim/channel.hpp"
 #include "sim/simulator.hpp"
 #include "sim/task.hpp"
+#include "transport/payload_pool.hpp"
+#include "transport/wire.hpp"
 
 namespace {
 
@@ -41,6 +46,70 @@ void BM_CancelledEvents(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * batch);
 }
 BENCHMARK(BM_CancelledEvents)->Arg(10000);
+
+// Steady-state scheduling: one long-lived simulator, so the event pool
+// (post-optimization) reaches its high-water mark once and then recycles
+// slots with zero heap traffic. Contrast with BM_EventScheduleAndRun,
+// which pays simulator construction per iteration.
+void BM_EventPoolChurn(benchmark::State& state) {
+  const auto batch = static_cast<int>(state.range(0));
+  sim::Simulator sim;
+  for (auto _ : state) {
+    for (int i = 0; i < batch; ++i)
+      sim.schedule(static_cast<Time>(i % 13) * 1_us, [] {});
+    sim.run();
+  }
+  benchmark::DoNotOptimize(sim.eventsExecuted());
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_EventPoolChurn)->Arg(1000)->Arg(10000);
+
+// The preemptible-CPU idiom: a completion timer is cancelled and re-armed
+// on every interrupt. Exercises cancel() + slot recycling under churn.
+void BM_CancelStorm(benchmark::State& state) {
+  const auto batch = static_cast<int>(state.range(0));
+  sim::Simulator sim;
+  for (auto _ : state) {
+    sim::EventHandle timer;
+    for (int i = 0; i < batch; ++i) {
+      timer.cancel();
+      timer = sim.schedule(1_ms, [] {});
+      sim.schedule(static_cast<Time>(i % 7) * 1_us, [] {});
+    }
+    timer.cancel();
+    sim.run();
+  }
+  benchmark::DoNotOptimize(sim.eventsExecuted());
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_CancelStorm)->Arg(10000);
+
+// Per-packet cost through the full fabric path: payload allocation,
+// uplink serialization, switch routing, downlink delivery, payload
+// downcast at the receiver — the inner loop of every figure sweep.
+void BM_PacketDelivery(benchmark::State& state) {
+  const auto batch = static_cast<int>(state.range(0));
+  sim::Simulator sim;
+  net::Fabric fabric(sim, net::FabricConfig{});
+  std::uint64_t delivered = 0;
+  const net::NodeId rx = fabric.addNode([&](net::Packet p) {
+    const auto* wp = net::payloadAs<transport::WirePayload>(p);
+    if (wp != nullptr) ++delivered;
+  });
+  const net::NodeId tx = fabric.addNode([](net::Packet) {});
+  transport::WirePayloadPool pool;
+  for (auto _ : state) {
+    for (int i = 0; i < batch; ++i) {
+      auto wp = pool.acquire();
+      wp->msgId = static_cast<std::uint64_t>(i);
+      fabric.inject(tx, rx, 512, std::move(wp));
+    }
+    sim.run();
+  }
+  benchmark::DoNotOptimize(delivered);
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_PacketDelivery)->Arg(1000);
 
 void BM_CoroutineDelayLoop(benchmark::State& state) {
   const auto steps = static_cast<int>(state.range(0));

@@ -6,9 +6,20 @@
 #      logger tests, which exercise every cross-thread interaction the
 #      parallel sweep executor introduces — plus the fault-injection
 #      tests (`faults` label), whose parallel sweeps run retransmission
-#      machinery on every worker thread.
+#      machinery on every worker thread;
+#   3. with --perf: additionally run the simulator-core micro-benchmark
+#      suite in Release (scripts/run_micro.sh), refreshing the "current"
+#      block of BENCH_sim_core.json against the recorded baseline.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+PERF=0
+for arg in "$@"; do
+  case "$arg" in
+    --perf) PERF=1 ;;
+    *) echo "unknown option: $arg (supported: --perf)" >&2; exit 2 ;;
+  esac
+done
 
 cmake -B build -S .
 cmake --build build -j
@@ -20,5 +31,9 @@ cmake --build build-tsan -j --target test_thread_pool test_runner test_log \
 (cd build-tsan && ctest --output-on-failure -j"$(nproc)" \
   -R 'ThreadPool|ParallelFor|ParallelSweep|LogSweep|Log\.|Runner')
 (cd build-tsan && ctest --output-on-failure -j"$(nproc)" -L faults)
+
+if [[ "$PERF" == 1 ]]; then
+  scripts/run_micro.sh
+fi
 
 echo "tier-1 verify: OK (standard suite + TSan concurrency/fault tests)"

@@ -68,7 +68,7 @@ void Cpu::scheduleUserResume() {
   });
 }
 
-void Cpu::raiseInterrupt(Time service, std::function<void()> handler) {
+void Cpu::raiseInterrupt(Time service, IsrHandler handler) {
   COMB_ASSERT(service >= 0.0, "negative interrupt service time");
   if (sim_.tracing())
     sim_.emitTrace(sim::TraceCategory::Interrupt, -1, name_, service);

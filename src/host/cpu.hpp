@@ -18,10 +18,10 @@
 
 #include <cstdint>
 #include <deque>
-#include <functional>
 #include <string>
 
 #include "common/units.hpp"
+#include "sim/inplace_fn.hpp"
 #include "sim/simulator.hpp"
 #include "sim/task.hpp"
 #include "sim/trigger.hpp"
@@ -39,10 +39,14 @@ class Cpu {
   /// it. Multiple callers are serviced FIFO.
   sim::Task<void> compute(Time seconds);
 
+  /// Completion callback for raiseInterrupt. Inline-stored (the Portals
+  /// receive path raises one per fragment — this must not allocate).
+  using IsrHandler = sim::InplaceFn<64>;
+
   /// Raise an interrupt whose service routine occupies the CPU for
   /// `service` seconds. `handler` (optional) runs when service completes.
   /// ISRs queue FIFO behind any ISR currently in service.
-  void raiseInterrupt(Time service, std::function<void()> handler = {});
+  void raiseInterrupt(Time service, IsrHandler handler = {});
 
   /// Awaitable: run `seconds` of kernel-level work (scheduled through the
   /// interrupt path — preempts user compute). Used by kernel-resident
@@ -72,7 +76,7 @@ class Cpu {
   struct IsrRec {
     Time end;      ///< absolute completion time
     Time service;  ///< service duration
-    std::function<void()> handler;
+    IsrHandler handler;
   };
 
   void startFrontJob();

@@ -40,7 +40,9 @@ Time Link::send(Packet p) {
       --burstRemaining_;
     } else if (f.dropProb > 0.0 && faultRng_.uniform() < f.dropProb) {
       drop = true;
-      burstRemaining_ = f.burstLen - 1;
+      // validateFaultSpec guarantees burstLen >= 1, but clamp anyway: a
+      // zero-length burst must not underflow into a near-infinite one.
+      burstRemaining_ = std::max(f.burstLen - 1, 0);
     }
     if (drop) {
       ++packetsDropped_;

@@ -4,10 +4,19 @@
 // (eager fragment, RTS, CTS, DMA data...) is defined by the transport
 // layer via a type-erased payload. Packet sizes are wire sizes: payload
 // bytes plus per-packet header overhead added by the NIC.
+//
+// Payload hot-path design: payloads are reference-counted intrusively
+// (PayloadRef) rather than via shared_ptr — the simulator is
+// single-threaded per Simulator, so the count is a plain increment, and
+// releasing the last reference dispatches to a virtual hook that pooled
+// payloads override to recycle themselves (see transport/payload_pool.hpp)
+// instead of hitting the heap. Concrete payload types carry a PayloadKind
+// tag so payloadAs<> is a tag compare + static_cast, not a dynamic_cast.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
-#include <memory>
+#include <utility>
 
 #include "common/units.hpp"
 
@@ -15,13 +24,128 @@ namespace comb::net {
 
 using NodeId = int;
 
-/// Base class for transport-defined packet payloads. Payloads are
-/// immutable and shared: a retransmission or a trace can alias them.
-struct PayloadBase {
-  virtual ~PayloadBase() = default;
+/// Discriminator for concrete payload types. Every payload class names
+/// its kind via a `static constexpr PayloadKind kPayloadKind` member and
+/// passes it to the PayloadBase constructor; payloadAs<T> dispatches on
+/// it. One kind per concrete type — downcasting relies on the mapping
+/// being unique.
+enum class PayloadKind : std::uint8_t {
+  Wire,  ///< transport::WirePayload — every protocol packet
+  Test,  ///< ad-hoc payloads defined inside unit tests
 };
 
-using PayloadPtr = std::shared_ptr<const PayloadBase>;
+template <typename T>
+class PayloadRef;
+
+/// Base class for transport-defined packet payloads. Payloads are
+/// logically immutable once injected and shared: a retransmission or a
+/// trace can alias them.
+class PayloadBase {
+ public:
+  explicit PayloadBase(PayloadKind kind) : kind_(kind) {}
+  // Copies describe the same wire content but are fresh, unreferenced
+  // objects — the refcount never transfers.
+  PayloadBase(const PayloadBase& other) : kind_(other.kind_) {}
+  PayloadBase& operator=(const PayloadBase&) { return *this; }
+  virtual ~PayloadBase() = default;
+
+  PayloadKind payloadKind() const { return kind_; }
+
+ protected:
+  /// Invoked when the last PayloadRef drops. Default: heap delete.
+  /// Pooled payloads override this to return themselves to a free list.
+  virtual void releaseSelf() const { delete this; }
+
+ private:
+  template <typename>
+  friend class PayloadRef;
+
+  PayloadKind kind_;
+  /// Intrusive refcount. Non-atomic by design: payloads never leave
+  /// their owning Simulator's thread (each sweep point runs an isolated
+  /// simulation, even under the parallel sweep executor).
+  mutable std::uint32_t refs_ = 0;
+};
+
+/// Intrusive smart pointer to a payload (T may be const-qualified).
+/// Copying bumps a plain counter — no atomics, no control block.
+template <typename T>
+class PayloadRef {
+ public:
+  PayloadRef() = default;
+  PayloadRef(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
+
+  /// Take shared ownership of `p` (typically freshly constructed with
+  /// refcount 0 — see makePayload).
+  explicit PayloadRef(T* p) : p_(p) { retain(); }
+
+  PayloadRef(const PayloadRef& o) : p_(o.p_) { retain(); }
+  PayloadRef(PayloadRef&& o) noexcept : p_(std::exchange(o.p_, nullptr)) {}
+
+  template <typename U, typename = std::enable_if_t<std::is_convertible_v<U*, T*>>>
+  PayloadRef(const PayloadRef<U>& o)  // NOLINT(google-explicit-constructor)
+      : p_(o.p_) {
+    retain();
+  }
+  template <typename U, typename = std::enable_if_t<std::is_convertible_v<U*, T*>>>
+  PayloadRef(PayloadRef<U>&& o) noexcept  // NOLINT(google-explicit-constructor)
+      : p_(std::exchange(o.p_, nullptr)) {}
+
+  PayloadRef& operator=(const PayloadRef& o) {
+    PayloadRef tmp(o);
+    swap(tmp);
+    return *this;
+  }
+  PayloadRef& operator=(PayloadRef&& o) noexcept {
+    PayloadRef tmp(std::move(o));
+    swap(tmp);
+    return *this;
+  }
+  PayloadRef& operator=(std::nullptr_t) {
+    reset();
+    return *this;
+  }
+
+  ~PayloadRef() { release(); }
+
+  void reset() { release(); }
+  void swap(PayloadRef& o) noexcept { std::swap(p_, o.p_); }
+
+  T* get() const { return p_; }
+  T& operator*() const { return *p_; }
+  T* operator->() const { return p_; }
+  explicit operator bool() const { return p_ != nullptr; }
+
+  friend bool operator==(const PayloadRef& a, const PayloadRef& b) {
+    return a.p_ == b.p_;
+  }
+  friend bool operator==(const PayloadRef& a, std::nullptr_t) {
+    return a.p_ == nullptr;
+  }
+
+ private:
+  template <typename>
+  friend class PayloadRef;
+
+  void retain() {
+    if (p_ != nullptr) ++p_->refs_;
+  }
+  void release() {
+    if (p_ != nullptr && --p_->refs_ == 0) p_->releaseSelf();
+    p_ = nullptr;
+  }
+
+  T* p_ = nullptr;
+};
+
+/// Heap-construct a payload and return an owning reference (the
+/// non-pooled path; pools hand out refs of their own).
+template <typename T, typename... Args>
+PayloadRef<T> makePayload(Args&&... args) {
+  return PayloadRef<T>(new T(std::forward<Args>(args)...));
+}
+
+using PayloadPtr = PayloadRef<const PayloadBase>;
 
 struct Packet {
   NodeId src = -1;
@@ -34,11 +158,19 @@ struct Packet {
   PayloadPtr payload;
 };
 
-/// Convenience downcast; returns nullptr when the payload is of a
-/// different concrete type.
+/// Tag-dispatched downcast; returns nullptr when the payload is of a
+/// different concrete type (or absent).
+template <typename T>
+const T* payloadAs(const PayloadPtr& p) {
+  const PayloadBase* base = p.get();
+  return (base != nullptr && base->payloadKind() == T::kPayloadKind)
+             ? static_cast<const T*>(base)
+             : nullptr;
+}
+
 template <typename T>
 const T* payloadAs(const Packet& p) {
-  return dynamic_cast<const T*>(p.payload.get());
+  return payloadAs<T>(p.payload);
 }
 
 }  // namespace comb::net

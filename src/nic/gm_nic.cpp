@@ -34,7 +34,7 @@ std::uint64_t GmNic::sendMessage(net::NodeId dst, WireKind kind,
       std::max<Bytes>(1, (wireBytes + mtu - 1) / mtu));
   msg.reportSendDone = reportSendDone;
   msg.control = kind == WireKind::Rts || kind == WireKind::Cts;
-  msg.meta = std::make_shared<WirePayload>();
+  msg.meta = pool_.acquire();
   msg.meta->kind = kind;
   msg.meta->msgId = msgId;
   msg.meta->fragCount = msg.fragCount;
@@ -73,7 +73,7 @@ void GmNic::injectFragment(TxMsg& msg) {
                               ? msg.nextFrag
                               : msg.fragList[msg.nextFrag];
   ++msg.nextFrag;
-  auto wp = std::make_shared<WirePayload>(*msg.meta);
+  auto wp = pool_.acquire(*msg.meta);
   wp->fragIndex = i;
   if (i != 0) wp->data = nullptr;  // the whole buffer rides fragment 0
   fabric_.inject(node_, msg.dst, fragPayloadBytes(msg.wireBytes, i),
@@ -213,7 +213,7 @@ void GmNic::sendAck(net::NodeId dst, std::uint64_t msgId,
   msg.msgId = nextMsgId_++;
   msg.wireBytes = rel_.ackBytes;
   msg.control = true;
-  msg.meta = std::make_shared<WirePayload>();
+  msg.meta = pool_.acquire();
   msg.meta->kind = WireKind::Ack;
   msg.meta->msgId = msgId;
   msg.meta->ackFragIndex = fragIndex;

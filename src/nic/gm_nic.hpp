@@ -38,6 +38,7 @@
 #include "common/units.hpp"
 #include "net/fabric.hpp"
 #include "sim/simulator.hpp"
+#include "transport/payload_pool.hpp"
 #include "transport/reliability.hpp"
 #include "transport/wire.hpp"
 
@@ -127,7 +128,7 @@ class GmNic {
   struct TxMsg {
     net::NodeId dst = -1;
     std::uint64_t msgId = 0;
-    std::shared_ptr<transport::WirePayload> meta;  ///< template for frags
+    net::PayloadRef<transport::WirePayload> meta;  ///< template for frags
     Bytes wireBytes = 0;
     std::uint32_t fragCount = 1;
     std::uint32_t nextFrag = 0;
@@ -151,7 +152,7 @@ class GmNic {
     bool timeoutQueued = false;  ///< Timeout event awaiting the library
     sim::EventHandle timer;
     /// Retained metadata so missing fragments can be re-staged.
-    std::shared_ptr<transport::WirePayload> meta;
+    net::PayloadRef<transport::WirePayload> meta;
   };
 
   void pushEvent(GmEvent ev);
@@ -169,6 +170,9 @@ class GmNic {
   net::NodeId node_;
   transport::ReliabilityConfig rel_;
   bool reliable_ = false;
+  /// Fragment payloads recycle through this free list (zero steady-state
+  /// allocation on the transmit path).
+  transport::WirePayloadPool pool_;
   std::deque<GmEvent> events_;
   std::function<void()> eventHook_;
 

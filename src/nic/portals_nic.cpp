@@ -37,7 +37,7 @@ std::uint64_t PortalsNic::sendMessage(net::NodeId dst, WireKind kind,
   }
   Bytes remaining = wireBytes;
   for (std::uint32_t i = 0; i < fragCount; ++i) {
-    auto wp = std::make_shared<WirePayload>();
+    auto wp = pool_.acquire();
     wp->kind = kind;
     wp->msgId = msgId;
     wp->fragIndex = i;
@@ -127,7 +127,7 @@ void PortalsNic::onTimer(std::uint64_t msgId) {
 
 void PortalsNic::sendAck(net::NodeId dst, std::uint64_t msgId,
                          std::uint32_t fragIndex) {
-  auto wp = std::make_shared<WirePayload>();
+  auto wp = pool_.acquire();
   wp->kind = WireKind::Ack;
   wp->msgId = msgId;
   wp->ackFragIndex = fragIndex;
@@ -184,7 +184,7 @@ void PortalsNic::deliver(net::Packet p) {
   const Time service =
       cfg_.perFragRx + static_cast<Time>(fragBytes) / cfg_.kernelCopyRate;
   cpu_.raiseInterrupt(service, [this, payload = p.payload, src = p.src] {
-    const auto* frag = dynamic_cast<const WirePayload*>(payload.get());
+    const auto* frag = net::payloadAs<WirePayload>(payload);
     COMB_ASSERT(frag != nullptr, "payload type changed in flight");
     if (reliable_) {
       // The fragment is safely in kernel buffers: ack it now. Sent from

@@ -30,6 +30,7 @@
 #include "host/cpu.hpp"
 #include "net/fabric.hpp"
 #include "sim/simulator.hpp"
+#include "transport/payload_pool.hpp"
 #include "transport/reliability.hpp"
 #include "transport/wire.hpp"
 
@@ -94,7 +95,7 @@ class PortalsNic {
   struct TxFrag {
     net::NodeId dst;
     Bytes fragBytes;
-    std::shared_ptr<transport::WirePayload> payload;
+    net::PayloadRef<transport::WirePayload> payload;
     bool lastOfMessage;
     std::uint64_t msgId;
   };
@@ -103,7 +104,7 @@ class PortalsNic {
   /// for autonomous replay.
   struct Unacked {
     net::NodeId dst = -1;
-    std::vector<std::shared_ptr<transport::WirePayload>> frags;
+    std::vector<net::PayloadRef<transport::WirePayload>> frags;
     std::vector<Bytes> fragBytes;
     std::vector<bool> acked;
     std::uint32_t ackedCount = 0;
@@ -125,6 +126,9 @@ class PortalsNic {
   PortalsNicConfig cfg_;
   RxHandler rxHandler_;
   TxDoneHandler txDone_;
+  /// Fragment payloads recycle through this free list (zero steady-state
+  /// allocation on the transmit path).
+  transport::WirePayloadPool pool_;
 
   std::deque<TxFrag> txQueue_;
   bool txBusy_ = false;

@@ -1,0 +1,136 @@
+// InplaceFn<N>: a move-only, type-erased `void()` callable whose capture
+// state lives entirely inside an N-byte inline buffer — never on the heap.
+//
+// This is the event-closure type of the simulator hot path. Every
+// scheduled event used to pay a std::function heap allocation; InplaceFn
+// trades that for a hard capacity limit, enforced at compile time: a
+// closure that does not fit (or is not nothrow-move-constructible, which
+// slot relocation inside the event pool requires) fails the constructor's
+// constraints, so `std::is_constructible_v<InplaceFn<N>, F>` doubles as a
+// testable capacity probe. Size the capacity to the largest real closure
+// (see sim/event_queue.hpp for the event-path budget).
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <memory>
+#include <type_traits>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace comb::sim {
+
+template <std::size_t Capacity>
+class InplaceFn {
+ public:
+  static constexpr std::size_t capacity = Capacity;
+
+  /// True when a callable of type F (after decay) can be stored: it must
+  /// fit the buffer, not over-align it (the buffer is pointer-aligned —
+  /// enough for any capture of pointers, integers and doubles, and it
+  /// keeps sizeof(InplaceFn<48>) + an 8-byte tag at exactly one cache
+  /// line for the event pool), and relocate without throwing.
+  template <typename F>
+  static constexpr bool fits =
+      sizeof(F) <= Capacity && alignof(F) <= alignof(void*) &&
+      std::is_nothrow_move_constructible_v<F>;
+
+  InplaceFn() = default;
+
+  template <typename F,
+            typename Fn = std::decay_t<F>,
+            typename = std::enable_if_t<
+                !std::is_same_v<Fn, InplaceFn> && std::is_invocable_r_v<void, Fn&> &&
+                fits<Fn>>>
+  InplaceFn(F&& f) : ops_(&OpsImpl<Fn>::ops) {  // NOLINT(google-explicit-constructor)
+    ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+  }
+
+  InplaceFn(InplaceFn&& other) noexcept { moveFrom(other); }
+
+  InplaceFn& operator=(InplaceFn&& other) noexcept {
+    if (this != &other) {
+      reset();
+      moveFrom(other);
+    }
+    return *this;
+  }
+
+  InplaceFn(const InplaceFn&) = delete;
+  InplaceFn& operator=(const InplaceFn&) = delete;
+
+  /// Construct a callable directly in the buffer, replacing any current
+  /// one. Equivalent to `*this = InplaceFn(f)` but with no intermediate
+  /// object — the schedule hot path uses this to build each event
+  /// closure in its pool slot, skipping the type-erased relocation a
+  /// move-assign would cost.
+  template <typename F,
+            typename Fn = std::decay_t<F>,
+            typename = std::enable_if_t<
+                !std::is_same_v<Fn, InplaceFn> && std::is_invocable_r_v<void, Fn&> &&
+                fits<Fn>>>
+  void emplace(F&& f) {
+    reset();
+    ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+    ops_ = &OpsImpl<Fn>::ops;
+  }
+
+  ~InplaceFn() { reset(); }
+
+  /// Destroy the stored callable (if any); leaves the fn empty.
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      if (!ops_->trivial) ops_->destroy(buf_);
+      ops_ = nullptr;
+    }
+  }
+
+  explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+  void operator()() {
+    COMB_ASSERT(ops_ != nullptr, "invoking an empty InplaceFn");
+    ops_->invoke(buf_);
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(void*);
+    /// Move-construct the callable at `to` from `from`, destroying `from`.
+    void (*relocate)(void* from, void* to) noexcept;
+    void (*destroy)(void*) noexcept;
+    /// Trivially copyable + destructible: relocation is a memcpy and
+    /// destruction a no-op, letting reset()/moveFrom() skip the indirect
+    /// calls. True for the hottest closures (coroutine resumptions
+    /// capture only a handle).
+    bool trivial;
+  };
+
+  template <typename Fn>
+  struct OpsImpl {
+    static void invoke(void* p) { (*static_cast<Fn*>(p))(); }
+    static void relocate(void* from, void* to) noexcept {
+      ::new (to) Fn(std::move(*static_cast<Fn*>(from)));
+      static_cast<Fn*>(from)->~Fn();
+    }
+    static void destroy(void* p) noexcept { static_cast<Fn*>(p)->~Fn(); }
+    static constexpr Ops ops{&invoke, &relocate, &destroy,
+                             std::is_trivially_copyable_v<Fn> &&
+                                 std::is_trivially_destructible_v<Fn>};
+  };
+
+  void moveFrom(InplaceFn& other) noexcept {
+    if (other.ops_ != nullptr) {
+      if (other.ops_->trivial)
+        std::memcpy(buf_, other.buf_, Capacity);
+      else
+        other.ops_->relocate(other.buf_, buf_);
+      ops_ = std::exchange(other.ops_, nullptr);
+    }
+  }
+
+  alignas(void*) unsigned char buf_[Capacity];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace comb::sim

@@ -42,27 +42,17 @@ Simulator::~Simulator() {
   }
 }
 
-EventHandle Simulator::schedule(Time delay, EventFn fn) {
-  COMB_ASSERT(delay >= 0.0, "negative event delay");
-  return queue_.push(now_ + delay, std::move(fn));
-}
-
-EventHandle Simulator::scheduleAt(Time when, EventFn fn) {
-  COMB_ASSERT(when >= now_, "scheduling into the past");
-  return queue_.push(when, std::move(fn));
-}
-
 void Simulator::spawn(Task<void> process, std::string name) {
   COMB_REQUIRE(process.valid(), "spawning an empty Task");
   // Defer the first step through the event queue so that spawn order ==
-  // first-run order regardless of where spawn() is called from.
-  // The process task is moved into a heap closure until the event fires.
-  auto* held = new Task<void>(std::move(process));
-  schedule(0.0, [this, held, name = std::move(name)]() mutable {
-    Task<void> t = std::move(*held);
-    delete held;
-    runProcess(std::move(t), std::move(name));
-  });
+  // first-run order regardless of where spawn() is called from. The task
+  // lives inside the event closure (in the event pool, no heap detour);
+  // if the simulator is destroyed before the event fires, the pool
+  // destroys the closure and with it the never-started task.
+  schedule(0.0,
+           [this, t = std::move(process), name = std::move(name)]() mutable {
+             runProcess(std::move(t), std::move(name));
+           });
 }
 
 void Simulator::recordFailure(std::exception_ptr e, const std::string& name) {
@@ -86,21 +76,31 @@ void Simulator::rethrowIfFailed() {
 bool Simulator::step() {
   rethrowIfFailed();
   if (queue_.empty()) return false;
-  auto [when, fn] = queue_.pop();
-  COMB_ASSERT(when >= now_, "event queue went backwards in time");
-  now_ = when;
-  if (trace_) trace_(now_, eventsExecuted_);
-  ++eventsExecuted_;
-  fn();
+  // Run the closure in place from its pool slot — no per-event move of
+  // the callable; the clock/trace bookkeeping runs just before it.
+  queue_.runNext([this](Time when) {
+    COMB_ASSERT(when >= now_, "event queue went backwards in time");
+    now_ = when;
+    if (trace_) trace_(now_, eventsExecuted_);
+    ++eventsExecuted_;
+  });
   rethrowIfFailed();
   return true;
 }
 
 Time Simulator::run(Time until) {
   rethrowIfFailed();
-  while (!queue_.empty() && queue_.nextTime() <= until) {
-    step();
-  }
+  // Fused loop: runNextUpTo decides "pending and due" and fires the
+  // event in one queue operation, instead of the empty()/nextTime()/
+  // step() triple that would prune stale heap entries three times per
+  // event on this hot path.
+  const auto pre = [this](Time when) {
+    COMB_ASSERT(when >= now_, "event queue went backwards in time");
+    now_ = when;
+    if (trace_) trace_(now_, eventsExecuted_);
+    ++eventsExecuted_;
+  };
+  while (queue_.runNextUpTo(until, pre)) rethrowIfFailed();
   if (!queue_.empty() && now_ < until) now_ = until;
   return now_;
 }

@@ -13,8 +13,11 @@
 #include <functional>
 #include <limits>
 #include <string>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
+#include "common/error.hpp"
 #include "common/units.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/task.hpp"
@@ -32,10 +35,22 @@ class Simulator {
   /// Current virtual time in seconds.
   Time now() const { return now_; }
 
-  /// Schedule `fn` to run `delay` seconds from now (delay >= 0).
-  EventHandle schedule(Time delay, EventFn fn);
+  /// Schedule `fn` to run `delay` seconds from now (delay >= 0). Takes
+  /// any callable an event closure can hold (see sim/inplace_fn.hpp) and
+  /// forwards it straight into the event pool — no intermediate EventFn.
+  template <typename F>
+    requires std::is_constructible_v<EventFn, F&&>
+  EventHandle schedule(Time delay, F&& fn) {
+    COMB_ASSERT(delay >= 0.0, "negative event delay");
+    return queue_.push(now_ + delay, std::forward<F>(fn));
+  }
   /// Schedule `fn` at absolute virtual time `when` (>= now()).
-  EventHandle scheduleAt(Time when, EventFn fn);
+  template <typename F>
+    requires std::is_constructible_v<EventFn, F&&>
+  EventHandle scheduleAt(Time when, F&& fn) {
+    COMB_ASSERT(when >= now_, "scheduling into the past");
+    return queue_.push(when, std::forward<F>(fn));
+  }
 
   /// Launch a simulated process. The coroutine starts at the current
   /// virtual time (before run() it starts at t = 0 when run() begins).

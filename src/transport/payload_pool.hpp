@@ -1,0 +1,101 @@
+// Per-NIC recycling pool for WirePayload.
+//
+// Fragment payloads are the dominant allocation of a running simulation —
+// one per packet on every (re)transmission. The pool keeps released
+// payloads on a free list so steady-state traffic constructs no new ones:
+// releasing the last PayloadRef routes through PayloadBase::releaseSelf
+// into the free list instead of the heap.
+//
+// Lifetime: packets can still be in flight (inside event closures owned
+// by the Simulator) when the NIC that sent them is destroyed, so pooled
+// payloads keep their backing store alive via a shared State — the free
+// list outlives the pool object until the last outstanding payload
+// returns, at which point everything is reclaimed.
+//
+// Thread-safety: none, by design — a pool belongs to one NIC inside one
+// Simulator, which is single-threaded (the parallel sweep executor runs
+// whole simulations per worker, never sharing one).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "transport/wire.hpp"
+
+namespace comb::transport {
+
+class WirePayloadPool {
+ public:
+  WirePayloadPool() : state_(std::make_shared<State>()) {}
+  WirePayloadPool(const WirePayloadPool&) = delete;
+  WirePayloadPool& operator=(const WirePayloadPool&) = delete;
+
+  /// A default-initialized payload (recycled when possible).
+  net::PayloadRef<WirePayload> acquire() {
+    Pooled* p;
+    if (!state_->free.empty()) {
+      p = state_->free.back();
+      state_->free.pop_back();
+      p->home = state_;
+      static_cast<WireFields&>(*p) = WireFields{};
+      ++state_->reused;
+    } else {
+      p = new Pooled(state_);
+      ++state_->allocated;
+    }
+    return net::PayloadRef<WirePayload>(p);
+  }
+
+  /// A payload cloned from `proto`'s wire fields (the per-fragment copy
+  /// in the GM transmit path).
+  net::PayloadRef<WirePayload> acquire(const WirePayload& proto) {
+    auto ref = acquire();
+    ref->fields() = proto.fields();
+    return ref;
+  }
+
+  // --- introspection (tests, benchmarks) ---------------------------------
+  std::size_t freeCount() const { return state_->free.size(); }
+  std::uint64_t allocated() const { return state_->allocated; }
+  std::uint64_t reused() const { return state_->reused; }
+
+ private:
+  struct Pooled;
+
+  struct State {
+    std::vector<Pooled*> free;
+    std::uint64_t allocated = 0;
+    std::uint64_t reused = 0;
+    ~State() {
+      for (Pooled* p : free) delete p;
+    }
+  };
+
+  struct Pooled : WirePayload {
+    explicit Pooled(std::shared_ptr<State> s) : home(std::move(s)) {}
+    /// Keeps the free list alive while this payload is outstanding;
+    /// empty while parked on the free list.
+    std::shared_ptr<State> home;
+
+   protected:
+    void releaseSelf() const override {
+      auto* self = const_cast<Pooled*>(this);
+      // Drop captured buffers now — a parked payload must not pin data.
+      self->data = nullptr;
+      // Keep the state alive across the push; if this payload held the
+      // last reference (pool already destroyed, last packet drained),
+      // ~State runs as `keep` goes out of scope and deletes everything
+      // on the free list, including this object.
+      std::shared_ptr<State> keep = std::move(self->home);
+      keep->free.push_back(self);
+    }
+  };
+
+  std::shared_ptr<State> state_;
+};
+
+}  // namespace comb::transport

@@ -30,7 +30,10 @@ inline const char* wireKindName(WireKind k) {
   return "?";
 }
 
-struct WirePayload : net::PayloadBase {
+/// The wire-visible content of a payload, separated from the PayloadBase
+/// machinery so pooled payloads can be reset/cloned by plain assignment
+/// (see transport/payload_pool.hpp).
+struct WireFields {
   WireKind kind = WireKind::Eager;
   std::uint64_t msgId = 0;      ///< sender-scoped message identifier
   std::uint32_t fragIndex = 0;
@@ -49,6 +52,14 @@ struct WirePayload : net::PayloadBase {
   /// the acked message; fragIndex is the ack packet's own index, always 0).
   std::uint32_t ackFragIndex = 0;
   DataBuffer data;              ///< whole-message buffer (fragments alias it)
+};
+
+struct WirePayload : net::PayloadBase, WireFields {
+  static constexpr net::PayloadKind kPayloadKind = net::PayloadKind::Wire;
+  WirePayload() : net::PayloadBase(kPayloadKind) {}
+
+  WireFields& fields() { return *this; }
+  const WireFields& fields() const { return *this; }
 };
 
 }  // namespace comb::transport

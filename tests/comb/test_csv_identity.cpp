@@ -1,0 +1,65 @@
+// Bit-identity of rendered figure CSVs: the simulator is deterministic
+// and the parallel sweep executor promises results identical to serial
+// order, so the same sweep rendered twice — run-to-run, and jobs=1 vs
+// jobs=4 — must produce byte-equal CSV on both machine files. This is
+// the regression net for the allocation-free hot path: pooling events
+// and payloads must change real time only, never virtual time.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "backend/machine.hpp"
+#include "comb/presets.hpp"
+#include "comb/runner.hpp"
+#include "common/units.hpp"
+#include "report/figure.hpp"
+
+namespace comb::bench {
+namespace {
+
+using namespace comb::units;
+
+std::string fig04StyleCsv(const backend::MachineConfig& machine, int jobs) {
+  auto base = presets::pollingBase(100_KB);
+  base.targetDuration = 15e-3;
+  base.maxPolls = 15'000;
+  RunOptions opts;
+  opts.jobs = jobs;
+  const auto intervals = presets::pollSweep(1);
+  const auto pts =
+      runPollingSweep(machine, sweepOver(base, intervals), opts);
+
+  report::Figure fig("fig04_identity", "availability vs poll interval",
+                     "poll_interval_iters", "cpu_availability");
+  report::Series s;
+  s.name = "100KB";
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    s.xs.push_back(static_cast<double>(intervals[i]));
+    s.ys.push_back(pts[i].availability);
+  }
+  fig.addSeries(std::move(s));
+  std::ostringstream out;
+  fig.writeCsv(out);
+  return out.str();
+}
+
+TEST(CsvIdentity, Fig04ByteIdenticalAcrossRunsAndJobsOnGm) {
+  const auto machine = backend::gmMachine();
+  const std::string serial = fig04StyleCsv(machine, 1);
+  EXPECT_FALSE(serial.empty());
+  EXPECT_EQ(fig04StyleCsv(machine, 1), serial) << "run-to-run drift (gm)";
+  EXPECT_EQ(fig04StyleCsv(machine, 4), serial) << "jobs=4 drift (gm)";
+}
+
+TEST(CsvIdentity, Fig04ByteIdenticalAcrossRunsAndJobsOnPortals) {
+  const auto machine = backend::portalsMachine();
+  const std::string serial = fig04StyleCsv(machine, 1);
+  EXPECT_FALSE(serial.empty());
+  EXPECT_EQ(fig04StyleCsv(machine, 1), serial)
+      << "run-to-run drift (portals)";
+  EXPECT_EQ(fig04StyleCsv(machine, 4), serial) << "jobs=4 drift (portals)";
+}
+
+}  // namespace
+}  // namespace comb::bench

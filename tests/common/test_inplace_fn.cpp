@@ -1,0 +1,125 @@
+// InplaceFn: the no-allocation callable backing every scheduled event.
+// Covers move-only captures, exact destruction counts across moves and
+// resets, and the compile-time capacity probe (is_constructible doubles
+// as the "does this closure fit" check).
+#include "sim/inplace_fn.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <type_traits>
+#include <utility>
+
+namespace comb::sim {
+namespace {
+
+TEST(InplaceFn, InvokesAndReportsEmptiness) {
+  InplaceFn<64> empty;
+  EXPECT_FALSE(static_cast<bool>(empty));
+
+  int calls = 0;
+  InplaceFn<64> fn = [&calls] { ++calls; };
+  EXPECT_TRUE(static_cast<bool>(fn));
+  fn();
+  fn();
+  EXPECT_EQ(calls, 2);
+}
+
+TEST(InplaceFn, HoldsMoveOnlyCaptures) {
+  auto box = std::make_unique<int>(41);
+  InplaceFn<64> fn = [b = std::move(box)] { ++*b; };
+  InplaceFn<64> moved = std::move(fn);
+  EXPECT_FALSE(static_cast<bool>(fn));  // NOLINT(bugprone-use-after-move)
+  moved();
+  moved();
+  // The capture travelled with the move and is still alive here; nothing
+  // observable beyond "no crash, no double-free" — ASan/valgrind guard it.
+  EXPECT_TRUE(static_cast<bool>(moved));
+}
+
+struct Counted {
+  static int constructed;
+  static int destroyed;
+  Counted() { ++constructed; }
+  Counted(const Counted&) { ++constructed; }
+  Counted(Counted&&) noexcept { ++constructed; }
+  ~Counted() { ++destroyed; }
+  void operator()() const {}
+};
+int Counted::constructed = 0;
+int Counted::destroyed = 0;
+
+TEST(InplaceFn, DestroysExactlyWhatItConstructs) {
+  Counted::constructed = 0;
+  Counted::destroyed = 0;
+  {
+    InplaceFn<64> a = Counted{};
+    InplaceFn<64> b = std::move(a);   // relocation constructs + destroys
+    b();
+    b = Counted{};                    // assignment destroys the old callable
+    InplaceFn<64> c;
+    c = std::move(b);
+    c.reset();
+    EXPECT_EQ(Counted::destroyed, Counted::constructed);  // nothing live
+    InplaceFn<64> d = Counted{};      // destroyed by scope exit
+    EXPECT_EQ(Counted::destroyed + 1, Counted::constructed);
+  }
+  EXPECT_EQ(Counted::constructed, Counted::destroyed);
+  EXPECT_GT(Counted::constructed, 0);
+}
+
+TEST(InplaceFn, ResetIsIdempotentAndEmptiesTheFn) {
+  Counted::constructed = 0;
+  Counted::destroyed = 0;
+  InplaceFn<64> fn = Counted{};
+  fn.reset();
+  fn.reset();
+  EXPECT_FALSE(static_cast<bool>(fn));
+  EXPECT_EQ(Counted::constructed, Counted::destroyed);
+}
+
+// ---- compile-time capacity probe ---------------------------------------
+
+struct SmallFn {
+  char pad[16];
+  void operator()() const {}
+};
+struct BigFn {
+  char pad[128];
+  void operator()() const {}
+};
+struct ThrowingMoveFn {
+  ThrowingMoveFn() = default;
+  ThrowingMoveFn(ThrowingMoveFn&&) noexcept(false) {}
+  void operator()() const {}
+};
+struct WrongSignatureFn {
+  void operator()(int) const {}
+};
+
+static_assert(std::is_constructible_v<InplaceFn<16>, SmallFn>,
+              "a 16-byte callable must fit a 16-byte buffer");
+static_assert(!std::is_constructible_v<InplaceFn<16>, BigFn>,
+              "oversized captures must be rejected at compile time");
+static_assert(std::is_constructible_v<InplaceFn<128>, BigFn>,
+              "the same callable fits once the capacity is raised");
+static_assert(!std::is_constructible_v<InplaceFn<64>, ThrowingMoveFn>,
+              "slot relocation requires nothrow move");
+static_assert(!std::is_constructible_v<InplaceFn<64>, WrongSignatureFn>,
+              "only void() callables are events");
+static_assert(!std::is_copy_constructible_v<InplaceFn<64>> &&
+                  !std::is_copy_assignable_v<InplaceFn<64>>,
+              "InplaceFn is move-only");
+static_assert(InplaceFn<64>::fits<SmallFn> && !InplaceFn<64>::fits<BigFn>,
+              "fits<> mirrors the constructor constraint");
+
+TEST(InplaceFn, CapacityProbeMatchesRuntimeBehaviour) {
+  // The static_asserts above are the real test; this keeps them anchored
+  // to a runtime TU so the file registers with ctest.
+  InplaceFn<16> fn = SmallFn{};
+  fn();
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace comb::sim

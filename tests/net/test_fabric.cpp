@@ -143,13 +143,15 @@ TEST(Fabric, OutputContentionSerializes) {
   EXPECT_NEAR(arrivals[1] - arrivals[0], 40.64e-6, 1e-9);
 }
 
+struct Tag : PayloadBase {
+  static constexpr PayloadKind kPayloadKind = PayloadKind::Test;
+  int v;
+  explicit Tag(int x) : PayloadBase(kPayloadKind), v(x) {}
+};
+
 TEST(Fabric, PayloadSurvivesTransit) {
-  struct Tag : PayloadBase {
-    int v;
-    explicit Tag(int x) : v(x) {}
-  };
   TwoNodeFixture f;
-  f.fabric.inject(f.n0, f.n1, 8, std::make_shared<Tag>(99));
+  f.fabric.inject(f.n0, f.n1, 8, makePayload<Tag>(99));
   f.sim.run();
   ASSERT_EQ(f.at1.size(), 1u);
   const Tag* tag = payloadAs<Tag>(f.at1[0]);

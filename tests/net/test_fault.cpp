@@ -59,6 +59,24 @@ TEST(FaultSpec, RejectsBadInput) {
   EXPECT_THROW(parseFaultSpec("drop=abc"), ConfigError);
 }
 
+TEST(FaultSpec, RejectsZeroBurstHoweverConstructed) {
+  // burst=0 must be caught at validation, not wrap Link's burstRemaining
+  // arithmetic (burstLen - 1) into a near-infinite loss run.
+  FaultSpec spec;
+  spec.dropProb = 0.1;
+  spec.burstLen = 0;
+  EXPECT_THROW(validateFaultSpec(spec), ConfigError);
+  spec.burstLen = -3;
+  EXPECT_THROW(validateFaultSpec(spec), ConfigError);
+
+  Simulator sim;
+  LinkConfig cfg;
+  cfg.rate = 100e6;
+  cfg.fault.dropProb = 0.1;
+  cfg.fault.burstLen = 0;
+  EXPECT_THROW(Link(sim, cfg, "bad-burst"), ConfigError);
+}
+
 TEST(FaultSpec, SummaryRoundTrips) {
   auto spec = parseFaultSpec("drop=0.02,burst=3,corrupt=0.01,jitter_us=2");
   const auto again = parseFaultSpec(faultSpecSummary(spec));
