@@ -38,5 +38,12 @@ int main(int argc, char** argv) {
         /*increasing=*/true, 0.08));
     fig.addSeries(std::move(s));
   }
-  return finishFigure(fig, checks, args);
+
+  // --trace: re-run the middle sweep point (100KB family) fully traced.
+  auto traced = presets::pollingBase(presets::paperMessageSizes().back());
+  traced.pollInterval = fam.intervals[fam.intervals.size() / 2];
+  const bool traceOk = maybeTracePolling(machine, traced, args);
+
+  const int rc = finishFigure(fig, checks, args);
+  return traceOk ? rc : std::max(rc, 1);
 }

@@ -61,5 +61,13 @@ int main(int argc, char** argv) {
       "work-only grows linearly with the interval", workOnly.ys, true, 1.0));
   fig.addSeries(std::move(withMh));
   fig.addSeries(std::move(workOnly));
-  return finishFigure(fig, checks, args);
+
+  // --trace: re-run the middle sweep point fully traced, export, audit.
+  auto traced = presets::pwwBase(100_KB);
+  traced.workInterval = intervals[intervals.size() / 2];
+  const bool traceOk =
+      maybeTracePww(backend::portalsMachine(), traced, args);
+
+  const int rc = finishFigure(fig, checks, args);
+  return traceOk ? rc : std::max(rc, 1);
 }

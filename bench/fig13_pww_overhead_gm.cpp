@@ -53,5 +53,12 @@ int main(int argc, char** argv) {
       maxRelGap < 0.01, strFormat("max relative gap %.3f%%", 100 * maxRelGap)});
   fig.addSeries(std::move(withMh));
   fig.addSeries(std::move(workOnly));
-  return finishFigure(fig, checks, args);
+
+  // --trace: re-run the middle sweep point fully traced, export, audit.
+  auto traced = presets::pwwBase(100_KB);
+  traced.workInterval = intervals[intervals.size() / 2];
+  const bool traceOk = maybeTracePww(backend::gmMachine(), traced, args);
+
+  const int rc = finishFigure(fig, checks, args);
+  return traceOk ? rc : std::max(rc, 1);
 }

@@ -8,13 +8,16 @@
 //   * exits non-zero if a shape expectation fails.
 #pragma once
 
+#include <algorithm>
 #include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "backend/machine.hpp"
+#include "comb/audit.hpp"
 #include "comb/presets.hpp"
 #include "comb/runner.hpp"
 #include "common/cli.hpp"
@@ -25,6 +28,7 @@
 #include "net/fault.hpp"
 #include "report/expectations.hpp"
 #include "report/figure.hpp"
+#include "report/trace_export.hpp"
 
 namespace comb::bench {
 
@@ -38,6 +42,10 @@ struct FigArgs {
   std::optional<net::FaultSpec> fault;
   bool csv = false;
   std::string outDir = "bench_out";
+  /// When non-empty (--trace FILE): re-run one representative sweep point
+  /// with full tracing, write the Chrome trace JSON here, and audit the
+  /// timeline against the reported numbers.
+  std::string traceFile;
   bool parsedOk = true;  ///< false => exit with exitCode without running
   int exitCode = 0;      ///< 0 after --help, 2 on invalid arguments
 
@@ -69,6 +77,10 @@ inline FigArgs parseFigArgs(int argc, const char* const* argv,
                    "inject link faults, e.g. drop=0.01,burst=4,seed=7 "
                    "(keys: drop, burst, corrupt, jitter_us, seed)",
                    "");
+  parser.addOption("trace",
+                   "write a Chrome trace JSON of one representative point "
+                   "to FILE and audit it against the reported stats",
+                   "");
   FigArgs args;
   args.jobs = hardwareJobs();
   try {
@@ -88,6 +100,15 @@ inline FigArgs parseFigArgs(int argc, const char* const* argv,
       args.fault = net::parseFaultSpec(spec);
     args.csv = parser.flag("csv");
     args.outDir = parser.str("out");
+    args.traceFile = parser.str("trace");
+    if (!args.traceFile.empty()) {
+      // Fail at parse time, not after minutes of sweeping: the trace file
+      // must be writable now.
+      std::ofstream probe(args.traceFile);
+      if (!probe)
+        throw ConfigError("--trace: cannot open '" + args.traceFile +
+                          "' for writing");
+    }
   } catch (const Error& e) {
     std::fprintf(stderr, "%s: %s\n", name.c_str(), e.what());
     args.parsedOk = false;
@@ -173,6 +194,59 @@ report::Series makeSeries(const std::string& name,
     s.ys.push_back(yOf(points[i]));
   }
   return s;
+}
+
+namespace detail {
+
+/// Export + audit one traced run. Returns true when the audited numbers
+/// match `auditErr`'s reported point (empty error string).
+template <typename Point>
+bool finishTrace(const TracedRun<Point>& run, const std::string& auditErr,
+                 double auditedAvailability, const FigArgs& args) {
+  std::ofstream out(args.traceFile);
+  if (!out) {
+    std::fprintf(stderr, "--trace: cannot open '%s' for writing\n",
+                 args.traceFile.c_str());
+    return false;
+  }
+  report::writeChromeTrace(out, *run.trace);
+  std::cout << "trace: wrote " << run.trace->size() << " record(s) to "
+            << args.traceFile << " [" << run.trace->summary() << "]\n";
+  if (!auditErr.empty()) {
+    std::cout << "trace audit: FAIL — " << auditErr << '\n';
+    return false;
+  }
+  std::cout << strFormat(
+      "trace audit: OK — availability %.4f and per-phase times reproduced "
+      "from span data within 1%%\n",
+      auditedAvailability);
+  return true;
+}
+
+}  // namespace detail
+
+/// --trace support for PWW figures: re-run the representative point (by
+/// convention the middle of the sweep) fully traced, export the Chrome
+/// JSON, and audit the timeline against the runner-reported stats.
+/// Returns true when no tracing was requested or the audit passed.
+inline bool maybeTracePww(const backend::MachineConfig& machine,
+                          const PwwParams& params, const FigArgs& args) {
+  if (args.traceFile.empty()) return true;
+  const auto run = runPwwPointTraced(machine, params, args.runOptions());
+  const auto audit = auditPww(*run.trace, 0);
+  return detail::finishTrace(run, checkPww(audit, run.point),
+                             audit.availability, args);
+}
+
+/// --trace support for polling figures (same contract as maybeTracePww).
+inline bool maybeTracePolling(const backend::MachineConfig& machine,
+                              const PollingParams& params,
+                              const FigArgs& args) {
+  if (args.traceFile.empty()) return true;
+  const auto run = runPollingPointTraced(machine, params, args.runOptions());
+  const auto audit = auditPolling(*run.trace, 0);
+  return detail::finishTrace(run, checkPolling(audit, run.point),
+                             audit.availability, args);
 }
 
 /// Parametric (x = one metric, y = another) series, e.g. bandwidth vs

@@ -11,6 +11,7 @@
 #include "sim/channel.hpp"
 #include "sim/simulator.hpp"
 #include "sim/task.hpp"
+#include "sim/tracelog.hpp"
 #include "transport/payload_pool.hpp"
 #include "transport/wire.hpp"
 
@@ -172,6 +173,48 @@ void BM_CpuComputeUnderInterrupts(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * interrupts);
 }
 BENCHMARK(BM_CpuComputeUnderInterrupts)->Arg(1000);
+
+// The tracing contract: a detached TraceLog costs one predicted-false
+// branch per emit site, so this must match BM_CpuComputeUnderInterrupts;
+// the attached variant prices the actual ring writes for comparison.
+void BM_InterruptPathTracing(benchmark::State& state) {
+  const auto interrupts = static_cast<int>(state.range(0));
+  const bool attached = state.range(1) != 0;
+  sim::TraceLog log(1 << 16);
+  for (auto _ : state) {
+    sim::Simulator sim;
+    if (attached) sim.attachTraceLog(&log);
+    host::Cpu cpu(sim, "n0");
+    auto proc = [](host::Cpu& c) -> sim::Task<void> {
+      co_await c.compute(1.0);
+    };
+    sim.spawn(proc(cpu), "p");
+    for (int i = 0; i < interrupts; ++i)
+      sim.schedule(static_cast<Time>(i) * 1e-4, [&cpu] {
+        cpu.raiseInterrupt(10e-6);
+      });
+    sim.run();
+    benchmark::DoNotOptimize(cpu.isrTime());
+    log.clear();
+  }
+  state.SetLabel(attached ? "attached" : "detached");
+  state.SetItemsProcessed(state.iterations() * interrupts);
+}
+BENCHMARK(BM_InterruptPathTracing)->Args({1000, 0})->Args({1000, 1});
+
+// Raw emission throughput with the ring attached: the per-record cost a
+// traced run pays on top of the simulation itself.
+void BM_TraceEmit(benchmark::State& state) {
+  sim::TraceLog log(1 << 16);
+  double t = 0;
+  for (auto _ : state) {
+    log.emit(t, sim::TraceCategory::NicEvent, 0, "tx-frag", 4160);
+    t += 1e-6;
+  }
+  benchmark::DoNotOptimize(log.size());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TraceEmit);
 
 }  // namespace
 

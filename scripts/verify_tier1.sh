@@ -6,8 +6,14 @@
 #      logger tests, which exercise every cross-thread interaction the
 #      parallel sweep executor introduces — plus the fault-injection
 #      tests (`faults` label), whose parallel sweeps run retransmission
-#      machinery on every worker thread;
-#   3. with --perf: additionally run the simulator-core micro-benchmark
+#      machinery on every worker thread — and the tracing/observability
+#      tests (`trace` label), whose TraceLog rides along with parallel
+#      traced-point runs;
+#   3. rebuild the tracing/observability suites under AddressSanitizer
+#      (-DCOMB_SANITIZE=address) and run the `trace`-labelled tests: the
+#      TraceLog ring recycles slots and interns labels, exactly the kind
+#      of code ASan exists to check;
+#   4. with --perf: additionally run the simulator-core micro-benchmark
 #      suite in Release (scripts/run_micro.sh), refreshing the "current"
 #      block of BENCH_sim_core.json against the recorded baseline.
 set -euo pipefail
@@ -27,13 +33,19 @@ cmake --build build -j
 
 cmake -B build-tsan -S . -DCOMB_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build build-tsan -j --target test_thread_pool test_runner test_log \
-  test_thread_comb test_fault test_fault_injection
+  test_thread_comb test_fault test_fault_injection \
+  test_tracelog test_trace_export test_audit
 (cd build-tsan && ctest --output-on-failure -j"$(nproc)" \
   -R 'ThreadPool|ParallelFor|ParallelSweep|LogSweep|Log\.|Runner')
 (cd build-tsan && ctest --output-on-failure -j"$(nproc)" -L faults)
+(cd build-tsan && ctest --output-on-failure -j"$(nproc)" -L trace)
+
+cmake -B build-asan -S . -DCOMB_SANITIZE=address -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build build-asan -j --target test_tracelog test_trace_export test_audit
+(cd build-asan && ctest --output-on-failure -j"$(nproc)" -L trace)
 
 if [[ "$PERF" == 1 ]]; then
   scripts/run_micro.sh
 fi
 
-echo "tier-1 verify: OK (standard suite + TSan concurrency/fault tests)"
+echo "tier-1 verify: OK (standard suite + TSan concurrency/fault/trace tests + ASan trace tests)"

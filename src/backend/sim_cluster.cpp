@@ -42,7 +42,7 @@ SimCluster::SimCluster(MachineConfig cfg, int nodeCount)
     Node& node = nodes_[static_cast<std::size_t>(i)];
     for (int c = 0; c < cfg_.cpusPerNode; ++c)
       node.cpus.push_back(
-          std::make_unique<host::Cpu>(sim_, strFormat("cpu%d.%d", i, c)));
+          std::make_unique<host::Cpu>(sim_, strFormat("cpu%d.%d", i, c), i));
     host::Cpu& appCpu = *node.cpus[0];
     host::Cpu& nicCpu = *node.cpus[static_cast<std::size_t>(cfg_.nicCpu)];
     if (cfg_.kind == TransportKind::Gm) {
@@ -96,6 +96,11 @@ sim::TraceLog& SimCluster::enableTracing(std::size_t capacity) {
     sim_.attachTraceLog(traceLog_.get());
   }
   return *traceLog_;
+}
+
+std::unique_ptr<sim::TraceLog> SimCluster::releaseTraceLog() {
+  sim_.attachTraceLog(nullptr);
+  return std::move(traceLog_);
 }
 
 net::FaultCounters SimCluster::faultCounters() const {

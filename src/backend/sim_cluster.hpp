@@ -53,6 +53,16 @@ class SimProc {
     return mpi_->endpoint().activity().changedSince(seen);
   }
 
+  /// Benchmark-phase span markers ("post", "work", "wait", "dry", ...)
+  /// for the trace-driven overlap audit. No-ops when tracing is detached;
+  /// `label` must outlive the span (use string literals).
+  void phaseBegin(std::string_view label) {
+    sim_->emitTraceBegin(sim::TraceCategory::Phase, rank(), label);
+  }
+  void phaseEnd(std::string_view label) {
+    sim_->emitTraceEnd(sim::TraceCategory::Phase, rank(), label);
+  }
+
  private:
   sim::Simulator* sim_;
   host::Cpu* cpu_;
@@ -92,6 +102,10 @@ class SimCluster {
   /// Attach a structured trace log (owned by the cluster); returns it.
   sim::TraceLog& enableTracing(std::size_t capacity = 1 << 16);
   sim::TraceLog* traceLog() { return traceLog_.get(); }
+  const sim::TraceLog* traceLog() const { return traceLog_.get(); }
+  /// Take ownership of the trace log (detaches it from the simulator),
+  /// e.g. to keep the timeline after the cluster is torn down.
+  std::unique_ptr<sim::TraceLog> releaseTraceLog();
 
  private:
   struct Node {

@@ -25,6 +25,7 @@
 #include <memory>
 #include <mutex>
 #include <span>
+#include <string_view>
 #include <thread>
 #include <unordered_map>
 #include <vector>
@@ -138,6 +139,11 @@ class ThreadProc {
 
   std::uint64_t activityVersion() const;
   Immediate<Unit> waitActivity(std::uint64_t seen) const;
+
+  /// Phase markers exist for backend-concept parity with SimProc; the
+  /// native backend has no trace log, so they are no-ops.
+  void phaseBegin(std::string_view) {}
+  void phaseEnd(std::string_view) {}
 
  private:
   ThreadCluster* cluster_;

@@ -1,0 +1,130 @@
+#include "comb/audit.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/string_util.hpp"
+
+namespace comb::bench {
+
+namespace {
+
+/// Durations of the Begin/End pairs for one Phase label on one node, in
+/// time order. Pairing is already enforced at emission; here we only need
+/// the widths.
+std::vector<Time> phaseDurations(const sim::TraceLog& log,
+                                 std::string_view label, int node) {
+  const auto records = log.select(sim::TraceCategory::Phase, label, node);
+  std::vector<Time> durs;
+  Time begin = -1;
+  for (const sim::TraceRecord* r : records) {
+    if (r->phase == sim::TracePhase::Begin) {
+      COMB_REQUIRE(begin < 0, "nested phase spans in audit");
+      begin = r->t;
+    } else if (r->phase == sim::TracePhase::End) {
+      COMB_REQUIRE(begin >= 0, "phase end without begin in audit");
+      durs.push_back(r->t - begin);
+      begin = -1;
+    }
+  }
+  COMB_REQUIRE(begin < 0, "unclosed phase span in audit");
+  return durs;
+}
+
+Time sum(const std::vector<Time>& v, std::size_t from) {
+  Time s = 0;
+  for (std::size_t i = from; i < v.size(); ++i) s += v[i];
+  return s;
+}
+
+bool close(double a, double b, double relTol) {
+  const double scale = std::max(std::abs(a), std::abs(b));
+  return std::abs(a - b) <= relTol * std::max(scale, 1e-12);
+}
+
+std::string mismatch(const char* field, double audited, double reported,
+                     double relTol) {
+  return strFormat(
+      "%s: audited %.9g vs reported %.9g (beyond %.2g%% tolerance)", field,
+      audited, reported, relTol * 100.0);
+}
+
+}  // namespace
+
+PwwAudit auditPww(const sim::TraceLog& log, int workerNode) {
+  COMB_REQUIRE(log.dropped() == 0,
+               "trace ring dropped records; the audit needs the full "
+               "timeline — raise the trace capacity");
+  const auto post = phaseDurations(log, "post", workerNode);
+  const auto work = phaseDurations(log, "work", workerNode);
+  const auto wait = phaseDurations(log, "wait", workerNode);
+  const auto dry = phaseDurations(log, "dry", workerNode);
+  COMB_REQUIRE(dry.size() == 1, "expected exactly one PWW dry span");
+  COMB_REQUIRE(post.size() >= 2 && post.size() == work.size() &&
+                   post.size() == wait.size(),
+               "malformed PWW phase spans (need matching post/work/wait "
+               "triples incl. warm-up)");
+
+  PwwAudit a;
+  // The runner discards the first (warm-up) cycle; the dry loop runs the
+  // full rep count, warm-up included.
+  const auto totalReps = post.size();
+  a.reps = static_cast<int>(totalReps - 1);
+  const double measured = static_cast<double>(a.reps);
+  a.avgPost = sum(post, 1) / measured;
+  a.avgWork = sum(work, 1) / measured;
+  a.avgWait = sum(wait, 1) / measured;
+  a.dryWork = dry[0] / static_cast<double>(totalReps);
+  const Time cycle = a.avgPost + a.avgWork + a.avgWait;
+  a.availability = cycle > 0 ? a.dryWork / cycle : 0.0;
+  return a;
+}
+
+PollingAudit auditPolling(const sim::TraceLog& log, int workerNode) {
+  COMB_REQUIRE(log.dropped() == 0,
+               "trace ring dropped records; the audit needs the full "
+               "timeline — raise the trace capacity");
+  const auto dry = phaseDurations(log, "dry", workerNode);
+  const auto live = phaseDurations(log, "live", workerNode);
+  COMB_REQUIRE(dry.size() == 1 && live.size() == 1,
+               "expected exactly one polling dry and live span");
+  PollingAudit a;
+  a.dryTime = dry[0];
+  a.liveTime = live[0];
+  a.availability = a.liveTime > 0 ? a.dryTime / a.liveTime : 0.0;
+  return a;
+}
+
+std::string checkPww(const PwwAudit& audit, const PwwPoint& point,
+                     double relTol) {
+  if (audit.reps != point.reps)
+    return strFormat("reps: audited %d vs reported %d", audit.reps,
+                     point.reps);
+  if (!close(audit.avgPost, point.avgPost, relTol))
+    return mismatch("avgPost", audit.avgPost, point.avgPost, relTol);
+  if (!close(audit.avgWork, point.avgWork, relTol))
+    return mismatch("avgWork", audit.avgWork, point.avgWork, relTol);
+  if (!close(audit.avgWait, point.avgWait, relTol))
+    return mismatch("avgWait", audit.avgWait, point.avgWait, relTol);
+  if (!close(audit.dryWork, point.dryWork, relTol))
+    return mismatch("dryWork", audit.dryWork, point.dryWork, relTol);
+  if (!close(audit.availability, point.availability, relTol))
+    return mismatch("availability", audit.availability, point.availability,
+                    relTol);
+  return {};
+}
+
+std::string checkPolling(const PollingAudit& audit, const PollingPoint& point,
+                         double relTol) {
+  if (!close(audit.dryTime, point.dryTime, relTol))
+    return mismatch("dryTime", audit.dryTime, point.dryTime, relTol);
+  if (!close(audit.liveTime, point.liveTime, relTol))
+    return mismatch("liveTime", audit.liveTime, point.liveTime, relTol);
+  if (!close(audit.availability, point.availability, relTol))
+    return mismatch("availability", audit.availability, point.availability,
+                    relTol);
+  return {};
+}
+
+}  // namespace comb::bench

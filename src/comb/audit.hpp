@@ -1,0 +1,53 @@
+// Trace-driven overlap audit: recompute the COMB methods' reported
+// numbers from Phase span data alone and check they agree.
+//
+// The workers bracket exactly the wtime() stamps they report with Phase
+// spans ("dry"/"post"/"work"/"wait" for PWW, "dry"/"live" for polling),
+// and trace emission never advances virtual time — so the per-phase
+// durations reconstructed here must match the runner-reported statistics
+// to within floating-point noise. A disagreement means the
+// instrumentation drifted from the measurement (or the ring dropped
+// records), which is exactly what this audit exists to catch.
+#pragma once
+
+#include <string>
+
+#include "comb/params.hpp"
+#include "sim/tracelog.hpp"
+
+namespace comb::bench {
+
+/// PWW numbers recomputed from the worker's Phase spans.
+struct PwwAudit {
+  int reps = 0;  ///< measured cycles (warm-up excluded)
+  Time avgPost = 0;
+  Time avgWork = 0;
+  Time avgWait = 0;
+  Time dryWork = 0;  ///< per-rep dry-loop time
+  double availability = 0;
+};
+
+/// Polling numbers recomputed from the worker's Phase spans.
+struct PollingAudit {
+  Time dryTime = 0;
+  Time liveTime = 0;
+  double availability = 0;
+};
+
+/// Reconstruct one PWW point from the spans of `workerNode`. The log must
+/// hold exactly one traced point (the warm-up cycle is skipped, matching
+/// the runner). Throws comb::Error on malformed span data.
+PwwAudit auditPww(const sim::TraceLog& log, int workerNode = 0);
+
+/// Reconstruct one polling point from the spans of `workerNode`.
+PollingAudit auditPolling(const sim::TraceLog& log, int workerNode = 0);
+
+/// Compare audit vs reported point. Returns an empty string when every
+/// field agrees within `relTol` relative tolerance; otherwise a
+/// human-readable description of the first mismatch.
+std::string checkPww(const PwwAudit& audit, const PwwPoint& point,
+                     double relTol = 0.01);
+std::string checkPolling(const PollingAudit& audit, const PollingPoint& point,
+                         double relTol = 0.01);
+
+}  // namespace comb::bench

@@ -62,11 +62,15 @@ sim::Task<PollingPoint> pollingWorkerOn(Env& env, PollingParams p,
   point.pollsExecuted = nPolls;
 
   // --- dry run: the same loop with no communication ----------------------
+  // Phase spans bracket exactly the wtime() stamps used for the reported
+  // numbers, so the trace-driven audit can recompute availability.
   co_await mpi.barrier(world);
   {
+    env.phaseBegin("dry");
     const auto t0 = env.wtime();
     for (std::uint64_t i = 0; i < nPolls; ++i) co_await env.work(p.pollInterval);
     point.dryTime = env.wtime() - t0;
+    env.phaseEnd("dry");
   }
 
   // --- live run -----------------------------------------------------------
@@ -79,6 +83,7 @@ sim::Task<PollingPoint> pollingWorkerOn(Env& env, PollingParams p,
   std::uint64_t received = 0;
   std::uint64_t repliesSent = 0;
 
+  env.phaseBegin("live");
   const auto t0 = env.wtime();
   for (std::uint64_t i = 0; i < nPolls; ++i) {
     co_await env.work(p.pollInterval);
@@ -98,6 +103,7 @@ sim::Task<PollingPoint> pollingWorkerOn(Env& env, PollingParams p,
     }
   }
   point.liveTime = env.wtime() - t0;
+  env.phaseEnd("live");
   point.messagesReceived = received;
   point.availability =
       point.liveTime > 0 ? point.dryTime / point.liveTime : 0.0;

@@ -69,20 +69,28 @@ sim::Task<PwwPoint> pwwWorkerOn(Env& env, PwwParams p,
   }
 
   // --- dry run -------------------------------------------------------------
+  // Phase spans bracket exactly the wtime() stamps used for the reported
+  // numbers, so the trace-driven audit (comb/audit.hpp) can recompute
+  // them from span data alone.
   co_await mpi.barrier(world);
   {
+    env.phaseBegin("dry");
     const auto t0 = env.wtime();
     for (int r = 0; r < p.reps; ++r) co_await env.work(p.workInterval);
     point.dryWork = (env.wtime() - t0) / p.reps;
+    env.phaseEnd("dry");
   }
   co_await mpi.barrier(world);
 
   // --- measured cycles -------------------------------------------------------
   Time sumPost = 0, sumWork = 0, sumWait = 0;
   for (int r = 0; r < p.reps; ++r) {
+    env.phaseBegin("post");
     const auto tPost0 = env.wtime();
     auto reqs = co_await detail::postBatch(env, peer, p, world);
     const auto tWork0 = env.wtime();
+    env.phaseEnd("post");
+    env.phaseBegin("work");
     if (insertTest) {
       if (preTest > 0) co_await env.work(preTest);
       co_await mpi.progressOnce();  // the single inserted library call
@@ -91,8 +99,11 @@ sim::Task<PwwPoint> pwwWorkerOn(Env& env, PwwParams p,
       co_await env.work(p.workInterval);
     }
     const auto tWait0 = env.wtime();
+    env.phaseEnd("work");
+    env.phaseBegin("wait");
     co_await mpi.waitall(reqs);
     const auto tEnd = env.wtime();
+    env.phaseEnd("wait");
     if (r == 0) continue;  // warm-up
     sumPost += tWork0 - tPost0;
     sumWork += tWait0 - tWork0;

@@ -90,6 +90,40 @@ PwwPoint runPwwPoint(const backend::MachineConfig& machine,
   return point;
 }
 
+TracedRun<PollingPoint> runPollingPointTraced(
+    const backend::MachineConfig& machine, const PollingParams& params,
+    const RunOptions& opts, std::size_t traceCapacity) {
+  backend::SimCluster cluster(machineWithOptions(machine, opts), 2);
+  cluster.enableTracing(traceCapacity);
+  TracedRun<PollingPoint> run;
+  cluster.launch(0, pollingWorkerDriver(cluster.proc(0), params, run.point),
+                 "polling-worker");
+  cluster.launch(1, pollingSupport(cluster.proc(1), params),
+                 "polling-support");
+  cluster.run();
+  run.point.fault = cluster.faultCounters();
+  run.stats = report::snapshot(cluster);
+  run.trace = cluster.releaseTraceLog();
+  return run;
+}
+
+TracedRun<PwwPoint> runPwwPointTraced(const backend::MachineConfig& machine,
+                                      const PwwParams& params,
+                                      const RunOptions& opts,
+                                      std::size_t traceCapacity) {
+  backend::SimCluster cluster(machineWithOptions(machine, opts), 2);
+  cluster.enableTracing(traceCapacity);
+  TracedRun<PwwPoint> run;
+  cluster.launch(0, pwwWorkerDriver(cluster.proc(0), params, run.point),
+                 "pww-worker");
+  cluster.launch(1, pwwSupport(cluster.proc(1), params), "pww-support");
+  cluster.run();
+  run.point.fault = cluster.faultCounters();
+  run.stats = report::snapshot(cluster);
+  run.trace = cluster.releaseTraceLog();
+  return run;
+}
+
 LatencyPoint runLatencyPoint(const backend::MachineConfig& machine,
                              const LatencyParams& params,
                              const RunOptions& opts) {

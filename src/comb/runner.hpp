@@ -17,6 +17,7 @@
 // again. The older positional overloads are kept as deprecated shims.
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <type_traits>
 #include <vector>
@@ -26,6 +27,8 @@
 #include "comb/params.hpp"
 #include "common/thread_pool.hpp"
 #include "net/fault.hpp"
+#include "report/machine_stats.hpp"
+#include "sim/tracelog.hpp"
 
 namespace comb::bench {
 
@@ -76,6 +79,25 @@ PwwPoint runPwwPoint(const backend::MachineConfig& machine,
 LatencyPoint runLatencyPoint(const backend::MachineConfig& machine,
                              const LatencyParams& params,
                              const RunOptions& opts = {});
+
+/// One point re-run with full tracing attached: the measured point (its
+/// numbers are identical to the untraced run — trace emission never
+/// advances virtual time), the complete timeline, and the machine-stats
+/// snapshot (metrics included) taken before teardown.
+template <typename Point>
+struct TracedRun {
+  Point point;
+  std::unique_ptr<sim::TraceLog> trace;
+  report::MachineStats stats;
+};
+
+TracedRun<PollingPoint> runPollingPointTraced(
+    const backend::MachineConfig& machine, const PollingParams& params,
+    const RunOptions& opts = {}, std::size_t traceCapacity = 1 << 20);
+TracedRun<PwwPoint> runPwwPointTraced(const backend::MachineConfig& machine,
+                                      const PwwParams& params,
+                                      const RunOptions& opts = {},
+                                      std::size_t traceCapacity = 1 << 20);
 
 /// Generic parallel sweep executor: run `runOne(machine, paramSets[i])`
 /// for every parameter set, using up to `jobs` worker threads.

@@ -1,0 +1,114 @@
+#include "common/metrics.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace comb::metrics {
+
+Counter& Registry::counter(std::string_view name) {
+  COMB_REQUIRE(!name.empty(), "metric name must not be empty");
+  if (const auto it = counters_.find(name); it != counters_.end())
+    return it->second;
+  return counters_.emplace(std::string(name), Counter{}).first->second;
+}
+
+Histogram& Registry::histogram(std::string_view name, double lo, double hi,
+                               std::size_t bins) {
+  COMB_REQUIRE(!name.empty(), "metric name must not be empty");
+  if (const auto it = histograms_.find(name); it != histograms_.end())
+    return *it->second;
+  auto h = std::make_unique<Histogram>(lo, hi, bins);
+  return *histograms_.emplace(std::string(name), std::move(h)).first->second;
+}
+
+Snapshot Registry::snapshot() const {
+  Snapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_)
+    snap.counters.push_back({name, c.value()});
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    HistogramSample s;
+    s.name = name;
+    s.lo = h->binLow(0);
+    s.hi = h->binHigh(h->bins() - 1);
+    s.counts.resize(h->bins());
+    for (std::size_t i = 0; i < h->bins(); ++i) s.counts[i] = h->count(i);
+    s.underflow = h->underflow();
+    s.overflow = h->overflow();
+    s.total = h->total();
+    snap.histograms.push_back(std::move(s));
+  }
+  return snap;
+}
+
+std::uint64_t Snapshot::counterValue(std::string_view name) const {
+  const auto it = std::find_if(
+      counters.begin(), counters.end(),
+      [name](const CounterSample& c) { return c.name == name; });
+  return it == counters.end() ? 0 : it->value;
+}
+
+namespace {
+
+// Minimal JSON string escape — metric names are ASCII identifiers, but do
+// not let a stray quote or backslash produce invalid output.
+void writeJsonString(std::ostream& out, std::string_view s) {
+  out << '"';
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out << '\\';
+    out << c;
+  }
+  out << '"';
+}
+
+void pad(std::ostream& out, int n) {
+  for (int i = 0; i < n; ++i) out << ' ';
+}
+
+}  // namespace
+
+void writeJson(std::ostream& out, const Snapshot& snap, int indent) {
+  const int in1 = indent + 2;
+  const int in2 = indent + 4;
+  out << "{\n";
+  pad(out, in1);
+  out << "\"counters\": {";
+  for (std::size_t i = 0; i < snap.counters.size(); ++i) {
+    out << (i == 0 ? "\n" : ",\n");
+    pad(out, in2);
+    writeJsonString(out, snap.counters[i].name);
+    out << ": " << snap.counters[i].value;
+  }
+  if (!snap.counters.empty()) {
+    out << '\n';
+    pad(out, in1);
+  }
+  out << "},\n";
+  pad(out, in1);
+  out << "\"histograms\": {";
+  for (std::size_t i = 0; i < snap.histograms.size(); ++i) {
+    const HistogramSample& h = snap.histograms[i];
+    out << (i == 0 ? "\n" : ",\n");
+    pad(out, in2);
+    writeJsonString(out, h.name);
+    out << ": {\"lo\": " << h.lo << ", \"hi\": " << h.hi << ", \"counts\": [";
+    for (std::size_t j = 0; j < h.counts.size(); ++j) {
+      if (j > 0) out << ", ";
+      out << h.counts[j];
+    }
+    out << "], \"underflow\": " << h.underflow
+        << ", \"overflow\": " << h.overflow << ", \"total\": " << h.total
+        << "}";
+  }
+  if (!snap.histograms.empty()) {
+    out << '\n';
+    pad(out, in1);
+  }
+  out << "}\n";
+  pad(out, indent);
+  out << "}";
+}
+
+}  // namespace comb::metrics

@@ -1,0 +1,94 @@
+// Metrics registry: named monotonic counters and histograms for the
+// simulated substrate.
+//
+// Components (links, NICs, MiniMPI, runners) register instruments once at
+// construction — `registry.counter("nic.gm.n0.retransmits")` — and hold
+// the returned reference; incrementing is then a single add with no name
+// lookup and no allocation, preserving the simulator's allocation-free
+// hot path. The registry is owned by the Simulator (one per simulated
+// machine, so parallel sweep points never share state) and snapshotted
+// into report::MachineStats after a run, where it is rendered as a table
+// or exported as JSON alongside the fault counters.
+//
+// Names are dot-separated paths ("layer.component.instance.metric"); the
+// snapshot sorts them, so related instruments group naturally.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/histogram.hpp"
+
+namespace comb::metrics {
+
+/// Monotonic counter. Cheap enough for per-packet paths.
+class Counter {
+ public:
+  void add(std::uint64_t d = 1) { value_ += d; }
+  std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// One instrument's state at snapshot time.
+struct CounterSample {
+  std::string name;
+  std::uint64_t value = 0;
+};
+
+struct HistogramSample {
+  std::string name;
+  double lo = 0;
+  double hi = 0;
+  std::vector<std::size_t> counts;  ///< per-bin counts
+  std::size_t underflow = 0;
+  std::size_t overflow = 0;
+  std::size_t total = 0;
+};
+
+/// A point-in-time copy of every registered instrument, sorted by name.
+struct Snapshot {
+  std::vector<CounterSample> counters;
+  std::vector<HistogramSample> histograms;
+
+  bool empty() const { return counters.empty() && histograms.empty(); }
+  /// Value of a counter by exact name; 0 when absent.
+  std::uint64_t counterValue(std::string_view name) const;
+};
+
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// Find-or-create. References stay valid for the registry's lifetime.
+  Counter& counter(std::string_view name);
+  /// Find-or-create; bin layout is fixed by the first registration.
+  Histogram& histogram(std::string_view name, double lo, double hi,
+                       std::size_t bins);
+
+  std::size_t counterCount() const { return counters_.size(); }
+  std::size_t histogramCount() const { return histograms_.size(); }
+
+  Snapshot snapshot() const;
+
+ private:
+  // std::map: stable references, deterministic (sorted) iteration.
+  std::map<std::string, Counter, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+/// Serialize a snapshot as a JSON object:
+///   {"counters": {"name": value, ...},
+///    "histograms": {"name": {"lo": ..., "hi": ..., "counts": [...],
+///                            "underflow": ..., "overflow": ...}, ...}}
+void writeJson(std::ostream& out, const Snapshot& snap, int indent = 0);
+
+}  // namespace comb::metrics

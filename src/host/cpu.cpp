@@ -3,17 +3,20 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "common/string_util.hpp"
 
 namespace comb::host {
 
-Cpu::Cpu(sim::Simulator& sim, std::string name)
-    : sim_(sim), name_(std::move(name)) {}
+Cpu::Cpu(sim::Simulator& sim, std::string name, int node)
+    : sim_(sim),
+      name_(std::move(name)),
+      node_(node),
+      interruptCounter_(sim.metrics().counter(
+          strFormat("host.%s.interrupts", name_.c_str()))) {}
 
 sim::Task<void> Cpu::compute(Time seconds) {
   COMB_ASSERT(seconds >= 0.0, "negative compute request");
-  if (sim_.tracing())
-    sim_.emitTrace(sim::TraceCategory::Compute, -1, name_, seconds);
-  Job job(sim_, seconds);
+  Job job(sim_, seconds, sim_.now());
   jobs_.push_back(&job);
   if (jobs_.size() == 1) startFrontJob();
   co_await job.done.wait();
@@ -40,6 +43,13 @@ void Cpu::onUserJobComplete() {
   job->remaining = 0.0;
   jobs_.pop_front();
   userRunning_ = false;
+  // The full wall-clock window of this compute request is known only now
+  // (queuing + ISR preemption stretch it), so record it as a Complete
+  // span: t = submission, dur = wall window, a = cycles requested.
+  if (sim_.tracing())
+    sim_.emitTraceCompleteAt(job->enqueuedAt, sim_.now() - job->enqueuedAt,
+                             sim::TraceCategory::Compute, node_, name_,
+                             job->requested);
   job->done.fire();
   if (!jobs_.empty()) startFrontJob();
 }
@@ -70,11 +80,15 @@ void Cpu::scheduleUserResume() {
 
 void Cpu::raiseInterrupt(Time service, IsrHandler handler) {
   COMB_ASSERT(service >= 0.0, "negative interrupt service time");
-  if (sim_.tracing())
-    sim_.emitTrace(sim::TraceCategory::Interrupt, -1, name_, service);
   ++interruptsRaised_;
+  interruptCounter_.add();
   const Time start = std::max(sim_.now(), isrBusyUntil_);
   const Time end = start + service;
+  // ISRs queue FIFO behind the current kernel busy period; the service
+  // window [start, end) is known here, so emit it as a Complete span.
+  if (sim_.tracing())
+    sim_.emitTraceCompleteAt(start, service, sim::TraceCategory::Interrupt,
+                             node_, name_, service);
   isrBusyUntil_ = end;
   isrQueue_.push_back(IsrRec{end, service, std::move(handler)});
   sim_.scheduleAt(end, [this] { onIsrComplete(); });

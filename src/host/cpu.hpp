@@ -30,7 +30,8 @@ namespace comb::host {
 
 class Cpu {
  public:
-  Cpu(sim::Simulator& sim, std::string name);
+  /// `node` tags this CPU's trace records and metrics (-1 = unattributed).
+  Cpu(sim::Simulator& sim, std::string name, int node = -1);
   Cpu(const Cpu&) = delete;
   Cpu& operator=(const Cpu&) = delete;
 
@@ -62,6 +63,7 @@ class Cpu {
   Time isrTime() const;
   std::uint64_t interruptsRaised() const { return interruptsRaised_; }
   const std::string& name() const { return name_; }
+  int node() const { return node_; }
 
   /// True while a user job is queued or running.
   bool busyWithUser() const { return !jobs_.empty(); }
@@ -69,8 +71,11 @@ class Cpu {
  private:
   struct Job {
     Time remaining;
+    Time requested;   ///< original compute request (trace payload)
+    Time enqueuedAt;  ///< when compute() was called (trace span start)
     sim::Trigger done;
-    explicit Job(sim::Simulator& s, Time r) : remaining(r), done(s) {}
+    Job(sim::Simulator& s, Time r, Time at)
+        : remaining(r), requested(r), enqueuedAt(at), done(s) {}
   };
 
   struct IsrRec {
@@ -87,6 +92,8 @@ class Cpu {
 
   sim::Simulator& sim_;
   std::string name_;
+  int node_;
+  metrics::Counter& interruptCounter_;  ///< "host.<name>.interrupts"
 
   // User side. jobs_ front is the active job; entries point into the
   // awaiting coroutines' frames (valid until the job's trigger fires).

@@ -16,11 +16,22 @@ std::vector<Rank> iota(int n) {
   return v;
 }
 
+metrics::Counter& mpiCounter(sim::Simulator& sim, Rank rank,
+                             const char* call) {
+  return sim.metrics().counter(strFormat("mpi.n%d.%s", rank, call));
+}
+
 }  // namespace
 
 Mpi::Mpi(sim::Simulator& sim, transport::Endpoint& ep, Rank worldRank,
          int worldSize)
-    : sim_(sim), ep_(ep), world_(Comm(0, iota(worldSize), worldRank)) {
+    : sim_(sim), ep_(ep),
+      counters_{mpiCounter(sim, worldRank, "isend"),
+                mpiCounter(sim, worldRank, "irecv"),
+                mpiCounter(sim, worldRank, "test"),
+                mpiCounter(sim, worldRank, "wait"),
+                mpiCounter(sim, worldRank, "progress")},
+      world_(Comm(0, iota(worldSize), worldRank)) {
   COMB_REQUIRE(worldRank == ep.nodeId(),
                "world rank must equal the endpoint's node id");
   ep_.setCallbacks(
@@ -76,9 +87,11 @@ sim::Task<Request> Mpi::isend(const Comm& comm, Rank dst, Tag tag,
   states_[req.id] = ReqState{Kind::Send, false, Status{}, {}};
   ++sendsPosted_;
   bytesSent_ += bytes;
-  if (sim_.tracing())
-    sim_.emitTrace(sim::TraceCategory::MpiCall, rank(), "isend",
-                   static_cast<double>(bytes), tag);
+  counters_.isend.add();
+  // Span over the full call: for eager GM the post itself copies the
+  // payload, so the span width is the paper's "post" cost made visible.
+  sim::TraceScope span(sim_, sim::TraceCategory::MpiCall, rank(), "isend",
+                       static_cast<double>(bytes));
   transport::TxReq tx;
   tx.handle = req.id;
   tx.dstNode = comm.worldRank(dst);
@@ -98,9 +111,9 @@ sim::Task<Request> Mpi::irecv(const Comm& comm, Rank src, Tag tag,
   const Request req{nextReq_++};
   states_[req.id] = ReqState{Kind::Recv, false, Status{}, dstBuf};
   ++recvsPosted_;
-  if (sim_.tracing())
-    sim_.emitTrace(sim::TraceCategory::MpiCall, rank(), "irecv",
-                   static_cast<double>(maxBytes), tag);
+  counters_.irecv.add();
+  sim::TraceScope span(sim_, sim::TraceCategory::MpiCall, rank(), "irecv",
+                       static_cast<double>(maxBytes));
   transport::RxReq rx;
   rx.handle = req.id;
   rx.pattern = Pattern{comm.id(), src, tag};
@@ -114,10 +127,16 @@ bool Mpi::peekDone(Request req) const {
   return it != states_.end() && it->second.done;
 }
 
-sim::Task<void> Mpi::progressOnce() { co_await ep_.progress(); }
+sim::Task<void> Mpi::progressOnce() {
+  counters_.progress.add();
+  sim::TraceScope span(sim_, sim::TraceCategory::MpiCall, rank(), "progress");
+  co_await ep_.progress();
+}
 
 sim::Task<bool> Mpi::test(Request& req, Status* status) {
   (void)stateOf(req);  // validate before paying for progress
+  counters_.test.add();
+  sim::TraceScope span(sim_, sim::TraceCategory::MpiCall, rank(), "test");
   co_await ep_.progress();
   if (!stateOf(req).done) co_return false;
   freeRequest(req, status);
@@ -126,6 +145,8 @@ sim::Task<bool> Mpi::test(Request& req, Status* status) {
 
 sim::Task<void> Mpi::wait(Request& req, Status* status) {
   (void)stateOf(req);
+  counters_.wait.add();
+  sim::TraceScope span(sim_, sim::TraceCategory::MpiCall, rank(), "wait");
   while (true) {
     // Snapshot the activity version *before* progressing so completions
     // that land during the progress call cannot be missed.
@@ -139,6 +160,8 @@ sim::Task<void> Mpi::wait(Request& req, Status* status) {
 
 sim::Task<std::vector<std::size_t>> Mpi::testsome(
     std::span<Request> reqs, std::vector<Status>* statuses) {
+  counters_.test.add();
+  sim::TraceScope span(sim_, sim::TraceCategory::MpiCall, rank(), "testsome");
   co_await ep_.progress();
   std::vector<std::size_t> completed;
   for (std::size_t i = 0; i < reqs.size(); ++i) {
@@ -154,6 +177,8 @@ sim::Task<std::vector<std::size_t>> Mpi::testsome(
 }
 
 sim::Task<void> Mpi::waitall(std::span<Request> reqs) {
+  counters_.wait.add();
+  sim::TraceScope span(sim_, sim::TraceCategory::MpiCall, rank(), "waitall");
   auto allDone = [&] {
     for (const Request& r : reqs)
       if (r.valid() && !states_.at(r.id).done) return false;
@@ -174,6 +199,8 @@ sim::Task<std::size_t> Mpi::waitany(std::span<Request> reqs, Status* status) {
   COMB_REQUIRE(std::any_of(reqs.begin(), reqs.end(),
                            [](const Request& r) { return r.valid(); }),
                "waitany needs at least one valid request");
+  counters_.wait.add();
+  sim::TraceScope span(sim_, sim::TraceCategory::MpiCall, rank(), "waitany");
   while (true) {
     const std::uint64_t seen = ep_.activity().version();
     co_await ep_.progress();

@@ -143,6 +143,14 @@ class Mpi {
 
   sim::Simulator& sim_;
   transport::Endpoint& ep_;
+  /// Per-rank MPI call counters, cached at construction.
+  struct CallCounters {
+    metrics::Counter& isend;
+    metrics::Counter& irecv;
+    metrics::Counter& test;
+    metrics::Counter& wait;
+    metrics::Counter& progress;
+  } counters_;
   Comm world_;
   std::unordered_map<std::uint64_t, ReqState> states_;
   std::uint64_t nextReq_ = 1;

@@ -10,6 +10,12 @@ Link::Link(sim::Simulator& sim, LinkConfig cfg, std::string name)
     : sim_(sim),
       cfg_(cfg),
       name_(std::move(name)),
+      dropLabel_(name_ + ":drop"),
+      corruptLabel_(name_ + ":corrupt"),
+      packetsCounter_(sim.metrics().counter("link." + name_ + ".packets")),
+      bytesCounter_(sim.metrics().counter("link." + name_ + ".bytes")),
+      dropsCounter_(sim.metrics().counter("link." + name_ + ".drops")),
+      corruptsCounter_(sim.metrics().counter("link." + name_ + ".corrupts")),
       // Per-link stream: mixing the spec seed with the link name keeps
       // streams independent across links yet reproducible for a fixed
       // seed, regardless of construction order or host threading.
@@ -29,6 +35,8 @@ Time Link::send(Packet p) {
   busyTime_ += occupy;
   bytesCarried_ += p.wireBytes;
   ++packetsCarried_;
+  packetsCounter_.add();
+  bytesCounter_.add(p.wireBytes);
   Time arrival = busyUntil_ + cfg_.latency;
   if (cfg_.fault.active()) {
     const FaultSpec& f = cfg_.fault;
@@ -46,8 +54,9 @@ Time Link::send(Packet p) {
     }
     if (drop) {
       ++packetsDropped_;
+      dropsCounter_.add();
       if (sim_.tracing())
-        sim_.emitTrace(sim::TraceCategory::Fault, p.dst, name_ + ":drop",
+        sim_.emitTrace(sim::TraceCategory::Fault, p.dst, dropLabel_,
                        static_cast<double>(p.wireBytes),
                        static_cast<double>(p.seq));
       return arrival;
@@ -55,8 +64,9 @@ Time Link::send(Packet p) {
     if (f.corruptProb > 0.0 && faultRng_.uniform() < f.corruptProb) {
       p.corrupted = true;
       ++packetsCorrupted_;
+      corruptsCounter_.add();
       if (sim_.tracing())
-        sim_.emitTrace(sim::TraceCategory::Fault, p.dst, name_ + ":corrupt",
+        sim_.emitTrace(sim::TraceCategory::Fault, p.dst, corruptLabel_,
                        static_cast<double>(p.wireBytes),
                        static_cast<double>(p.seq));
     }
@@ -67,6 +77,13 @@ Time Link::send(Packet p) {
     }
     lastArrival_ = arrival;
   }
+  // Wire transit [serialize start, arrival) — known synchronously, so a
+  // Complete span rather than Begin/End (transits on one link overlap:
+  // packet N+1 serializes while N propagates).
+  if (sim_.tracing())
+    sim_.emitTraceCompleteAt(start, arrival - start, sim::TraceCategory::Wire,
+                             p.dst, name_, static_cast<double>(p.wireBytes),
+                             static_cast<double>(p.seq));
   sim_.scheduleAt(arrival,
                   [this, p = std::move(p)]() mutable { sink_(std::move(p)); });
   return arrival;

@@ -59,6 +59,14 @@ class Link {
   sim::Simulator& sim_;
   LinkConfig cfg_;
   std::string name_;
+  // Cached label strings / counters: built once at construction so the
+  // per-packet path performs no allocation or name lookup.
+  std::string dropLabel_;     ///< "<name>:drop"
+  std::string corruptLabel_;  ///< "<name>:corrupt"
+  metrics::Counter& packetsCounter_;
+  metrics::Counter& bytesCounter_;
+  metrics::Counter& dropsCounter_;
+  metrics::Counter& corruptsCounter_;
   Sink sink_;
   Time busyUntil_ = 0.0;
   Bytes bytesCarried_ = 0;

@@ -4,16 +4,32 @@
 #include <memory>
 
 #include "common/error.hpp"
+#include "common/string_util.hpp"
 
 namespace comb::nic {
 
 using transport::WireKind;
 using transport::WirePayload;
 
+namespace {
+
+metrics::Counter& nicCounter(sim::Simulator& sim, net::NodeId node,
+                             const char* metric) {
+  return sim.metrics().counter(strFormat("nic.gm.n%d.%s", node, metric));
+}
+
+}  // namespace
+
 GmNic::GmNic(sim::Simulator& sim, net::Fabric& fabric, net::NodeId node,
              transport::ReliabilityConfig rel)
     : sim_(sim), fabric_(fabric), node_(node), rel_(rel),
-      reliable_(fabric.lossy()) {}
+      reliable_(fabric.lossy()),
+      counters_{nicCounter(sim, node, "messages_sent"),
+                nicCounter(sim, node, "messages_delivered"),
+                nicCounter(sim, node, "frags_tx"),
+                nicCounter(sim, node, "retransmits"),
+                nicCounter(sim, node, "timeout_wakeups"),
+                nicCounter(sim, node, "duplicates_filtered")} {}
 
 std::uint64_t GmNic::sendMessage(net::NodeId dst, WireKind kind,
                                  const mpi::Envelope& env, Bytes wireBytes,
@@ -24,6 +40,7 @@ std::uint64_t GmNic::sendMessage(net::NodeId dst, WireKind kind,
                                  std::uint64_t matchSeq) {
   const std::uint64_t msgId = nextMsgId_++;
   ++messagesSent_;
+  counters_.sent.add();
   const Bytes mtu = fabric_.mtu();
 
   TxMsg msg;
@@ -90,6 +107,12 @@ void GmNic::pumpTx() {
   if (!q) return;
 
   TxMsg& msg = q->front();
+  counters_.fragsTx.add();
+  // The outbound DMA window: the NIC streams this fragment from host
+  // memory until the uplink finishes serializing it. Fragments serialize
+  // one at a time (txBusy_), so the Begin/End pair cannot interleave.
+  sim_.emitTraceBegin(sim::TraceCategory::NicEvent, node_, "dma",
+                      static_cast<double>(msg.wireBytes));
   injectFragment(msg);
   const std::uint32_t fragsToSend =
       msg.fragList.empty() ? msg.fragCount
@@ -118,6 +141,7 @@ void GmNic::pumpTx() {
   txBusy_ = true;
   sim_.scheduleAt(dmaFree, [this] {
     txBusy_ = false;
+    sim_.emitTraceEnd(sim::TraceCategory::NicEvent, node_, "dma");
     pumpTx();
   });
 }
@@ -134,6 +158,7 @@ void GmNic::armTimer(std::uint64_t msgId, Time at) {
 
 void GmNic::onTimer(std::uint64_t msgId) {
   ++timeoutWakeups_;
+  counters_.timeouts.add();
   auto it = unacked_.find(msgId);
   if (it == unacked_.end() || it->second.timeoutQueued) return;
   // GM progress is library-driven: the NIC cannot retransmit on its own.
@@ -179,6 +204,7 @@ void GmNic::executeRetransmit(std::uint64_t msgId) {
     if (!u.acked[i]) msg.fragList.push_back(i);
   COMB_ASSERT(!msg.fragList.empty(), "retransmit with nothing missing");
   retransmits_ += msg.fragList.size();
+  counters_.retransmits.add(msg.fragList.size());
   if (sim_.tracing())
     sim_.emitTrace(sim::TraceCategory::Fault, node_, "gm:retransmit",
                    static_cast<double>(msg.fragList.size()));
@@ -238,6 +264,7 @@ void GmNic::deliver(net::Packet p) {
     auto& seen = rxSeen_[{p.src, wp->msgId}];
     if (!seen.insert(wp->fragIndex).second) {
       ++duplicatesFiltered_;
+      counters_.duplicates.add();
       if (sim_.tracing())
         sim_.emitTrace(sim::TraceCategory::Fault, node_, "gm:dup",
                        static_cast<double>(wp->fragIndex));
@@ -268,6 +295,7 @@ void GmNic::deliver(net::Packet p) {
     auto it = pending_.find(key);
     COMB_ASSERT(it != pending_.end(), "message completed without fragment 0");
     ++messagesDelivered_;
+    counters_.delivered.add();
     pushEvent(std::move(it->second));
     pending_.erase(it);
     assembling_.erase(key);

@@ -170,6 +170,15 @@ class GmNic {
   net::NodeId node_;
   transport::ReliabilityConfig rel_;
   bool reliable_ = false;
+  /// Registry counters, cached at construction (no lookup per event).
+  struct NicCounters {
+    metrics::Counter& sent;
+    metrics::Counter& delivered;
+    metrics::Counter& fragsTx;
+    metrics::Counter& retransmits;
+    metrics::Counter& timeouts;
+    metrics::Counter& duplicates;
+  } counters_;
   /// Fragment payloads recycle through this free list (zero steady-state
   /// allocation on the transmit path).
   transport::WirePayloadPool pool_;

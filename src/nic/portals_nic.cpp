@@ -10,10 +10,25 @@ namespace comb::nic {
 using transport::WireKind;
 using transport::WirePayload;
 
+namespace {
+
+metrics::Counter& nicCounter(sim::Simulator& sim, net::NodeId node,
+                             const char* metric) {
+  return sim.metrics().counter(strFormat("nic.ptl.n%d.%s", node, metric));
+}
+
+}  // namespace
+
 PortalsNic::PortalsNic(sim::Simulator& sim, net::Fabric& fabric,
                        host::Cpu& cpu, net::NodeId node, PortalsNicConfig cfg,
                        transport::ReliabilityConfig rel)
     : sim_(sim), fabric_(fabric), cpu_(cpu), node_(node), cfg_(cfg),
+      counters_{nicCounter(sim, node, "messages_sent"),
+                nicCounter(sim, node, "frags_tx"),
+                nicCounter(sim, node, "frags_rx"),
+                nicCounter(sim, node, "retransmits"),
+                nicCounter(sim, node, "timeout_wakeups"),
+                nicCounter(sim, node, "duplicates_filtered")},
       rel_(rel), reliable_(fabric.lossy()) {
   COMB_REQUIRE(cfg.kernelCopyRate > 0.0, "kernelCopyRate must be positive");
 }
@@ -26,6 +41,7 @@ std::uint64_t PortalsNic::sendMessage(net::NodeId dst, WireKind kind,
                                       std::uint64_t recvHandle) {
   const std::uint64_t msgId = nextMsgId_++;
   ++messagesSent_;
+  counters_.sent.add();
   const Bytes mtu = fabric_.mtu();
   const auto fragCount = static_cast<std::uint32_t>(
       std::max<Bytes>(1, (wireBytes + mtu - 1) / mtu));
@@ -67,6 +83,9 @@ void PortalsNic::pumpTx() {
   txBusy_ = true;
   TxFrag frag = std::move(txQueue_.front());
   txQueue_.pop_front();
+  counters_.fragsTx.add();
+  sim_.emitTrace(sim::TraceCategory::NicEvent, node_, "tx-frag",
+                 static_cast<double>(frag.fragBytes));
   const Time service =
       cfg_.perFragTx +
       static_cast<Time>(frag.fragBytes) / cfg_.kernelCopyRate;
@@ -98,6 +117,7 @@ void PortalsNic::armTimer(std::uint64_t msgId) {
 
 void PortalsNic::onTimer(std::uint64_t msgId) {
   ++timeoutWakeups_;
+  counters_.timeouts.add();
   auto it = unacked_.find(msgId);
   if (it == unacked_.end()) return;  // stale: fully acked meanwhile
   Unacked& u = it->second;
@@ -119,6 +139,7 @@ void PortalsNic::onTimer(std::uint64_t msgId) {
   }
   COMB_ASSERT(count > 0, "timeout with nothing missing");
   retransmits_ += count;
+  counters_.retransmits.add(count);
   if (sim_.tracing())
     sim_.emitTrace(sim::TraceCategory::Fault, node_, "ptl:retransmit",
                    static_cast<double>(count));
@@ -167,6 +188,7 @@ void PortalsNic::deliver(net::Packet p) {
       // Duplicate: the MCP recognises the sequence number and re-acks
       // autonomously (the original ack may have been lost) — free.
       ++duplicatesFiltered_;
+      counters_.duplicates.add();
       sendAck(p.src, wp->msgId, wp->fragIndex);
       if (sim_.tracing())
         sim_.emitTrace(sim::TraceCategory::Fault, node_, "ptl:dup",
@@ -175,6 +197,9 @@ void PortalsNic::deliver(net::Packet p) {
     }
   }
   ++fragmentsReceived_;
+  counters_.fragsRx.add();
+  sim_.emitTrace(sim::TraceCategory::NicEvent, node_, "rx-frag",
+                 static_cast<double>(p.wireBytes));
   // Service = interrupt + protocol + copy of this fragment through kernel
   // buffers. The transport's handler runs at the end of service, still at
   // interrupt level (matching happens in the kernel).

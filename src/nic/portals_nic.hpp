@@ -124,6 +124,15 @@ class PortalsNic {
   host::Cpu& cpu_;
   net::NodeId node_;
   PortalsNicConfig cfg_;
+  /// Registry counters, cached at construction (no lookup per fragment).
+  struct NicCounters {
+    metrics::Counter& sent;
+    metrics::Counter& fragsTx;
+    metrics::Counter& fragsRx;
+    metrics::Counter& retransmits;
+    metrics::Counter& timeouts;
+    metrics::Counter& duplicates;
+  } counters_;
   RxHandler rxHandler_;
   TxDoneHandler txDone_;
   /// Fragment payloads recycle through this free list (zero steady-state

@@ -13,6 +13,8 @@ MachineStats snapshot(backend::SimCluster& cluster) {
   stats.eventsExecuted = cluster.simulator().eventsExecuted();
   stats.switchPacketsRouted = cluster.fabric().centralSwitch().packetsRouted();
   stats.fault = cluster.faultCounters();
+  stats.metrics = cluster.simulator().metrics().snapshot();
+  if (const auto* log = cluster.traceLog()) stats.traceDropped = log->dropped();
   for (int r = 0; r < cluster.nodeCount(); ++r) {
     NodeStats node;
     node.rank = r;
@@ -54,6 +56,11 @@ void renderStats(std::ostream& out, const MachineStats& stats) {
         (unsigned long long)stats.fault.timeoutWakeups,
         (unsigned long long)stats.fault.duplicatesFiltered);
   }
+  if (stats.traceDropped > 0) {
+    out << "WARNING: " << stats.traceDropped
+        << " trace record(s) dropped (ring full) — the timeline is "
+           "truncated; raise the trace capacity\n";
+  }
 
   const double horizon = stats.simulatedTime > 0 ? stats.simulatedTime : 1.0;
   TextTable table({"node", "cpu", "user%", "isr%", "irqs", "sends", "recvs",
@@ -86,6 +93,27 @@ void renderStats(std::ostream& out, const MachineStats& stats) {
       out << "WARNING: node " << node.rank << " has "
           << node.requestsPending << " pending request(s)\n";
   }
+}
+
+void writeStatsJson(std::ostream& out, const MachineStats& stats) {
+  out << "{\n";
+  out << "  \"machine\": \"" << stats.machineName << "\",\n";
+  out << "  \"simulated_seconds\": " << stats.simulatedTime << ",\n";
+  out << "  \"events_executed\": " << stats.eventsExecuted << ",\n";
+  out << "  \"switch_packets_routed\": " << stats.switchPacketsRouted << ",\n";
+  out << "  \"trace_dropped\": " << stats.traceDropped << ",\n";
+  out << strFormat(
+      "  \"faults\": {\"drops_injected\": %llu, \"corrupts_injected\": %llu, "
+      "\"retransmits\": %llu, \"timeout_wakeups\": %llu, "
+      "\"duplicates_filtered\": %llu},\n",
+      (unsigned long long)stats.fault.dropsInjected,
+      (unsigned long long)stats.fault.corruptsInjected,
+      (unsigned long long)stats.fault.retransmits,
+      (unsigned long long)stats.fault.timeoutWakeups,
+      (unsigned long long)stats.fault.duplicatesFiltered);
+  out << "  \"metrics\": ";
+  metrics::writeJson(out, stats.metrics, 2);
+  out << "\n}\n";
 }
 
 }  // namespace comb::report

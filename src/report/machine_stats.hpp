@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "common/metrics.hpp"
 #include "common/units.hpp"
 #include "net/fault.hpp"
 
@@ -48,6 +49,12 @@ struct MachineStats {
   /// Fault-injection / reliability counters, cluster-wide (all zero on a
   /// lossless fabric).
   net::FaultCounters fault;
+  /// Everything the components registered in the metrics registry
+  /// (host.*, link.*, nic.*, mpi.* counters and any histograms).
+  metrics::Snapshot metrics;
+  /// Trace records lost to the bounded ring (0 when tracing is detached
+  /// or the ring never filled). Non-zero means the timeline is truncated.
+  std::uint64_t traceDropped = 0;
 };
 
 /// Snapshot a cluster after (or during) a run.
@@ -55,5 +62,9 @@ MachineStats snapshot(backend::SimCluster& cluster);
 
 /// Render as an aligned table with utilization percentages.
 void renderStats(std::ostream& out, const MachineStats& stats);
+
+/// Machine-readable export: one JSON object holding the run header, fault
+/// counters, and the full metrics snapshot.
+void writeStatsJson(std::ostream& out, const MachineStats& stats);
 
 }  // namespace comb::report

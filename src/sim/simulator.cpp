@@ -21,13 +21,16 @@ struct Simulator::Detached {
 
 Simulator::Detached Simulator::runProcess(Task<void> t, std::string name) {
   ++liveProcesses_;
-  emitTrace(TraceCategory::Process, -1, name + ":start");
+  // Instants, not spans: process lifetimes interleave freely, which the
+  // per-track span stack intentionally rejects. Guarded so the label
+  // concatenation is not paid when tracing is detached.
+  if (tracing()) emitTrace(TraceCategory::Process, -1, name + ":start");
   try {
     co_await std::move(t);
   } catch (...) {
     recordFailure(std::current_exception(), name);
   }
-  emitTrace(TraceCategory::Process, -1, name + ":finish");
+  if (tracing()) emitTrace(TraceCategory::Process, -1, name + ":finish");
   --liveProcesses_;
 }
 

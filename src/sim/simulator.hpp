@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "common/metrics.hpp"
 #include "common/units.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/task.hpp"
@@ -76,14 +77,42 @@ class Simulator {
   void setTrace(TraceFn fn) { trace_ = std::move(fn); }
 
   /// Attach a structured trace log (see sim/tracelog.hpp). Instrumented
-  /// components emit through emitTrace(); pass nullptr to detach.
+  /// components emit through emitTrace*(); pass nullptr to detach. Detached,
+  /// every emitter below is a single pointer test.
   void attachTraceLog(TraceLog* log) { traceLog_ = log; }
   TraceLog* traceLog() const { return traceLog_; }
   bool tracing() const { return traceLog_ != nullptr; }
-  void emitTrace(TraceCategory cat, int node, std::string label,
+  void emitTrace(TraceCategory cat, int node, std::string_view label,
                  double a = 0, double b = 0) {
-    if (traceLog_) traceLog_->emit(now_, cat, node, std::move(label), a, b);
+    if (traceLog_) traceLog_->emit(now_, cat, node, label, a, b);
   }
+  void emitTraceBegin(TraceCategory cat, int node, std::string_view label,
+                      double a = 0) {
+    if (traceLog_) traceLog_->beginSpan(now_, cat, node, label, a);
+  }
+  void emitTraceEnd(TraceCategory cat, int node, std::string_view label,
+                    double a = 0) {
+    if (traceLog_) traceLog_->endSpan(now_, cat, node, label, a);
+  }
+  /// Span with a known duration, stamped [now, now + dur).
+  void emitTraceComplete(Time dur, TraceCategory cat, int node,
+                         std::string_view label, double a = 0, double b = 0) {
+    if (traceLog_) traceLog_->complete(now_, dur, cat, node, label, a, b);
+  }
+  /// Like emitTraceComplete but with an explicit start time (for emitters
+  /// that compute a window, e.g. an ISR that starts after the current
+  /// busy period).
+  void emitTraceCompleteAt(Time start, Time dur, TraceCategory cat, int node,
+                           std::string_view label, double a = 0,
+                           double b = 0) {
+    if (traceLog_) traceLog_->complete(start, dur, cat, node, label, a, b);
+  }
+
+  /// Metrics registry for this machine: components register named counters
+  /// and histograms at construction and snapshot after a run. Always
+  /// present (unlike the trace log) so increments never need a null check.
+  metrics::Registry& metrics() { return metrics_; }
+  const metrics::Registry& metrics() const { return metrics_; }
 
   /// Awaitable: suspend the calling coroutine for `d` simulated seconds.
   /// A zero delay still round-trips through the event queue, which
@@ -106,6 +135,28 @@ class Simulator {
   std::string failedProcess_;
   TraceFn trace_;
   TraceLog* traceLog_ = nullptr;
+  metrics::Registry metrics_;
+};
+
+/// RAII span: begins on construction, ends (same label, same track) on
+/// destruction at the then-current virtual time. Safe when no log is
+/// attached. The label must outlive the scope (string literals do).
+class TraceScope {
+ public:
+  TraceScope(Simulator& sim, TraceCategory cat, int node,
+             std::string_view label, double a = 0)
+      : sim_(sim), cat_(cat), node_(node), label_(label) {
+    sim_.emitTraceBegin(cat_, node_, label_, a);
+  }
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+  ~TraceScope() { sim_.emitTraceEnd(cat_, node_, label_); }
+
+ private:
+  Simulator& sim_;
+  TraceCategory cat_;
+  int node_;
+  std::string_view label_;
 };
 
 namespace detail {

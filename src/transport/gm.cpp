@@ -79,6 +79,9 @@ sim::Task<void> GmEndpoint::postRecv(RxReq req) {
 }
 
 sim::Task<void> GmEndpoint::progress() {
+  // Span over the whole drain: library-driven progress is where GM spends
+  // host cycles, and the trace shows it stretching under event backlog.
+  sim::TraceScope span(sim_, sim::TraceCategory::Protocol, node_, "progress");
   co_await cpu_.compute(cfg_.libCallCost);
   // Drain the NIC event queue the way MPICH-GM's progress engine does:
   // everything pending is handled in one call.

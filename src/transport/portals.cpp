@@ -106,6 +106,7 @@ sim::Task<void> PortalsEndpoint::postRecv(RxReq req) {
 sim::Task<void> PortalsEndpoint::progress() {
   // The kernel progresses communication on its own; a library call only
   // inspects completion state.
+  sim::TraceScope span(sim_, sim::TraceCategory::Protocol, node_, "progress");
   co_await cpu_.compute(cfg_.libCallCost);
 }
 

@@ -99,6 +99,28 @@ TEST(FigArgs, RejectsMalformedFaultSpec) {
   }
 }
 
+TEST(FigArgs, DefaultIsNoTrace) {
+  const auto args = parse({});
+  EXPECT_TRUE(args.traceFile.empty());
+}
+
+TEST(FigArgs, ParsesTraceFileAndProbesWritability) {
+  const char* path = "figargs_trace_probe.json";
+  const auto args = parse({"--trace", path});
+  EXPECT_TRUE(args.parsedOk);
+  EXPECT_EQ(args.traceFile, path);
+  // The parse-time probe opens the file for writing, so it now exists.
+  EXPECT_TRUE(std::ifstream(path).good());
+  std::remove(path);
+}
+
+TEST(FigArgs, RejectsUnwritableTracePathAtParseTime) {
+  const auto args =
+      parse({"--trace", "/nonexistent-dir-xyzzy/trace.json"});
+  EXPECT_FALSE(args.parsedOk);
+  EXPECT_EQ(args.exitCode, 2);
+}
+
 TEST(FigArgs, RejectsUnknownOption) {
   const auto args = parse({"--frobnicate"});
   EXPECT_FALSE(args.parsedOk);

@@ -8,6 +8,7 @@
 
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "backend/machine.hpp"
 #include "comb/presets.hpp"
@@ -20,16 +21,8 @@ namespace {
 
 using namespace comb::units;
 
-std::string fig04StyleCsv(const backend::MachineConfig& machine, int jobs) {
-  auto base = presets::pollingBase(100_KB);
-  base.targetDuration = 15e-3;
-  base.maxPolls = 15'000;
-  RunOptions opts;
-  opts.jobs = jobs;
-  const auto intervals = presets::pollSweep(1);
-  const auto pts =
-      runPollingSweep(machine, sweepOver(base, intervals), opts);
-
+report::Figure pollingFigure(const std::vector<std::uint64_t>& intervals,
+                             const std::vector<PollingPoint>& pts) {
   report::Figure fig("fig04_identity", "availability vs poll interval",
                      "poll_interval_iters", "cpu_availability");
   report::Series s;
@@ -39,8 +32,40 @@ std::string fig04StyleCsv(const backend::MachineConfig& machine, int jobs) {
     s.ys.push_back(pts[i].availability);
   }
   fig.addSeries(std::move(s));
+  return fig;
+}
+
+PollingParams identityBase() {
+  auto base = presets::pollingBase(100_KB);
+  base.targetDuration = 15e-3;
+  base.maxPolls = 15'000;
+  return base;
+}
+
+std::string fig04StyleCsv(const backend::MachineConfig& machine, int jobs) {
+  RunOptions opts;
+  opts.jobs = jobs;
+  const auto intervals = presets::pollSweep(1);
+  const auto pts =
+      runPollingSweep(machine, sweepOver(identityBase(), intervals), opts);
   std::ostringstream out;
-  fig.writeCsv(out);
+  pollingFigure(intervals, pts).writeCsv(out);
+  return out.str();
+}
+
+/// Same sweep, but every point runs with a TraceLog attached. Tracing is a
+/// pure observer, so the rendered CSV must be byte-equal to the untraced
+/// sweep's.
+std::string fig04StyleCsvTraced(const backend::MachineConfig& machine) {
+  const auto intervals = presets::pollSweep(1);
+  std::vector<PollingPoint> pts;
+  for (const auto interval : intervals) {
+    auto params = identityBase();
+    params.pollInterval = interval;
+    pts.push_back(runPollingPointTraced(machine, params).point);
+  }
+  std::ostringstream out;
+  pollingFigure(intervals, pts).writeCsv(out);
   return out.str();
 }
 
@@ -59,6 +84,26 @@ TEST(CsvIdentity, Fig04ByteIdenticalAcrossRunsAndJobsOnPortals) {
   EXPECT_EQ(fig04StyleCsv(machine, 1), serial)
       << "run-to-run drift (portals)";
   EXPECT_EQ(fig04StyleCsv(machine, 4), serial) << "jobs=4 drift (portals)";
+}
+
+TEST(CsvIdentity, TracingEnabledMatchesDisabledOnGm) {
+  const auto machine = backend::gmMachine();
+  const std::string traced = fig04StyleCsvTraced(machine);
+  EXPECT_FALSE(traced.empty());
+  EXPECT_EQ(fig04StyleCsv(machine, 1), traced)
+      << "tracing perturbed results vs jobs=1 (gm)";
+  EXPECT_EQ(fig04StyleCsv(machine, 4), traced)
+      << "tracing perturbed results vs jobs=4 (gm)";
+}
+
+TEST(CsvIdentity, TracingEnabledMatchesDisabledOnPortals) {
+  const auto machine = backend::portalsMachine();
+  const std::string traced = fig04StyleCsvTraced(machine);
+  EXPECT_FALSE(traced.empty());
+  EXPECT_EQ(fig04StyleCsv(machine, 1), traced)
+      << "tracing perturbed results vs jobs=1 (portals)";
+  EXPECT_EQ(fig04StyleCsv(machine, 4), traced)
+      << "tracing perturbed results vs jobs=4 (portals)";
 }
 
 }  // namespace

@@ -1,0 +1,112 @@
+// metrics::Registry: find-or-create counters/histograms with stable
+// references, sorted snapshots, and the JSON export format.
+#include "common/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace comb::metrics {
+namespace {
+
+TEST(Metrics, CounterFindOrCreate) {
+  Registry reg;
+  Counter& c = reg.counter("nic.n0.sent");
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(4);
+  EXPECT_EQ(c.value(), 5u);
+  // Same name → same counter; different name → a fresh one.
+  EXPECT_EQ(&reg.counter("nic.n0.sent"), &c);
+  EXPECT_NE(&reg.counter("nic.n1.sent"), &c);
+  EXPECT_EQ(reg.counterCount(), 2u);
+}
+
+TEST(Metrics, CounterReferencesSurviveGrowth) {
+  Registry reg;
+  Counter& first = reg.counter("a");
+  for (int i = 0; i < 100; ++i)
+    reg.counter("filler." + std::to_string(i)).add();
+  first.add(7);
+  EXPECT_EQ(reg.counter("a").value(), 7u);  // same object, not a copy
+}
+
+TEST(Metrics, EmptyNameRejected) {
+  Registry reg;
+  EXPECT_THROW(reg.counter(""), ConfigError);
+  EXPECT_THROW(reg.histogram("", 0, 1, 4), ConfigError);
+}
+
+TEST(Metrics, HistogramFindOrCreate) {
+  Registry reg;
+  Histogram& h = reg.histogram("lat", 0.0, 10.0, 5);
+  h.add(1.0);
+  h.add(11.0);  // overflow
+  EXPECT_EQ(&reg.histogram("lat", 0.0, 10.0, 5), &h);
+  EXPECT_EQ(reg.histogramCount(), 1u);
+  EXPECT_EQ(h.total(), 2u);
+}
+
+TEST(Metrics, SnapshotIsSortedAndQueryable) {
+  Registry reg;
+  reg.counter("zeta").add(3);
+  reg.counter("alpha").add(1);
+  reg.counter("mid.dle").add(2);
+  const Snapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.counters.size(), 3u);
+  EXPECT_EQ(snap.counters[0].name, "alpha");
+  EXPECT_EQ(snap.counters[1].name, "mid.dle");
+  EXPECT_EQ(snap.counters[2].name, "zeta");
+  EXPECT_EQ(snap.counterValue("zeta"), 3u);
+  EXPECT_EQ(snap.counterValue("missing"), 0u);
+  EXPECT_FALSE(snap.empty());
+  EXPECT_TRUE(Snapshot{}.empty());
+}
+
+TEST(Metrics, SnapshotIsACopy) {
+  Registry reg;
+  Counter& c = reg.counter("x");
+  c.add(1);
+  const Snapshot snap = reg.snapshot();
+  c.add(10);
+  EXPECT_EQ(snap.counterValue("x"), 1u);  // not live
+  EXPECT_EQ(reg.snapshot().counterValue("x"), 11u);
+}
+
+TEST(Metrics, WriteJsonFormat) {
+  Registry reg;
+  reg.counter("b.count").add(2);
+  reg.counter("a.count").add(1);
+  reg.histogram("h", 0.0, 4.0, 2).add(1.0);
+  std::ostringstream os;
+  writeJson(os, reg.snapshot());
+  const std::string s = os.str();
+  EXPECT_NE(s.find("\"counters\""), std::string::npos);
+  EXPECT_NE(s.find("\"a.count\": 1"), std::string::npos);
+  EXPECT_NE(s.find("\"b.count\": 2"), std::string::npos);
+  EXPECT_LT(s.find("a.count"), s.find("b.count"));  // sorted
+  EXPECT_NE(s.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(s.find("\"counts\": [1, 0]"), std::string::npos);
+  EXPECT_NE(s.find("\"total\": 1"), std::string::npos);
+}
+
+TEST(Metrics, WriteJsonEscapesNames) {
+  Registry reg;
+  reg.counter("weird\"name\\x").add(1);
+  std::ostringstream os;
+  writeJson(os, reg.snapshot());
+  EXPECT_NE(os.str().find("\"weird\\\"name\\\\x\": 1"), std::string::npos);
+}
+
+TEST(Metrics, EmptyRegistryJson) {
+  Registry reg;
+  std::ostringstream os;
+  writeJson(os, reg.snapshot());
+  EXPECT_NE(os.str().find("\"counters\": {}"), std::string::npos);
+  EXPECT_NE(os.str().find("\"histograms\": {}"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace comb::metrics

@@ -9,6 +9,7 @@
 // Machines are the bundled models (gm | portals), optionally modified by
 // --cpus N --nic-cpu K (SMP extension) and --queue / --batch knobs.
 #include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <string>
 
@@ -16,6 +17,7 @@
 #include "backend/machine_file.hpp"
 #include "backend/sim_cluster.hpp"
 #include "comb/analysis.hpp"
+#include "comb/audit.hpp"
 #include "comb/polling.hpp"
 #include "comb/presets.hpp"
 #include "comb/runner.hpp"
@@ -27,6 +29,7 @@
 #include "common/units.hpp"
 #include "net/fault.hpp"
 #include "report/machine_stats.hpp"
+#include "report/trace_export.hpp"
 
 using namespace comb;
 using namespace comb::units;
@@ -35,7 +38,7 @@ namespace {
 
 void usage() {
   std::puts(
-      "usage: comb <polling|pww|latency|assess|stats> [options]\n"
+      "usage: comb <polling|pww|latency|assess|stats|trace> [options]\n"
       "  common options:\n"
       "    --machine gm|portals    machine model (default gm)\n"
       "    --machine-file F        load a machine definition (.ini)\n"
@@ -51,6 +54,10 @@ void usage() {
       "  latency: (size only)\n"
       "  assess:  full overlap assessment (all methods)\n"
       "  stats:   run a polling workload and dump substrate statistics\n"
+      "  trace:   run one fully traced point (--method polling|pww),\n"
+      "           audit it, and export/summarize the timeline\n"
+      "           (--out FILE Chrome JSON, --summary, --top N,\n"
+      "           --stats-json)\n"
       "  try `comb <method> --help` for details");
 }
 
@@ -78,6 +85,13 @@ ArgParser makeParser(const std::string& method) {
                  "");
   args.addFlag("trace", "stats: also dump the substrate event trace");
   args.addOption("trace-rows", "stats: trace rows to print", "40");
+  args.addOption("method", "trace: workload to trace (polling | pww)", "pww");
+  args.addOption("out", "trace: write Chrome trace JSON to FILE", "");
+  args.addFlag("summary",
+               "trace: print per-category counts and the longest spans");
+  args.addOption("top", "trace: spans to show with --summary", "10");
+  args.addFlag("stats-json",
+               "trace: dump the machine-stats/metrics snapshot as JSON");
   return args;
 }
 
@@ -234,6 +248,65 @@ int runStats(const ArgParser& args) {
   return 0;
 }
 
+/// `comb trace`: run one fully traced point, audit the timeline against
+/// the reported numbers, and export (--out) and/or summarize (--summary).
+int runTrace(const ArgParser& args) {
+  const auto machine = machineFrom(args);
+  const Bytes size = static_cast<Bytes>(args.integer("size-kb")) * 1024;
+  const std::string method = args.str("method");
+
+  std::unique_ptr<sim::TraceLog> log;
+  report::MachineStats stats;
+  std::string auditErr;
+  double availability = 0;
+  if (method == "pww") {
+    auto params = bench::presets::pwwBase(size);
+    params.batch = static_cast<int>(args.integer("batch"));
+    params.testCallAtFraction = args.real("test-at");
+    params.workInterval = static_cast<std::uint64_t>(args.integer("work"));
+    auto run = bench::runPwwPointTraced(machine, params);
+    auditErr = bench::checkPww(bench::auditPww(*run.trace), run.point);
+    availability = run.point.availability;
+    log = std::move(run.trace);
+    stats = std::move(run.stats);
+  } else if (method == "polling") {
+    auto params = bench::presets::pollingBase(size);
+    params.queueDepth = static_cast<int>(args.integer("queue"));
+    params.pollInterval = static_cast<std::uint64_t>(args.integer("interval"));
+    auto run = bench::runPollingPointTraced(machine, params);
+    auditErr = bench::checkPolling(bench::auditPolling(*run.trace), run.point);
+    availability = run.point.availability;
+    log = std::move(run.trace);
+    stats = std::move(run.stats);
+  } else {
+    throw ConfigError("--method must be polling or pww, got '" + method +
+                      "'");
+  }
+
+  std::printf("traced %s point, machine=%s, size=%s: availability %.3f\n",
+              method.c_str(), machine.name.c_str(), fmtBytes(size).c_str(),
+              availability);
+  if (const std::string out = args.str("out"); !out.empty()) {
+    std::ofstream f(out);
+    if (!f) throw ConfigError("--out: cannot open '" + out + "' for writing");
+    report::writeChromeTrace(f, *log);
+    std::printf("wrote %zu trace record(s) to %s\n", log->size(),
+                out.c_str());
+  }
+  if (args.flag("summary")) {
+    std::printf("\n");
+    report::writeTraceSummary(std::cout, *log,
+                              static_cast<std::size_t>(args.integer("top")));
+  }
+  if (args.flag("stats-json")) report::writeStatsJson(std::cout, stats);
+  if (!auditErr.empty()) {
+    std::printf("trace audit: FAIL — %s\n", auditErr.c_str());
+    return 1;
+  }
+  std::printf("trace audit: OK — span data reproduces the reported stats\n");
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -254,6 +327,7 @@ int main(int argc, char** argv) {
     if (method == "latency") return runLatency(args);
     if (method == "assess") return runAssess(args);
     if (method == "stats") return runStats(args);
+    if (method == "trace") return runTrace(args);
     std::fprintf(stderr, "comb: unknown method '%s'\n\n", method.c_str());
     usage();
     return 2;
