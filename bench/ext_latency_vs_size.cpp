@@ -21,10 +21,12 @@ int main(int argc, char** argv) {
   SweepSpec<LatencyParams> spec;
   spec.base.reps = 30;
   spec.values = sizes;
-  const auto gm =
-      runLatencySweep(backend::gmMachine(), spec, args.runOptions());
-  const auto portals =
-      runLatencySweep(backend::portalsMachine(), spec, args.runOptions());
+  const auto gmRuns =
+      runLatencySweepReps(backend::gmMachine(), spec, args.runOptions());
+  const auto portalsRuns =
+      runLatencySweepReps(backend::portalsMachine(), spec, args.runOptions());
+  const auto gm = canonicalPoints(gmRuns);
+  const auto portals = canonicalPoints(portalsRuns);
 
   report::Figure fig("ext_latency", "Extension: Ping-Pong Latency vs Size",
                      "message_bytes", "half_round_trip_us");
@@ -59,5 +61,10 @@ int main(int argc, char** argv) {
       gmBw300 > 70.0 && gmBw300 < 95.0, strFormat("%.1f MB/s", gmBw300)});
   fig.addSeries(std::move(gmS));
   fig.addSeries(std::move(ptlS));
+  FigArchive archive("ext_latency_vs_size", args);
+  archive.addLatency("latency/gm", backend::gmMachine(), sizes, gmRuns);
+  archive.addLatency("latency/portals", backend::portalsMachine(), sizes,
+                     portalsRuns);
+  archive.write();
   return finishFigure(fig, checks, args);
 }

@@ -26,8 +26,10 @@ int main(int argc, char** argv) {
 
   const auto intervals = presets::pollSweep(args.pointsPerDecade);
   const auto spec = sweepOver(presets::pollingBase(100_KB), intervals);
-  const auto uniPts = runPollingSweep(uni, spec, args.runOptions());
-  const auto smpPts = runPollingSweep(smp, spec, args.runOptions());
+  const auto uniRuns = runPollingSweepReps(uni, spec, args.runOptions());
+  const auto smpRuns = runPollingSweepReps(smp, spec, args.runOptions());
+  const auto uniPts = canonicalPoints(uniRuns);
+  const auto smpPts = canonicalPoints(smpRuns);
 
   report::Figure fig("ext_smp_steering",
                      "Extension: SMP Interrupt Steering (Portals, 100 KB)",
@@ -75,5 +77,9 @@ int main(int argc, char** argv) {
   fig.addSeries(std::move(smpAvail));
   fig.addSeries(std::move(uniBw));
   fig.addSeries(std::move(smpBw));
+  FigArchive archive("ext_smp_steering", args);
+  archive.addPolling("polling/portals/100 KB", uni, intervals, uniRuns);
+  archive.addPolling("polling/portals-smp/100 KB", smp, intervals, smpRuns);
+  archive.write();
   return finishFigure(fig, checks, args);
 }

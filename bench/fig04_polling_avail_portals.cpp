@@ -39,6 +39,10 @@ int main(int argc, char** argv) {
     fig.addSeries(std::move(s));
   }
 
+  FigArchive archive("fig04_polling_avail_portals", args);
+  archivePollingFamily(archive, "polling/portals", machine, fam);
+  archive.write();
+
   // --trace: re-run the middle sweep point (100KB family) fully traced.
   auto traced = presets::pollingBase(presets::paperMessageSizes().back());
   traced.pollInterval = fam.intervals[fam.intervals.size() / 2];

@@ -45,5 +45,8 @@ int main(int argc, char** argv) {
                          strFormat("peak=%.1f MB/s", pk)};
     checks.push_back(std::move(c));
   }
+  FigArchive archive("fig05_polling_bw_portals", args);
+  archivePollingFamily(archive, "polling/portals", machine, fam);
+  archive.write();
   return finishFigure(fig, checks, args);
 }

@@ -37,5 +37,8 @@ int main(int argc, char** argv) {
         /*increasing=*/true, 0.08));
     fig.addSeries(std::move(s));
   }
+  FigArchive archive("fig06_pww_avail_portals", args);
+  archivePwwFamily(archive, "pww/portals", machine, fam);
+  archive.write();
   return finishFigure(fig, checks, args);
 }

@@ -45,5 +45,8 @@ int main(int argc, char** argv) {
                   bySize[i - 1].ys.front())};
     checks.push_back(std::move(c));
   }
+  FigArchive archive("fig07_pww_bw_portals", args);
+  archivePwwFamily(archive, "pww/portals", machine, fam);
+  archive.write();
   return finishFigure(fig, checks, args);
 }

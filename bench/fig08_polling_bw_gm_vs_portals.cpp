@@ -17,10 +17,12 @@ int main(int argc, char** argv) {
 
   const auto intervals = presets::pollSweep(args.pointsPerDecade);
   const auto spec = sweepOver(presets::pollingBase(100_KB), intervals);
-  const auto gm =
-      runPollingSweep(backend::gmMachine(), spec, args.runOptions());
-  const auto portals =
-      runPollingSweep(backend::portalsMachine(), spec, args.runOptions());
+  const auto gmRuns =
+      runPollingSweepReps(backend::gmMachine(), spec, args.runOptions());
+  const auto portalsRuns =
+      runPollingSweepReps(backend::portalsMachine(), spec, args.runOptions());
+  const auto gm = canonicalPoints(gmRuns);
+  const auto portals = canonicalPoints(portalsRuns);
 
   report::Figure fig("fig08", "Polling Method: Bandwidth, GM vs Portals",
                      "poll_interval_iters", "bandwidth_MBps");
@@ -52,5 +54,11 @@ int main(int argc, char** argv) {
   }
   fig.addSeries(std::move(gmSeries));
   fig.addSeries(std::move(ptlSeries));
+  FigArchive archive("fig08_polling_bw_gm_vs_portals", args);
+  archive.addPolling("polling/gm/100 KB", backend::gmMachine(), intervals,
+                     gmRuns);
+  archive.addPolling("polling/portals/100 KB", backend::portalsMachine(),
+                     intervals, portalsRuns);
+  archive.write();
   return finishFigure(fig, checks, args);
 }

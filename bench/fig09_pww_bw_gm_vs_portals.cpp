@@ -16,9 +16,12 @@ int main(int argc, char** argv) {
 
   const auto intervals = presets::workSweep(args.pointsPerDecade);
   const auto spec = sweepOver(presets::pwwBase(100_KB), intervals);
-  const auto gm = runPwwSweep(backend::gmMachine(), spec, args.runOptions());
-  const auto portals =
-      runPwwSweep(backend::portalsMachine(), spec, args.runOptions());
+  const auto gmRuns =
+      runPwwSweepReps(backend::gmMachine(), spec, args.runOptions());
+  const auto portalsRuns =
+      runPwwSweepReps(backend::portalsMachine(), spec, args.runOptions());
+  const auto gm = canonicalPoints(gmRuns);
+  const auto portals = canonicalPoints(portalsRuns);
 
   report::Figure fig("fig09", "PWW Method: Bandwidth, GM vs Portals",
                      "work_interval_iters", "bandwidth_MBps");
@@ -47,5 +50,10 @@ int main(int argc, char** argv) {
       0.25 * *std::max_element(ptlSeries.ys.begin(), ptlSeries.ys.end())));
   fig.addSeries(std::move(gmSeries));
   fig.addSeries(std::move(ptlSeries));
+  FigArchive archive("fig09_pww_bw_gm_vs_portals", args);
+  archive.addPww("pww/gm/100 KB", backend::gmMachine(), intervals, gmRuns);
+  archive.addPww("pww/portals/100 KB", backend::portalsMachine(), intervals,
+                 portalsRuns);
+  archive.write();
   return finishFigure(fig, checks, args);
 }

@@ -17,9 +17,12 @@ int main(int argc, char** argv) {
 
   const auto intervals = presets::workSweep(args.pointsPerDecade);
   const auto spec = sweepOver(presets::pwwBase(100_KB), intervals);
-  const auto gm = runPwwSweep(backend::gmMachine(), spec, args.runOptions());
-  const auto portals =
-      runPwwSweep(backend::portalsMachine(), spec, args.runOptions());
+  const auto gmRuns =
+      runPwwSweepReps(backend::gmMachine(), spec, args.runOptions());
+  const auto portalsRuns =
+      runPwwSweepReps(backend::portalsMachine(), spec, args.runOptions());
+  const auto gm = canonicalPoints(gmRuns);
+  const auto portals = canonicalPoints(portalsRuns);
 
   report::Figure fig("fig11", "PWW Method: Average Wait Time (100 KB)",
                      "work_interval_iters", "wait_time_us");
@@ -45,5 +48,10 @@ int main(int argc, char** argv) {
                         0.35));
   fig.addSeries(std::move(gmSeries));
   fig.addSeries(std::move(ptlSeries));
+  FigArchive archive("fig11_pww_wait_time", args);
+  archive.addPww("pww/gm/100 KB", backend::gmMachine(), intervals, gmRuns);
+  archive.addPww("pww/portals/100 KB", backend::portalsMachine(), intervals,
+                 portalsRuns);
+  archive.write();
   return finishFigure(fig, checks, args);
 }

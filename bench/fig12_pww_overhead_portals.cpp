@@ -27,10 +27,11 @@ int main(int argc, char** argv) {
   if (!args.parsedOk) return args.exitCode;
 
   const auto intervals = linearSweep();
-  const auto pts =
-      runPwwSweep(backend::portalsMachine(),
-                  sweepOver(presets::pwwBase(100_KB), intervals),
-                  args.runOptions());
+  const auto runs =
+      runPwwSweepReps(backend::portalsMachine(),
+                      sweepOver(presets::pwwBase(100_KB), intervals),
+                      args.runOptions());
+  const auto pts = canonicalPoints(runs);
 
   report::Figure fig("fig12", "PWW Method: CPU Overhead (Portals)",
                      "work_interval_iters", "work_phase_us");
@@ -61,6 +62,11 @@ int main(int argc, char** argv) {
       "work-only grows linearly with the interval", workOnly.ys, true, 1.0));
   fig.addSeries(std::move(withMh));
   fig.addSeries(std::move(workOnly));
+
+  FigArchive archive("fig12_pww_overhead_portals", args);
+  archive.addPww("pww/portals/100 KB", backend::portalsMachine(), intervals,
+                 runs);
+  archive.write();
 
   // --trace: re-run the middle sweep point fully traced, export, audit.
   auto traced = presets::pwwBase(100_KB);

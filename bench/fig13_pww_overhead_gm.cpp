@@ -27,9 +27,11 @@ int main(int argc, char** argv) {
   if (!args.parsedOk) return args.exitCode;
 
   const auto intervals = linearSweep();
-  const auto pts = runPwwSweep(backend::gmMachine(),
-                               sweepOver(presets::pwwBase(100_KB), intervals),
-                               args.runOptions());
+  const auto runs =
+      runPwwSweepReps(backend::gmMachine(),
+                      sweepOver(presets::pwwBase(100_KB), intervals),
+                      args.runOptions());
+  const auto pts = canonicalPoints(runs);
 
   report::Figure fig("fig13", "PWW Method: CPU Overhead (GM)",
                      "work_interval_iters", "work_phase_us");
@@ -53,6 +55,10 @@ int main(int argc, char** argv) {
       maxRelGap < 0.01, strFormat("max relative gap %.3f%%", 100 * maxRelGap)});
   fig.addSeries(std::move(withMh));
   fig.addSeries(std::move(workOnly));
+
+  FigArchive archive("fig13_pww_overhead_gm", args);
+  archive.addPww("pww/gm/100 KB", backend::gmMachine(), intervals, runs);
+  archive.write();
 
   // --trace: re-run the middle sweep point fully traced, export, audit.
   auto traced = presets::pwwBase(100_KB);

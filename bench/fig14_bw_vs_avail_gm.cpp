@@ -54,5 +54,8 @@ int main(int argc, char** argv) {
     }
     fig.addSeries(std::move(s));
   }
+  FigArchive archive("fig14_bw_vs_avail_gm", args);
+  archivePollingFamily(archive, "polling/gm", machine, fam);
+  archive.write();
   return finishFigure(fig, checks, args);
 }

@@ -52,5 +52,8 @@ int main(int argc, char** argv) {
         s.ys, 0.6 /* i.e. availability <= 0.4 */, 0.9 * peak));
     fig.addSeries(std::move(s));
   }
+  FigArchive archive("fig15_bw_vs_avail_portals", args);
+  archivePollingFamily(archive, "polling/portals", machine, fam);
+  archive.write();
   return finishFigure(fig, checks, args);
 }

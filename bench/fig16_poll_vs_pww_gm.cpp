@@ -17,16 +17,17 @@ int main(int argc, char** argv) {
       "Polling + PWW: bandwidth vs availability, GM (100 KB)");
   if (!args.parsedOk) return args.exitCode;
 
-  const auto poll = runPollingSweep(
+  const auto pollIntervals = presets::pollSweep(args.pointsPerDecade + 1);
+  const auto workIntervals = presets::workSweep(args.pointsPerDecade + 1);
+  const auto pollRuns = runPollingSweepReps(
       backend::gmMachine(),
-      sweepOver(presets::pollingBase(100_KB),
-                presets::pollSweep(args.pointsPerDecade + 1)),
+      sweepOver(presets::pollingBase(100_KB), pollIntervals),
       args.runOptions());
-  const auto pww = runPwwSweep(
+  const auto pwwRuns = runPwwSweepReps(
       backend::gmMachine(),
-      sweepOver(presets::pwwBase(100_KB),
-                presets::workSweep(args.pointsPerDecade + 1)),
-      args.runOptions());
+      sweepOver(presets::pwwBase(100_KB), workIntervals), args.runOptions());
+  const auto poll = canonicalPoints(pollRuns);
+  const auto pww = canonicalPoints(pwwRuns);
 
   report::Figure fig("fig16",
                      "Polling and PWW: Bandwidth vs Availability (GM)",
@@ -61,5 +62,11 @@ int main(int argc, char** argv) {
   }
   fig.addSeries(std::move(pollS));
   fig.addSeries(std::move(pwwS));
+  FigArchive archive("fig16_poll_vs_pww_gm", args);
+  archive.addPolling("polling/gm/100 KB", backend::gmMachine(),
+                     pollIntervals, pollRuns);
+  archive.addPww("pww/gm/100 KB", backend::gmMachine(), workIntervals,
+                 pwwRuns);
+  archive.write();
   return finishFigure(fig, checks, args);
 }

@@ -18,21 +18,24 @@ int main(int argc, char** argv) {
       "Polling + PWW + PWW-with-MPI_Test: bandwidth vs availability, GM");
   if (!args.parsedOk) return args.exitCode;
 
-  const auto poll = runPollingSweep(
+  const auto pollIntervals = presets::pollSweep(args.pointsPerDecade + 1);
+  const auto pollRuns = runPollingSweepReps(
       backend::gmMachine(),
-      sweepOver(presets::pollingBase(100_KB),
-                presets::pollSweep(args.pointsPerDecade + 1)),
+      sweepOver(presets::pollingBase(100_KB), pollIntervals),
       args.runOptions());
   const auto workIntervals = presets::workSweep(args.pointsPerDecade + 1);
-  const auto pww =
-      runPwwSweep(backend::gmMachine(),
-                  sweepOver(presets::pwwBase(100_KB), workIntervals),
-                  args.runOptions());
+  const auto pwwRuns =
+      runPwwSweepReps(backend::gmMachine(),
+                      sweepOver(presets::pwwBase(100_KB), workIntervals),
+                      args.runOptions());
   auto testBase = presets::pwwBase(100_KB);
   testBase.testCallAtFraction = 0.1;  // one MPI_Test early in the work phase
-  const auto pwwTest = runPwwSweep(backend::gmMachine(),
-                                   sweepOver(testBase, workIntervals),
-                                   args.runOptions());
+  const auto pwwTestRuns = runPwwSweepReps(backend::gmMachine(),
+                                           sweepOver(testBase, workIntervals),
+                                           args.runOptions());
+  const auto poll = canonicalPoints(pollRuns);
+  const auto pww = canonicalPoints(pwwRuns);
+  const auto pwwTest = canonicalPoints(pwwTestRuns);
 
   report::Figure fig(
       "fig17", "Polling and Modified PWW: Bandwidth vs Availability (GM)",
@@ -78,5 +81,13 @@ int main(int argc, char** argv) {
   fig.addSeries(std::move(pollS));
   fig.addSeries(std::move(pwwTestS));
   fig.addSeries(std::move(pwwS));
+  FigArchive archive("fig17_mpi_test_effect", args);
+  archive.addPolling("polling/gm/100 KB", backend::gmMachine(),
+                     pollIntervals, pollRuns);
+  archive.addPww("pww/gm/100 KB", backend::gmMachine(), workIntervals,
+                 pwwRuns);
+  archive.addPww("pww+test/gm/100 KB", backend::gmMachine(), workIntervals,
+                 pwwTestRuns);
+  archive.write();
   return finishFigure(fig, checks, args);
 }

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "backend/machine.hpp"
+#include "comb/archive_build.hpp"
 #include "comb/audit.hpp"
 #include "comb/presets.hpp"
 #include "comb/runner.hpp"
@@ -46,6 +47,13 @@ struct FigArgs {
   /// with full tracing, write the Chrome trace JSON here, and audit the
   /// timeline against the reported numbers.
   std::string traceFile;
+  /// Repetition policy (--reps / --reps-auto / --ci-target / --max-reps /
+  /// --seed). Figures always plot the canonical rep-0 point; extra reps
+  /// only feed the result archive.
+  RepPolicy rep;
+  /// When non-empty (--archive DIR): write a result archive (per-rep
+  /// samples + provenance) next to the CSVs for `comb compare`.
+  std::string archiveDir;
   bool parsedOk = true;  ///< false => exit with exitCode without running
   int exitCode = 0;      ///< 0 after --help, 2 on invalid arguments
 
@@ -54,6 +62,7 @@ struct FigArgs {
     RunOptions opts;
     opts.jobs = jobs;
     opts.fault = fault;
+    opts.rep = rep;
     return opts;
   }
 };
@@ -81,6 +90,19 @@ inline FigArgs parseFigArgs(int argc, const char* const* argv,
                    "write a Chrome trace JSON of one representative point "
                    "to FILE and audit it against the reported stats",
                    "");
+  parser.addOption("reps", "repetitions per measurement point", "1");
+  parser.addFlag("reps-auto",
+                 "adaptive reps: run until the relative CI half-width of "
+                 "the bandwidth reaches --ci-target (or --max-reps)");
+  parser.addOption("ci-target", "relative CI half-width to stop at", "0.05");
+  parser.addOption("max-reps", "rep budget for --reps-auto", "20");
+  parser.addOption("seed",
+                   "root seed for per-rep fault streams + bootstrap",
+                   "49227");
+  parser.addOption("archive",
+                   "write a result archive (per-rep samples, provenance) "
+                   "into DIR for `comb compare`",
+                   "");
   FigArgs args;
   args.jobs = hardwareJobs();
   try {
@@ -101,6 +123,14 @@ inline FigArgs parseFigArgs(int argc, const char* const* argv,
     args.csv = parser.flag("csv");
     args.outDir = parser.str("out");
     args.traceFile = parser.str("trace");
+    args.rep.reps = static_cast<int>(parser.integer("reps"));
+    args.rep.adaptive = parser.flag("reps-auto");
+    args.rep.maxReps = static_cast<int>(parser.integer("max-reps"));
+    args.rep.minReps = std::min(args.rep.minReps, args.rep.maxReps);
+    args.rep.ciTarget = parser.real("ci-target");
+    args.rep.seed = static_cast<std::uint64_t>(parser.integer("seed"));
+    validateRepPolicy(args.rep);
+    args.archiveDir = parser.str("archive");
     if (!args.traceFile.empty()) {
       // Fail at parse time, not after minutes of sweeping: the trace file
       // must be writable now.
@@ -137,13 +167,70 @@ inline int finishFigure(const report::Figure& fig,
   return ok ? 0 : 1;
 }
 
+/// The canonical (rep-0) points of a repetition sweep: exactly what a
+/// single-rep sweep would have produced, so figures stay byte-identical
+/// whatever the rep policy.
+template <typename Point>
+std::vector<Point> canonicalPoints(const std::vector<RepRun<Point>>& runs) {
+  std::vector<Point> points;
+  points.reserve(runs.size());
+  for (const auto& run : runs) points.push_back(run.canonical());
+  return points;
+}
+
+/// Accumulates sweeps into a result archive when --archive was given;
+/// otherwise every call is a no-op. Typical figure-bench use:
+///
+///   FigArchive archive("fig05_polling_bw_portals", args);
+///   archive.addPolling("polling/portals", machine, fam);
+///   archive.write();
+class FigArchive {
+ public:
+  FigArchive(const std::string& bench, const FigArgs& args)
+      : dir_(args.archiveDir), archive_(makeArchive(bench, args.rep)) {}
+
+  bool enabled() const { return !dir_.empty(); }
+
+  void addPolling(const std::string& id,
+                  const backend::MachineConfig& machine,
+                  const std::vector<std::uint64_t>& xs,
+                  const std::vector<RepRun<PollingPoint>>& runs) {
+    if (enabled()) appendPollingSweep(archive_, id, machine, xs, runs);
+  }
+  void addPww(const std::string& id, const backend::MachineConfig& machine,
+              const std::vector<std::uint64_t>& xs,
+              const std::vector<RepRun<PwwPoint>>& runs) {
+    if (enabled()) appendPwwSweep(archive_, id, machine, xs, runs);
+  }
+  void addLatency(const std::string& id,
+                  const backend::MachineConfig& machine,
+                  const std::vector<std::uint64_t>& xs,
+                  const std::vector<RepRun<LatencyPoint>>& runs) {
+    if (enabled()) appendLatencySweep(archive_, id, machine, xs, runs);
+  }
+
+  /// Write the archive file (creating the directory) and log its path.
+  void write() const {
+    if (!enabled()) return;
+    std::cout << "archive: " << report::writeArchiveFile(archive_, dir_)
+              << '\n';
+  }
+
+ private:
+  std::string dir_;
+  report::Archive archive_;
+};
+
 /// Convenience: polling sweeps per message size, returning both the
 /// availability and bandwidth views (many figures want one or the other).
+/// `repRuns` carries every repetition for the archive; `results` is the
+/// canonical rep-0 view the figures plot.
 struct PollingFamily {
   std::vector<Bytes> sizes;
   std::vector<std::uint64_t> intervals;
   // results[size][point]
   std::vector<std::vector<PollingPoint>> results;
+  std::vector<std::vector<RepRun<PollingPoint>>> repRuns;
 };
 
 inline PollingFamily runPollingFamily(const backend::MachineConfig& machine,
@@ -154,16 +241,29 @@ inline PollingFamily runPollingFamily(const backend::MachineConfig& machine,
   fam.sizes = sizes;
   fam.intervals = presets::pollSweep(pointsPerDecade);
   for (const Bytes size : sizes) {
-    fam.results.push_back(runPollingSweep(
+    fam.repRuns.push_back(runPollingSweepReps(
         machine, sweepOver(presets::pollingBase(size), fam.intervals), opts));
+    fam.results.push_back(canonicalPoints(fam.repRuns.back()));
   }
   return fam;
+}
+
+/// Archive every per-size sweep of a polling family under
+/// `<idPrefix>/<size label>`.
+inline void archivePollingFamily(FigArchive& archive,
+                                 const std::string& idPrefix,
+                                 const backend::MachineConfig& machine,
+                                 const PollingFamily& fam) {
+  for (std::size_t i = 0; i < fam.sizes.size(); ++i)
+    archive.addPolling(idPrefix + "/" + sizeLabel(fam.sizes[i]), machine,
+                       fam.intervals, fam.repRuns[i]);
 }
 
 struct PwwFamily {
   std::vector<Bytes> sizes;
   std::vector<std::uint64_t> intervals;
   std::vector<std::vector<PwwPoint>> results;
+  std::vector<std::vector<RepRun<PwwPoint>>> repRuns;
 };
 
 inline PwwFamily runPwwFamily(const backend::MachineConfig& machine,
@@ -177,10 +277,21 @@ inline PwwFamily runPwwFamily(const backend::MachineConfig& machine,
   for (const Bytes size : sizes) {
     auto base = presets::pwwBase(size);
     base.testCallAtFraction = testCallAtFraction;
-    fam.results.push_back(
-        runPwwSweep(machine, sweepOver(base, fam.intervals), opts));
+    fam.repRuns.push_back(
+        runPwwSweepReps(machine, sweepOver(base, fam.intervals), opts));
+    fam.results.push_back(canonicalPoints(fam.repRuns.back()));
   }
   return fam;
+}
+
+/// Archive every per-size sweep of a PWW family (same contract as
+/// archivePollingFamily).
+inline void archivePwwFamily(FigArchive& archive, const std::string& idPrefix,
+                             const backend::MachineConfig& machine,
+                             const PwwFamily& fam) {
+  for (std::size_t i = 0; i < fam.sizes.size(); ++i)
+    archive.addPww(idPrefix + "/" + sizeLabel(fam.sizes[i]), machine,
+                   fam.intervals, fam.repRuns[i]);
 }
 
 template <typename Point, typename F>

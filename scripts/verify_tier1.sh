@@ -13,10 +13,20 @@
 #      (-DCOMB_SANITIZE=address) and run the `trace`-labelled tests: the
 #      TraceLog ring recycles slots and interns labels, exactly the kind
 #      of code ASan exists to check;
-#   4. with --perf: additionally run the simulator-core micro-benchmark
+#   4. rebuild the stats/archive/compare engine under UBSan
+#      (-DCOMB_SANITIZE=undefined) and run the `stats`-labelled tests:
+#      percentile interpolation, bootstrap index arithmetic and the
+#      Mann-Whitney normal approximation are dense in the float/integer
+#      conversions UBSan checks;
+#   5. with --perf: additionally run the simulator-core micro-benchmark
 #      suite in Release (scripts/run_micro.sh), refreshing the "current"
 #      block of BENCH_sim_core.json against the recorded baseline.
-set -euo pipefail
+#
+# Every stage runs even when an earlier one fails; the script prints a
+# stage-by-stage PASS/FAIL summary and exits non-zero if anything failed.
+# A ctest selection (-L label / -R regex) matching zero tests is itself a
+# failure — a renamed label must not silently skip a sanitizer stage.
+set -uo pipefail
 cd "$(dirname "$0")/.."
 
 PERF=0
@@ -27,25 +37,83 @@ for arg in "$@"; do
   esac
 done
 
-cmake -B build -S .
-cmake --build build -j
-(cd build && ctest --output-on-failure -j"$(nproc)")
+STAGES=()
+RESULTS=()
+FAILED=0
 
-cmake -B build-tsan -S . -DCOMB_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
-cmake --build build-tsan -j --target test_thread_pool test_runner test_log \
-  test_thread_comb test_fault test_fault_injection \
-  test_tracelog test_trace_export test_audit
-(cd build-tsan && ctest --output-on-failure -j"$(nproc)" \
-  -R 'ThreadPool|ParallelFor|ParallelSweep|LogSweep|Log\.|Runner')
-(cd build-tsan && ctest --output-on-failure -j"$(nproc)" -L faults)
-(cd build-tsan && ctest --output-on-failure -j"$(nproc)" -L trace)
+# run_stage NAME CMD...: run CMD, record PASS/FAIL, keep going.
+run_stage() {
+  local name=$1
+  shift
+  echo
+  echo "=== stage: $name ==="
+  if "$@"; then
+    STAGES+=("$name"); RESULTS+=(PASS)
+  else
+    STAGES+=("$name"); RESULTS+=("FAIL (exit $?)")
+    FAILED=1
+  fi
+}
 
-cmake -B build-asan -S . -DCOMB_SANITIZE=address -DCMAKE_BUILD_TYPE=RelWithDebInfo
-cmake --build build-asan -j --target test_tracelog test_trace_export test_audit
-(cd build-asan && ctest --output-on-failure -j"$(nproc)" -L trace)
+# ctest_checked BUILD_DIR CTEST_ARGS...: fail when the selection matches
+# zero tests, then run it.
+ctest_checked() {
+  local dir=$1
+  shift
+  local n
+  n=$(cd "$dir" && ctest -N "$@" | sed -n 's/^Total Tests: //p')
+  if [[ -z "$n" || "$n" == 0 ]]; then
+    echo "ctest selection '$*' matched no tests in $dir" >&2
+    return 1
+  fi
+  (cd "$dir" && ctest --output-on-failure -j"$(nproc)" "$@")
+}
 
+build_standard() {
+  cmake -B build -S . && cmake --build build -j
+}
+build_tsan() {
+  cmake -B build-tsan -S . -DCOMB_SANITIZE=thread \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo &&
+    cmake --build build-tsan -j --target test_thread_pool test_runner \
+      test_log test_thread_comb test_fault test_fault_injection \
+      test_tracelog test_trace_export test_audit
+}
+build_asan() {
+  cmake -B build-asan -S . -DCOMB_SANITIZE=address \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo &&
+    cmake --build build-asan -j --target test_tracelog test_trace_export \
+      test_audit
+}
+build_ubsan() {
+  cmake -B build-ubsan -S . -DCOMB_SANITIZE=undefined \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo &&
+    cmake --build build-ubsan -j --target test_stats test_json test_archive \
+      test_compare test_reps
+}
+
+run_stage "build"            build_standard
+run_stage "tests"            ctest_checked build
+run_stage "tsan build"       build_tsan
+run_stage "tsan concurrency" ctest_checked build-tsan \
+  -R 'ThreadPool|ParallelFor|ParallelSweep|LogSweep|Log\.|Runner'
+run_stage "tsan faults"      ctest_checked build-tsan -L faults
+run_stage "tsan trace"       ctest_checked build-tsan -L trace
+run_stage "asan build"       build_asan
+run_stage "asan trace"       ctest_checked build-asan -L trace
+run_stage "ubsan build"      build_ubsan
+run_stage "ubsan stats"      ctest_checked build-ubsan -L stats
 if [[ "$PERF" == 1 ]]; then
-  scripts/run_micro.sh
+  run_stage "perf micro"     scripts/run_micro.sh
 fi
 
-echo "tier-1 verify: OK (standard suite + TSan concurrency/fault/trace tests + ASan trace tests)"
+echo
+echo "=== tier-1 verify summary ==="
+for i in "${!STAGES[@]}"; do
+  printf '  %-18s %s\n' "${STAGES[$i]}" "${RESULTS[$i]}"
+done
+if [[ "$FAILED" != 0 ]]; then
+  echo "tier-1 verify: FAILED"
+  exit 1
+fi
+echo "tier-1 verify: OK"

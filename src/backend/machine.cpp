@@ -1,5 +1,9 @@
 #include "backend/machine.hpp"
 
+#include <sstream>
+
+#include "common/string_util.hpp"
+
 namespace comb::backend {
 
 using namespace comb::units;
@@ -29,6 +33,71 @@ net::FabricConfig paperFabric() {
 }
 
 }  // namespace
+
+std::string machineSignature(const MachineConfig& m) {
+  // %.17g round-trips doubles exactly, so the signature (and its hash)
+  // changes iff some model parameter changes.
+  std::ostringstream os;
+  const auto field = [&os](const char* key, double v) {
+    os << key << '=' << strFormat("%.17g", v) << '\n';
+  };
+  os << "name=" << m.name << '\n';
+  os << "transport=" << transportKindName(m.kind) << '\n';
+  field("seconds_per_work_iter", m.secondsPerWorkIter);
+  os << "cpus_per_node=" << m.cpusPerNode << '\n';
+  os << "nic_cpu=" << m.nicCpu << '\n';
+
+  const auto& f = m.fabric;
+  field("fabric.link_rate", f.link.rate);
+  field("fabric.link_latency", f.link.latency);
+  field("fabric.switch_latency", f.sw.routingLatency);
+  os << "fabric.switch_ports=" << f.sw.ports << '\n';
+  os << "fabric.mtu=" << f.mtu << '\n';
+  os << "fabric.packet_header=" << f.perPacketHeader << '\n';
+  field("fault.drop", f.link.fault.dropProb);
+  os << "fault.burst=" << f.link.fault.burstLen << '\n';
+  field("fault.corrupt", f.link.fault.corruptProb);
+  field("fault.jitter", f.link.fault.jitter);
+  os << "fault.seed=" << f.link.fault.seed << '\n';
+
+  const auto relFields = [&](const char* prefix,
+                             const transport::ReliabilityConfig& rel) {
+    os << prefix << ".ack_bytes=" << rel.ackBytes << '\n';
+    os << prefix << ".max_retries=" << rel.maxRetries << '\n';
+    field((std::string(prefix) + ".ack_timeout").c_str(), rel.ackTimeout);
+    field((std::string(prefix) + ".backoff").c_str(), rel.backoff);
+  };
+  if (m.kind == TransportKind::Gm) {
+    os << "gm.eager_threshold=" << m.gm.eagerThreshold << '\n';
+    field("gm.post_overhead", m.gm.postOverhead);
+    field("gm.eager_tx_copy_rate", m.gm.eagerTxCopyRate);
+    field("gm.eager_rx_copy_rate", m.gm.eagerRxCopyRate);
+    field("gm.lib_call_cost", m.gm.libCallCost);
+    field("gm.ctrl_handle_cost", m.gm.ctrlHandleCost);
+    os << "gm.ctrl_bytes=" << m.gm.ctrlBytes << '\n';
+    relFields("gm.rel", m.gm.rel);
+  } else {
+    field("portals.post_syscall", m.portals.postSyscall);
+    field("portals.post_kernel", m.portals.postKernel);
+    field("portals.lib_call_cost", m.portals.libCallCost);
+    field("portals.unexpected_copy_rate", m.portals.unexpectedCopyRate);
+    field("portals.per_frag_tx", m.portals.nic.perFragTx);
+    field("portals.per_frag_rx", m.portals.nic.perFragRx);
+    field("portals.kernel_copy_rate", m.portals.nic.kernelCopyRate);
+    relFields("portals.rel", m.portals.rel);
+  }
+  return os.str();
+}
+
+std::string machineHash(const MachineConfig& m) {
+  const std::string sig = machineSignature(m);
+  std::uint64_t h = 0xCBF29CE484222325ull;
+  for (const char c : sig) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001B3ull;
+  }
+  return strFormat("%016llx", static_cast<unsigned long long>(h));
+}
 
 MachineConfig gmMachine() {
   MachineConfig m;

@@ -38,6 +38,15 @@ struct MachineConfig {
   int nicCpu = 0;
 };
 
+/// Canonical one-line-per-field text serialization of every model
+/// parameter. Two configs produce the same signature iff they describe
+/// the same machine; result archives store a hash of it so `comb compare`
+/// can tell "same machine, regressed code" from "different machine".
+std::string machineSignature(const MachineConfig& m);
+
+/// FNV-1a hash of machineSignature, formatted as 16 hex digits.
+std::string machineHash(const MachineConfig& m);
+
 /// GM 1.4 + MPICH/GM 1.2..4: OS-bypass, no application offload.
 MachineConfig gmMachine();
 

@@ -1,0 +1,128 @@
+#include "comb/archive_build.hpp"
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+
+namespace comb::bench {
+
+namespace {
+
+template <typename Point>
+report::ArchiveMetric metricOf(const RepRun<Point>& run,
+                               const std::string& name, bool higherIsBetter,
+                               double (*value)(const Point&)) {
+  report::ArchiveMetric m;
+  m.name = name;
+  m.higherIsBetter = higherIsBetter;
+  m.samples = run.metricSamples(value);
+  return m;
+}
+
+template <typename Point, typename MakeMetrics>
+void appendSweep(report::Archive& archive, const std::string& id,
+                 const backend::MachineConfig& machine,
+                 const std::string& xlabel,
+                 const std::vector<std::uint64_t>& xs,
+                 const std::vector<RepRun<Point>>& runs,
+                 MakeMetrics&& makeMetrics) {
+  COMB_REQUIRE(xs.size() == runs.size(),
+               "archive sweep: axis/result size mismatch");
+  report::ArchiveSweep sweep;
+  sweep.id = id;
+  sweep.xlabel = xlabel;
+  sweep.machine = machine.name;
+  sweep.machineHash = backend::machineHash(machine);
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    report::ArchivePoint point;
+    point.x = static_cast<double>(xs[i]);
+    point.converged = runs[i].converged;
+    point.metrics = makeMetrics(runs[i]);
+    sweep.points.push_back(std::move(point));
+  }
+  archive.sweeps.push_back(std::move(sweep));
+}
+
+}  // namespace
+
+report::Archive makeArchive(const std::string& bench, const RepPolicy& rep) {
+  report::Archive archive;
+  archive.bench = bench;
+  archive.seed = rep.seed;
+  archive.provenance = report::buildProvenance();
+  archive.rep.adaptive = rep.adaptive;
+  archive.rep.reps = rep.reps;
+  archive.rep.minReps = rep.minReps;
+  archive.rep.maxReps = rep.maxReps;
+  archive.rep.ciTarget = rep.ciTarget;
+  return archive;
+}
+
+void appendPollingSweep(report::Archive& archive, const std::string& id,
+                        const backend::MachineConfig& machine,
+                        const std::vector<std::uint64_t>& xs,
+                        const std::vector<RepRun<PollingPoint>>& runs,
+                        const std::string& xlabel) {
+  appendSweep(archive, id, machine, xlabel, xs, runs,
+              [](const RepRun<PollingPoint>& run) {
+                return std::vector<report::ArchiveMetric>{
+                    metricOf<PollingPoint>(
+                        run, "availability", true,
+                        [](const PollingPoint& p) { return p.availability; }),
+                    metricOf<PollingPoint>(run, "bandwidth_MBps", true,
+                                           [](const PollingPoint& p) {
+                                             return toMBps(p.bandwidthBps);
+                                           }),
+                };
+              });
+}
+
+void appendPwwSweep(report::Archive& archive, const std::string& id,
+                    const backend::MachineConfig& machine,
+                    const std::vector<std::uint64_t>& xs,
+                    const std::vector<RepRun<PwwPoint>>& runs,
+                    const std::string& xlabel) {
+  appendSweep(
+      archive, id, machine, xlabel, xs, runs,
+      [](const RepRun<PwwPoint>& run) {
+        return std::vector<report::ArchiveMetric>{
+            metricOf<PwwPoint>(
+                run, "availability", true,
+                [](const PwwPoint& p) { return p.availability; }),
+            metricOf<PwwPoint>(
+                run, "bandwidth_MBps", true,
+                [](const PwwPoint& p) { return toMBps(p.bandwidthBps); }),
+            metricOf<PwwPoint>(
+                run, "post_us_per_op", false,
+                [](const PwwPoint& p) { return p.avgPostPerOp * 1e6; }),
+            metricOf<PwwPoint>(
+                run, "work_us", false,
+                [](const PwwPoint& p) { return p.avgWork * 1e6; }),
+            metricOf<PwwPoint>(
+                run, "wait_us_per_msg", false,
+                [](const PwwPoint& p) { return p.avgWaitPerMsg * 1e6; }),
+        };
+      });
+}
+
+void appendLatencySweep(report::Archive& archive, const std::string& id,
+                        const backend::MachineConfig& machine,
+                        const std::vector<std::uint64_t>& xs,
+                        const std::vector<RepRun<LatencyPoint>>& runs,
+                        const std::string& xlabel) {
+  appendSweep(
+      archive, id, machine, xlabel, xs, runs,
+      [](const RepRun<LatencyPoint>& run) {
+        return std::vector<report::ArchiveMetric>{
+            metricOf<LatencyPoint>(
+                run, "latency_us", false,
+                [](const LatencyPoint& p) {
+                  return p.halfRoundTripAvg * 1e6;
+                }),
+            metricOf<LatencyPoint>(
+                run, "bandwidth_MBps", true,
+                [](const LatencyPoint& p) { return toMBps(p.bandwidthBps); }),
+        };
+      });
+}
+
+}  // namespace comb::bench

@@ -1,0 +1,44 @@
+// Builders that turn repetition runs (comb/runner RepRun) into the
+// report/archive schema: one ArchiveSweep per (method, machine, size)
+// family, with per-rep samples for every metric the figures report and
+// the regression direction each metric moves in.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "comb/runner.hpp"
+#include "report/archive.hpp"
+
+namespace comb::bench {
+
+/// Start an archive: bench id, the rep policy the samples were collected
+/// under, and this build's provenance stamp.
+report::Archive makeArchive(const std::string& bench, const RepPolicy& rep);
+
+/// Append one sweep of polling points. Metrics: availability (higher is
+/// better), bandwidth_MBps (higher is better).
+void appendPollingSweep(report::Archive& archive, const std::string& id,
+                        const backend::MachineConfig& machine,
+                        const std::vector<std::uint64_t>& xs,
+                        const std::vector<RepRun<PollingPoint>>& runs,
+                        const std::string& xlabel = "poll_interval_iters");
+
+/// Append one sweep of PWW points. Metrics: availability, bandwidth_MBps
+/// (higher is better); post_us_per_op, work_us, wait_us_per_msg (lower
+/// is better).
+void appendPwwSweep(report::Archive& archive, const std::string& id,
+                    const backend::MachineConfig& machine,
+                    const std::vector<std::uint64_t>& xs,
+                    const std::vector<RepRun<PwwPoint>>& runs,
+                    const std::string& xlabel = "work_interval_iters");
+
+/// Append one sweep of ping-pong points. Metrics: latency_us (lower is
+/// better), bandwidth_MBps (higher is better).
+void appendLatencySweep(report::Archive& archive, const std::string& id,
+                        const backend::MachineConfig& machine,
+                        const std::vector<std::uint64_t>& xs,
+                        const std::vector<RepRun<LatencyPoint>>& runs,
+                        const std::string& xlabel = "msg_bytes");
+
+}  // namespace comb::bench

@@ -1,0 +1,92 @@
+// `comb compare`: the machine-checkable regression gate.
+//
+// Pairs measurement points across two result archives (report/archive)
+// by (sweep id, x, metric name) and decides, metric by metric, whether
+// the candidate is statistically worse than the baseline:
+//
+//   * magnitude:    the relative median delta must exceed --tolerance
+//                   (tiny true differences are not regressions);
+//   * significance: Mann-Whitney U when both sides carry enough samples,
+//                   bootstrap-CI disjointness as the small-sample
+//                   fallback, and exact inequality when either side has
+//                   a single rep (the simulator is deterministic — any
+//                   difference on one rep is a real difference);
+//   * direction:    each archived metric declares whether higher or
+//                   lower is better, so a bandwidth drop and a posting-
+//                   time rise both count as regressions.
+//
+// The CLI exits 0 when nothing regressed, 1 on regressions, 2 on usage
+// or archive errors — which is exactly what the CI perf-smoke job keys
+// off. See docs/regression_gating.md.
+#pragma once
+
+#include <cmath>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "report/archive.hpp"
+
+namespace comb::json {
+class Value;
+}
+
+namespace comb::bench {
+
+struct CompareOptions {
+  /// Relative median difference below which a change is never flagged.
+  double tolerance = 0.02;
+  /// Two-sided significance level for the Mann-Whitney test.
+  double alpha = 0.05;
+  /// Seed for the bootstrap streams used in the CI-overlap fallback.
+  std::uint64_t seed = 0xC04Bu;
+};
+
+enum class Verdict { Ok, Regressed, Improved };
+
+const char* verdictName(Verdict v);
+
+/// One paired (sweep, x, metric) comparison.
+struct CompareRow {
+  std::string sweep;
+  double x = 0.0;
+  std::string metric;
+  double baseline = 0.0;   ///< baseline median
+  double candidate = 0.0;  ///< candidate median
+  /// Signed relative delta (candidate - baseline) / max(|a|,|b|).
+  double relDelta = 0.0;
+  /// Mann-Whitney two-sided p; NaN when the test was not usable.
+  double pValue = std::nan("");
+  /// Which evidence decided significance: "mwu", "ci", "exact" or "-".
+  std::string basis = "-";
+  Verdict verdict = Verdict::Ok;
+};
+
+struct CompareReport {
+  std::vector<CompareRow> rows;
+  /// Coverage and comparability problems: unmatched sweeps/points,
+  /// machine-hash or provenance mismatches. Informational, not fatal.
+  std::vector<std::string> notes;
+  int regressed = 0;
+  int improved = 0;
+
+  bool hasRegressions() const { return regressed > 0; }
+};
+
+/// Pair and test every metric of every point present in both archives.
+CompareReport compareArchives(const report::Archive& baseline,
+                              const report::Archive& candidate,
+                              const CompareOptions& opts = {});
+
+/// The same gate applied to a micro-benchmark baseline file of the
+/// BENCH_sim_core.json shape: top-level "baseline" and "current" blocks
+/// with "benchmarks" (items_per_second, higher-better) and
+/// "figure_wallclock_seconds" (lower-better) members.
+CompareReport compareBenchJson(const json::Value& root,
+                               const CompareOptions& opts = {});
+
+/// Verdict table (flagged rows always; `all` = every row) + summary line.
+void renderCompare(std::ostream& out, const CompareReport& report,
+                   bool all = false);
+
+}  // namespace comb::bench

@@ -38,6 +38,100 @@ backend::MachineConfig machineWithOptions(const backend::MachineConfig& machine,
   return m;
 }
 
+void validateRepPolicy(const RepPolicy& policy) {
+  COMB_REQUIRE(policy.reps >= 1, "--reps must be >= 1");
+  COMB_REQUIRE(policy.maxReps >= 1, "--max-reps must be >= 1");
+  COMB_REQUIRE(policy.minReps >= 1 && policy.minReps <= policy.maxReps,
+               "rep policy needs 1 <= minReps <= maxReps");
+  COMB_REQUIRE(policy.ciTarget > 0.0, "--ci-target must be > 0");
+  COMB_REQUIRE(policy.ciLevel > 0.0 && policy.ciLevel < 1.0,
+               "CI level outside (0,1)");
+}
+
+std::uint64_t repSeed(std::uint64_t root, int rep) {
+  // splitmix64 walk: mix the rep index into the root so that nearby reps
+  // get statistically independent fault streams.
+  std::uint64_t state = root ^ (0x9E3779B97F4A7C15ull *
+                                static_cast<std::uint64_t>(rep));
+  return splitmix64(state);
+}
+
+namespace {
+
+/// Shared rep loop: rep 0 on the machine exactly as configured, later
+/// reps with the per-link fault stream reseeded from (policy.seed, rep).
+/// On a lossless fabric the reseed is a no-op by construction (the fault
+/// stream is never sampled), so all reps are bit-identical.
+template <typename Point, typename RunOne>
+RepRun<Point> runPointReps(const backend::MachineConfig& machine,
+                           const RunOptions& opts, RunOne&& runOne) {
+  validateRepPolicy(opts.rep);
+  const backend::MachineConfig base = machineWithOptions(machine, opts);
+  // The per-rep runner must not re-apply opts.fault/rep (already folded
+  // into `base`), so reps run with a bare RunOptions.
+  const auto runRep = [&](int rep) {
+    if (rep == 0) return runOne(base);
+    backend::MachineConfig m = base;
+    m.fabric.link.fault.seed = repSeed(opts.rep.seed ^ m.fabric.link.fault.seed,
+                                       rep);
+    return runOne(m);
+  };
+
+  RepRun<Point> run;
+  run.adaptive = opts.rep.adaptive;
+  if (opts.rep.adaptive) {
+    AdaptiveRep controller(opts.rep.adaptivePolicy());
+    while (controller.wantMore()) {
+      const auto rep = static_cast<int>(run.reps.size());
+      run.reps.push_back(runRep(rep));
+      controller.add(run.reps.back().bandwidthBps);
+    }
+    run.converged = controller.converged();
+    run.bandwidthCi = controller.ci();
+  } else {
+    run.reps.reserve(static_cast<std::size_t>(opts.rep.reps));
+    for (int rep = 0; rep < opts.rep.reps; ++rep)
+      run.reps.push_back(runRep(rep));
+    BootstrapOptions bopts;
+    bopts.level = opts.rep.ciLevel;
+    bopts.seed = opts.rep.seed;
+    std::vector<double> bw;
+    bw.reserve(run.reps.size());
+    for (const auto& p : run.reps) bw.push_back(p.bandwidthBps);
+    run.bandwidthCi = bootstrapMeanCi(bw, bopts);
+  }
+  return run;
+}
+
+}  // namespace
+
+RepRun<PollingPoint> runPollingPointReps(const backend::MachineConfig& machine,
+                                         const PollingParams& params,
+                                         const RunOptions& opts) {
+  return runPointReps<PollingPoint>(machine, opts,
+                                    [&](const backend::MachineConfig& m) {
+                                      return runPollingPoint(m, params);
+                                    });
+}
+
+RepRun<PwwPoint> runPwwPointReps(const backend::MachineConfig& machine,
+                                 const PwwParams& params,
+                                 const RunOptions& opts) {
+  return runPointReps<PwwPoint>(machine, opts,
+                                [&](const backend::MachineConfig& m) {
+                                  return runPwwPoint(m, params);
+                                });
+}
+
+RepRun<LatencyPoint> runLatencyPointReps(const backend::MachineConfig& machine,
+                                         const LatencyParams& params,
+                                         const RunOptions& opts) {
+  return runPointReps<LatencyPoint>(machine, opts,
+                                    [&](const backend::MachineConfig& m) {
+                                      return runLatencyPoint(m, params);
+                                    });
+}
+
 std::vector<std::uint64_t> logSweep(std::uint64_t lo, std::uint64_t hi,
                                     int pointsPerDecade) {
   COMB_REQUIRE(lo > 0 && hi >= lo, "bad sweep bounds");
@@ -207,6 +301,48 @@ std::vector<LatencyPoint> runLatencySweep(const backend::MachineConfig& machine,
         return runLatencyPoint(mc, p);
       },
       opts.jobs);
+}
+
+namespace {
+
+/// Shared sweep-of-reps driver: expand the spec, fan points out over the
+/// pool (reps within a point stay serial), same order/exception contract
+/// as runSweepParallel.
+template <typename Param, typename Point, typename RunPointReps>
+std::vector<RepRun<Point>> runSweepRepsImpl(
+    const backend::MachineConfig& machine, const SweepSpec<Param>& spec,
+    std::uint64_t Param::*primary, const RunOptions& opts,
+    RunPointReps&& runReps) {
+  validateRepPolicy(opts.rep);
+  const auto paramSets = expandSpec(spec, primary);
+  std::vector<RepRun<Point>> runs(paramSets.size());
+  parallelFor(paramSets.size(), opts.jobs, [&](std::size_t i) {
+    runs[i] = runReps(machine, paramSets[i], opts);
+  });
+  return runs;
+}
+
+}  // namespace
+
+std::vector<RepRun<PollingPoint>> runPollingSweepReps(
+    const backend::MachineConfig& machine, const SweepSpec<PollingParams>& spec,
+    const RunOptions& opts) {
+  return runSweepRepsImpl<PollingParams, PollingPoint>(
+      machine, spec, &PollingParams::pollInterval, opts, runPollingPointReps);
+}
+
+std::vector<RepRun<PwwPoint>> runPwwSweepReps(
+    const backend::MachineConfig& machine, const SweepSpec<PwwParams>& spec,
+    const RunOptions& opts) {
+  return runSweepRepsImpl<PwwParams, PwwPoint>(
+      machine, spec, &PwwParams::workInterval, opts, runPwwPointReps);
+}
+
+std::vector<RepRun<LatencyPoint>> runLatencySweepReps(
+    const backend::MachineConfig& machine, const SweepSpec<LatencyParams>& spec,
+    const RunOptions& opts) {
+  return runSweepRepsImpl<LatencyParams, LatencyPoint>(
+      machine, spec, &LatencyParams::msgBytes, opts, runLatencyPointReps);
 }
 
 // --- deprecated positional overloads ---------------------------------------

@@ -25,12 +25,54 @@
 #include "backend/machine.hpp"
 #include "comb/latency.hpp"
 #include "comb/params.hpp"
+#include "common/stats.hpp"
 #include "common/thread_pool.hpp"
 #include "net/fault.hpp"
 #include "report/machine_stats.hpp"
 #include "sim/tracelog.hpp"
 
 namespace comb::bench {
+
+/// Repetition policy for a measurement point. Repetitions exist for the
+/// statistical gate (archives, `comb compare`): rep 0 always runs the
+/// machine exactly as configured, so the canonical reported point is
+/// byte-identical whatever the rep count; reps 1..N-1 re-run the point
+/// with the fault-stream seed re-derived from (seed, rep), which is the
+/// only stochastic input the simulator has. On a lossless fabric all reps
+/// are identical by construction and the adaptive controller stops at
+/// minReps with a zero-width interval.
+struct RepPolicy {
+  /// Fixed repetition count (used when adaptive == false).
+  int reps = 1;
+  /// --reps-auto: run until the relative CI half-width of the watched
+  /// metric (bandwidth) reaches ciTarget, between minReps and maxReps.
+  bool adaptive = false;
+  int minReps = 3;
+  int maxReps = 20;   ///< --max-reps (rep budget for adaptive mode)
+  double ciTarget = 0.05;  ///< --ci-target
+  double ciLevel = 0.95;
+  /// Root seed for per-rep fault-stream derivation and for the bootstrap
+  /// resampling stream.
+  std::uint64_t seed = 0xC04Bu;
+
+  /// The stats-engine view of this policy.
+  AdaptiveRepPolicy adaptivePolicy() const {
+    AdaptiveRepPolicy p;
+    p.minReps = minReps;
+    p.maxReps = maxReps;
+    p.ciTarget = ciTarget;
+    p.ciLevel = ciLevel;
+    p.seed = seed;
+    return p;
+  }
+};
+
+/// Throws comb::ConfigError on out-of-range values (CLI-facing).
+void validateRepPolicy(const RepPolicy& policy);
+
+/// Deterministic per-repetition fault seed (splitmix64 mix of root seed
+/// and rep index; rep 0 keeps the machine's own seed untouched).
+std::uint64_t repSeed(std::uint64_t root, int rep);
 
 /// How to execute a point or sweep, as opposed to *what* to measure
 /// (that's the Param struct). Extend here instead of adding positional
@@ -41,6 +83,31 @@ struct RunOptions {
   /// When set, overrides the machine's fabric fault model for this run
   /// (the CLI's --fault flag lands here).
   std::optional<net::FaultSpec> fault;
+  /// Repetitions per point (only the *Reps runners look at this; the
+  /// single-shot runners below always measure exactly once).
+  RepPolicy rep;
+};
+
+/// All repetitions of one measurement point. reps[0] is the canonical
+/// point (machine exactly as configured — byte-identical to a single
+/// run); later reps differ only in the derived fault seed.
+template <typename Point>
+struct RepRun {
+  std::vector<Point> reps;
+  bool adaptive = false;
+  /// Adaptive mode: true when the CI target was reached before the rep
+  /// budget ran out. Always true for fixed-rep runs.
+  bool converged = true;
+  /// Bootstrap CI over the per-rep bandwidth samples (the watched metric).
+  BootstrapCi bandwidthCi;
+
+  const Point& canonical() const { return reps.front(); }
+  std::vector<double> metricSamples(double (*metric)(const Point&)) const {
+    std::vector<double> xs;
+    xs.reserve(reps.size());
+    for (const auto& p : reps) xs.push_back(metric(p));
+    return xs;
+  }
 };
 
 /// A sweep: the base parameter set plus the axis being swept. With
@@ -136,6 +203,33 @@ std::vector<PwwPoint> runPwwSweep(const backend::MachineConfig& machine,
 std::vector<LatencyPoint> runLatencySweep(const backend::MachineConfig& machine,
                                           const SweepSpec<LatencyParams>& spec,
                                           const RunOptions& opts = {});
+
+// --- repetition-aware runners (statistical gate) ---------------------------
+//
+// Same measurement as the plain runners, executed opts.rep times per
+// point (or adaptively). Sweep variants parallelize over points exactly
+// like the plain sweeps; the reps within one point run serially because
+// the adaptive stop rule is inherently sequential.
+
+RepRun<PollingPoint> runPollingPointReps(const backend::MachineConfig& machine,
+                                         const PollingParams& params,
+                                         const RunOptions& opts = {});
+RepRun<PwwPoint> runPwwPointReps(const backend::MachineConfig& machine,
+                                 const PwwParams& params,
+                                 const RunOptions& opts = {});
+RepRun<LatencyPoint> runLatencyPointReps(const backend::MachineConfig& machine,
+                                         const LatencyParams& params,
+                                         const RunOptions& opts = {});
+
+std::vector<RepRun<PollingPoint>> runPollingSweepReps(
+    const backend::MachineConfig& machine, const SweepSpec<PollingParams>& spec,
+    const RunOptions& opts = {});
+std::vector<RepRun<PwwPoint>> runPwwSweepReps(
+    const backend::MachineConfig& machine, const SweepSpec<PwwParams>& spec,
+    const RunOptions& opts = {});
+std::vector<RepRun<LatencyPoint>> runLatencySweepReps(
+    const backend::MachineConfig& machine, const SweepSpec<LatencyParams>& spec,
+    const RunOptions& opts = {});
 
 // --- deprecated positional overloads (pre-SweepSpec API) -------------------
 

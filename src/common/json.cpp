@@ -1,0 +1,410 @@
+#include "common/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace comb::json {
+
+namespace {
+
+[[noreturn]] void kindError(const char* want, Value::Kind got) {
+  static const char* names[] = {"null",   "bool",  "number",
+                                "string", "array", "object"};
+  throw ConfigError(std::string("json: expected ") + want + ", got " +
+                    names[static_cast<int>(got)]);
+}
+
+}  // namespace
+
+bool Value::boolean() const {
+  if (kind_ != Kind::Bool) kindError("bool", kind_);
+  return bool_;
+}
+
+double Value::number() const {
+  if (kind_ != Kind::Number) kindError("number", kind_);
+  return num_;
+}
+
+const std::string& Value::str() const {
+  if (kind_ != Kind::String) kindError("string", kind_);
+  return str_;
+}
+
+const std::vector<Value>& Value::array() const {
+  if (kind_ != Kind::Array) kindError("array", kind_);
+  return arr_;
+}
+
+const std::map<std::string, Value>& Value::members() const {
+  if (kind_ != Kind::Object) kindError("object", kind_);
+  return obj_;
+}
+
+const Value& Value::at(const std::string& key) const {
+  const Value* v = find(key);
+  if (!v) throw ConfigError("json: missing member '" + key + "'");
+  return *v;
+}
+
+const Value* Value::find(const std::string& key) const {
+  if (kind_ != Kind::Object) kindError("object", kind_);
+  const auto it = obj_.find(key);
+  return it == obj_.end() ? nullptr : &it->second;
+}
+
+std::size_t Value::size() const {
+  switch (kind_) {
+    case Kind::Array:
+      return arr_.size();
+    case Kind::Object:
+      return obj_.size();
+    default:
+      kindError("array or object", kind_);
+  }
+}
+
+Value Value::makeBool(bool b) {
+  Value v;
+  v.kind_ = Kind::Bool;
+  v.bool_ = b;
+  return v;
+}
+
+Value Value::makeNumber(double d) {
+  Value v;
+  v.kind_ = Kind::Number;
+  v.num_ = d;
+  return v;
+}
+
+Value Value::makeString(std::string s) {
+  Value v;
+  v.kind_ = Kind::String;
+  v.str_ = std::move(s);
+  return v;
+}
+
+Value Value::makeArray(std::vector<Value> xs) {
+  Value v;
+  v.kind_ = Kind::Array;
+  v.arr_ = std::move(xs);
+  return v;
+}
+
+Value Value::makeObject(std::map<std::string, Value> members) {
+  Value v;
+  v.kind_ = Kind::Object;
+  v.obj_ = std::move(members);
+  return v;
+}
+
+namespace {
+
+class Parser {
+ public:
+  Parser(std::string_view text, const std::string& sourceName)
+      : text_(text), source_(sourceName) {}
+
+  Value parseDocument() {
+    skipWs();
+    Value v = parseValue();
+    skipWs();
+    if (pos_ != text_.size()) fail("trailing content after JSON document");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& msg) const {
+    std::size_t line = 1, col = 1;
+    for (std::size_t i = 0; i < pos_ && i < text_.size(); ++i) {
+      if (text_[i] == '\n') {
+        ++line;
+        col = 1;
+      } else {
+        ++col;
+      }
+    }
+    std::ostringstream os;
+    os << source_ << ':' << line << ':' << col << ": " << msg;
+    throw ConfigError(os.str());
+  }
+
+  bool atEnd() const { return pos_ >= text_.size(); }
+  char peek() const { return text_[pos_]; }
+
+  char next() {
+    if (atEnd()) fail("unexpected end of input");
+    return text_[pos_++];
+  }
+
+  void expect(char c) {
+    if (atEnd() || text_[pos_] != c)
+      fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  void skipWs() {
+    while (!atEnd()) {
+      const char c = peek();
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r')
+        ++pos_;
+      else
+        break;
+    }
+  }
+
+  bool consumeWord(std::string_view w) {
+    if (text_.substr(pos_, w.size()) != w) return false;
+    pos_ += w.size();
+    return true;
+  }
+
+  Value parseValue() {
+    if (atEnd()) fail("unexpected end of input");
+    switch (peek()) {
+      case '{':
+        return parseObject();
+      case '[':
+        return parseArray();
+      case '"':
+        return Value::makeString(parseString());
+      case 't':
+        if (consumeWord("true")) return Value::makeBool(true);
+        fail("invalid literal");
+      case 'f':
+        if (consumeWord("false")) return Value::makeBool(false);
+        fail("invalid literal");
+      case 'n':
+        if (consumeWord("null")) return Value::makeNull();
+        fail("invalid literal");
+      default:
+        return parseNumber();
+    }
+  }
+
+  Value parseObject() {
+    expect('{');
+    std::map<std::string, Value> members;
+    skipWs();
+    if (!atEnd() && peek() == '}') {
+      ++pos_;
+      return Value::makeObject(std::move(members));
+    }
+    for (;;) {
+      skipWs();
+      if (atEnd() || peek() != '"') fail("expected object key string");
+      std::string key = parseString();
+      skipWs();
+      expect(':');
+      skipWs();
+      Value v = parseValue();
+      if (!members.emplace(std::move(key), std::move(v)).second)
+        fail("duplicate object key");
+      skipWs();
+      const char c = next();
+      if (c == '}') break;
+      if (c != ',') fail("expected ',' or '}' in object");
+    }
+    return Value::makeObject(std::move(members));
+  }
+
+  Value parseArray() {
+    expect('[');
+    std::vector<Value> xs;
+    skipWs();
+    if (!atEnd() && peek() == ']') {
+      ++pos_;
+      return Value::makeArray(std::move(xs));
+    }
+    for (;;) {
+      skipWs();
+      xs.push_back(parseValue());
+      skipWs();
+      const char c = next();
+      if (c == ']') break;
+      if (c != ',') fail("expected ',' or ']' in array");
+    }
+    return Value::makeArray(std::move(xs));
+  }
+
+  std::string parseString() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      const char c = next();
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20)
+        fail("unescaped control character in string");
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      const char e = next();
+      switch (e) {
+        case '"':
+          out.push_back('"');
+          break;
+        case '\\':
+          out.push_back('\\');
+          break;
+        case '/':
+          out.push_back('/');
+          break;
+        case 'b':
+          out.push_back('\b');
+          break;
+        case 'f':
+          out.push_back('\f');
+          break;
+        case 'n':
+          out.push_back('\n');
+          break;
+        case 'r':
+          out.push_back('\r');
+          break;
+        case 't':
+          out.push_back('\t');
+          break;
+        case 'u':
+          appendCodepoint(out, parseHex4());
+          break;
+        default:
+          fail("unknown escape sequence");
+      }
+    }
+  }
+
+  unsigned parseHex4() {
+    unsigned v = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = next();
+      v <<= 4;
+      if (c >= '0' && c <= '9')
+        v |= static_cast<unsigned>(c - '0');
+      else if (c >= 'a' && c <= 'f')
+        v |= static_cast<unsigned>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F')
+        v |= static_cast<unsigned>(c - 'A' + 10);
+      else
+        fail("invalid \\u escape");
+    }
+    return v;
+  }
+
+  // UTF-8 encode a BMP codepoint (surrogate pairs are joined first).
+  void appendCodepoint(std::string& out, unsigned cp) {
+    if (cp >= 0xD800 && cp <= 0xDBFF) {
+      // High surrogate: a low surrogate escape must follow.
+      if (next() != '\\' || next() != 'u') fail("unpaired surrogate");
+      const unsigned lo = parseHex4();
+      if (lo < 0xDC00 || lo > 0xDFFF) fail("unpaired surrogate");
+      cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+    } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+      fail("unpaired surrogate");
+    }
+    if (cp < 0x80) {
+      out.push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else if (cp < 0x10000) {
+      out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+      out.push_back(static_cast<char>(0xF0 | (cp >> 18)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    }
+  }
+
+  Value parseNumber() {
+    const std::size_t start = pos_;
+    if (!atEnd() && peek() == '-') ++pos_;
+    if (atEnd() || !isDigit(peek())) fail("invalid number");
+    // RFC 8259: the integer part is "0" or starts with a nonzero digit.
+    if (peek() == '0') {
+      ++pos_;
+      if (!atEnd() && isDigit(peek())) fail("invalid number (leading zero)");
+    }
+    while (!atEnd() && isDigit(peek())) ++pos_;
+    if (!atEnd() && peek() == '.') {
+      ++pos_;
+      if (atEnd() || !isDigit(peek())) fail("invalid number");
+      while (!atEnd() && isDigit(peek())) ++pos_;
+    }
+    if (!atEnd() && (peek() == 'e' || peek() == 'E')) {
+      ++pos_;
+      if (!atEnd() && (peek() == '+' || peek() == '-')) ++pos_;
+      if (atEnd() || !isDigit(peek())) fail("invalid number");
+      while (!atEnd() && isDigit(peek())) ++pos_;
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    const double v = std::strtod(token.c_str(), nullptr);
+    if (!std::isfinite(v)) fail("number out of range");
+    return Value::makeNumber(v);
+  }
+
+  static bool isDigit(char c) { return c >= '0' && c <= '9'; }
+
+  std::string_view text_;
+  std::string source_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Value parse(std::string_view text, const std::string& sourceName) {
+  return Parser(text, sourceName).parseDocument();
+}
+
+Value parseFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw ConfigError("json: cannot open '" + path + "'");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse(buf.str(), path);
+}
+
+std::string escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace comb::json

@@ -1,0 +1,79 @@
+// A minimal JSON reader for the result-archive and baseline files the
+// suite itself writes (report/archive, BENCH_sim_core.json).
+//
+// Parsing is strict RFC 8259: unknown escapes, trailing commas, bare
+// values after the document, or non-finite numbers are hard errors
+// (comb::ConfigError) with a line/column position — a regression gate
+// must never silently accept a truncated archive. Writing stays with the
+// modules that own each schema; this header is read-only on purpose.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace comb::json {
+
+/// One parsed JSON value. Object member order is not preserved (archives
+/// address members by name); duplicate keys are rejected at parse time.
+class Value {
+ public:
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+
+  Value() = default;
+
+  Kind kind() const { return kind_; }
+  bool isNull() const { return kind_ == Kind::Null; }
+  bool isBool() const { return kind_ == Kind::Bool; }
+  bool isNumber() const { return kind_ == Kind::Number; }
+  bool isString() const { return kind_ == Kind::String; }
+  bool isArray() const { return kind_ == Kind::Array; }
+  bool isObject() const { return kind_ == Kind::Object; }
+
+  /// Typed accessors; throw comb::ConfigError on a kind mismatch so schema
+  /// errors surface as configuration problems, not crashes.
+  bool boolean() const;
+  double number() const;
+  const std::string& str() const;
+  const std::vector<Value>& array() const;
+
+  /// Object member by name; `at` throws on a missing member, `find`
+  /// returns nullptr.
+  const Value& at(const std::string& key) const;
+  const Value* find(const std::string& key) const;
+  /// All object members in key order.
+  const std::map<std::string, Value>& members() const;
+
+  std::size_t size() const;
+
+  // Construction (used by the parser and by tests).
+  static Value makeNull() { return Value(); }
+  static Value makeBool(bool b);
+  static Value makeNumber(double d);
+  static Value makeString(std::string s);
+  static Value makeArray(std::vector<Value> xs);
+  static Value makeObject(std::map<std::string, Value> members);
+
+ private:
+  Kind kind_ = Kind::Null;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  std::vector<Value> arr_;
+  std::map<std::string, Value> obj_;
+};
+
+/// Parse a complete JSON document. `sourceName` is used in error
+/// messages ("archive.json:3:17: ..."). Throws comb::ConfigError.
+Value parse(std::string_view text, const std::string& sourceName = "<json>");
+
+/// Parse the full contents of a file.
+Value parseFile(const std::string& path);
+
+/// Escape a string for embedding in emitted JSON (quotes not included).
+std::string escape(std::string_view s);
+
+}  // namespace comb::json

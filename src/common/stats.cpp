@@ -2,10 +2,25 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "common/error.hpp"
+#include "common/rng.hpp"
 
 namespace comb {
+
+namespace {
+
+/// Every estimator below rejects NaN/inf up front: a non-finite sample in
+/// a regression gate must be a loud configuration error, never a silently
+/// poisoned percentile (NaN breaks std::sort's strict weak ordering).
+void requireFinite(std::span<const double> xs, const char* who) {
+  for (const double x : xs)
+    COMB_REQUIRE(std::isfinite(x),
+                 std::string(who) + ": non-finite sample rejected");
+}
+
+}  // namespace
 
 void RunningStats::add(double x) {
   if (n_ == 0) {
@@ -60,6 +75,7 @@ double RunningStats::max() const {
 double percentileSorted(std::span<const double> sorted, double q) {
   COMB_REQUIRE(!sorted.empty(), "percentile of empty sample");
   COMB_REQUIRE(q >= 0.0 && q <= 1.0, "percentile q outside [0,1]");
+  requireFinite(sorted, "percentile");
   if (sorted.size() == 1) return sorted[0];
   const double rank = q * static_cast<double>(sorted.size() - 1);
   const auto lo = static_cast<std::size_t>(rank);
@@ -69,9 +85,166 @@ double percentileSorted(std::span<const double> sorted, double q) {
 }
 
 double percentile(std::span<const double> xs, double q) {
+  requireFinite(xs, "percentile");
   std::vector<double> copy(xs.begin(), xs.end());
   std::sort(copy.begin(), copy.end());
   return percentileSorted(copy, q);
+}
+
+double trimmedMean(std::span<const double> xs, double trimFrac) {
+  COMB_REQUIRE(!xs.empty(), "trimmedMean of empty sample");
+  COMB_REQUIRE(trimFrac >= 0.0 && trimFrac < 0.5,
+               "trimmedMean trim fraction outside [0, 0.5)");
+  requireFinite(xs, "trimmedMean");
+  std::vector<double> copy(xs.begin(), xs.end());
+  std::sort(copy.begin(), copy.end());
+  const auto k = static_cast<std::size_t>(trimFrac *
+                                          static_cast<double>(copy.size()));
+  double sum = 0.0;
+  for (std::size_t i = k; i < copy.size() - k; ++i) sum += copy[i];
+  return sum / static_cast<double>(copy.size() - 2 * k);
+}
+
+double mad(std::span<const double> xs) {
+  COMB_REQUIRE(!xs.empty(), "mad of empty sample");
+  requireFinite(xs, "mad");
+  const double m = median(xs);
+  std::vector<double> dev;
+  dev.reserve(xs.size());
+  for (const double x : xs) dev.push_back(std::fabs(x - m));
+  return median(dev);
+}
+
+double BootstrapCi::relHalfWidth() const {
+  const double half = halfWidth();
+  if (half == 0.0) return 0.0;
+  if (estimate == 0.0) return std::numeric_limits<double>::infinity();
+  return half / std::fabs(estimate);
+}
+
+BootstrapCi bootstrapMeanCi(std::span<const double> xs,
+                            const BootstrapOptions& opts) {
+  COMB_REQUIRE(!xs.empty(), "bootstrapMeanCi of empty sample");
+  COMB_REQUIRE(opts.level > 0.0 && opts.level < 1.0,
+               "bootstrap confidence level outside (0,1)");
+  COMB_REQUIRE(opts.resamples >= 2, "bootstrap needs at least 2 resamples");
+  requireFinite(xs, "bootstrapMeanCi");
+
+  BootstrapCi ci;
+  ci.estimate = mean(xs);
+  ci.level = opts.level;
+  ci.resamples = opts.resamples;
+  if (xs.size() == 1) {
+    ci.lo = ci.hi = xs[0];
+    return ci;
+  }
+
+  const std::size_t n = xs.size();
+  Rng rng(opts.seed);
+  std::vector<double> replicates;
+  replicates.reserve(opts.resamples);
+  for (std::size_t r = 0; r < opts.resamples; ++r) {
+    double sum = 0.0;
+    for (std::size_t i = 0; i < n; ++i) sum += xs[rng.below(n)];
+    replicates.push_back(sum / static_cast<double>(n));
+  }
+  std::sort(replicates.begin(), replicates.end());
+  const double alpha = 1.0 - opts.level;
+  ci.lo = percentileSorted(replicates, alpha / 2.0);
+  ci.hi = percentileSorted(replicates, 1.0 - alpha / 2.0);
+  return ci;
+}
+
+MannWhitneyResult mannWhitneyU(std::span<const double> a,
+                               std::span<const double> b) {
+  requireFinite(a, "mannWhitneyU");
+  requireFinite(b, "mannWhitneyU");
+  MannWhitneyResult res;
+  const std::size_t n1 = a.size(), n2 = b.size();
+  if (n1 < kMannWhitneyMinN || n2 < kMannWhitneyMinN) return res;
+
+  // Midrank the pooled sample.
+  struct Tagged {
+    double x;
+    bool fromA;
+  };
+  std::vector<Tagged> all;
+  all.reserve(n1 + n2);
+  for (const double x : a) all.push_back({x, true});
+  for (const double x : b) all.push_back({x, false});
+  std::sort(all.begin(), all.end(),
+            [](const Tagged& l, const Tagged& r) { return l.x < r.x; });
+
+  const double nTotal = static_cast<double>(n1 + n2);
+  double rankSumA = 0.0;
+  double tieTerm = 0.0;  // sum over tie groups of (t^3 - t)
+  for (std::size_t i = 0; i < all.size();) {
+    std::size_t j = i;
+    while (j < all.size() && all[j].x == all[i].x) ++j;
+    const double t = static_cast<double>(j - i);
+    // Average of 1-based ranks i+1 .. j.
+    const double midrank = (static_cast<double>(i + 1) +
+                            static_cast<double>(j)) / 2.0;
+    for (std::size_t k = i; k < j; ++k)
+      if (all[k].fromA) rankSumA += midrank;
+    tieTerm += t * t * t - t;
+    i = j;
+  }
+
+  const double dn1 = static_cast<double>(n1), dn2 = static_cast<double>(n2);
+  res.u = rankSumA - dn1 * (dn1 + 1.0) / 2.0;
+  const double mu = dn1 * dn2 / 2.0;
+  const double sigma2 = dn1 * dn2 / 12.0 *
+                        ((nTotal + 1.0) -
+                         tieTerm / (nTotal * (nTotal - 1.0)));
+  if (sigma2 <= 0.0) {
+    // Every pooled value identical: the test carries no information.
+    return res;
+  }
+  const double diff = res.u - mu;
+  // Continuity correction toward the mean.
+  const double corrected =
+      diff > 0.5 ? diff - 0.5 : (diff < -0.5 ? diff + 0.5 : 0.0);
+  res.z = corrected / std::sqrt(sigma2);
+  res.pValue = std::erfc(std::fabs(res.z) / std::sqrt(2.0));
+  res.usable = true;
+  return res;
+}
+
+AdaptiveRep::AdaptiveRep(AdaptiveRepPolicy policy) : policy_(policy) {
+  COMB_REQUIRE(policy_.minReps >= 1, "adaptive reps: minReps must be >= 1");
+  COMB_REQUIRE(policy_.maxReps >= policy_.minReps,
+               "adaptive reps: maxReps must be >= minReps");
+  COMB_REQUIRE(policy_.ciTarget > 0.0, "adaptive reps: ciTarget must be > 0");
+  COMB_REQUIRE(policy_.ciLevel > 0.0 && policy_.ciLevel < 1.0,
+               "adaptive reps: ciLevel outside (0,1)");
+}
+
+void AdaptiveRep::add(double sample) {
+  COMB_REQUIRE(std::isfinite(sample),
+               "adaptive reps: non-finite sample rejected");
+  samples_.push_back(sample);
+}
+
+bool AdaptiveRep::wantMore() const {
+  const auto n = static_cast<int>(samples_.size());
+  if (n < policy_.minReps) return true;
+  if (n >= policy_.maxReps) return false;
+  return !converged();
+}
+
+bool AdaptiveRep::converged() const {
+  const auto n = static_cast<int>(samples_.size());
+  if (n < policy_.minReps) return false;
+  return ci().relHalfWidth() <= policy_.ciTarget;
+}
+
+BootstrapCi AdaptiveRep::ci() const {
+  BootstrapOptions opts;
+  opts.level = policy_.ciLevel;
+  opts.resamples = policy_.resamples;
+  opts.seed = policy_.seed;
+  return bootstrapMeanCi(samples_, opts);
 }
 
 double mean(std::span<const double> xs) {

@@ -1,7 +1,11 @@
-// Streaming and batch statistics used by the measurement layer.
+// Streaming and batch statistics used by the measurement layer, plus the
+// robust estimators, bootstrap confidence intervals, rank test and
+// adaptive-repetition controller behind the regression gate (see
+// docs/regression_gating.md).
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -62,6 +66,117 @@ struct LinearFit {
   bool degenerate = false;
 };
 LinearFit linearFit(std::span<const double> xs, std::span<const double> ys);
+
+/// Symmetrically trimmed mean: drop floor(trimFrac * n) samples from each
+/// tail, average the rest. `trimFrac` in [0, 0.5); trimFrac = 0 is the
+/// plain mean. Rejects empty and non-finite input.
+double trimmedMean(std::span<const double> xs, double trimFrac = 0.1);
+
+/// Median absolute deviation from the median (raw, unscaled). Multiply by
+/// kMadToSigma for a robust stddev estimate under normality.
+double mad(std::span<const double> xs);
+
+/// 1 / Phi^-1(3/4): scales the MAD to a consistent sigma estimator.
+inline constexpr double kMadToSigma = 1.4826;
+
+// ---------------------------------------------------------------------------
+// Bootstrap confidence intervals (deterministic, seeded)
+// ---------------------------------------------------------------------------
+
+struct BootstrapOptions {
+  /// Two-sided confidence level in (0, 1).
+  double level = 0.95;
+  /// Bootstrap resamples; more = smoother interval, linearly more work.
+  std::size_t resamples = 200;
+  /// Seed for the resampling stream (common/rng.hpp xoshiro; the interval
+  /// is bit-reproducible for a fixed seed on every platform).
+  std::uint64_t seed = 0xC04Bu;
+};
+
+struct BootstrapCi {
+  double estimate = 0.0;  ///< statistic on the full sample
+  double lo = 0.0;        ///< percentile-bootstrap lower bound
+  double hi = 0.0;        ///< percentile-bootstrap upper bound
+  double level = 0.95;
+  std::size_t resamples = 0;
+
+  double halfWidth() const { return (hi - lo) / 2.0; }
+  /// Half-width relative to |estimate|; 0 when the interval is degenerate,
+  /// +inf when the estimate is 0 but the interval is not.
+  double relHalfWidth() const;
+  /// True when [lo, hi] and [other.lo, other.hi] share no point.
+  bool disjointFrom(const BootstrapCi& other) const {
+    return hi < other.lo || other.hi < lo;
+  }
+};
+
+/// Percentile-bootstrap CI for the mean. n = 1 yields the degenerate
+/// interval [x, x]; n = 0 and non-finite samples are rejected.
+BootstrapCi bootstrapMeanCi(std::span<const double> xs,
+                            const BootstrapOptions& opts = {});
+
+// ---------------------------------------------------------------------------
+// Mann-Whitney U rank test
+// ---------------------------------------------------------------------------
+
+struct MannWhitneyResult {
+  double u = 0.0;       ///< U statistic for the first sample
+  double z = 0.0;       ///< normal approximation z-score (tie-corrected)
+  double pValue = 1.0;  ///< two-sided p (1.0 when no decision is possible)
+  /// False when the samples are too small or tie-degenerate for the
+  /// normal approximation to mean anything (callers should fall back to a
+  /// deterministic tolerance check).
+  bool usable = false;
+};
+
+/// Two-sided Mann-Whitney U ("are these two samples drawn from the same
+/// distribution?") with tie correction and continuity correction. The
+/// normal approximation needs a handful of samples per side; below
+/// `kMannWhitneyMinN` per group the result is marked not usable.
+inline constexpr std::size_t kMannWhitneyMinN = 4;
+MannWhitneyResult mannWhitneyU(std::span<const double> a,
+                               std::span<const double> b);
+
+// ---------------------------------------------------------------------------
+// Adaptive repetition controller
+// ---------------------------------------------------------------------------
+
+/// Stop-rule configuration: run repetitions until the relative bootstrap-CI
+/// half-width of the watched metric drops to `ciTarget`, or `maxReps` is
+/// spent. At least `minReps` always run so the interval is meaningful.
+struct AdaptiveRepPolicy {
+  int minReps = 3;
+  int maxReps = 20;
+  double ciTarget = 0.05;  ///< relative CI half-width to stop at
+  double ciLevel = 0.95;
+  std::size_t resamples = 200;
+  std::uint64_t seed = 0xC04Bu;
+};
+
+/// Feed one sample per repetition; `wantMore()` is the loop condition.
+/// Deterministic: the bootstrap stream is reseeded from the policy seed at
+/// every decision, so the rep count depends only on (policy, samples).
+class AdaptiveRep {
+ public:
+  explicit AdaptiveRep(AdaptiveRepPolicy policy);
+
+  void add(double sample);
+  /// True until the CI target is hit (after minReps) or maxReps is spent.
+  bool wantMore() const;
+  /// True when the stop was (or would be) due to hitting the CI target.
+  bool converged() const;
+  /// True when maxReps was spent without reaching the target.
+  bool exhausted() const { return !wantMore() && !converged(); }
+
+  const std::vector<double>& samples() const { return samples_; }
+  /// CI over the samples so far (requires at least one sample).
+  BootstrapCi ci() const;
+  const AdaptiveRepPolicy& policy() const { return policy_; }
+
+ private:
+  AdaptiveRepPolicy policy_;
+  std::vector<double> samples_;
+};
 
 /// Relative difference |a-b| / max(|a|,|b|); 0 when both are 0.
 double relDiff(double a, double b);

@@ -1,0 +1,90 @@
+// Result archives: the versioned JSON format behind the statistical
+// regression gate.
+//
+// One archive = one bench invocation. It records, per sweep and per
+// point, the raw per-repetition samples of every reported metric —
+// not just their means — plus enough provenance (machine hash, seed,
+// git SHA, build flags) for `comb compare` to decide whether two
+// archives are comparable at all. See docs/regression_gating.md for the
+// schema and the comparison semantics built on top of it.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace comb::json {
+class Value;
+}
+
+namespace comb::report {
+
+/// Bumped whenever the schema changes shape; readers reject newer
+/// versions instead of guessing.
+inline constexpr int kArchiveVersion = 1;
+
+/// One metric of one sweep point: the raw per-rep samples and the
+/// direction a regression moves in.
+struct ArchiveMetric {
+  std::string name;
+  bool higherIsBetter = true;
+  std::vector<double> samples;
+};
+
+struct ArchivePoint {
+  double x = 0.0;  ///< swept-axis value
+  /// Adaptive-rep runs: whether the CI target was reached within the rep
+  /// budget. Fixed-rep runs are always "converged".
+  bool converged = true;
+  std::vector<ArchiveMetric> metrics;
+};
+
+struct ArchiveSweep {
+  std::string id;      ///< e.g. "polling/portals/100 KB"
+  std::string xlabel;  ///< swept-axis name, e.g. "poll_interval_iters"
+  std::string machine;
+  std::string machineHash;  ///< backend::machineHash of the model used
+  std::vector<ArchivePoint> points;
+};
+
+/// Where the numbers came from: stamped at build time (configure-time git
+/// SHA + compiler flags) so an archive can never silently mix builds.
+struct ArchiveProvenance {
+  std::string suite;       ///< "comb <version>"
+  std::string gitSha;      ///< configure-time HEAD, "unknown" outside git
+  std::string buildFlags;  ///< build type + CXX flags
+};
+
+/// The build stamp of this binary.
+ArchiveProvenance buildProvenance();
+
+/// Echo of the repetition policy the samples were collected under.
+struct ArchiveRepInfo {
+  bool adaptive = false;
+  int reps = 1;
+  int minReps = 3;
+  int maxReps = 20;
+  double ciTarget = 0.05;
+};
+
+struct Archive {
+  int version = kArchiveVersion;
+  std::string bench;  ///< bench id, e.g. "fig04"; also the file stem
+  std::uint64_t seed = 0;
+  ArchiveProvenance provenance;
+  ArchiveRepInfo rep;
+  std::vector<ArchiveSweep> sweeps;
+};
+
+/// Serialize as JSON (stable member order, round-trip-exact doubles).
+void writeArchive(std::ostream& out, const Archive& archive);
+
+/// Write `<dir>/<bench>.json`, creating the directory. Returns the path.
+std::string writeArchiveFile(const Archive& archive, const std::string& dir);
+
+/// Deserialize; throws comb::ConfigError on schema or version mismatches.
+Archive parseArchive(const json::Value& root, const std::string& sourceName);
+Archive loadArchiveFile(const std::string& path);
+
+}  // namespace comb::report

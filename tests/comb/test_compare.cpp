@@ -1,0 +1,196 @@
+#include "comb/compare.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/json.hpp"
+#include "report/archive.hpp"
+
+namespace comb::bench {
+namespace {
+
+report::Archive archiveWith(const std::string& sweepId,
+                            const std::string& metric, bool higherIsBetter,
+                            std::vector<std::vector<double>> samplesPerPoint,
+                            const std::string& machineHash = "feedc0de") {
+  report::Archive a;
+  a.bench = "test_bench";
+  a.seed = 1;
+  a.provenance.gitSha = "cafe";
+  report::ArchiveSweep s;
+  s.id = sweepId;
+  s.xlabel = "x";
+  s.machine = "gm";
+  s.machineHash = machineHash;
+  double x = 1.0;
+  for (auto& samples : samplesPerPoint) {
+    report::ArchivePoint p;
+    p.x = x++;
+    report::ArchiveMetric m;
+    m.name = metric;
+    m.higherIsBetter = higherIsBetter;
+    m.samples = std::move(samples);
+    p.metrics.push_back(std::move(m));
+    s.points.push_back(std::move(p));
+  }
+  a.sweeps.push_back(std::move(s));
+  return a;
+}
+
+TEST(Compare, IdenticalArchivesHaveNoFlags) {
+  const auto a = archiveWith("s", "bw", true,
+                             {{50, 51, 49, 50.5, 49.5}, {20, 21, 19, 20, 20}});
+  const auto report = compareArchives(a, a, {});
+  EXPECT_FALSE(report.hasRegressions());
+  EXPECT_EQ(report.regressed, 0);
+  EXPECT_EQ(report.improved, 0);
+  EXPECT_EQ(report.rows.size(), 2u);
+  for (const auto& row : report.rows) {
+    EXPECT_EQ(row.verdict, Verdict::Ok);
+    EXPECT_DOUBLE_EQ(row.relDelta, 0.0);
+  }
+}
+
+TEST(Compare, DetectsInjectedSlowdown) {
+  const auto base = archiveWith("s", "bw", true,
+                                {{50, 51, 49, 50.5, 49.5},
+                                 {20, 21, 19, 20, 20}});
+  // Second point 30% slower; first unchanged.
+  const auto cand = archiveWith("s", "bw", true,
+                                {{50, 51, 49, 50.5, 49.5},
+                                 {14, 14.7, 13.3, 14, 14}});
+  const auto report = compareArchives(base, cand, {});
+  EXPECT_TRUE(report.hasRegressions());
+  EXPECT_EQ(report.regressed, 1);
+  ASSERT_EQ(report.rows.size(), 2u);
+  EXPECT_EQ(report.rows[0].verdict, Verdict::Ok);
+  EXPECT_EQ(report.rows[1].verdict, Verdict::Regressed);
+  EXPECT_DOUBLE_EQ(report.rows[1].x, 2.0);  // names the regressed point
+  EXPECT_LT(report.rows[1].relDelta, -0.25);
+  EXPECT_EQ(report.rows[1].basis, "mwu");
+}
+
+TEST(Compare, DirectionAwareForLowerIsBetter) {
+  const auto base = archiveWith("s", "latency_us", false,
+                                {{10, 10.2, 9.8, 10, 10.1}});
+  const auto worse = archiveWith("s", "latency_us", false,
+                                 {{15, 15.2, 14.8, 15, 15.1}});
+  EXPECT_TRUE(compareArchives(base, worse, {}).hasRegressions());
+  // The same shift in a higher-is-better metric is an improvement.
+  const auto baseBw = archiveWith("s", "bw", true, {{10, 10.2, 9.8, 10, 10.1}});
+  const auto moreBw = archiveWith("s", "bw", true, {{15, 15.2, 14.8, 15, 15.1}});
+  const auto report = compareArchives(baseBw, moreBw, {});
+  EXPECT_FALSE(report.hasRegressions());
+  EXPECT_EQ(report.improved, 1);
+}
+
+TEST(Compare, ToleranceSuppressesSmallShifts) {
+  const auto base = archiveWith("s", "bw", true, {{100, 100, 100, 100, 100}});
+  const auto cand = archiveWith("s", "bw", true, {{99, 99, 99, 99, 99}});
+  CompareOptions opts;
+  opts.tolerance = 0.02;  // 1% shift is inside the band
+  EXPECT_FALSE(compareArchives(base, cand, opts).hasRegressions());
+  opts.tolerance = 0.005;
+  EXPECT_TRUE(compareArchives(base, cand, opts).hasRegressions());
+}
+
+TEST(Compare, SingleRepUsesExactBasis) {
+  const auto base = archiveWith("s", "bw", true, {{100}});
+  const auto cand = archiveWith("s", "bw", true, {{90}});
+  const auto report = compareArchives(base, cand, {});
+  ASSERT_EQ(report.rows.size(), 1u);
+  EXPECT_EQ(report.rows[0].basis, "exact");
+  EXPECT_EQ(report.rows[0].verdict, Verdict::Regressed);
+  // Identical single reps: no flag.
+  EXPECT_FALSE(compareArchives(base, base, {}).hasRegressions());
+}
+
+TEST(Compare, UnmatchedStructureLandsInNotes) {
+  const auto base = archiveWith("only_in_base", "bw", true, {{1, 1, 1}});
+  const auto cand = archiveWith("only_in_cand", "bw", true, {{1, 1, 1}});
+  const auto report = compareArchives(base, cand, {});
+  EXPECT_TRUE(report.rows.empty());
+  ASSERT_EQ(report.notes.size(), 2u);
+  EXPECT_NE(report.notes[0].find("only_in_base"), std::string::npos);
+  EXPECT_NE(report.notes[1].find("only_in_cand"), std::string::npos);
+}
+
+TEST(Compare, MachineHashMismatchIsNoted) {
+  const auto base = archiveWith("s", "bw", true, {{1, 1, 1}}, "aaaa");
+  const auto cand = archiveWith("s", "bw", true, {{1, 1, 1}}, "bbbb");
+  const auto report = compareArchives(base, cand, {});
+  ASSERT_FALSE(report.notes.empty());
+  EXPECT_NE(report.notes.back().find("machine models differ"),
+            std::string::npos);
+}
+
+TEST(Compare, RejectsBadOptions) {
+  const auto a = archiveWith("s", "bw", true, {{1}});
+  CompareOptions opts;
+  opts.tolerance = -0.1;
+  EXPECT_THROW(compareArchives(a, a, opts), ConfigError);
+  opts.tolerance = 0.02;
+  opts.alpha = 1.5;
+  EXPECT_THROW(compareArchives(a, a, opts), ConfigError);
+}
+
+TEST(Compare, BenchJsonGate) {
+  const auto doc = json::parse(R"({
+    "baseline": {
+      "benchmarks": {"BM_Fast": {"items_per_second": 1000000.0}},
+      "figure_wallclock_seconds": {"fig04": 6.5}
+    },
+    "current": {
+      "benchmarks": {"BM_Fast": {"items_per_second": 500000.0}},
+      "figure_wallclock_seconds": {"fig04": 6.5}
+    }
+  })");
+  const auto report = compareBenchJson(doc, {});
+  EXPECT_TRUE(report.hasRegressions());
+  ASSERT_EQ(report.rows.size(), 2u);
+  EXPECT_EQ(report.rows[0].metric, "BM_Fast");
+  EXPECT_EQ(report.rows[0].verdict, Verdict::Regressed);
+  EXPECT_EQ(report.rows[1].verdict, Verdict::Ok);
+}
+
+TEST(Compare, BenchJsonWallclockIsLowerBetter) {
+  const auto doc = json::parse(R"({
+    "baseline": {"figure_wallclock_seconds": {"fig04": 4.0}},
+    "current":  {"figure_wallclock_seconds": {"fig04": 6.0}}
+  })");
+  EXPECT_TRUE(compareBenchJson(doc, {}).hasRegressions());
+  const auto faster = json::parse(R"({
+    "baseline": {"figure_wallclock_seconds": {"fig04": 6.0}},
+    "current":  {"figure_wallclock_seconds": {"fig04": 4.0}}
+  })");
+  const auto report = compareBenchJson(faster, {});
+  EXPECT_FALSE(report.hasRegressions());
+  EXPECT_EQ(report.improved, 1);
+}
+
+TEST(Compare, BenchJsonNeedsBothBlocks) {
+  EXPECT_THROW(compareBenchJson(json::parse(R"({"baseline": {}})"), {}),
+               ConfigError);
+}
+
+TEST(Compare, RenderListsFlaggedRowsAndSummary) {
+  const auto base = archiveWith("s", "bw", true, {{100}, {200}});
+  const auto cand = archiveWith("s", "bw", true, {{50}, {200}});
+  const auto report = compareArchives(base, cand, {});
+  std::ostringstream out;
+  renderCompare(out, report, /*all=*/false);
+  EXPECT_NE(out.str().find("REGRESSED"), std::string::npos);
+  EXPECT_NE(out.str().find("1 regressed"), std::string::npos);
+  // Non-flagged rows only appear with all=true.
+  EXPECT_EQ(out.str().find("200"), std::string::npos);
+  std::ostringstream outAll;
+  renderCompare(outAll, report, /*all=*/true);
+  EXPECT_NE(outAll.str().find("200"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace comb::bench

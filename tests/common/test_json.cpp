@@ -1,0 +1,109 @@
+#include "common/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/error.hpp"
+
+namespace comb {
+namespace {
+
+TEST(Json, ParsesScalars) {
+  EXPECT_TRUE(json::parse("null").isNull());
+  EXPECT_TRUE(json::parse("true").boolean());
+  EXPECT_FALSE(json::parse("false").boolean());
+  EXPECT_DOUBLE_EQ(json::parse("42").number(), 42.0);
+  EXPECT_DOUBLE_EQ(json::parse("-2.5e3").number(), -2500.0);
+  EXPECT_EQ(json::parse("\"hi\"").str(), "hi");
+}
+
+TEST(Json, ParsesNestedStructure) {
+  const auto v = json::parse(
+      R"({"name": "sweep", "points": [{"x": 1, "ok": true}, {"x": 2, "ok": false}]})");
+  EXPECT_EQ(v.at("name").str(), "sweep");
+  const auto& pts = v.at("points").array();
+  ASSERT_EQ(pts.size(), 2u);
+  EXPECT_DOUBLE_EQ(pts[0].at("x").number(), 1.0);
+  EXPECT_TRUE(pts[0].at("ok").boolean());
+  EXPECT_FALSE(pts[1].at("ok").boolean());
+}
+
+TEST(Json, FindReturnsNullptrForMissing) {
+  const auto v = json::parse(R"({"a": 1})");
+  EXPECT_NE(v.find("a"), nullptr);
+  EXPECT_EQ(v.find("b"), nullptr);
+  EXPECT_THROW(v.at("b"), ConfigError);
+}
+
+TEST(Json, KindMismatchThrows) {
+  const auto v = json::parse("[1, 2]");
+  EXPECT_THROW(v.number(), ConfigError);
+  EXPECT_THROW(v.str(), ConfigError);
+  EXPECT_THROW(v.at("x"), ConfigError);
+  EXPECT_EQ(v.size(), 2u);
+}
+
+TEST(Json, StringEscapes) {
+  const auto v = json::parse(R"("a\"b\\c\ndA")");
+  EXPECT_EQ(v.str(), "a\"b\\c\ndA");
+}
+
+TEST(Json, UnicodeEscapesIncludingSurrogates) {
+  EXPECT_EQ(json::parse(R"("\u00e9")").str(), "\xC3\xA9");  // U+00E9
+  // U+1F600 as a surrogate pair.
+  EXPECT_EQ(json::parse(R"("\ud83d\ude00")").str(), "\xF0\x9F\x98\x80");
+  // A lone high surrogate is an error.
+  EXPECT_THROW(json::parse(R"("\ud83d")"), ConfigError);
+}
+
+TEST(Json, RejectsMalformedDocuments) {
+  EXPECT_THROW(json::parse(""), ConfigError);
+  EXPECT_THROW(json::parse("{"), ConfigError);
+  EXPECT_THROW(json::parse("[1,]"), ConfigError);       // trailing comma
+  EXPECT_THROW(json::parse("{'a': 1}"), ConfigError);   // single quotes
+  EXPECT_THROW(json::parse("[1] [2]"), ConfigError);    // trailing tokens
+  EXPECT_THROW(json::parse("nul"), ConfigError);
+  EXPECT_THROW(json::parse("01"), ConfigError);         // leading zero
+  EXPECT_THROW(json::parse("NaN"), ConfigError);
+}
+
+TEST(Json, RejectsDuplicateKeys) {
+  EXPECT_THROW(json::parse(R"({"a": 1, "a": 2})"), ConfigError);
+}
+
+TEST(Json, ErrorsCarryPosition) {
+  try {
+    json::parse("{\n  \"a\": }", "test.json");
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& e) {
+    EXPECT_NE(std::string(e.what()).find("test.json:2:"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Json, NumberRoundTripsAtFullPrecision) {
+  const double x = 0.1234567890123456789;
+  const auto v = json::parse("0.1234567890123456789");
+  EXPECT_DOUBLE_EQ(v.number(), x);
+}
+
+TEST(Json, EscapeProducesParseableStrings) {
+  const std::string nasty = "a\"b\\c\nd\te\x01";
+  const auto doc = "\"" + json::escape(nasty) + "\"";
+  EXPECT_EQ(json::parse(doc).str(), nasty);
+}
+
+TEST(Json, MembersIteratesAll) {
+  const auto v = json::parse(R"({"b": 2, "a": 1})");
+  ASSERT_EQ(v.members().size(), 2u);
+  EXPECT_DOUBLE_EQ(v.members().at("a").number(), 1.0);
+  EXPECT_DOUBLE_EQ(v.members().at("b").number(), 2.0);
+}
+
+TEST(Json, ParseFileMissingThrows) {
+  EXPECT_THROW(json::parseFile("/nonexistent/archive.json"), ConfigError);
+}
+
+}  // namespace
+}  // namespace comb

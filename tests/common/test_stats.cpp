@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <array>
+#include <cmath>
+#include <limits>
 #include <vector>
 
 #include "common/error.hpp"
@@ -150,6 +152,209 @@ TEST(RelDiff, Basics) {
   EXPECT_DOUBLE_EQ(relDiff(0.0, 0.0), 0.0);
   EXPECT_DOUBLE_EQ(relDiff(1.0, 2.0), 0.5);
   EXPECT_DOUBLE_EQ(relDiff(-1.0, 1.0), 2.0);
+}
+
+TEST(Percentile, SingleSampleIsEveryQuantile) {
+  const std::array<double, 1> xs{7.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 7.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.5), 7.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 1.0), 7.0);
+}
+
+TEST(Percentile, AllEqualSamples) {
+  const std::array<double, 6> xs{3.0, 3.0, 3.0, 3.0, 3.0, 3.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.25), 3.0);
+  EXPECT_DOUBLE_EQ(median(xs), 3.0);
+}
+
+TEST(Percentile, RejectsNonFinite) {
+  const std::array<double, 3> withNan{1.0, std::nan(""), 2.0};
+  EXPECT_THROW(percentile(withNan, 0.5), ConfigError);
+  const std::array<double, 2> withInf{
+      1.0, std::numeric_limits<double>::infinity()};
+  EXPECT_THROW(percentile(withInf, 0.5), ConfigError);
+}
+
+TEST(TrimmedMean, DropsTails) {
+  // 10 samples, trimFrac 0.1 drops one from each tail.
+  const std::array<double, 10> xs{1000.0, 2, 3, 4, 5, 6, 7, 8, 9, -1000.0};
+  EXPECT_DOUBLE_EQ(trimmedMean(xs, 0.1), 5.5);
+}
+
+TEST(TrimmedMean, ZeroTrimIsMean) {
+  const std::array<double, 4> xs{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(trimmedMean(xs, 0.0), 2.5);
+}
+
+TEST(TrimmedMean, RejectsBadInput) {
+  EXPECT_THROW(trimmedMean({}, 0.1), ConfigError);
+  const std::array<double, 2> xs{1.0, 2.0};
+  EXPECT_THROW(trimmedMean(xs, 0.5), ConfigError);
+  EXPECT_THROW(trimmedMean(xs, -0.1), ConfigError);
+}
+
+TEST(Mad, KnownValue) {
+  // median = 5; |x - 5| = {4, 3, 0, 2, 4} -> median 3.
+  const std::array<double, 5> xs{1.0, 2.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(mad(xs), 3.0);
+}
+
+TEST(Mad, ZeroForConstantSample) {
+  const std::array<double, 3> xs{4.0, 4.0, 4.0};
+  EXPECT_DOUBLE_EQ(mad(xs), 0.0);
+}
+
+TEST(Bootstrap, DeterministicForFixedSeed) {
+  std::vector<double> xs;
+  Rng rng(11);
+  for (int i = 0; i < 25; ++i) xs.push_back(rng.uniform(10.0, 20.0));
+  BootstrapOptions opts;
+  opts.seed = 1234;
+  const auto a = bootstrapMeanCi(xs, opts);
+  const auto b = bootstrapMeanCi(xs, opts);
+  EXPECT_DOUBLE_EQ(a.lo, b.lo);
+  EXPECT_DOUBLE_EQ(a.hi, b.hi);
+  EXPECT_DOUBLE_EQ(a.estimate, b.estimate);
+  // A different seed moves the (finite-resample) interval.
+  opts.seed = 5678;
+  const auto c = bootstrapMeanCi(xs, opts);
+  EXPECT_TRUE(c.lo != a.lo || c.hi != a.hi);
+}
+
+TEST(Bootstrap, IntervalCoversTheMean) {
+  std::vector<double> xs;
+  Rng rng(3);
+  for (int i = 0; i < 40; ++i) xs.push_back(rng.uniform(0.0, 1.0));
+  const auto ci = bootstrapMeanCi(xs);
+  EXPECT_LE(ci.lo, ci.estimate);
+  EXPECT_GE(ci.hi, ci.estimate);
+  EXPECT_DOUBLE_EQ(ci.estimate, mean(xs));
+  EXPECT_GT(ci.halfWidth(), 0.0);
+}
+
+TEST(Bootstrap, SingleSampleDegenerates) {
+  const std::array<double, 1> xs{42.0};
+  const auto ci = bootstrapMeanCi(xs);
+  EXPECT_DOUBLE_EQ(ci.lo, 42.0);
+  EXPECT_DOUBLE_EQ(ci.hi, 42.0);
+  EXPECT_DOUBLE_EQ(ci.relHalfWidth(), 0.0);
+}
+
+TEST(Bootstrap, RejectsEmptyAndNan) {
+  EXPECT_THROW(bootstrapMeanCi({}), ConfigError);
+  const std::array<double, 2> xs{1.0, std::nan("")};
+  EXPECT_THROW(bootstrapMeanCi(xs), ConfigError);
+}
+
+TEST(Bootstrap, DisjointFrom) {
+  BootstrapCi a, b;
+  a.lo = 1.0, a.hi = 2.0;
+  b.lo = 3.0, b.hi = 4.0;
+  EXPECT_TRUE(a.disjointFrom(b));
+  EXPECT_TRUE(b.disjointFrom(a));
+  b.lo = 1.5;
+  EXPECT_FALSE(a.disjointFrom(b));
+}
+
+TEST(MannWhitney, SeparatedSamplesAreSignificant) {
+  const std::array<double, 6> a{1.0, 2.0, 3.0, 4.0, 5.0, 6.0};
+  const std::array<double, 6> b{11.0, 12.0, 13.0, 14.0, 15.0, 16.0};
+  const auto r = mannWhitneyU(a, b);
+  ASSERT_TRUE(r.usable);
+  EXPECT_LT(r.pValue, 0.01);
+}
+
+TEST(MannWhitney, IdenticalSamplesNotUsable) {
+  // All observations tied: no rank information at all.
+  const std::array<double, 5> a{5.0, 5.0, 5.0, 5.0, 5.0};
+  const auto r = mannWhitneyU(a, a);
+  EXPECT_FALSE(r.usable);
+  EXPECT_DOUBLE_EQ(r.pValue, 1.0);
+}
+
+TEST(MannWhitney, OverlappingSamplesNotSignificant) {
+  const std::array<double, 6> a{1.0, 3.0, 5.0, 7.0, 9.0, 11.0};
+  const std::array<double, 6> b{2.0, 4.0, 6.0, 8.0, 10.0, 12.0};
+  const auto r = mannWhitneyU(a, b);
+  ASSERT_TRUE(r.usable);
+  EXPECT_GT(r.pValue, 0.2);
+}
+
+TEST(MannWhitney, SmallSamplesNotUsable) {
+  const std::array<double, 3> a{1.0, 2.0, 3.0};
+  const std::array<double, 5> b{4.0, 5.0, 6.0, 7.0, 8.0};
+  EXPECT_FALSE(mannWhitneyU(a, b).usable);
+}
+
+TEST(MannWhitney, SymmetricInArguments) {
+  const std::array<double, 5> a{1.0, 2.0, 3.0, 4.0, 10.0};
+  const std::array<double, 5> b{5.0, 6.0, 7.0, 8.0, 9.0};
+  const auto ab = mannWhitneyU(a, b);
+  const auto ba = mannWhitneyU(b, a);
+  EXPECT_DOUBLE_EQ(ab.pValue, ba.pValue);
+}
+
+TEST(AdaptiveRep, StopsEarlyOnTightSamples) {
+  AdaptiveRepPolicy policy;
+  policy.minReps = 3;
+  policy.maxReps = 20;
+  policy.ciTarget = 0.05;
+  AdaptiveRep rep(policy);
+  int n = 0;
+  while (rep.wantMore()) {
+    rep.add(100.0);  // zero variance: converges at minReps
+    ++n;
+  }
+  EXPECT_EQ(n, 3);
+  EXPECT_TRUE(rep.converged());
+  EXPECT_FALSE(rep.exhausted());
+  EXPECT_DOUBLE_EQ(rep.ci().relHalfWidth(), 0.0);
+}
+
+TEST(AdaptiveRep, ExhaustsBudgetOnNoisySamples) {
+  AdaptiveRepPolicy policy;
+  policy.minReps = 3;
+  policy.maxReps = 6;
+  policy.ciTarget = 1e-6;  // unreachable with noisy samples
+  AdaptiveRep rep(policy);
+  Rng rng(99);
+  int n = 0;
+  while (rep.wantMore()) {
+    rep.add(rng.uniform(1.0, 100.0));
+    ++n;
+  }
+  EXPECT_EQ(n, 6);
+  EXPECT_FALSE(rep.converged());
+  EXPECT_TRUE(rep.exhausted());
+}
+
+TEST(AdaptiveRep, DeterministicRepCount) {
+  // Same policy + same sample stream => same stopping point.
+  const auto runOnce = [] {
+    AdaptiveRepPolicy policy;
+    policy.minReps = 3;
+    policy.maxReps = 15;
+    policy.ciTarget = 0.10;
+    AdaptiveRep rep(policy);
+    Rng rng(7);
+    while (rep.wantMore()) rep.add(rng.uniform(95.0, 105.0));
+    return rep.samples().size();
+  };
+  EXPECT_EQ(runOnce(), runOnce());
+}
+
+TEST(AdaptiveRep, MinRepsAlwaysRun) {
+  AdaptiveRepPolicy policy;
+  policy.minReps = 5;
+  policy.maxReps = 10;
+  policy.ciTarget = 0.5;  // trivially satisfied
+  AdaptiveRep rep(policy);
+  int n = 0;
+  while (rep.wantMore()) {
+    rep.add(50.0);
+    ++n;
+  }
+  EXPECT_EQ(n, 5);
 }
 
 }  // namespace

@@ -1,0 +1,148 @@
+#include "report/archive.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/json.hpp"
+
+namespace comb::report {
+namespace {
+
+Archive sampleArchive() {
+  Archive a;
+  a.bench = "fig_test";
+  a.seed = 0xC04B;
+  a.provenance.suite = "comb 1.2.3";
+  a.provenance.gitSha = "abc123def456";
+  a.provenance.buildFlags = "Release -O2";
+  a.rep.adaptive = true;
+  a.rep.reps = 5;
+  a.rep.minReps = 3;
+  a.rep.maxReps = 12;
+  a.rep.ciTarget = 0.04;
+
+  ArchiveSweep s;
+  s.id = "polling/portals/100 KB";
+  s.xlabel = "poll_interval_iters";
+  s.machine = "portals";
+  s.machineHash = "0123456789abcdef";
+
+  ArchivePoint p;
+  p.x = 10000.0;
+  p.converged = false;
+  ArchiveMetric m;
+  m.name = "bandwidth_MBps";
+  m.higherIsBetter = true;
+  // Awkward doubles on purpose: the round trip must be exact.
+  m.samples = {55.123456789012345, 1e-300, 0.1, 3.0000000000000004};
+  p.metrics.push_back(m);
+  ArchiveMetric m2;
+  m2.name = "latency_us";
+  m2.higherIsBetter = false;
+  m2.samples = {12.5};
+  p.metrics.push_back(m2);
+  s.points.push_back(p);
+  a.sweeps.push_back(s);
+  return a;
+}
+
+Archive roundTrip(const Archive& a) {
+  std::ostringstream out;
+  writeArchive(out, a);
+  return parseArchive(json::parse(out.str(), "roundtrip"), "roundtrip");
+}
+
+TEST(Archive, RoundTripPreservesEverything) {
+  const Archive a = sampleArchive();
+  const Archive b = roundTrip(a);
+
+  EXPECT_EQ(b.version, kArchiveVersion);
+  EXPECT_EQ(b.bench, a.bench);
+  EXPECT_EQ(b.seed, a.seed);
+  EXPECT_EQ(b.provenance.suite, a.provenance.suite);
+  EXPECT_EQ(b.provenance.gitSha, a.provenance.gitSha);
+  EXPECT_EQ(b.provenance.buildFlags, a.provenance.buildFlags);
+  EXPECT_EQ(b.rep.adaptive, a.rep.adaptive);
+  EXPECT_EQ(b.rep.reps, a.rep.reps);
+  EXPECT_EQ(b.rep.minReps, a.rep.minReps);
+  EXPECT_EQ(b.rep.maxReps, a.rep.maxReps);
+  EXPECT_DOUBLE_EQ(b.rep.ciTarget, a.rep.ciTarget);
+
+  ASSERT_EQ(b.sweeps.size(), 1u);
+  const auto& sa = a.sweeps[0];
+  const auto& sb = b.sweeps[0];
+  EXPECT_EQ(sb.id, sa.id);
+  EXPECT_EQ(sb.xlabel, sa.xlabel);
+  EXPECT_EQ(sb.machine, sa.machine);
+  EXPECT_EQ(sb.machineHash, sa.machineHash);
+  ASSERT_EQ(sb.points.size(), 1u);
+  EXPECT_DOUBLE_EQ(sb.points[0].x, sa.points[0].x);
+  EXPECT_EQ(sb.points[0].converged, sa.points[0].converged);
+  ASSERT_EQ(sb.points[0].metrics.size(), 2u);
+  for (std::size_t mi = 0; mi < 2; ++mi) {
+    const auto& ma = sa.points[0].metrics[mi];
+    const auto& mb = sb.points[0].metrics[mi];
+    EXPECT_EQ(mb.name, ma.name);
+    EXPECT_EQ(mb.higherIsBetter, ma.higherIsBetter);
+    ASSERT_EQ(mb.samples.size(), ma.samples.size());
+    for (std::size_t i = 0; i < ma.samples.size(); ++i)
+      EXPECT_DOUBLE_EQ(mb.samples[i], ma.samples[i])
+          << ma.name << " sample " << i << " did not round-trip exactly";
+  }
+}
+
+TEST(Archive, SerializationIsDeterministic) {
+  const Archive a = sampleArchive();
+  std::ostringstream s1, s2;
+  writeArchive(s1, a);
+  writeArchive(s2, a);
+  EXPECT_EQ(s1.str(), s2.str());
+}
+
+TEST(Archive, RejectsNewerVersion) {
+  const Archive a = sampleArchive();
+  std::ostringstream out;
+  writeArchive(out, a);
+  auto doc = out.str();
+  const auto pos = doc.find("\"comb_archive_version\": 1");
+  ASSERT_NE(pos, std::string::npos) << doc.substr(0, 200);
+  doc.replace(pos, std::string("\"comb_archive_version\": 1").size(),
+              "\"comb_archive_version\": 999");
+  EXPECT_THROW(parseArchive(json::parse(doc, "v999"), "v999"), ConfigError);
+}
+
+TEST(Archive, RejectsNonArchiveJson) {
+  EXPECT_THROW(parseArchive(json::parse("{}", "empty"), "empty"),
+               ConfigError);
+  EXPECT_THROW(parseArchive(json::parse("[1,2]", "arr"), "arr"), ConfigError);
+}
+
+TEST(Archive, FileRoundTrip) {
+  const Archive a = sampleArchive();
+  const std::string dir = ::testing::TempDir() + "comb_archive_test";
+  const std::string path = writeArchiveFile(a, dir);
+  EXPECT_EQ(path, dir + "/fig_test.json");
+  const Archive b = loadArchiveFile(path);
+  EXPECT_EQ(b.bench, a.bench);
+  ASSERT_EQ(b.sweeps.size(), 1u);
+  EXPECT_EQ(b.sweeps[0].id, a.sweeps[0].id);
+  std::remove(path.c_str());
+}
+
+TEST(Archive, LoadMissingFileThrows) {
+  EXPECT_THROW(loadArchiveFile("/nonexistent/a.json"), ConfigError);
+}
+
+TEST(Archive, BuildProvenanceIsStamped) {
+  const auto p = buildProvenance();
+  EXPECT_FALSE(p.suite.empty());
+  EXPECT_FALSE(p.gitSha.empty());
+  EXPECT_FALSE(p.buildFlags.empty());
+}
+
+}  // namespace
+}  // namespace comb::report

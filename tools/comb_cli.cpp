@@ -8,6 +8,7 @@
 //
 // Machines are the bundled models (gm | portals), optionally modified by
 // --cpus N --nic-cpu K (SMP extension) and --queue / --batch knobs.
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -17,10 +18,13 @@
 #include "backend/machine_file.hpp"
 #include "backend/sim_cluster.hpp"
 #include "comb/analysis.hpp"
+#include "comb/archive_build.hpp"
 #include "comb/audit.hpp"
+#include "comb/compare.hpp"
 #include "comb/polling.hpp"
 #include "comb/presets.hpp"
 #include "comb/runner.hpp"
+#include "common/json.hpp"
 #include "common/cli.hpp"
 #include "common/error.hpp"
 #include "common/string_util.hpp"
@@ -38,7 +42,8 @@ namespace {
 
 void usage() {
   std::puts(
-      "usage: comb <polling|pww|latency|assess|stats|trace> [options]\n"
+      "usage: comb <polling|pww|latency|assess|stats|trace|compare> "
+      "[options]\n"
       "  common options:\n"
       "    --machine gm|portals    machine model (default gm)\n"
       "    --machine-file F        load a machine definition (.ini)\n"
@@ -49,6 +54,13 @@ void usage() {
       "    --fault SPEC            inject link faults, e.g.\n"
       "                            drop=0.01,burst=4,seed=7 (keys: drop,\n"
       "                            burst, corrupt, jitter_us, seed)\n"
+      "    --reps N                repetitions per point (default 1)\n"
+      "    --reps-auto             adaptive reps: stop when the relative\n"
+      "                            CI half-width reaches --ci-target\n"
+      "    --ci-target F --max-reps N --seed S   adaptive-rep knobs\n"
+      "    --archive DIR           write a result archive (per-rep\n"
+      "                            samples + provenance) for `comb\n"
+      "                            compare`\n"
       "  polling: --interval I | --sweep    --queue Q\n"
       "  pww:     --work W | --sweep        --batch B  --test-at F\n"
       "  latency: (size only)\n"
@@ -58,6 +70,10 @@ void usage() {
       "           audit it, and export/summarize the timeline\n"
       "           (--out FILE Chrome JSON, --summary, --top N,\n"
       "           --stats-json)\n"
+      "  compare: comb compare BASELINE.json CANDIDATE.json\n"
+      "           [--tolerance F] [--alpha F] [--all]; exits 1 when the\n"
+      "           candidate regressed. With one file of the\n"
+      "           BENCH_sim_core.json shape, gates current vs baseline.\n"
       "  try `comb <method> --help` for details");
 }
 
@@ -83,6 +99,24 @@ ArgParser makeParser(const std::string& method) {
                  "inject link faults, e.g. drop=0.01,burst=4,seed=7 "
                  "(keys: drop, burst, corrupt, jitter_us, seed)",
                  "");
+  args.addOption("reps", "repetitions per measurement point", "1");
+  args.addFlag("reps-auto",
+               "adaptive reps: run until the relative CI half-width of the "
+               "bandwidth reaches --ci-target (or --max-reps)");
+  args.addOption("ci-target", "relative CI half-width to stop at", "0.05");
+  args.addOption("max-reps", "rep budget for --reps-auto", "20");
+  args.addOption("seed", "root seed for per-rep fault streams + bootstrap",
+                 "49227");
+  args.addOption("archive",
+                 "write a result archive (per-rep samples, provenance) "
+                 "into DIR",
+                 "");
+  args.addOption("tolerance",
+                 "compare: relative delta below which changes are ignored",
+                 "0.02");
+  args.addOption("alpha", "compare: Mann-Whitney significance level",
+                 "0.05");
+  args.addFlag("all", "compare: print every compared row, not just flagged");
   args.addFlag("trace", "stats: also dump the substrate event trace");
   args.addOption("trace-rows", "stats: trace rows to print", "40");
   args.addOption("method", "trace: workload to trace (polling | pww)", "pww");
@@ -127,11 +161,48 @@ backend::MachineConfig machineFrom(const ArgParser& args) {
   return m;
 }
 
-void printPollingRow(TextTable& t, const bench::PollingPoint& pt) {
-  t.addRow({strFormat("%llu", (unsigned long long)pt.pollInterval),
-            strFormat("%.2f", toMBps(pt.bandwidthBps)),
-            strFormat("%.3f", pt.availability),
-            strFormat("%llu", (unsigned long long)pt.messagesReceived)});
+/// The rep policy described by the common CLI flags.
+bench::RepPolicy repPolicyFrom(const ArgParser& args) {
+  bench::RepPolicy p;
+  p.reps = static_cast<int>(args.integer("reps"));
+  p.adaptive = args.flag("reps-auto");
+  p.maxReps = static_cast<int>(args.integer("max-reps"));
+  p.minReps = std::min(p.minReps, p.maxReps);
+  p.ciTarget = args.real("ci-target");
+  p.seed = static_cast<std::uint64_t>(args.integer("seed"));
+  bench::validateRepPolicy(p);
+  return p;
+}
+
+/// Per-rep dispersion columns appended when more than one rep ran.
+void addRepColumns(std::vector<std::string>& header) {
+  header.insert(header.end(),
+                {"reps", "bw_median", "bw_mad", "bw_ci95", "conv"});
+}
+
+template <typename Point>
+void addRepFields(std::vector<std::string>& row,
+                  const bench::RepRun<Point>& run) {
+  std::vector<double> bw;
+  for (const auto& p : run.reps) bw.push_back(toMBps(p.bandwidthBps));
+  row.push_back(strFormat("%zu", run.reps.size()));
+  row.push_back(strFormat("%.2f", median(bw)));
+  row.push_back(strFormat("%.3f", mad(bw)));
+  row.push_back(strFormat("[%.2f, %.2f]", toMBps(run.bandwidthCi.lo),
+                          toMBps(run.bandwidthCi.hi)));
+  row.push_back(run.converged ? "yes" : "NO");
+}
+
+void printPollingRow(TextTable& t, const bench::RepRun<bench::PollingPoint>& run,
+                     bool withReps) {
+  const auto& pt = run.canonical();
+  std::vector<std::string> row{
+      strFormat("%llu", (unsigned long long)pt.pollInterval),
+      strFormat("%.2f", toMBps(pt.bandwidthBps)),
+      strFormat("%.3f", pt.availability),
+      strFormat("%llu", (unsigned long long)pt.messagesReceived)};
+  if (withReps) addRepFields(row, run);
+  t.addRow(std::move(row));
 }
 
 int runPolling(const ArgParser& args) {
@@ -139,32 +210,56 @@ int runPolling(const ArgParser& args) {
   auto params = bench::presets::pollingBase(
       static_cast<Bytes>(args.integer("size-kb")) * 1024);
   params.queueDepth = static_cast<int>(args.integer("queue"));
-  TextTable t({"poll_interval", "bandwidth_MBps", "availability", "messages"});
+  bench::RunOptions opts;
+  opts.jobs = jobsFrom(args);
+  opts.rep = repPolicyFrom(args);
+  const bool withReps = opts.rep.adaptive || opts.rep.reps > 1;
+
+  std::vector<std::string> header{"poll_interval", "bandwidth_MBps",
+                                  "availability", "messages"};
+  if (withReps) addRepColumns(header);
+  TextTable t(std::move(header));
+
+  std::vector<std::uint64_t> xs;
+  std::vector<bench::RepRun<bench::PollingPoint>> runs;
   if (args.flag("sweep")) {
-    bench::RunOptions opts;
-    opts.jobs = jobsFrom(args);
-    for (const auto& pt : bench::runPollingSweep(
-             machine, bench::sweepOver(params, bench::presets::pollSweep(2)),
-             opts))
-      printPollingRow(t, pt);
+    xs = bench::presets::pollSweep(2);
+    runs = bench::runPollingSweepReps(machine, bench::sweepOver(params, xs),
+                                      opts);
   } else {
     params.pollInterval =
         static_cast<std::uint64_t>(args.integer("interval"));
-    printPollingRow(t, bench::runPollingPoint(machine, params));
+    xs = {params.pollInterval};
+    runs = {bench::runPollingPointReps(machine, params, opts)};
   }
+  for (const auto& run : runs) printPollingRow(t, run, withReps);
   std::printf("polling method, machine=%s, size=%s, queue=%d\n\n%s",
               machine.name.c_str(), fmtBytes(params.msgBytes).c_str(),
               params.queueDepth, t.str().c_str());
+  if (const std::string dir = args.str("archive"); !dir.empty()) {
+    auto archive = bench::makeArchive("comb_polling_" + machine.name,
+                                      opts.rep);
+    bench::appendPollingSweep(archive, "polling/" + machine.name + "/" +
+                                           fmtBytes(params.msgBytes),
+                              machine, xs, runs);
+    std::printf("archive: %s\n",
+                report::writeArchiveFile(archive, dir).c_str());
+  }
   return 0;
 }
 
-void printPwwRow(TextTable& t, const bench::PwwPoint& pt) {
-  t.addRow({strFormat("%llu", (unsigned long long)pt.workInterval),
-            strFormat("%.2f", toMBps(pt.bandwidthBps)),
-            strFormat("%.3f", pt.availability),
-            strFormat("%.1f", pt.avgPostPerOp * 1e6),
-            strFormat("%.1f", pt.avgWork * 1e6),
-            strFormat("%.1f", pt.avgWaitPerMsg * 1e6)});
+void printPwwRow(TextTable& t, const bench::RepRun<bench::PwwPoint>& run,
+                 bool withReps) {
+  const auto& pt = run.canonical();
+  std::vector<std::string> row{
+      strFormat("%llu", (unsigned long long)pt.workInterval),
+      strFormat("%.2f", toMBps(pt.bandwidthBps)),
+      strFormat("%.3f", pt.availability),
+      strFormat("%.1f", pt.avgPostPerOp * 1e6),
+      strFormat("%.1f", pt.avgWork * 1e6),
+      strFormat("%.1f", pt.avgWaitPerMsg * 1e6)};
+  if (withReps) addRepFields(row, run);
+  t.addRow(std::move(row));
 }
 
 int runPww(const ArgParser& args) {
@@ -173,24 +268,41 @@ int runPww(const ArgParser& args) {
       static_cast<Bytes>(args.integer("size-kb")) * 1024);
   params.batch = static_cast<int>(args.integer("batch"));
   params.testCallAtFraction = args.real("test-at");
-  TextTable t({"work_interval", "bandwidth_MBps", "availability",
-               "post_us_per_op", "work_us", "wait_us_per_msg"});
+  bench::RunOptions opts;
+  opts.jobs = jobsFrom(args);
+  opts.rep = repPolicyFrom(args);
+  const bool withReps = opts.rep.adaptive || opts.rep.reps > 1;
+
+  std::vector<std::string> header{"work_interval", "bandwidth_MBps",
+                                  "availability", "post_us_per_op", "work_us",
+                                  "wait_us_per_msg"};
+  if (withReps) addRepColumns(header);
+  TextTable t(std::move(header));
+
+  std::vector<std::uint64_t> xs;
+  std::vector<bench::RepRun<bench::PwwPoint>> runs;
   if (args.flag("sweep")) {
-    bench::RunOptions opts;
-    opts.jobs = jobsFrom(args);
-    for (const auto& pt : bench::runPwwSweep(
-             machine, bench::sweepOver(params, bench::presets::workSweep(2)),
-             opts))
-      printPwwRow(t, pt);
+    xs = bench::presets::workSweep(2);
+    runs = bench::runPwwSweepReps(machine, bench::sweepOver(params, xs), opts);
   } else {
     params.workInterval = static_cast<std::uint64_t>(args.integer("work"));
-    printPwwRow(t, bench::runPwwPoint(machine, params));
+    xs = {params.workInterval};
+    runs = {bench::runPwwPointReps(machine, params, opts)};
   }
+  for (const auto& run : runs) printPwwRow(t, run, withReps);
   std::printf("post-work-wait method, machine=%s, size=%s, batch=%d%s\n\n%s",
               machine.name.c_str(), fmtBytes(params.msgBytes).c_str(),
               params.batch,
               params.testCallAtFraction >= 0 ? " (+MPI_Test in work)" : "",
               t.str().c_str());
+  if (const std::string dir = args.str("archive"); !dir.empty()) {
+    auto archive = bench::makeArchive("comb_pww_" + machine.name, opts.rep);
+    bench::appendPwwSweep(archive, "pww/" + machine.name + "/" +
+                                       fmtBytes(params.msgBytes),
+                          machine, xs, runs);
+    std::printf("archive: %s\n",
+                report::writeArchiveFile(archive, dir).c_str());
+  }
   return 0;
 }
 
@@ -198,14 +310,63 @@ int runLatency(const ArgParser& args) {
   const auto machine = machineFrom(args);
   bench::LatencyParams params;
   params.msgBytes = static_cast<Bytes>(args.integer("size-kb")) * 1024;
-  const auto pt = bench::runLatencyPoint(machine, params);
+  bench::RunOptions opts;
+  opts.rep = repPolicyFrom(args);
+  const auto run = bench::runLatencyPointReps(machine, params, opts);
+  const auto& pt = run.canonical();
   std::printf("ping-pong, machine=%s, size=%s\n", machine.name.c_str(),
               fmtBytes(pt.msgBytes).c_str());
   std::printf("  half round trip: avg %s, min %s\n",
               fmtTime(pt.halfRoundTripAvg).c_str(),
               fmtTime(pt.halfRoundTripMin).c_str());
   std::printf("  bandwidth: %.2f MB/s\n", toMBps(pt.bandwidthBps));
+  if (run.reps.size() > 1)
+    std::printf("  reps: %zu, bandwidth CI95 [%.2f, %.2f] MB/s%s\n",
+                run.reps.size(), toMBps(run.bandwidthCi.lo),
+                toMBps(run.bandwidthCi.hi),
+                run.converged ? "" : " (CI target NOT reached)");
+  if (const std::string dir = args.str("archive"); !dir.empty()) {
+    auto archive = bench::makeArchive("comb_latency_" + machine.name,
+                                      opts.rep);
+    bench::appendLatencySweep(archive, "latency/" + machine.name, machine,
+                              {params.msgBytes}, {run});
+    std::printf("archive: %s\n",
+                report::writeArchiveFile(archive, dir).c_str());
+  }
   return 0;
+}
+
+/// `comb compare`: the regression gate. Two positional archive paths, or
+/// one BENCH_sim_core.json-shaped baseline file.
+int runCompare(const ArgParser& args) {
+  bench::CompareOptions opts;
+  opts.tolerance = args.real("tolerance");
+  opts.alpha = args.real("alpha");
+  opts.seed = static_cast<std::uint64_t>(args.integer("seed"));
+  const auto& paths = args.positional();
+
+  bench::CompareReport report;
+  if (paths.size() == 2) {
+    const auto baseline = report::loadArchiveFile(paths[0]);
+    const auto candidate = report::loadArchiveFile(paths[1]);
+    std::printf("comparing archives: baseline %s (git %s) vs candidate %s "
+                "(git %s), tolerance %.1f%%\n",
+                paths[0].c_str(), baseline.provenance.gitSha.c_str(),
+                paths[1].c_str(), candidate.provenance.gitSha.c_str(),
+                100.0 * opts.tolerance);
+    report = bench::compareArchives(baseline, candidate, opts);
+  } else if (paths.size() == 1) {
+    const auto doc = json::parseFile(paths[0]);
+    std::printf("comparing '%s' current vs baseline, tolerance %.1f%%\n",
+                paths[0].c_str(), 100.0 * opts.tolerance);
+    report = bench::compareBenchJson(doc, opts);
+  } else {
+    throw ConfigError(
+        "compare needs `comb compare BASELINE.json CANDIDATE.json` or one "
+        "BENCH_sim_core.json-shaped file");
+  }
+  bench::renderCompare(std::cout, report, args.flag("all"));
+  return report.hasRegressions() ? 1 : 0;
 }
 
 int runAssess(const ArgParser& args) {
@@ -328,6 +489,7 @@ int main(int argc, char** argv) {
     if (method == "assess") return runAssess(args);
     if (method == "stats") return runStats(args);
     if (method == "trace") return runTrace(args);
+    if (method == "compare") return runCompare(args);
     std::fprintf(stderr, "comb: unknown method '%s'\n\n", method.c_str());
     usage();
     return 2;
