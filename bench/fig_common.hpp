@@ -19,6 +19,7 @@
 #include "backend/machine.hpp"
 #include "comb/archive_build.hpp"
 #include "comb/audit.hpp"
+#include "comb/congestion.hpp"
 #include "comb/presets.hpp"
 #include "comb/runner.hpp"
 #include "common/cli.hpp"
@@ -207,6 +208,12 @@ class FigArchive {
                   const std::vector<std::uint64_t>& xs,
                   const std::vector<RepRun<LatencyPoint>>& runs) {
     if (enabled()) appendLatencySweep(archive_, id, machine, xs, runs);
+  }
+  void addCongestion(const std::string& id,
+                     const backend::MachineConfig& machine,
+                     const std::vector<std::uint64_t>& xs,
+                     const std::vector<RepRun<CongestionPoint>>& runs) {
+    if (enabled()) appendCongestionSweep(archive_, id, machine, xs, runs);
   }
 
   /// Write the archive file (creating the directory) and log its path.

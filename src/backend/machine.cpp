@@ -26,7 +26,10 @@ net::FabricConfig paperFabric() {
   f.link.rate = 90e6;
   f.link.latency = 2.0_us;      // wire + NIC receive processing
   f.sw.routingLatency = 0.5_us; // Myrinet cut-through
-  f.sw.ports = 8;
+  // The paper's 8-port Myrinet crossbar is full-duplex; the port budget
+  // is unidirectional (a node's uplink and downlink each take one), so
+  // 8 duplex ports = 16 — hosting up to 8 nodes, as on the real switch.
+  f.sw.ports = 16;
   f.mtu = 4096;                 // GM fragment size
   f.perPacketHeader = 64;
   return f;
@@ -54,6 +57,18 @@ std::string machineSignature(const MachineConfig& m) {
   os << "fabric.switch_ports=" << f.sw.ports << '\n';
   os << "fabric.mtu=" << f.mtu << '\n';
   os << "fabric.packet_header=" << f.perPacketHeader << '\n';
+  os << "topo.kind=" << net::topologyKindName(f.topo.kind) << '\n';
+  os << "topo.nodes_per_switch=" << f.topo.nodesPerSwitch << '\n';
+  os << "topo.spines=" << f.topo.spines << '\n';
+  os << "topo.groups=" << f.topo.groups << '\n';
+  os << "topo.routers_per_group=" << f.topo.routersPerGroup << '\n';
+  field("topo.trunk_rate_scale", f.topo.trunkRateScale);
+  os << "queue.depth_packets=" << f.sw.queue.depthPackets << '\n';
+  os << "queue.depth_bytes=" << f.sw.queue.depthBytes << '\n';
+  os << "queue.arbitration=" << net::arbitrationName(f.sw.queue.arbitration)
+     << '\n';
+  os << "queue.backpressure="
+     << net::backpressureName(f.sw.queue.backpressure) << '\n';
   field("fault.drop", f.link.fault.dropProb);
   os << "fault.burst=" << f.link.fault.burstLen << '\n';
   field("fault.corrupt", f.link.fault.corruptProb);

@@ -10,6 +10,7 @@
 #include "common/error.hpp"
 #include "common/string_util.hpp"
 #include "net/fault.hpp"
+#include "net/topology.hpp"
 
 namespace comb::backend {
 
@@ -142,6 +143,54 @@ MachineConfig parseMachineFile(std::istream& in, const std::string& source) {
   bind.integer("fabric", "mtu", m.fabric.mtu);
   bind.integer("fabric", "packet_header", m.fabric.perPacketHeader);
 
+  // [topology]: switch-graph shape plus the finite-queue knobs (the
+  // queue config is per-switch but belongs with the fabric shape).
+  auto& topo = m.fabric.topo;
+  std::string topoKind = net::topologyKindName(topo.kind);
+  bind.str("topology", "kind", topoKind);
+  if (topoKind == "single") {
+    topo.kind = net::TopologyKind::SingleSwitch;
+  } else if (topoKind == "fat-tree") {
+    topo.kind = net::TopologyKind::FatTree;
+  } else if (topoKind == "dragonfly") {
+    topo.kind = net::TopologyKind::Dragonfly;
+  } else {
+    throw ConfigError(source +
+                      ": topology kind must be 'single', 'fat-tree' or "
+                      "'dragonfly', got '" +
+                      topoKind + "'");
+  }
+  bind.integer("topology", "nodes_per_switch", topo.nodesPerSwitch);
+  bind.integer("topology", "spines", topo.spines);
+  bind.integer("topology", "groups", topo.groups);
+  bind.integer("topology", "routers_per_group", topo.routersPerGroup);
+  bind.number("topology", "trunk_rate_scale", topo.trunkRateScale);
+
+  auto& queue = m.fabric.sw.queue;
+  bind.integer("topology", "queue_depth_packets", queue.depthPackets);
+  bind.integer("topology", "queue_depth_bytes", queue.depthBytes);
+  std::string arb = net::arbitrationName(queue.arbitration);
+  bind.str("topology", "arbitration", arb);
+  if (arb == "rr") {
+    queue.arbitration = net::Arbitration::RoundRobin;
+  } else if (arb == "fifo") {
+    queue.arbitration = net::Arbitration::Fifo;
+  } else {
+    throw ConfigError(source + ": arbitration must be 'rr' or 'fifo', got '" +
+                      arb + "'");
+  }
+  std::string bp = net::backpressureName(queue.backpressure);
+  bind.str("topology", "backpressure", bp);
+  if (bp == "drop") {
+    queue.backpressure = net::Backpressure::TailDrop;
+  } else if (bp == "credit") {
+    queue.backpressure = net::Backpressure::Credit;
+  } else {
+    throw ConfigError(source +
+                      ": backpressure must be 'drop' or 'credit', got '" + bp +
+                      "'");
+  }
+
   bind.number("host", "seconds_per_iter_ns", m.secondsPerWorkIter, kNs);
   bind.integer("host", "cpus_per_node", m.cpusPerNode);
   bind.integer("host", "nic_cpu", m.nicCpu);
@@ -185,6 +234,7 @@ MachineConfig parseMachineFile(std::istream& in, const std::string& source) {
   bind.finish();
 
   net::validateFaultSpec(m.fabric.link.fault);
+  net::validateTopology(m.fabric.topo, m.fabric.sw);
   COMB_REQUIRE(rel.ackTimeout > 0 && rel.backoff >= 1.0 && rel.maxRetries >= 1,
                source + ": bad reliability configuration (ack_timeout_us > 0, "
                         "backoff >= 1, max_retries >= 1)");

@@ -12,7 +12,19 @@
 //   switch_latency_us = 0.5
 //   mtu              = 4096
 //   packet_header    = 64
-//   switch_ports     = 8
+//   switch_ports     = 16        # unidirectional: a node takes 2
+//
+//   [topology]                   # switch graph; see docs/topologies.md
+//   kind = fat-tree              # single | fat-tree | dragonfly
+//   nodes_per_switch = 4
+//   spines           = 2         # fat-tree only
+//   groups           = 2         # dragonfly only
+//   routers_per_group = 2        # dragonfly only
+//   trunk_rate_scale = 1.0       # trunk rate / node link rate
+//   queue_depth_packets = 0      # 0 = idealized infinite-buffer crossbar
+//   queue_depth_bytes   = 0      # 0 = no byte cap
+//   arbitration  = rr            # rr | fifo
+//   backpressure = drop          # drop | credit
 //
 //   [host]
 //   seconds_per_iter_ns = 4

@@ -12,9 +12,14 @@ namespace comb::backend {
 SimCluster::SimCluster(MachineConfig cfg, int nodeCount)
     : cfg_(std::move(cfg)) {
   COMB_REQUIRE(nodeCount >= 1, "cluster needs at least one node");
-  COMB_REQUIRE(nodeCount <= cfg_.fabric.sw.ports,
-               "more nodes than switch ports");
   fabric_ = std::make_unique<net::Fabric>(sim_, cfg_.fabric);
+  // Capacity is topology-aware: ports/2 nodes on the single star (each
+  // node takes an uplink input and a downlink output), bounded by group
+  // size for dragonfly, unbounded for the lazily-grown fat-tree.
+  const int capacity = fabric_->capacityNodes();
+  COMB_REQUIRE(capacity < 0 || nodeCount <= capacity,
+               strFormat("cluster of %d nodes exceeds fabric capacity %d",
+                         nodeCount, capacity));
 
   // Two passes: the fabric needs delivery sinks at addNode() time, but the
   // endpoints that own the sinks need their node ids. Register
@@ -127,6 +132,11 @@ void SimCluster::run() {
   sim_.run();
   COMB_ASSERT(sim_.liveProcesses() == 0,
               "simulation drained with suspended processes (deadlock)");
+  // A no-route drop is a fabric wiring bug, never a legitimate outcome —
+  // it used to be just a log line, letting miswired fabrics sail through
+  // goldens silently.
+  COMB_ASSERT(fabric_->switchTotals().dropsNoRoute == 0,
+              "switch dropped packets with no route (miswired fabric)");
 }
 
 }  // namespace comb::backend

@@ -1,5 +1,6 @@
 #include "comb/archive_build.hpp"
 
+#include "comb/congestion.hpp"
 #include "common/error.hpp"
 #include "common/units.hpp"
 
@@ -121,6 +122,40 @@ void appendLatencySweep(report::Archive& archive, const std::string& id,
             metricOf<LatencyPoint>(
                 run, "bandwidth_MBps", true,
                 [](const LatencyPoint& p) { return toMBps(p.bandwidthBps); }),
+        };
+      });
+}
+
+void appendCongestionSweep(report::Archive& archive, const std::string& id,
+                           const backend::MachineConfig& machine,
+                           const std::vector<std::uint64_t>& xs,
+                           const std::vector<RepRun<CongestionPoint>>& runs,
+                           const std::string& xlabel) {
+  appendSweep(
+      archive, id, machine, xlabel, xs, runs,
+      [](const RepRun<CongestionPoint>& run) {
+        return std::vector<report::ArchiveMetric>{
+            metricOf<CongestionPoint>(
+                run, "bandwidth_MBps", true,
+                [](const CongestionPoint& p) { return toMBps(p.bandwidthBps); }),
+            metricOf<CongestionPoint>(
+                run, "min_node_bw_MBps", true,
+                [](const CongestionPoint& p) {
+                  return toMBps(p.minNodeBandwidthBps);
+                }),
+            metricOf<CongestionPoint>(
+                run, "availability", true,
+                [](const CongestionPoint& p) { return p.availability; }),
+            metricOf<CongestionPoint>(
+                run, "queue_drops", false,
+                [](const CongestionPoint& p) {
+                  return static_cast<double>(p.switches.dropsQueue);
+                }),
+            metricOf<CongestionPoint>(
+                run, "credit_stalls", false,
+                [](const CongestionPoint& p) {
+                  return static_cast<double>(p.switches.creditStalls);
+                }),
         };
       });
 }

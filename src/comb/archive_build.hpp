@@ -12,6 +12,8 @@
 
 namespace comb::bench {
 
+struct CongestionPoint;  // comb/congestion.hpp
+
 /// Start an archive: bench id, the rep policy the samples were collected
 /// under, and this build's provenance stamp.
 report::Archive makeArchive(const std::string& bench, const RepPolicy& rep);
@@ -40,5 +42,14 @@ void appendLatencySweep(report::Archive& archive, const std::string& id,
                         const std::vector<std::uint64_t>& xs,
                         const std::vector<RepRun<LatencyPoint>>& runs,
                         const std::string& xlabel = "msg_bytes");
+
+/// Append one sweep of congestion points (comb/congestion). Metrics:
+/// bandwidth_MBps, min_node_bw_MBps, availability (higher is better);
+/// queue_drops, credit_stalls (lower is better).
+void appendCongestionSweep(report::Archive& archive, const std::string& id,
+                           const backend::MachineConfig& machine,
+                           const std::vector<std::uint64_t>& xs,
+                           const std::vector<RepRun<CongestionPoint>>& runs,
+                           const std::string& xlabel = "nodes");
 
 }  // namespace comb::bench

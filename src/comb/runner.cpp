@@ -56,80 +56,31 @@ std::uint64_t repSeed(std::uint64_t root, int rep) {
   return splitmix64(state);
 }
 
-namespace {
-
-/// Shared rep loop: rep 0 on the machine exactly as configured, later
-/// reps with the per-link fault stream reseeded from (policy.seed, rep).
-/// On a lossless fabric the reseed is a no-op by construction (the fault
-/// stream is never sampled), so all reps are bit-identical.
-template <typename Point, typename RunOne>
-RepRun<Point> runPointReps(const backend::MachineConfig& machine,
-                           const RunOptions& opts, RunOne&& runOne) {
-  validateRepPolicy(opts.rep);
-  const backend::MachineConfig base = machineWithOptions(machine, opts);
-  // The per-rep runner must not re-apply opts.fault/rep (already folded
-  // into `base`), so reps run with a bare RunOptions.
-  const auto runRep = [&](int rep) {
-    if (rep == 0) return runOne(base);
-    backend::MachineConfig m = base;
-    m.fabric.link.fault.seed = repSeed(opts.rep.seed ^ m.fabric.link.fault.seed,
-                                       rep);
-    return runOne(m);
-  };
-
-  RepRun<Point> run;
-  run.adaptive = opts.rep.adaptive;
-  if (opts.rep.adaptive) {
-    AdaptiveRep controller(opts.rep.adaptivePolicy());
-    while (controller.wantMore()) {
-      const auto rep = static_cast<int>(run.reps.size());
-      run.reps.push_back(runRep(rep));
-      controller.add(run.reps.back().bandwidthBps);
-    }
-    run.converged = controller.converged();
-    run.bandwidthCi = controller.ci();
-  } else {
-    run.reps.reserve(static_cast<std::size_t>(opts.rep.reps));
-    for (int rep = 0; rep < opts.rep.reps; ++rep)
-      run.reps.push_back(runRep(rep));
-    BootstrapOptions bopts;
-    bopts.level = opts.rep.ciLevel;
-    bopts.seed = opts.rep.seed;
-    std::vector<double> bw;
-    bw.reserve(run.reps.size());
-    for (const auto& p : run.reps) bw.push_back(p.bandwidthBps);
-    run.bandwidthCi = bootstrapMeanCi(bw, bopts);
-  }
-  return run;
-}
-
-}  // namespace
-
 RepRun<PollingPoint> runPollingPointReps(const backend::MachineConfig& machine,
                                          const PollingParams& params,
                                          const RunOptions& opts) {
-  return runPointReps<PollingPoint>(machine, opts,
-                                    [&](const backend::MachineConfig& m) {
-                                      return runPollingPoint(m, params);
-                                    });
+  return runPointRepsWith<PollingPoint>(machine, opts,
+                                        [&](const backend::MachineConfig& m) {
+                                          return runPollingPoint(m, params);
+                                        });
 }
 
 RepRun<PwwPoint> runPwwPointReps(const backend::MachineConfig& machine,
                                  const PwwParams& params,
                                  const RunOptions& opts) {
-  return runPointReps<PwwPoint>(machine, opts,
-                                [&](const backend::MachineConfig& m) {
-                                  return runPwwPoint(m, params);
-                                });
+  return runPointRepsWith<PwwPoint>(machine, opts,
+                                    [&](const backend::MachineConfig& m) {
+                                      return runPwwPoint(m, params);
+                                    });
 }
 
 RepRun<LatencyPoint> runLatencyPointReps(const backend::MachineConfig& machine,
                                          const LatencyParams& params,
                                          const RunOptions& opts) {
-  return runPointReps<LatencyPoint>(machine, opts,
-                                    [&](const backend::MachineConfig& m) {
-                                      return runLatencyPoint(m, params);
-                                    });
+  return runPointRepsWith<LatencyPoint>(machine, opts,
+                                        [&](const backend::MachineConfig& m) {
+                                          return runLatencyPoint(m, params);
+                                        });
 }
 
 std::vector<std::uint64_t> logSweep(std::uint64_t lo, std::uint64_t hi,

@@ -211,6 +211,54 @@ std::vector<LatencyPoint> runLatencySweep(const backend::MachineConfig& machine,
 // like the plain sweeps; the reps within one point run serially because
 // the adaptive stop rule is inherently sequential.
 
+/// Shared rep loop (used by every *PointReps runner, including the
+/// congestion module): rep 0 runs the machine exactly as configured,
+/// later reps reseed the per-link fault stream from (policy.seed, rep).
+/// On a lossless fabric the reseed is a no-op by construction (the fault
+/// stream is never sampled), so all reps are bit-identical. `runOne` is
+/// called as runOne(machine) and must return a Point with a
+/// `bandwidthBps` member (the watched metric).
+template <typename Point, typename RunOne>
+RepRun<Point> runPointRepsWith(const backend::MachineConfig& machine,
+                               const RunOptions& opts, RunOne&& runOne) {
+  validateRepPolicy(opts.rep);
+  const backend::MachineConfig base = machineWithOptions(machine, opts);
+  // The per-rep runner must not re-apply opts.fault/rep (already folded
+  // into `base`), so reps run with a bare RunOptions.
+  const auto runRep = [&](int rep) {
+    if (rep == 0) return runOne(base);
+    backend::MachineConfig m = base;
+    m.fabric.link.fault.seed =
+        repSeed(opts.rep.seed ^ m.fabric.link.fault.seed, rep);
+    return runOne(m);
+  };
+
+  RepRun<Point> run;
+  run.adaptive = opts.rep.adaptive;
+  if (opts.rep.adaptive) {
+    AdaptiveRep controller(opts.rep.adaptivePolicy());
+    while (controller.wantMore()) {
+      const auto rep = static_cast<int>(run.reps.size());
+      run.reps.push_back(runRep(rep));
+      controller.add(run.reps.back().bandwidthBps);
+    }
+    run.converged = controller.converged();
+    run.bandwidthCi = controller.ci();
+  } else {
+    run.reps.reserve(static_cast<std::size_t>(opts.rep.reps));
+    for (int rep = 0; rep < opts.rep.reps; ++rep)
+      run.reps.push_back(runRep(rep));
+    BootstrapOptions bopts;
+    bopts.level = opts.rep.ciLevel;
+    bopts.seed = opts.rep.seed;
+    std::vector<double> bw;
+    bw.reserve(run.reps.size());
+    for (const auto& p : run.reps) bw.push_back(p.bandwidthBps);
+    run.bandwidthCi = bootstrapMeanCi(bw, bopts);
+  }
+  return run;
+}
+
 RepRun<PollingPoint> runPollingPointReps(const backend::MachineConfig& machine,
                                          const PollingParams& params,
                                          const RunOptions& opts = {});

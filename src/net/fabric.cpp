@@ -6,7 +6,7 @@
 namespace comb::net {
 
 Fabric::Fabric(sim::Simulator& sim, FabricConfig cfg)
-    : sim_(sim), cfg_(cfg), switch_(sim, cfg.sw, "switch0") {
+    : sim_(sim), cfg_(cfg), topology_(sim, cfg.topo, cfg.sw, cfg.link) {
   COMB_REQUIRE(cfg.mtu > 0, "fabric MTU must be positive");
 }
 
@@ -19,10 +19,15 @@ NodeId Fabric::addNode(DeliveryFn onDeliver) {
   port.down = std::make_unique<Link>(sim_, cfg_.link,
                                      strFormat("down%d", id));
   port.deliver = std::move(onDeliver);
-  // uplink feeds the switch; downlink feeds the node.
-  port.up->setSink([this](Packet p) { switch_.inject(std::move(p)); });
+  // The topology claims the switch-side ports (one input for the uplink,
+  // one output for the downlink) and installs routes everywhere.
+  const Topology::Attachment att = topology_.attachNode(id, *port.down);
+  Switch* sw = att.sw;
+  const int inputPort = att.inputPort;
+  port.up->setSink([sw, inputPort](Packet p) {
+    sw->inject(inputPort, std::move(p));
+  });
   Link* down = port.down.get();
-  switch_.attachOutput(id, *down);
   nodes_.push_back(std::move(port));
   // Index-based lookup: nodes_ may reallocate as more nodes are added.
   down->setSink([this, id](Packet p) {
@@ -64,6 +69,10 @@ FaultCounters Fabric::linkFaultCounters() const {
       c.dropsInjected += link->packetsDropped();
       c.corruptsInjected += link->packetsCorrupted();
     }
+  }
+  for (const auto& trunk : topology_.trunks()) {
+    c.dropsInjected += trunk->packetsDropped();
+    c.corruptsInjected += trunk->packetsCorrupted();
   }
   return c;
 }

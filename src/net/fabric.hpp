@@ -1,6 +1,8 @@
-// Fabric: assembles nodes, uplinks/downlinks and the central switch into
-// the paper's star topology (N nodes around one Myrinet switch), and is
-// the single injection/delivery interface NICs talk to.
+// Fabric: assembles nodes, uplinks/downlinks and the switch fabric, and
+// is the single injection/delivery interface NICs talk to. The switch
+// graph itself (the paper's single star by default, or a multi-switch
+// fat-tree / dragonfly for congestion studies) is built by net::Topology
+// from cfg.topo.
 #pragma once
 
 #include <cstdint>
@@ -12,6 +14,7 @@
 #include "net/link.hpp"
 #include "net/packet.hpp"
 #include "net/switch.hpp"
+#include "net/topology.hpp"
 #include "sim/simulator.hpp"
 
 namespace comb::net {
@@ -19,6 +22,7 @@ namespace comb::net {
 struct FabricConfig {
   LinkConfig link;               ///< per-direction node<->switch links
   SwitchConfig sw;
+  TopologyConfig topo;           ///< switch graph (default: single star)
   Bytes mtu = 4096;              ///< max payload bytes per packet
   Bytes perPacketHeader = 64;    ///< header overhead added to the wire size
 };
@@ -48,12 +52,24 @@ class Fabric {
   Bytes perPacketHeader() const { return cfg_.perPacketHeader; }
   const FabricConfig& config() const { return cfg_; }
   int nodeCount() const { return static_cast<int>(nodes_.size()); }
+  /// Max nodes this fabric can host; -1 = unbounded (lazy fat-tree).
+  int capacityNodes() const { return topology_.capacityNodes(); }
   std::uint64_t packetsInjected() const { return packetsInjected_; }
-  const Switch& centralSwitch() const { return switch_; }
+  /// First switch of the fabric — THE switch for the default star; for
+  /// multi-switch topologies prefer topology()/switchTotals().
+  const Switch& centralSwitch() const { return topology_.switchAt(0); }
+  const Topology& topology() const { return topology_; }
+  /// Counters aggregated over every switch of the fabric.
+  SwitchTotals switchTotals() const { return topology_.totals(); }
 
-  /// True when the configured fault model can destroy packets — the NICs
-  /// use this to decide whether to run their reliability protocol.
-  bool lossy() const { return cfg_.link.fault.lossy(); }
+  /// True when the configured fault model — or a tail-dropping finite
+  /// switch queue — can destroy packets; the NICs use this to decide
+  /// whether to run their reliability protocol.
+  bool lossy() const {
+    return cfg_.link.fault.lossy() ||
+           (cfg_.sw.queue.bounded() &&
+            cfg_.sw.queue.backpressure == Backpressure::TailDrop);
+  }
   /// Drop/corruption totals summed over every link of the fabric.
   FaultCounters linkFaultCounters() const;
 
@@ -66,7 +82,7 @@ class Fabric {
 
   sim::Simulator& sim_;
   FabricConfig cfg_;
-  Switch switch_;
+  Topology topology_;
   std::vector<NodePort> nodes_;
   std::uint64_t packetsInjected_ = 0;
 };

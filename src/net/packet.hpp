@@ -155,6 +155,11 @@ struct Packet {
   /// Set by a faulty link: the packet arrives but fails its checksum.
   /// Receiving NICs discard it without acting on the payload.
   bool corrupted = false;
+  /// Ingress-port tag, valid only while a switch routes the packet (set
+  /// by Switch::inject, consumed by the arbitration stage). Lives in the
+  /// struct's padding — and keeps the routing-delay event closure inside
+  /// the inline event-pool slot (see sim/event_queue.hpp).
+  std::int16_t switchInPort = 0;
   PayloadPtr payload;
 };
 

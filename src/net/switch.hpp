@@ -1,13 +1,34 @@
-// Output-queued crossbar switch (the paper's Myrinet 8-port SAN/LAN
-// switch). A packet entering on any port is routed by destination node ID
-// to the output link for that node after a fixed cut-through latency.
-// Output contention is modelled by the output Link's serialization queue.
+// Crossbar switch with explicit port accounting and (optionally) finite
+// output queues.
+//
+// The idealized model (queue.depthPackets == 0, the default, and what the
+// paper's single Myrinet switch uses) routes a packet to the output link
+// for its destination after a fixed cut-through latency; output
+// contention is then modelled by the output Link's own serialization
+// queue, which is unbounded. That is a non-blocking, infinite-buffer
+// crossbar — fine for 2-node experiments, wrong for congestion studies.
+//
+// With a finite queue configured, each output port owns a bounded
+// store-and-forward queue. Contending inputs are arbitrated fairly
+// (round-robin across input ports, or strict FIFO), and overflow is
+// either tail-dropped (lossy; the transports' retransmission protocols
+// engage, see Fabric::lossy) or absorbed by credit-style backpressure
+// (lossless; the overflow waits upstream and is accounted as a stall).
+//
+// Port accounting is explicit and unidirectional: every attachInput
+// (an uplink or trunk *into* the switch) and every attachOutput (a
+// downlink or trunk *out of* the switch) consumes one port from the
+// budget. A node therefore costs two ports — the paper's 8-port
+// full-duplex Myrinet crossbar is `ports = 16` in this accounting.
 #pragma once
 
 #include <cstdint>
-#include <map>
+#include <deque>
+#include <memory>
 #include <string>
+#include <vector>
 
+#include "common/metrics.hpp"
 #include "common/units.hpp"
 #include "net/link.hpp"
 #include "net/packet.hpp"
@@ -15,9 +36,40 @@
 
 namespace comb::net {
 
+/// How contending inputs share one output port.
+enum class Arbitration {
+  Fifo,        ///< single queue in arrival order (no fairness guarantee)
+  RoundRobin,  ///< per-input queues served round-robin (fair share)
+};
+
+/// What happens when a finite output queue is full.
+enum class Backpressure {
+  TailDrop,  ///< excess packets are destroyed (lossy fabric)
+  Credit,    ///< excess waits upstream for a credit (lossless, stalls)
+};
+
+const char* arbitrationName(Arbitration a);
+const char* backpressureName(Backpressure b);
+
+struct SwitchQueueConfig {
+  /// Max packets buffered per output port; 0 = unbounded (the idealized
+  /// crossbar — packets go straight to the output link's serializer).
+  int depthPackets = 0;
+  /// Max wire bytes buffered per output port; 0 = no byte cap. Only
+  /// consulted when depthPackets > 0.
+  Bytes depthBytes = 0;
+  Arbitration arbitration = Arbitration::RoundRobin;
+  Backpressure backpressure = Backpressure::TailDrop;
+
+  bool bounded() const { return depthPackets > 0; }
+};
+
 struct SwitchConfig {
   Time routingLatency = 0.5e-6;  ///< per-packet routing/cut-through delay
-  int ports = 8;
+  /// Unidirectional port budget (inputs + outputs). 0 = unlimited, used
+  /// for interior switches whose radix the topology layer sizes exactly.
+  int ports = 16;
+  SwitchQueueConfig queue;
 };
 
 class Switch {
@@ -26,23 +78,86 @@ class Switch {
   Switch(const Switch&) = delete;
   Switch& operator=(const Switch&) = delete;
 
-  /// Register the downlink that reaches `node`. One port per node.
+  /// Claim one input port (an uplink or inter-switch trunk feeding this
+  /// switch). Returns the input-port id to pass to inject(); the label
+  /// only appears in error messages.
+  int attachInput(const std::string& label);
+
+  /// Claim one output port driving `out`. Returns the output-port id for
+  /// setRoute().
+  int attachOutput(Link& out);
+
+  /// Route packets destined to `node` through output port `outputPort`.
+  /// Many destinations may share one output port (an inter-switch trunk).
+  void setRoute(NodeId node, int outputPort);
+
+  /// Convenience for star wiring: claim an output port for `downlink`
+  /// and route `node` through it.
   void attachOutput(NodeId node, Link& downlink);
 
-  /// Entry point for packets from node uplinks (wired as the uplink sink).
-  void inject(Packet p);
+  /// Entry point for packets arriving on input port `inputPort` (as
+  /// returned by attachInput).
+  void inject(int inputPort, Packet p);
+  /// Legacy single-uplink entry point: arrives on input port 0.
+  void inject(Packet p) { inject(0, std::move(p)); }
 
   std::uint64_t packetsRouted() const { return packetsRouted_; }
   std::uint64_t dropsNoRoute() const { return dropsNoRoute_; }
-  int portsUsed() const { return static_cast<int>(routes_.size()); }
+  /// Packets destroyed by a full output queue (TailDrop only).
+  std::uint64_t dropsQueue() const { return dropsQueue_; }
+  /// Packets that had to wait for a credit (Credit backpressure only).
+  std::uint64_t creditStalls() const { return creditStalls_; }
+  /// Highest per-output queue occupancy seen (packets).
+  std::uint64_t queuePeakPackets() const { return queuePeak_; }
+  int portsUsed() const { return inputsAttached_ + outputsAttached_; }
+  int inputCount() const { return inputsAttached_; }
+  int outputCount() const { return outputsAttached_; }
+  const std::string& name() const { return name_; }
+  const SwitchConfig& config() const { return cfg_; }
 
  private:
+  struct OutputPort {
+    Switch* owner = nullptr;  ///< back-pointer for deferred enqueue events
+    Link* link = nullptr;
+    // Fifo arbitration uses `fifo`; RoundRobin uses one queue per input
+    // port (grown on demand) plus the rotating service pointer.
+    std::deque<Packet> fifo;
+    std::vector<std::deque<Packet>> perInput;
+    std::size_t rrNext = 0;
+    int queuedPackets = 0;
+    Bytes queuedBytes = 0;
+    bool draining = false;
+  };
+
+  void enqueue(OutputPort& port, int inputPort, Packet p);
+  void drain(OutputPort& port);
+  bool queueFull(const OutputPort& port, const Packet& p) const;
+
   sim::Simulator& sim_;
   SwitchConfig cfg_;
   std::string name_;
-  std::map<NodeId, Link*> routes_;
+  std::string qdropLabel_;  ///< "<name>:qdrop" (trace label, cached)
+  /// Destination -> output port, flat-indexed by NodeId (nullptr = no
+  /// route). O(1) on the per-packet hot path; the old std::map cost
+  /// O(log n) plus pointer chasing at 1024 nodes.
+  std::vector<OutputPort*> routes_;
+  std::vector<std::unique_ptr<OutputPort>> outputs_;
+  int inputsAttached_ = 0;
+  int outputsAttached_ = 0;
   std::uint64_t packetsRouted_ = 0;
   std::uint64_t dropsNoRoute_ = 0;
+  std::uint64_t dropsQueue_ = 0;
+  std::uint64_t creditStalls_ = 0;
+  std::uint64_t queuePeak_ = 0;
+  metrics::Counter& packetsCounter_;
+  metrics::Counter& dropsNoRouteCounter_;
+  metrics::Counter& dropsQueueCounter_;
+  metrics::Counter& creditStallsCounter_;
+  /// Monotonic mirror of queuePeak_ (a counter can only grow, and so can
+  /// the peak — its value always equals queuePeakPackets()).
+  metrics::Counter& queuePeakCounter_;
+  /// Occupancy-at-enqueue histogram; only registered for bounded queues.
+  Histogram* depthHistogram_ = nullptr;
 };
 
 }  // namespace comb::net

@@ -11,7 +11,8 @@ MachineStats snapshot(backend::SimCluster& cluster) {
   stats.machineName = cluster.config().name;
   stats.simulatedTime = cluster.simulator().now();
   stats.eventsExecuted = cluster.simulator().eventsExecuted();
-  stats.switchPacketsRouted = cluster.fabric().centralSwitch().packetsRouted();
+  stats.switches = cluster.fabric().switchTotals();
+  stats.switchPacketsRouted = stats.switches.packetsRouted;
   stats.fault = cluster.faultCounters();
   stats.metrics = cluster.simulator().metrics().snapshot();
   if (const auto* log = cluster.traceLog()) stats.traceDropped = log->dropped();
@@ -46,6 +47,19 @@ void renderStats(std::ostream& out, const MachineStats& stats) {
       << fmtTime(stats.simulatedTime) << ", "
       << stats.eventsExecuted << " events, "
       << stats.switchPacketsRouted << " packets routed\n";
+  if (stats.switches.dropsNoRoute > 0) {
+    out << "WARNING: " << stats.switches.dropsNoRoute
+        << " packet(s) dropped with no route — the fabric is miswired\n";
+  }
+  if (stats.switches.dropsQueue > 0 || stats.switches.creditStalls > 0 ||
+      stats.switches.queuePeakPackets > 0) {
+    out << strFormat(
+        "switch queues: %llu tail drops, %llu credit stalls, peak depth "
+        "%llu packet(s)\n",
+        (unsigned long long)stats.switches.dropsQueue,
+        (unsigned long long)stats.switches.creditStalls,
+        (unsigned long long)stats.switches.queuePeakPackets);
+  }
   if (stats.fault.any()) {
     out << strFormat(
         "faults: %llu drops, %llu corruptions injected; %llu retransmits, "
@@ -101,6 +115,13 @@ void writeStatsJson(std::ostream& out, const MachineStats& stats) {
   out << "  \"simulated_seconds\": " << stats.simulatedTime << ",\n";
   out << "  \"events_executed\": " << stats.eventsExecuted << ",\n";
   out << "  \"switch_packets_routed\": " << stats.switchPacketsRouted << ",\n";
+  out << strFormat(
+      "  \"switches\": {\"drops_no_route\": %llu, \"drops_queue\": %llu, "
+      "\"credit_stalls\": %llu, \"queue_peak_pkts\": %llu},\n",
+      (unsigned long long)stats.switches.dropsNoRoute,
+      (unsigned long long)stats.switches.dropsQueue,
+      (unsigned long long)stats.switches.creditStalls,
+      (unsigned long long)stats.switches.queuePeakPackets);
   out << "  \"trace_dropped\": " << stats.traceDropped << ",\n";
   out << strFormat(
       "  \"faults\": {\"drops_injected\": %llu, \"corrupts_injected\": %llu, "

@@ -11,6 +11,7 @@
 #include "common/metrics.hpp"
 #include "common/units.hpp"
 #include "net/fault.hpp"
+#include "net/topology.hpp"
 
 namespace comb::backend {
 class SimCluster;
@@ -46,6 +47,10 @@ struct MachineStats {
   std::uint64_t eventsExecuted = 0;
   std::vector<NodeStats> nodes;
   std::uint64_t switchPacketsRouted = 0;
+  /// Switch-fabric totals over every switch of the topology: no-route
+  /// drops (always a wiring bug), finite-queue tail drops, credit stalls
+  /// and the peak per-output queue occupancy.
+  net::SwitchTotals switches;
   /// Fault-injection / reliability counters, cluster-wide (all zero on a
   /// lossless fabric).
   net::FaultCounters fault;

@@ -5,6 +5,8 @@
 #include <sstream>
 
 #include "common/error.hpp"
+#include "net/switch.hpp"
+#include "net/topology.hpp"
 
 namespace comb::backend {
 namespace {
@@ -164,10 +166,85 @@ TEST(MachineFile, BundledFilesParse) {
                                    "/machines/smp_steered_portals.ini");
   EXPECT_EQ(smp.cpusPerNode, 2);
   EXPECT_EQ(smp.nicCpu, 1);
+
+  const auto ft = loadMachineFile(std::string(COMB_SOURCE_DIR) +
+                                  "/machines/fat_tree_gm.ini");
+  EXPECT_EQ(ft.fabric.topo.kind, net::TopologyKind::FatTree);
+  EXPECT_EQ(ft.fabric.topo.nodesPerSwitch, 8);
+  EXPECT_EQ(ft.fabric.sw.queue.backpressure, net::Backpressure::Credit);
+
+  const auto df = loadMachineFile(std::string(COMB_SOURCE_DIR) +
+                                  "/machines/dragonfly_portals.ini");
+  EXPECT_EQ(df.fabric.topo.kind, net::TopologyKind::Dragonfly);
+  EXPECT_EQ(df.fabric.topo.groups, 4);
+  EXPECT_EQ(df.fabric.sw.queue.depthPackets, 16);
 }
 
 TEST(MachineFile, MissingFileRejected) {
   EXPECT_THROW(loadMachineFile("/nonexistent/machine.ini"), ConfigError);
+}
+
+TEST(MachineFile, TopologySectionDefaultsToSingle) {
+  const auto m = parse("");
+  EXPECT_EQ(m.fabric.topo.kind, net::TopologyKind::SingleSwitch);
+  EXPECT_EQ(m.fabric.sw.queue.depthPackets, 0);  // idealized crossbar
+  EXPECT_EQ(m.fabric.sw.ports, 16);  // 8-port full-duplex, unidirectional
+}
+
+TEST(MachineFile, FatTreeTopologyParsed) {
+  const auto m = parse(R"(
+[fabric]
+switch_ports = 24
+[topology]
+kind = fat-tree
+nodes_per_switch = 8
+spines = 4
+trunk_rate_scale = 0.5
+queue_depth_packets = 32
+queue_depth_bytes = 262144
+arbitration = fifo
+backpressure = credit
+)");
+  EXPECT_EQ(m.fabric.topo.kind, net::TopologyKind::FatTree);
+  EXPECT_EQ(m.fabric.topo.nodesPerSwitch, 8);
+  EXPECT_EQ(m.fabric.topo.spines, 4);
+  EXPECT_DOUBLE_EQ(m.fabric.topo.trunkRateScale, 0.5);
+  EXPECT_EQ(m.fabric.sw.queue.depthPackets, 32);
+  EXPECT_EQ(m.fabric.sw.queue.depthBytes, 262144u);
+  EXPECT_EQ(m.fabric.sw.queue.arbitration, net::Arbitration::Fifo);
+  EXPECT_EQ(m.fabric.sw.queue.backpressure, net::Backpressure::Credit);
+  EXPECT_DOUBLE_EQ(m.fabric.topo.oversubscription(), 4.0);
+}
+
+TEST(MachineFile, DragonflyTopologyParsed) {
+  const auto m = parse(R"(
+[topology]
+kind = dragonfly
+nodes_per_switch = 4
+groups = 4
+routers_per_group = 2
+queue_depth_packets = 16
+)");
+  EXPECT_EQ(m.fabric.topo.kind, net::TopologyKind::Dragonfly);
+  EXPECT_EQ(m.fabric.topo.groups, 4);
+  EXPECT_EQ(m.fabric.topo.routersPerGroup, 2);
+  EXPECT_EQ(m.fabric.sw.queue.depthPackets, 16);
+  // Queue defaults: round-robin arbitration, tail drop.
+  EXPECT_EQ(m.fabric.sw.queue.arbitration, net::Arbitration::RoundRobin);
+  EXPECT_EQ(m.fabric.sw.queue.backpressure, net::Backpressure::TailDrop);
+}
+
+TEST(MachineFile, BadTopologyRejected) {
+  EXPECT_THROW(parse("[topology]\nkind = mesh\n"), ConfigError);
+  EXPECT_THROW(parse("[topology]\narbitration = lifo\n"), ConfigError);
+  EXPECT_THROW(parse("[topology]\nbackpressure = nack\n"), ConfigError);
+  EXPECT_THROW(parse("[topology]\ntrunk_rate_scale = 0\n"), ConfigError);
+  // validateTopology runs at parse time: a fat-tree leaf radix beyond the
+  // switch port budget must be rejected, not deferred to the first run.
+  EXPECT_THROW(parse("[fabric]\nswitch_ports = 8\n"
+                     "[topology]\nkind = fat-tree\n"
+                     "nodes_per_switch = 8\nspines = 4\n"),
+               ConfigError);
 }
 
 }  // namespace

@@ -116,13 +116,19 @@ TEST(Fabric, ManyNodesStarTopology) {
 }
 
 TEST(Fabric, SwitchPortLimitEnforced) {
+  // Port accounting is unidirectional: a node consumes one input port
+  // (its uplink) AND one output port (its downlink), so 4 switch ports
+  // host exactly 2 nodes. The old code only counted outputs and would
+  // have accepted 4.
   Simulator sim;
   FabricConfig cfg = cfg2();
-  cfg.sw.ports = 2;
+  cfg.sw.ports = 4;
   Fabric fabric(sim, cfg);
+  EXPECT_EQ(fabric.capacityNodes(), 2);
   fabric.addNode([](Packet) {});
   fabric.addNode([](Packet) {});
   EXPECT_THROW(fabric.addNode([](Packet) {}), ConfigError);
+  EXPECT_EQ(fabric.centralSwitch().portsUsed(), 4);
 }
 
 TEST(Fabric, OutputContentionSerializes) {

@@ -25,10 +25,11 @@ struct Fixture {
 
   Fixture()
       : fabric(sim,
-               net::FabricConfig{{.rate = 100e6, .latency = 1_us},
-                                 {.routingLatency = 0.5_us, .ports = 8},
-                                 4096,
-                                 64}),
+               net::FabricConfig{
+                   .link = {.rate = 100e6, .latency = 1_us},
+                   .sw = {.routingLatency = 0.5_us, .ports = 8},
+                   .mtu = 4096,
+                   .perPacketHeader = 64}),
         nic0(sim, fabric, prepareNode(0)),
         nic1(sim, fabric, prepareNode(1)) {
     // Wire delivery: node 0 -> nic0, node 1 -> tap + nic1.

@@ -24,11 +24,12 @@ struct Fixture {
   host::Cpu cpu1{sim, "cpu1"};
   std::unique_ptr<PortalsNic> nic0, nic1;
 
-  Fixture() : fabric(sim, net::FabricConfig{{.rate = 100e6, .latency = 1_us},
-                                            {.routingLatency = 0.5_us,
-                                             .ports = 8},
-                                            4096,
-                                            64}) {
+  Fixture()
+      : fabric(sim, net::FabricConfig{
+                        .link = {.rate = 100e6, .latency = 1_us},
+                        .sw = {.routingLatency = 0.5_us, .ports = 8},
+                        .mtu = 4096,
+                        .perPacketHeader = 64}) {
     const auto id0 = fabric.addNode(
         [this](net::Packet p) { nic0->deliver(std::move(p)); });
     const auto id1 = fabric.addNode(
