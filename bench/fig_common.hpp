@@ -39,6 +39,12 @@ struct FigArgs {
   /// Worker threads for sweep points; defaults to all hardware threads.
   /// Results are bit-identical for any value (per-point isolation).
   int jobs = 1;
+  /// Simulator-core shards per cluster (--sim-jobs). Part of the run's
+  /// configuration identity: 1 is the classic serial core; N > 1 shards
+  /// the event queue (deterministic for a fixed value, but a *different*
+  /// configuration — archives record it so `comb compare` can flag
+  /// cross-configuration comparisons).
+  int simJobs = 1;
   /// Fault model override from --fault (per-point results stay
   /// bit-reproducible: link fault streams are seeded per link name).
   std::optional<net::FaultSpec> fault;
@@ -62,6 +68,7 @@ struct FigArgs {
   RunOptions runOptions() const {
     RunOptions opts;
     opts.jobs = jobs;
+    opts.simJobs = simJobs;
     opts.fault = fault;
     opts.rep = rep;
     return opts;
@@ -69,7 +76,8 @@ struct FigArgs {
 };
 
 /// Parse and *validate* the common figure-bench arguments. Bad values
-/// (non-numeric, --points-per-decade < 1, --jobs < 1, malformed --fault)
+/// (non-numeric, --points-per-decade < 1, --jobs < 1, --sim-jobs < 1,
+/// malformed --fault)
 /// are reported on stderr at parse time with parsedOk=false / exitCode=2,
 /// instead of failing later inside the sweep.
 inline FigArgs parseFigArgs(int argc, const char* const* argv,
@@ -83,6 +91,11 @@ inline FigArgs parseFigArgs(int argc, const char* const* argv,
                    "worker threads for sweep points (results are "
                    "bit-identical for any value)",
                    std::to_string(hardwareJobs()));
+  parser.addOption("sim-jobs",
+                   "simulator-core shards per cluster (1 = classic serial "
+                   "core; N > 1 is a distinct, deterministic configuration "
+                   "recorded in archives)",
+                   "1");
   parser.addOption("fault",
                    "inject link faults, e.g. drop=0.01,burst=4,seed=7 "
                    "(keys: drop, burst, corrupt, jitter_us, seed)",
@@ -119,6 +132,10 @@ inline FigArgs parseFigArgs(int argc, const char* const* argv,
     args.jobs = static_cast<int>(parser.integer("jobs"));
     if (args.jobs < 1)
       throw ConfigError("--jobs must be >= 1, got " + parser.str("jobs"));
+    args.simJobs = static_cast<int>(parser.integer("sim-jobs"));
+    if (args.simJobs < 1)
+      throw ConfigError("--sim-jobs must be >= 1, got " +
+                        parser.str("sim-jobs"));
     if (const auto spec = parser.str("fault"); !spec.empty())
       args.fault = net::parseFaultSpec(spec);
     args.csv = parser.flag("csv");
@@ -188,7 +205,8 @@ std::vector<Point> canonicalPoints(const std::vector<RepRun<Point>>& runs) {
 class FigArchive {
  public:
   FigArchive(const std::string& bench, const FigArgs& args)
-      : dir_(args.archiveDir), archive_(makeArchive(bench, args.rep)) {}
+      : dir_(args.archiveDir),
+        archive_(makeArchive(bench, args.rep, args.simJobs)) {}
 
   bool enabled() const { return !dir_.empty(); }
 

@@ -5,10 +5,15 @@
 
 #include <memory>
 
+#include "backend/machine.hpp"
+#include "comb/congestion.hpp"
+#include "comb/runner.hpp"
 #include "common/units.hpp"
 #include "host/cpu.hpp"
 #include "net/fabric.hpp"
 #include "sim/channel.hpp"
+#include "sim/executor.hpp"
+#include "sim/shard_context.hpp"
 #include "sim/simulator.hpp"
 #include "sim/task.hpp"
 #include "sim/tracelog.hpp"
@@ -201,6 +206,90 @@ void BM_InterruptPathTracing(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * interrupts);
 }
 BENCHMARK(BM_InterruptPathTracing)->Args({1000, 0})->Args({1000, 1});
+
+// Window-loop overhead of the sharded core: per-shard event streams with
+// NO cross-shard traffic, and events spaced exactly one lookahead apart so
+// every event opens a fresh window — the worst case for window churn.
+// Compare against BM_EventScheduleAndRun for the sharding tax.
+void BM_ShardedWindowAdvance(benchmark::State& state) {
+  const int shards = static_cast<int>(state.range(0));
+  const int perShard = static_cast<int>(state.range(1));
+  for (auto _ : state) {
+    sim::ExecutorOptions o;
+    o.shards = shards;
+    o.lookahead = 1_us;
+    o.workers = 1;
+    sim::Executor exec(o);
+    for (int s = 0; s < shards; ++s)
+      for (int i = 0; i < perShard; ++i)
+        exec.shard(s).schedule(static_cast<Time>(i) * 1_us, [] {});
+    exec.run();
+    benchmark::DoNotOptimize(exec.eventsExecuted());
+  }
+  state.SetItemsProcessed(state.iterations() * shards * perShard);
+}
+BENCHMARK(BM_ShardedWindowAdvance)->Args({4, 2500});
+
+// Cross-shard delivery cost: every message rides the outbox -> inbox
+// fold-in machinery (packed-key sort included), one message per window.
+void BM_CrossShardPost(benchmark::State& state) {
+  const auto msgs = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::ExecutorOptions o;
+    o.shards = 2;
+    o.lookahead = 1_us;
+    o.workers = 1;
+    sim::Executor exec(o);
+    std::uint64_t delivered = 0;
+    for (int i = 0; i < msgs; ++i)
+      exec.shard(0).schedule(static_cast<Time>(i) * 1_us,
+                             [&exec, &delivered] {
+                               auto& src = exec.shard(0);
+                               src.postRemote(exec.shard(1), src.now() + 1_us,
+                                              [&delivered] { ++delivered; });
+                             });
+    exec.run();
+    benchmark::DoNotOptimize(delivered);
+  }
+  state.SetItemsProcessed(state.iterations() * msgs);
+}
+BENCHMARK(BM_CrossShardPost)->Arg(10000);
+
+// End-to-end sharded-core cost at scale: an incast congestion point on
+// the oversubscribed fat-tree, serial core (sim-jobs 1) vs sharded.
+// items/s counts delivered messages. On a single-core host the worker
+// budget caps the pool at one thread, so the sharded rows price the
+// window/fold-in overhead; real speedups need spare cores.
+void BM_CongestionIncastSharded(benchmark::State& state) {
+  const auto nodes = static_cast<std::uint64_t>(state.range(0));
+  auto machine = backend::gmMachine();
+  machine.fabric.sw.ports = 24;
+  machine.fabric.topo.kind = net::TopologyKind::FatTree;
+  machine.fabric.topo.nodesPerSwitch = 8;
+  machine.fabric.topo.spines = 4;
+  machine.fabric.sw.queue.depthPackets = 32;
+  machine.fabric.sw.queue.backpressure = net::Backpressure::Credit;
+  bench::CongestionParams p;
+  p.pattern = bench::CongestionPattern::Incast;
+  p.nodes = nodes;
+  p.msgBytes = 16_KB;
+  p.messagesPerSender = 1;
+  p.window = 8;
+  bench::RunOptions opts;
+  opts.simJobs = static_cast<int>(state.range(1));
+  for (auto _ : state) {
+    const auto point = bench::runCongestionPoint(machine, p, opts);
+    benchmark::DoNotOptimize(point.messagesDelivered);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(nodes - 1));
+}
+BENCHMARK(BM_CongestionIncastSharded)
+    ->Args({256, 1})
+    ->Args({256, 4})
+    ->Args({1024, 1})
+    ->Args({1024, 8})
+    ->Unit(benchmark::kMillisecond);
 
 // Raw emission throughput with the ring attached: the per-record cost a
 // traced run pays on top of the simulation itself.

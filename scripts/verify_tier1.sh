@@ -8,7 +8,9 @@
 #      tests (`faults` label), whose parallel sweeps run retransmission
 #      machinery on every worker thread — and the tracing/observability
 #      tests (`trace` label), whose TraceLog rides along with parallel
-#      traced-point runs;
+#      traced-point runs — and the sharded-PDES core tests (`pdes`
+#      label), whose window loop hands shards to pool workers and folds
+#      cross-shard events back in under a mutex;
 #   3. rebuild the tracing/observability suites under AddressSanitizer
 #      (-DCOMB_SANITIZE=address) and run the `trace`-labelled tests: the
 #      TraceLog ring recycles slots and interns labels, exactly the kind
@@ -77,7 +79,7 @@ build_tsan() {
     -DCMAKE_BUILD_TYPE=RelWithDebInfo &&
     cmake --build build-tsan -j --target test_thread_pool test_runner \
       test_log test_thread_comb test_fault test_fault_injection \
-      test_tracelog test_trace_export test_audit
+      test_tracelog test_trace_export test_audit test_executor test_pdes
 }
 build_asan() {
   cmake -B build-asan -S . -DCOMB_SANITIZE=address \
@@ -99,6 +101,7 @@ run_stage "tsan concurrency" ctest_checked build-tsan \
   -R 'ThreadPool|ParallelFor|ParallelSweep|LogSweep|Log\.|Runner'
 run_stage "tsan faults"      ctest_checked build-tsan -L faults
 run_stage "tsan trace"       ctest_checked build-tsan -L trace
+run_stage "tsan pdes"        ctest_checked build-tsan -L pdes
 run_stage "asan build"       build_asan
 run_stage "asan trace"       ctest_checked build-asan -L trace
 run_stage "ubsan build"      build_ubsan

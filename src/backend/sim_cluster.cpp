@@ -1,5 +1,7 @@
 #include "backend/sim_cluster.hpp"
 
+#include <algorithm>
+
 #include "common/error.hpp"
 #include "common/string_util.hpp"
 #include "nic/gm_nic.hpp"
@@ -9,10 +11,61 @@
 
 namespace comb::backend {
 
-SimCluster::SimCluster(MachineConfig cfg, int nodeCount)
-    : cfg_(std::move(cfg)) {
-  COMB_REQUIRE(nodeCount >= 1, "cluster needs at least one node");
-  fabric_ = std::make_unique<net::Fabric>(sim_, cfg_.fabric);
+namespace {
+/// The partition grain: nodes per edge switch (fat-tree leaf) or per
+/// dragonfly group, 1 for the single star. Blocks of this size never
+/// split across shards, so every intra-leaf/intra-group hop stays
+/// shard-local and only trunk traffic crosses.
+int partitionBlockNodes(const MachineConfig& cfg) {
+  const net::TopologyConfig& t = cfg.fabric.topo;
+  switch (t.kind) {
+    case net::TopologyKind::SingleSwitch:
+      return 1;
+    case net::TopologyKind::FatTree:
+      return t.nodesPerSwitch;
+    case net::TopologyKind::Dragonfly:
+      return t.nodesPerSwitch * t.routersPerGroup;
+  }
+  return 1;
+}
+}  // namespace
+
+sim::ExecutorOptions SimCluster::executorOptions(const MachineConfig& cfg,
+                                                 int nodes, int simJobs,
+                                                 int workers) {
+  COMB_REQUIRE(nodes >= 1, "cluster needs at least one node");
+  COMB_REQUIRE(simJobs >= 1, "sim-jobs must be >= 1");
+  const int grain = partitionBlockNodes(cfg);
+  const int blocks = (nodes + grain - 1) / grain;
+  sim::ExecutorOptions opts;
+  opts.shards = std::min(simJobs, std::max(blocks, 1));
+  // Lookahead: every link of the fabric — node links and trunks alike —
+  // shares cfg.fabric.link.latency (Topology scales only the trunk
+  // *rate*). The constructor cross-checks this against the built fabric.
+  opts.lookahead = cfg.fabric.link.latency;
+  opts.workers = workers;
+  return opts;
+}
+
+int SimCluster::shardOf(int rank) const {
+  COMB_REQUIRE(rank >= 0 && rank < nodeCount(), "rank out of range");
+  const int block = rank / blockNodes_;
+  return static_cast<int>(static_cast<long long>(block) *
+                          exec_.shardCount() / blocks_);
+}
+
+SimCluster::SimCluster(MachineConfig cfg, int nodeCount, int simJobs,
+                       int workers)
+    : cfg_(std::move(cfg)),
+      blockNodes_(partitionBlockNodes(cfg_)),
+      blocks_(std::max((nodeCount + blockNodes_ - 1) /
+                           std::max(blockNodes_, 1),
+                       1)),
+      exec_(executorOptions(cfg_, nodeCount, simJobs, workers)) {
+  // All wiring happens on shard 0 (the construction context); for
+  // sharded runs, bindShards below re-homes every component to its
+  // owning shard before the first event fires.
+  fabric_ = std::make_unique<net::Fabric>(exec_.shard(0), cfg_.fabric);
   // Capacity is topology-aware: ports/2 nodes on the single star (each
   // node takes an uplink input and a downlink output), bounded by group
   // size for dragonfly, unbounded for the lazily-grown fat-tree.
@@ -40,26 +93,37 @@ SimCluster::SimCluster(MachineConfig cfg, int nodeCount)
     ids.push_back(id);
   }
 
+  if (exec_.parallel()) {
+    // The lookahead Executor was built with must bound every link of the
+    // fabric that actually got wired.
+    COMB_ASSERT(fabric_->minLinkLatency() >= exec_.lookahead(),
+                "fabric link latency below the executor lookahead");
+    fabric_->bindShards([this](net::NodeId id) {
+      return &exec_.shard(shardOf(static_cast<int>(id)));
+    });
+  }
+
   COMB_REQUIRE(cfg_.cpusPerNode >= 1, "need at least one CPU per node");
   COMB_REQUIRE(cfg_.nicCpu >= 0 && cfg_.nicCpu < cfg_.cpusPerNode,
                "nicCpu outside [0, cpusPerNode)");
   for (int i = 0; i < nodeCount; ++i) {
     Node& node = nodes_[static_cast<std::size_t>(i)];
+    sim::Simulator& ctx = shardFor(i);
     for (int c = 0; c < cfg_.cpusPerNode; ++c)
       node.cpus.push_back(
-          std::make_unique<host::Cpu>(sim_, strFormat("cpu%d.%d", i, c), i));
+          std::make_unique<host::Cpu>(ctx, strFormat("cpu%d.%d", i, c), i));
     host::Cpu& appCpu = *node.cpus[0];
     host::Cpu& nicCpu = *node.cpus[static_cast<std::size_t>(cfg_.nicCpu)];
     if (cfg_.kind == TransportKind::Gm) {
       node.endpoint = std::make_unique<transport::GmEndpoint>(
-          sim_, appCpu, *fabric_, ids[static_cast<std::size_t>(i)], cfg_.gm);
+          ctx, appCpu, *fabric_, ids[static_cast<std::size_t>(i)], cfg_.gm);
     } else {
       node.endpoint = std::make_unique<transport::PortalsEndpoint>(
-          sim_, appCpu, nicCpu, *fabric_, ids[static_cast<std::size_t>(i)],
+          ctx, appCpu, nicCpu, *fabric_, ids[static_cast<std::size_t>(i)],
           cfg_.portals);
     }
-    node.mpi = std::make_unique<mpi::Mpi>(sim_, *node.endpoint, i, nodeCount);
-    node.proc = std::make_unique<SimProc>(sim_, appCpu, *node.mpi,
+    node.mpi = std::make_unique<mpi::Mpi>(ctx, *node.endpoint, i, nodeCount);
+    node.proc = std::make_unique<SimProc>(ctx, appCpu, *node.mpi,
                                           cfg_.secondsPerWorkIter);
   }
 }
@@ -92,20 +156,32 @@ mpi::Mpi& SimCluster::mpi(int rank) {
 void SimCluster::launch(int rank, sim::Task<void> process, std::string name) {
   COMB_REQUIRE(rank >= 0 && rank < nodeCount(), "rank out of range");
   if (name.empty()) name = strFormat("rank%d", rank);
-  sim_.spawn(std::move(process), std::move(name));
+  shardFor(rank).spawn(std::move(process), std::move(name));
 }
 
 sim::TraceLog& SimCluster::enableTracing(std::size_t capacity) {
-  if (!traceLog_) {
-    traceLog_ = std::make_unique<sim::TraceLog>(capacity);
-    sim_.attachTraceLog(traceLog_.get());
+  if (traceLogs_.empty()) {
+    for (int s = 0; s < exec_.shardCount(); ++s) {
+      traceLogs_.push_back(std::make_unique<sim::TraceLog>(capacity));
+      exec_.shard(s).attachTraceLog(traceLogs_.back().get());
+    }
   }
-  return *traceLog_;
+  return *traceLogs_.front();
+}
+
+std::size_t SimCluster::traceDropped() const {
+  std::size_t n = 0;
+  for (const auto& log : traceLogs_)
+    if (log) n += log->dropped();
+  return n;
 }
 
 std::unique_ptr<sim::TraceLog> SimCluster::releaseTraceLog() {
-  sim_.attachTraceLog(nullptr);
-  return std::move(traceLog_);
+  for (int s = 0; s < exec_.shardCount(); ++s)
+    exec_.shard(s).attachTraceLog(nullptr);
+  auto merged = sim::TraceLog::merge(std::move(traceLogs_));
+  traceLogs_.clear();
+  return merged;
 }
 
 net::FaultCounters SimCluster::faultCounters() const {
@@ -129,8 +205,8 @@ net::FaultCounters SimCluster::faultCounters() const {
 }
 
 void SimCluster::run() {
-  sim_.run();
-  COMB_ASSERT(sim_.liveProcesses() == 0,
+  exec_.run();
+  COMB_ASSERT(exec_.liveProcesses() == 0,
               "simulation drained with suspended processes (deadlock)");
   // A no-route drop is a fabric wiring bug, never a legitimate outcome —
   // it used to be just a log line, letting miswired fabrics sail through

@@ -13,6 +13,7 @@
 #include "host/cpu.hpp"
 #include "mpi/mpi.hpp"
 #include "net/fabric.hpp"
+#include "sim/executor.hpp"
 #include "sim/simulator.hpp"
 #include "sim/task.hpp"
 #include "transport/endpoint.hpp"
@@ -72,15 +73,38 @@ class SimProc {
 
 class SimCluster {
  public:
-  SimCluster(MachineConfig cfg, int nodes);
+  /// `simJobs` shards the simulator core: nodes are partitioned into
+  /// contiguous blocks aligned to the topology (whole leaf switches /
+  /// dragonfly groups), each block set driven by one sim::ShardContext,
+  /// with the fabric's minimum link latency as the conservative
+  /// lookahead. 1 (the default) is the classic serial core,
+  /// bit-identical to the pre-executor simulator. The effective shard
+  /// count is min(simJobs, partition blocks) — results are a pure
+  /// function of it. `workers` limits the threads driving the shards
+  /// (wall time only; 0 = hardware concurrency).
+  SimCluster(MachineConfig cfg, int nodes, int simJobs = 1, int workers = 0);
   SimCluster(const SimCluster&) = delete;
   SimCluster& operator=(const SimCluster&) = delete;
   ~SimCluster();
 
-  sim::Simulator& simulator() { return sim_; }
+  sim::Executor& executor() { return exec_; }
+  const sim::Executor& executor() const { return exec_; }
+  /// Shard 0's context — THE simulator for serial (simJobs = 1) runs,
+  /// where every component lives on it. Sharded runs should prefer
+  /// executor() / the merged accessors below.
+  sim::Simulator& simulator() { return exec_.shard(0); }
+  /// The shard driving `rank`'s node.
+  sim::ShardContext& shardFor(int rank) { return exec_.shard(shardOf(rank)); }
+  int shardOf(int rank) const;
   net::Fabric& fabric() { return *fabric_; }
   const MachineConfig& config() const { return cfg_; }
   int nodeCount() const { return static_cast<int>(nodes_.size()); }
+
+  // Merged whole-machine views (identical to the shard-0 values for
+  // serial runs).
+  Time now() const { return exec_.now(); }
+  std::uint64_t eventsExecuted() const { return exec_.eventsExecuted(); }
+  metrics::Snapshot metricsSnapshot() const { return exec_.metricsSnapshot(); }
 
   SimProc& proc(int rank);
   /// CPU `which` of a node (0 = the application CPU).
@@ -99,12 +123,22 @@ class SimCluster {
   /// lossless fabric.
   net::FaultCounters faultCounters() const;
 
-  /// Attach a structured trace log (owned by the cluster); returns it.
+  /// Attach structured trace logs (owned by the cluster) — one per
+  /// shard, each of `capacity`. Returns shard 0's log.
   sim::TraceLog& enableTracing(std::size_t capacity = 1 << 16);
-  sim::TraceLog* traceLog() { return traceLog_.get(); }
-  const sim::TraceLog* traceLog() const { return traceLog_.get(); }
-  /// Take ownership of the trace log (detaches it from the simulator),
-  /// e.g. to keep the timeline after the cluster is torn down.
+  /// Shard 0's live log (the whole machine for serial runs; one shard's
+  /// slice otherwise — use releaseTraceLog() for the merged timeline).
+  sim::TraceLog* traceLog() {
+    return traceLogs_.empty() ? nullptr : traceLogs_.front().get();
+  }
+  const sim::TraceLog* traceLog() const {
+    return traceLogs_.empty() ? nullptr : traceLogs_.front().get();
+  }
+  /// Records dropped by the bounded rings, summed over every shard.
+  std::size_t traceDropped() const;
+  /// Detach every shard's log and return the merged, time-ordered
+  /// timeline (a serial run's single log is returned unchanged), e.g. to
+  /// keep it after the cluster is torn down.
   std::unique_ptr<sim::TraceLog> releaseTraceLog();
 
  private:
@@ -115,11 +149,22 @@ class SimCluster {
     std::unique_ptr<SimProc> proc;
   };
 
+  static sim::ExecutorOptions executorOptions(const MachineConfig& cfg,
+                                              int nodes, int simJobs,
+                                              int workers);
+
   MachineConfig cfg_;
-  sim::Simulator sim_;
+  /// Partition: node i belongs to block i / blockNodes_; blocks spread
+  /// contiguously over the shards. blockNodes_ is the topology's
+  /// natural grain (nodes per leaf / per dragonfly group; 1 for the
+  /// star) so a whole edge switch lands on one shard. Members precede
+  /// exec_: shard count = min(simJobs, blocks_).
+  int blockNodes_ = 1;
+  int blocks_ = 1;
+  sim::Executor exec_;
   std::unique_ptr<net::Fabric> fabric_;
   std::vector<Node> nodes_;
-  std::unique_ptr<sim::TraceLog> traceLog_;
+  std::vector<std::unique_ptr<sim::TraceLog>> traceLogs_;
 };
 
 }  // namespace comb::backend

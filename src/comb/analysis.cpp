@@ -14,14 +14,15 @@ OverlapAssessment assessMachine(const backend::MachineConfig& machine,
   a.machineName = machine.name;
   a.msgBytes = options.msgBytes;
 
-  // Conventional ping-pong.
-  LatencyParams lat;
-  lat.msgBytes = options.msgBytes;
-  a.pingPong = runLatencyPoint(machine, lat);
-
   // Polling sweep: find the bandwidth/availability frontier.
   RunOptions opts;
   opts.jobs = options.jobs;
+  opts.simJobs = options.simJobs;
+
+  // Conventional ping-pong.
+  LatencyParams lat;
+  lat.msgBytes = options.msgBytes;
+  a.pingPong = runLatencyPoint(machine, lat, coreOptions(opts));
   const auto sweep =
       runPollingSweep(machine,
                       sweepOver(presets::pollingBase(options.msgBytes),
@@ -37,10 +38,10 @@ OverlapAssessment assessMachine(const backend::MachineConfig& machine,
   // PWW offload probe, with and without the inserted call.
   auto pww = presets::pwwBase(options.msgBytes);
   pww.workInterval = options.longWorkInterval;
-  a.longWork = runPwwPoint(machine, pww);
+  a.longWork = runPwwPoint(machine, pww, coreOptions(opts));
   auto pwwTest = pww;
   pwwTest.testCallAtFraction = options.testCallAtFraction;
-  a.longWorkWithTest = runPwwPoint(machine, pwwTest);
+  a.longWorkWithTest = runPwwPoint(machine, pwwTest, coreOptions(opts));
 
   a.applicationOffload = a.longWork.avgWaitPerMsg < 0.05 * a.longWork.dryWork;
   a.workInflation =

@@ -26,6 +26,9 @@ struct AssessOptions {
   /// Worker threads for the internal sweeps (1 = serial). Results are
   /// bit-identical for any value — sweep points are fully isolated.
   int jobs = 1;
+  /// Simulator-core shards per cluster (configuration identity: 1 is the
+  /// classic serial core; see docs/parallel_sim.md).
+  int simJobs = 1;
 };
 
 struct OverlapAssessment {

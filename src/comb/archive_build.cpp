@@ -45,11 +45,13 @@ void appendSweep(report::Archive& archive, const std::string& id,
 
 }  // namespace
 
-report::Archive makeArchive(const std::string& bench, const RepPolicy& rep) {
+report::Archive makeArchive(const std::string& bench, const RepPolicy& rep,
+                            int simJobs) {
   report::Archive archive;
   archive.bench = bench;
   archive.seed = rep.seed;
   archive.provenance = report::buildProvenance();
+  archive.provenance.simJobs = simJobs;
   archive.rep.adaptive = rep.adaptive;
   archive.rep.reps = rep.reps;
   archive.rep.minReps = rep.minReps;

@@ -15,8 +15,11 @@ namespace comb::bench {
 struct CongestionPoint;  // comb/congestion.hpp
 
 /// Start an archive: bench id, the rep policy the samples were collected
-/// under, and this build's provenance stamp.
-report::Archive makeArchive(const std::string& bench, const RepPolicy& rep);
+/// under, and this build's provenance stamp. `simJobs` is the
+/// simulator-core shard count the samples ran under (configuration
+/// identity — `comb compare` flags archives whose values differ).
+report::Archive makeArchive(const std::string& bench, const RepPolicy& rep,
+                            int simJobs = 1);
 
 /// Append one sweep of polling points. Metrics: availability (higher is
 /// better), bandwidth_MBps (higher is better).

@@ -109,6 +109,12 @@ CompareReport compareArchives(const report::Archive& baseline,
         "seeds differ: baseline %llu, candidate %llu",
         (unsigned long long)baseline.seed,
         (unsigned long long)candidate.seed));
+  if (baseline.provenance.simJobs != candidate.provenance.simJobs)
+    report.notes.push_back(strFormat(
+        "core configurations differ: baseline --sim-jobs %d, candidate "
+        "--sim-jobs %d — the shard count is part of the run's identity, so "
+        "deltas may reflect the configuration, not the code",
+        baseline.provenance.simJobs, candidate.provenance.simJobs));
 
   std::map<std::string, const report::ArchiveSweep*> bSweeps;
   for (const auto& s : candidate.sweeps) bSweeps.emplace(s.id, &s);

@@ -78,7 +78,8 @@ CongestionPoint runCongestionPoint(const backend::MachineConfig& machine,
   COMB_REQUIRE(params.nodes >= 2 && params.nodes <= (1u << 20),
                "congestion needs 2 <= nodes <= 2^20");
   const int n = static_cast<int>(params.nodes);
-  backend::SimCluster cluster(machineWithOptions(machine, opts), n);
+  backend::SimCluster cluster(machineWithOptions(machine, opts), n,
+                              opts.simJobs, simWorkerBudget(opts));
   std::vector<CongestionNodeResult> nodes(static_cast<std::size_t>(n));
   for (int r = 0; r < n; ++r)
     cluster.launch(r, congestionDriver(cluster.proc(r), params, nodes[r]),
@@ -158,8 +159,8 @@ std::vector<CongestionPoint> runCongestionSweep(
   const auto paramSets = expandCongestionSpec(spec);
   auto points = runSweepParallel(
       m, paramSets,
-      [](const backend::MachineConfig& mc, const CongestionParams& p) {
-        return runCongestionPoint(mc, p);
+      [&opts](const backend::MachineConfig& mc, const CongestionParams& p) {
+        return runCongestionPoint(mc, p, coreOptions(opts));
       },
       opts.jobs);
   for (const auto& pt : points) {
@@ -179,7 +180,7 @@ RepRun<CongestionPoint> runCongestionPointReps(
     const RunOptions& opts) {
   return runPointRepsWith<CongestionPoint>(
       machine, opts, [&](const backend::MachineConfig& m) {
-        return runCongestionPoint(m, params);
+        return runCongestionPoint(m, params, coreOptions(opts));
       });
 }
 

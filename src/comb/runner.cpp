@@ -2,8 +2,12 @@
 
 #include <cmath>
 
+#include <algorithm>
+#include <atomic>
+
 #include "backend/sim_cluster.hpp"
 #include "common/error.hpp"
+#include "common/thread_pool.hpp"
 #include "comb/polling.hpp"
 #include "comb/pww.hpp"
 #include "common/log.hpp"
@@ -38,6 +42,23 @@ backend::MachineConfig machineWithOptions(const backend::MachineConfig& machine,
   return m;
 }
 
+int simWorkerBudget(const RunOptions& opts) {
+  if (opts.simJobs <= 1) return 0;  // serial core: no worker threads at all
+  const int sweepJobs = std::max(opts.jobs, 1);
+  const int hw = std::max(hardwareJobs(), 1);
+  if (static_cast<long long>(sweepJobs) * opts.simJobs <= hw) return 0;
+  const int cap = std::max(1, hw / sweepJobs);
+  static std::atomic<bool> warned{false};
+  if (!warned.exchange(true)) {
+    COMB_LOG(Warn) << "thread budget: --jobs " << sweepJobs << " x --sim-jobs "
+                   << opts.simJobs << " exceeds hardware concurrency (" << hw
+                   << "); capping each cluster at " << cap
+                   << " worker thread(s). Results are unchanged (shard count "
+                      "is fixed by --sim-jobs); only wall time is affected.";
+  }
+  return cap;
+}
+
 void validateRepPolicy(const RepPolicy& policy) {
   COMB_REQUIRE(policy.reps >= 1, "--reps must be >= 1");
   COMB_REQUIRE(policy.maxReps >= 1, "--max-reps must be >= 1");
@@ -61,8 +82,8 @@ RepRun<PollingPoint> runPollingPointReps(const backend::MachineConfig& machine,
                                          const RunOptions& opts) {
   return runPointRepsWith<PollingPoint>(machine, opts,
                                         [&](const backend::MachineConfig& m) {
-                                          return runPollingPoint(m, params);
-                                        });
+          return runPollingPoint(m, params, coreOptions(opts));
+        });
 }
 
 RepRun<PwwPoint> runPwwPointReps(const backend::MachineConfig& machine,
@@ -70,8 +91,8 @@ RepRun<PwwPoint> runPwwPointReps(const backend::MachineConfig& machine,
                                  const RunOptions& opts) {
   return runPointRepsWith<PwwPoint>(machine, opts,
                                     [&](const backend::MachineConfig& m) {
-                                      return runPwwPoint(m, params);
-                                    });
+          return runPwwPoint(m, params, coreOptions(opts));
+        });
 }
 
 RepRun<LatencyPoint> runLatencyPointReps(const backend::MachineConfig& machine,
@@ -79,8 +100,8 @@ RepRun<LatencyPoint> runLatencyPointReps(const backend::MachineConfig& machine,
                                          const RunOptions& opts) {
   return runPointRepsWith<LatencyPoint>(machine, opts,
                                         [&](const backend::MachineConfig& m) {
-                                          return runLatencyPoint(m, params);
-                                        });
+          return runLatencyPoint(m, params, coreOptions(opts));
+        });
 }
 
 std::vector<std::uint64_t> logSweep(std::uint64_t lo, std::uint64_t hi,
@@ -112,7 +133,8 @@ std::vector<std::uint64_t> logSweep(std::uint64_t lo, std::uint64_t hi,
 PollingPoint runPollingPoint(const backend::MachineConfig& machine,
                              const PollingParams& params,
                              const RunOptions& opts) {
-  backend::SimCluster cluster(machineWithOptions(machine, opts), 2);
+  backend::SimCluster cluster(machineWithOptions(machine, opts), 2,
+                              opts.simJobs, simWorkerBudget(opts));
   PollingPoint point;
   cluster.launch(0, pollingWorkerDriver(cluster.proc(0), params, point),
                  "polling-worker");
@@ -125,7 +147,8 @@ PollingPoint runPollingPoint(const backend::MachineConfig& machine,
 
 PwwPoint runPwwPoint(const backend::MachineConfig& machine,
                      const PwwParams& params, const RunOptions& opts) {
-  backend::SimCluster cluster(machineWithOptions(machine, opts), 2);
+  backend::SimCluster cluster(machineWithOptions(machine, opts), 2,
+                              opts.simJobs, simWorkerBudget(opts));
   PwwPoint point;
   cluster.launch(0, pwwWorkerDriver(cluster.proc(0), params, point),
                  "pww-worker");
@@ -138,7 +161,8 @@ PwwPoint runPwwPoint(const backend::MachineConfig& machine,
 TracedRun<PollingPoint> runPollingPointTraced(
     const backend::MachineConfig& machine, const PollingParams& params,
     const RunOptions& opts, std::size_t traceCapacity) {
-  backend::SimCluster cluster(machineWithOptions(machine, opts), 2);
+  backend::SimCluster cluster(machineWithOptions(machine, opts), 2,
+                              opts.simJobs, simWorkerBudget(opts));
   cluster.enableTracing(traceCapacity);
   TracedRun<PollingPoint> run;
   cluster.launch(0, pollingWorkerDriver(cluster.proc(0), params, run.point),
@@ -156,7 +180,8 @@ TracedRun<PwwPoint> runPwwPointTraced(const backend::MachineConfig& machine,
                                       const PwwParams& params,
                                       const RunOptions& opts,
                                       std::size_t traceCapacity) {
-  backend::SimCluster cluster(machineWithOptions(machine, opts), 2);
+  backend::SimCluster cluster(machineWithOptions(machine, opts), 2,
+                              opts.simJobs, simWorkerBudget(opts));
   cluster.enableTracing(traceCapacity);
   TracedRun<PwwPoint> run;
   cluster.launch(0, pwwWorkerDriver(cluster.proc(0), params, run.point),
@@ -172,7 +197,8 @@ TracedRun<PwwPoint> runPwwPointTraced(const backend::MachineConfig& machine,
 LatencyPoint runLatencyPoint(const backend::MachineConfig& machine,
                              const LatencyParams& params,
                              const RunOptions& opts) {
-  backend::SimCluster cluster(machineWithOptions(machine, opts), 2);
+  backend::SimCluster cluster(machineWithOptions(machine, opts), 2,
+                              opts.simJobs, simWorkerBudget(opts));
   LatencyPoint point;
   cluster.launch(0, latencyDriver(cluster.proc(0), params, point),
                  "latency-initiator");
@@ -208,8 +234,8 @@ std::vector<PollingPoint> runPollingSweep(const backend::MachineConfig& machine,
   const auto paramSets = expandSpec(spec, &PollingParams::pollInterval);
   auto points = runSweepParallel(
       m, paramSets,
-      [](const backend::MachineConfig& mc, const PollingParams& p) {
-        return runPollingPoint(mc, p);
+      [&opts](const backend::MachineConfig& mc, const PollingParams& p) {
+        return runPollingPoint(mc, p, coreOptions(opts));
       },
       opts.jobs);
   // Log after the sweep, in input order, so the trace reads identically
@@ -229,8 +255,8 @@ std::vector<PwwPoint> runPwwSweep(const backend::MachineConfig& machine,
   const auto paramSets = expandSpec(spec, &PwwParams::workInterval);
   auto points = runSweepParallel(
       m, paramSets,
-      [](const backend::MachineConfig& mc, const PwwParams& p) {
-        return runPwwPoint(mc, p);
+      [&opts](const backend::MachineConfig& mc, const PwwParams& p) {
+        return runPwwPoint(mc, p, coreOptions(opts));
       },
       opts.jobs);
   for (const auto& p : points) {
@@ -248,8 +274,8 @@ std::vector<LatencyPoint> runLatencySweep(const backend::MachineConfig& machine,
   const auto paramSets = expandSpec(spec, &LatencyParams::msgBytes);
   return runSweepParallel(
       m, paramSets,
-      [](const backend::MachineConfig& mc, const LatencyParams& p) {
-        return runLatencyPoint(mc, p);
+      [&opts](const backend::MachineConfig& mc, const LatencyParams& p) {
+        return runLatencyPoint(mc, p, coreOptions(opts));
       },
       opts.jobs);
 }
@@ -294,41 +320,6 @@ std::vector<RepRun<LatencyPoint>> runLatencySweepReps(
     const RunOptions& opts) {
   return runSweepRepsImpl<LatencyParams, LatencyPoint>(
       machine, spec, &LatencyParams::msgBytes, opts, runLatencyPointReps);
-}
-
-// --- deprecated positional overloads ---------------------------------------
-
-std::vector<PollingPoint> runPollingSweep(
-    const backend::MachineConfig& machine, PollingParams base,
-    const std::vector<std::uint64_t>& pollIntervals, int jobs) {
-  SweepSpec<PollingParams> spec;
-  spec.base = base;
-  spec.values = pollIntervals;
-  RunOptions opts;
-  opts.jobs = jobs;
-  return runPollingSweep(machine, spec, opts);
-}
-
-std::vector<PwwPoint> runPwwSweep(
-    const backend::MachineConfig& machine, PwwParams base,
-    const std::vector<std::uint64_t>& workIntervals, int jobs) {
-  SweepSpec<PwwParams> spec;
-  spec.base = base;
-  spec.values = workIntervals;
-  RunOptions opts;
-  opts.jobs = jobs;
-  return runPwwSweep(machine, spec, opts);
-}
-
-std::vector<LatencyPoint> runLatencySweep(const backend::MachineConfig& machine,
-                                          const std::vector<Bytes>& sizes,
-                                          int reps, int jobs) {
-  SweepSpec<LatencyParams> spec;
-  spec.base.reps = reps;
-  spec.values = sizes;
-  RunOptions opts;
-  opts.jobs = jobs;
-  return runLatencySweep(machine, spec, opts);
 }
 
 }  // namespace comb::bench

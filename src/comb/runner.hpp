@@ -13,8 +13,8 @@
 //
 // The sweep API: a SweepSpec<Param> names the base parameter set and the
 // swept axis; RunOptions carries everything about *how* to run (worker
-// threads, fault injection) so new knobs never change runner signatures
-// again. The older positional overloads are kept as deprecated shims.
+// threads, core shards, fault injection) so new knobs never change
+// runner signatures again.
 #pragma once
 
 #include <memory>
@@ -80,6 +80,13 @@ std::uint64_t repSeed(std::uint64_t root, int rep);
 struct RunOptions {
   /// Worker threads for sweeps. Results are bit-identical to jobs=1.
   int jobs = 1;
+  /// Shards for the simulator core of each point's cluster (--sim-jobs):
+  /// 1 (default) is the classic serial core, bit-identical to every
+  /// historical result; N > 1 runs the sharded PDES executor, whose
+  /// results are deterministic given N but may differ from serial ones.
+  /// Part of a run's configuration identity — archives record it and
+  /// `comb compare` flags cross-simJobs comparisons.
+  int simJobs = 1;
   /// When set, overrides the machine's fabric fault model for this run
   /// (the CLI's --fault flag lands here).
   std::optional<net::FaultSpec> fault;
@@ -87,6 +94,26 @@ struct RunOptions {
   /// single-shot runners below always measure exactly once).
   RepPolicy rep;
 };
+
+/// Thread-budget mediation between the sweep level (opts.jobs clusters
+/// at once) and the core level (opts.simJobs worker threads inside each
+/// cluster): returns the per-cluster worker cap (0 = executor default)
+/// so that jobs * workers never exceeds hardware concurrency. Logs a
+/// warning (once per process) when it has to throttle.
+int simWorkerBudget(const RunOptions& opts);
+
+/// The execution-shape subset of `opts` (jobs + simJobs) that nested
+/// point runs must inherit from a sweep or rep loop. Fault/rep settings
+/// are deliberately dropped — the caller has already folded them into
+/// the machine config — but simJobs must ride along (it shapes the
+/// cluster, not the machine), and jobs rides for simWorkerBudget's
+/// oversubscription math.
+inline RunOptions coreOptions(const RunOptions& opts) {
+  RunOptions ro;
+  ro.jobs = opts.jobs;
+  ro.simJobs = opts.simJobs;
+  return ro;
+}
 
 /// All repetitions of one measurement point. reps[0] is the canonical
 /// point (machine exactly as configured — byte-identical to a single
@@ -278,22 +305,5 @@ std::vector<RepRun<PwwPoint>> runPwwSweepReps(
 std::vector<RepRun<LatencyPoint>> runLatencySweepReps(
     const backend::MachineConfig& machine, const SweepSpec<LatencyParams>& spec,
     const RunOptions& opts = {});
-
-// --- deprecated positional overloads (pre-SweepSpec API) -------------------
-
-[[deprecated("use runPollingSweep(machine, SweepSpec, RunOptions)")]]
-std::vector<PollingPoint> runPollingSweep(
-    const backend::MachineConfig& machine, PollingParams base,
-    const std::vector<std::uint64_t>& pollIntervals, int jobs = 1);
-
-[[deprecated("use runPwwSweep(machine, SweepSpec, RunOptions)")]]
-std::vector<PwwPoint> runPwwSweep(
-    const backend::MachineConfig& machine, PwwParams base,
-    const std::vector<std::uint64_t>& workIntervals, int jobs = 1);
-
-[[deprecated("use runLatencySweep(machine, SweepSpec, RunOptions)")]]
-std::vector<LatencyPoint> runLatencySweep(const backend::MachineConfig& machine,
-                                          const std::vector<Bytes>& sizes,
-                                          int reps = 30, int jobs = 1);
 
 }  // namespace comb::bench

@@ -6,11 +6,16 @@
 
 namespace comb::metrics {
 
-Counter& Registry::counter(std::string_view name) {
+Counter& Registry::counter(std::string_view name, MergeKind merge) {
   COMB_REQUIRE(!name.empty(), "metric name must not be empty");
-  if (const auto it = counters_.find(name); it != counters_.end())
+  if (const auto it = counters_.find(name); it != counters_.end()) {
+    COMB_REQUIRE(it->second.merge_ == merge,
+                 "counter re-registered with a different merge kind");
     return it->second;
-  return counters_.emplace(std::string(name), Counter{}).first->second;
+  }
+  Counter c;
+  c.merge_ = merge;
+  return counters_.emplace(std::string(name), c).first->second;
 }
 
 Histogram& Registry::histogram(std::string_view name, double lo, double hi,
@@ -26,7 +31,7 @@ Snapshot Registry::snapshot() const {
   Snapshot snap;
   snap.counters.reserve(counters_.size());
   for (const auto& [name, c] : counters_)
-    snap.counters.push_back({name, c.value()});
+    snap.counters.push_back({name, c.value(), c.mergeKind()});
   snap.histograms.reserve(histograms_.size());
   for (const auto& [name, h] : histograms_) {
     HistogramSample s;
@@ -48,6 +53,46 @@ std::uint64_t Snapshot::counterValue(std::string_view name) const {
       counters.begin(), counters.end(),
       [name](const CounterSample& c) { return c.name == name; });
   return it == counters.end() ? 0 : it->value;
+}
+
+Snapshot mergeSnapshots(const std::vector<Snapshot>& parts) {
+  if (parts.size() == 1) return parts.front();
+  Snapshot out;
+  // Inputs are name-sorted; a k-way merge would be fancier, but snapshot
+  // merging runs once per simulation, not per event. Maps keep the
+  // result sorted and the lookups simple.
+  std::map<std::string, CounterSample, std::less<>> counters;
+  std::map<std::string, HistogramSample, std::less<>> histograms;
+  for (const Snapshot& part : parts) {
+    for (const CounterSample& c : part.counters) {
+      auto [it, fresh] = counters.emplace(c.name, c);
+      if (fresh) continue;
+      COMB_REQUIRE(it->second.merge == c.merge,
+                   "merging counters with mismatched merge kinds");
+      if (c.merge == MergeKind::Max)
+        it->second.value = std::max(it->second.value, c.value);
+      else
+        it->second.value += c.value;
+    }
+    for (const HistogramSample& h : part.histograms) {
+      auto [it, fresh] = histograms.emplace(h.name, h);
+      if (fresh) continue;
+      HistogramSample& acc = it->second;
+      COMB_REQUIRE(acc.lo == h.lo && acc.hi == h.hi &&
+                       acc.counts.size() == h.counts.size(),
+                   "merging histograms with mismatched layouts");
+      for (std::size_t i = 0; i < h.counts.size(); ++i)
+        acc.counts[i] += h.counts[i];
+      acc.underflow += h.underflow;
+      acc.overflow += h.overflow;
+      acc.total += h.total;
+    }
+  }
+  out.counters.reserve(counters.size());
+  for (auto& [name, c] : counters) out.counters.push_back(std::move(c));
+  out.histograms.reserve(histograms.size());
+  for (auto& [name, h] : histograms) out.histograms.push_back(std::move(h));
+  return out;
 }
 
 namespace {

@@ -26,20 +26,37 @@
 
 namespace comb::metrics {
 
+/// How same-named counters from different registries combine when
+/// per-shard snapshots are merged (see mergeSnapshots). Almost every
+/// counter is a Sum (events happened here + events happened there); Max
+/// is for high-water marks like queue peaks, where each shard tracks its
+/// own running maximum and the combined figure is the largest of them.
+enum class MergeKind : std::uint8_t { Sum, Max };
+
 /// Monotonic counter. Cheap enough for per-packet paths.
 class Counter {
  public:
   void add(std::uint64_t d = 1) { value_ += d; }
+  /// Monotonic set-to-max, for high-water-mark counters (pairs with
+  /// MergeKind::Max): the value only ever grows, like add, but tracks a
+  /// peak instead of a total.
+  void raiseTo(std::uint64_t v) {
+    if (v > value_) value_ = v;
+  }
   std::uint64_t value() const { return value_; }
+  MergeKind mergeKind() const { return merge_; }
 
  private:
+  friend class Registry;
   std::uint64_t value_ = 0;
+  MergeKind merge_ = MergeKind::Sum;
 };
 
 /// One instrument's state at snapshot time.
 struct CounterSample {
   std::string name;
   std::uint64_t value = 0;
+  MergeKind merge = MergeKind::Sum;
 };
 
 struct HistogramSample {
@@ -69,7 +86,9 @@ class Registry {
   Registry& operator=(const Registry&) = delete;
 
   /// Find-or-create. References stay valid for the registry's lifetime.
-  Counter& counter(std::string_view name);
+  /// `merge` is fixed by the first registration (re-registering with a
+  /// different kind is rejected).
+  Counter& counter(std::string_view name, MergeKind merge = MergeKind::Sum);
   /// Find-or-create; bin layout is fixed by the first registration.
   Histogram& histogram(std::string_view name, double lo, double hi,
                        std::size_t bins);
@@ -84,6 +103,16 @@ class Registry {
   std::map<std::string, Counter, std::less<>> counters_;
   std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
 };
+
+/// Combine per-shard snapshots into one machine-wide view, matching
+/// instruments by exact name. Counters combine by their MergeKind (Sum
+/// counters add, Max counters take the largest; a name appearing in
+/// several inputs must carry the same kind in all of them). Histograms
+/// combine bin-wise and require identical layouts. Inputs are
+/// name-sorted (as Registry::snapshot produces) and so is the result —
+/// a single input round-trips unchanged, which keeps the serial path
+/// byte-identical.
+Snapshot mergeSnapshots(const std::vector<Snapshot>& parts);
 
 /// Serialize a snapshot as a JSON object:
 ///   {"counters": {"name": value, ...},

@@ -1,5 +1,7 @@
 #include "net/fabric.hpp"
 
+#include <algorithm>
+
 #include "common/error.hpp"
 #include "common/string_util.hpp"
 
@@ -19,6 +21,7 @@ NodeId Fabric::addNode(DeliveryFn onDeliver) {
   port.down = std::make_unique<Link>(sim_, cfg_.link,
                                      strFormat("down%d", id));
   port.deliver = std::move(onDeliver);
+  port.ctx = &sim_;
   // The topology claims the switch-side ports (one input for the uplink,
   // one output for the downlink) and installs routes everywhere.
   const Topology::Attachment att = topology_.attachNode(id, *port.down);
@@ -27,6 +30,9 @@ NodeId Fabric::addNode(DeliveryFn onDeliver) {
   port.up->setSink([sw, inputPort](Packet p) {
     sw->inject(inputPort, std::move(p));
   });
+  // The uplink feeds `sw`: under a sharded executor its arrivals target
+  // the shard owning the egress port for each packet's destination.
+  port.up->setNextHop(sw);
   Link* down = port.down.get();
   nodes_.push_back(std::move(port));
   // Index-based lookup: nodes_ may reallocate as more nodes are added.
@@ -44,17 +50,41 @@ void Fabric::inject(NodeId src, NodeId dst, Bytes payloadBytes,
                strFormat("packet payload %llu exceeds MTU %llu",
                          static_cast<unsigned long long>(payloadBytes),
                          static_cast<unsigned long long>(cfg_.mtu)));
+  NodePort& np = nodes_[static_cast<std::size_t>(src)];
   Packet p;
   p.src = src;
   p.dst = dst;
   p.wireBytes = payloadBytes + cfg_.perPacketHeader;
-  p.seq = packetsInjected_++;
+  p.seq = np.seq++;
   p.payload = std::move(payload);
-  if (sim_.tracing())
-    sim_.emitTrace(sim::TraceCategory::Packet, src,
-                   strFormat("->n%d", dst),
-                   static_cast<double>(p.wireBytes));
-  nodes_[static_cast<std::size_t>(src)].up->send(std::move(p));
+  if (np.ctx->tracing())
+    np.ctx->emitTrace(sim::TraceCategory::Packet, src,
+                      strFormat("->n%d", dst),
+                      static_cast<double>(p.wireBytes));
+  np.up->send(std::move(p));
+}
+
+std::uint64_t Fabric::packetsInjected() const {
+  std::uint64_t n = 0;
+  for (const auto& port : nodes_) n += port.seq;
+  return n;
+}
+
+void Fabric::bindShards(
+    const std::function<sim::ShardContext*(NodeId)>& shardOf) {
+  for (NodeId id = 0; id < nodeCount(); ++id) {
+    NodePort& np = nodes_[static_cast<std::size_t>(id)];
+    sim::ShardContext* ctx = shardOf(id);
+    COMB_REQUIRE(ctx != nullptr, "bindShards: null shard for node");
+    np.ctx = ctx;
+    np.up->rehome(*ctx);
+    np.down->rehome(*ctx);
+  }
+  topology_.bindShards(shardOf);
+}
+
+Time Fabric::minLinkLatency() const {
+  return std::min(cfg_.link.latency, topology_.minTrunkLatency());
 }
 
 Link& Fabric::uplink(NodeId node) {

@@ -48,13 +48,25 @@ class Fabric {
   Link& uplink(NodeId node);
   Link& downlink(NodeId node);
 
+  /// Assign every node (its uplink, downlink, injection/delivery events
+  /// and packet-sequence counter) to a shard, and propagate the binding
+  /// through the switch graph. Call once, after the last addNode and
+  /// before the first inject. Serial executors never need this — every
+  /// component already lives on the construction context.
+  void bindShards(const std::function<sim::ShardContext*(NodeId)>& shardOf);
+
+  /// Smallest latency of any link in the fabric — the upper bound for a
+  /// sharded executor's conservative lookahead, because every cross-shard
+  /// hand-off rides some link end to end.
+  Time minLinkLatency() const;
+
   Bytes mtu() const { return cfg_.mtu; }
   Bytes perPacketHeader() const { return cfg_.perPacketHeader; }
   const FabricConfig& config() const { return cfg_; }
   int nodeCount() const { return static_cast<int>(nodes_.size()); }
   /// Max nodes this fabric can host; -1 = unbounded (lazy fat-tree).
   int capacityNodes() const { return topology_.capacityNodes(); }
-  std::uint64_t packetsInjected() const { return packetsInjected_; }
+  std::uint64_t packetsInjected() const;
   /// First switch of the fabric — THE switch for the default star; for
   /// multi-switch topologies prefer topology()/switchTotals().
   const Switch& centralSwitch() const { return topology_.switchAt(0); }
@@ -78,13 +90,17 @@ class Fabric {
     std::unique_ptr<Link> up;    ///< node -> switch
     std::unique_ptr<Link> down;  ///< switch -> node
     DeliveryFn deliver;
+    sim::ShardContext* ctx = nullptr;  ///< shard driving this node
+    /// Per-node packet sequence (debug/tracing identity). Per-node, not
+    /// fabric-global, so numbering is a pure function of each node's own
+    /// injection history — identical across serial and sharded runs.
+    std::uint64_t seq = 0;
   };
 
   sim::Simulator& sim_;
   FabricConfig cfg_;
   Topology topology_;
   std::vector<NodePort> nodes_;
-  std::uint64_t packetsInjected_ = 0;
 };
 
 }  // namespace comb::net

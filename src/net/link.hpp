@@ -21,6 +21,8 @@
 
 namespace comb::net {
 
+class Switch;
+
 struct LinkConfig {
   Rate rate = 132e6;     ///< bytes/second on the wire
   Time latency = 1e-6;   ///< propagation + receive fixed delay
@@ -37,6 +39,23 @@ class Link {
 
   /// Attach the receiver. Must be set before the first send.
   void setSink(Sink sink) { sink_ = std::move(sink); }
+
+  /// Declare that this link feeds `sw` (its sink injects there). Under a
+  /// sharded executor, send() then targets the arrival event at the
+  /// shard owning the switch's egress port for the packet's destination
+  /// — the link's latency is exactly what makes that hand-off satisfy
+  /// the conservative-lookahead bound. Links that feed a node delivery
+  /// (downlinks) leave this unset: their arrival is always owner-local.
+  void setNextHop(Switch* sw) { nextHop_ = sw; }
+
+  /// Move this link (clock, counters, fault stream, busy state) to a
+  /// different shard. Called once, between fabric wiring and the first
+  /// send, by Fabric::bindShards — counters re-register in the new
+  /// shard's registry so every increment stays shard-local.
+  void rehome(sim::ShardContext& ctx);
+
+  /// The shard whose events drive send() on this link.
+  sim::ShardContext& owner() const { return *sim_; }
 
   /// Enqueue a packet; returns its arrival time at the sink.
   Time send(Packet p);
@@ -56,17 +75,21 @@ class Link {
   const LinkConfig& config() const { return cfg_; }
 
  private:
-  sim::Simulator& sim_;
+  void registerCounters();
+
+  sim::ShardContext* sim_;
   LinkConfig cfg_;
   std::string name_;
-  // Cached label strings / counters: built once at construction so the
-  // per-packet path performs no allocation or name lookup.
+  // Cached label strings / counters: built once at construction (and
+  // once more on rehome) so the per-packet path performs no allocation
+  // or name lookup.
   std::string dropLabel_;     ///< "<name>:drop"
   std::string corruptLabel_;  ///< "<name>:corrupt"
-  metrics::Counter& packetsCounter_;
-  metrics::Counter& bytesCounter_;
-  metrics::Counter& dropsCounter_;
-  metrics::Counter& corruptsCounter_;
+  metrics::Counter* packetsCounter_ = nullptr;
+  metrics::Counter* bytesCounter_ = nullptr;
+  metrics::Counter* dropsCounter_ = nullptr;
+  metrics::Counter* corruptsCounter_ = nullptr;
+  Switch* nextHop_ = nullptr;
   Sink sink_;
   Time busyUntil_ = 0.0;
   Bytes bytesCarried_ = 0;

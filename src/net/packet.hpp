@@ -6,14 +6,19 @@
 // bytes plus per-packet header overhead added by the NIC.
 //
 // Payload hot-path design: payloads are reference-counted intrusively
-// (PayloadRef) rather than via shared_ptr — the simulator is
-// single-threaded per Simulator, so the count is a plain increment, and
+// (PayloadRef) rather than via shared_ptr — no control block, and
 // releasing the last reference dispatches to a virtual hook that pooled
 // payloads override to recycle themselves (see transport/payload_pool.hpp)
-// instead of hitting the heap. Concrete payload types carry a PayloadKind
-// tag so payloadAs<> is a tag compare + static_cast, not a dynamic_cast.
+// instead of hitting the heap. The count is atomic (relaxed increments,
+// acquire-release on the final decrement, like shared_ptr's) because
+// payloads cross shard boundaries under the sharded PDES executor: the
+// sending NIC retains a fragment for retransmission on its shard while
+// the receiving shard releases the in-flight reference. Concrete payload
+// types carry a PayloadKind tag so payloadAs<> is a tag compare +
+// static_cast, not a dynamic_cast.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <utility>
@@ -61,14 +66,15 @@ class PayloadBase {
   friend class PayloadRef;
 
   PayloadKind kind_;
-  /// Intrusive refcount. Non-atomic by design: payloads never leave
-  /// their owning Simulator's thread (each sweep point runs an isolated
-  /// simulation, even under the parallel sweep executor).
-  mutable std::uint32_t refs_ = 0;
+  /// Intrusive refcount. Atomic because a payload's references can live
+  /// on different shards of one Executor (retained for retransmit on the
+  /// source shard, released on delivery at the destination shard) —
+  /// within a window those shards run concurrently.
+  mutable std::atomic<std::uint32_t> refs_{0};
 };
 
 /// Intrusive smart pointer to a payload (T may be const-qualified).
-/// Copying bumps a plain counter — no atomics, no control block.
+/// Copying bumps the intrusive counter — no control block.
 template <typename T>
 class PayloadRef {
  public:
@@ -128,10 +134,17 @@ class PayloadRef {
   friend class PayloadRef;
 
   void retain() {
-    if (p_ != nullptr) ++p_->refs_;
+    // Relaxed: acquiring a new reference requires an existing one, whose
+    // visibility is already established by whatever handed it over.
+    if (p_ != nullptr) p_->refs_.fetch_add(1, std::memory_order_relaxed);
   }
   void release() {
-    if (p_ != nullptr && --p_->refs_ == 0) p_->releaseSelf();
+    // Release on the decrement + acquire on the zero observation: the
+    // destroying thread must see every write made through other refs.
+    if (p_ != nullptr &&
+        p_->refs_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      p_->releaseSelf();
+    }
     p_ = nullptr;
   }
 

@@ -25,29 +25,34 @@ const char* backpressureName(Backpressure b) {
 }
 
 Switch::Switch(sim::Simulator& sim, SwitchConfig cfg, std::string name)
-    : sim_(sim),
+    : sim_(&sim),
       cfg_(cfg),
       name_(std::move(name)),
-      qdropLabel_(name_ + ":qdrop"),
-      packetsCounter_(sim.metrics().counter("switch." + name_ + ".packets")),
-      dropsNoRouteCounter_(
-          sim.metrics().counter("switch." + name_ + ".drops_no_route")),
-      dropsQueueCounter_(
-          sim.metrics().counter("switch." + name_ + ".drops_queue")),
-      creditStallsCounter_(
-          sim.metrics().counter("switch." + name_ + ".credit_stalls")),
-      queuePeakCounter_(
-          sim.metrics().counter("switch." + name_ + ".queue_peak_pkts")) {
+      qdropLabel_(name_ + ":qdrop") {
   COMB_REQUIRE(cfg.ports >= 0, "switch port budget must be >= 0");
   COMB_REQUIRE(cfg.routingLatency >= 0.0, "negative routing latency");
   COMB_REQUIRE(cfg.queue.depthPackets >= 0,
                "negative switch queue depth");
-  if (cfg.queue.bounded()) {
-    depthHistogram_ = &sim.metrics().histogram(
+  dropsNoRouteCounter_ =
+      &sim.metrics().counter("switch." + name_ + ".drops_no_route");
+}
+
+void Switch::registerPortMetrics(OutputPort& port) {
+  // Switch-wide names, port-local references: in one registry all ports
+  // resolve to the same instruments (the historical behaviour); across
+  // shard registries the same-named counters merge after the run.
+  auto& m = port.ctx->metrics();
+  port.packetsCounter = &m.counter("switch." + name_ + ".packets");
+  port.dropsQueueCounter = &m.counter("switch." + name_ + ".drops_queue");
+  port.creditStallsCounter = &m.counter("switch." + name_ + ".credit_stalls");
+  port.queuePeakCounter = &m.counter("switch." + name_ + ".queue_peak_pkts",
+                                     metrics::MergeKind::Max);
+  if (cfg_.queue.bounded()) {
+    port.depthHistogram = &m.histogram(
         "switch." + name_ + ".queue_depth_pkts", 0.0,
-        static_cast<double>(cfg.queue.depthPackets) + 1.0,
+        static_cast<double>(cfg_.queue.depthPackets) + 1.0,
         std::min<std::size_t>(
-            16, static_cast<std::size_t>(cfg.queue.depthPackets) + 1));
+            16, static_cast<std::size_t>(cfg_.queue.depthPackets) + 1));
   }
 }
 
@@ -69,9 +74,24 @@ int Switch::attachOutput(Link& out) {
   auto port = std::make_unique<OutputPort>();
   port->owner = this;
   port->link = &out;
+  port->ctx = sim_;
+  registerPortMetrics(*port);
   outputs_.push_back(std::move(port));
   ++outputsAttached_;
   return static_cast<int>(outputs_.size()) - 1;
+}
+
+void Switch::bindOutputShard(int outputPort, sim::ShardContext& ctx) {
+  COMB_REQUIRE(outputPort >= 0 &&
+                   outputPort < static_cast<int>(outputs_.size()),
+               strFormat("switch %s: bad output port %d", name_.c_str(),
+                         outputPort));
+  OutputPort& port = *outputs_[static_cast<std::size_t>(outputPort)];
+  COMB_ASSERT(port.packetsRouted == 0 && port.queuedPackets == 0,
+              "switch port rebound after carrying traffic");
+  if (port.ctx == &ctx) return;
+  port.ctx = &ctx;
+  registerPortMetrics(port);
 }
 
 void Switch::setRoute(NodeId node, int outputPort) {
@@ -88,8 +108,10 @@ void Switch::setRoute(NodeId node, int outputPort) {
   routes_[idx] = outputs_[static_cast<std::size_t>(outputPort)].get();
 }
 
-void Switch::attachOutput(NodeId node, Link& downlink) {
-  setRoute(node, attachOutput(downlink));
+int Switch::attachOutput(NodeId node, Link& downlink) {
+  const int port = attachOutput(downlink);
+  setRoute(node, port);
+  return port;
 }
 
 void Switch::inject(int inputPort, Packet p) {
@@ -101,19 +123,27 @@ void Switch::inject(int inputPort, Packet p) {
   if (out == nullptr) {
     // A real switch would drop or flood; our fabrics are fully
     // provisioned, so this is a wiring bug — counted (and surfaced via
-    // the metrics registry and MachineStats), not just logged.
-    ++dropsNoRoute_;
-    dropsNoRouteCounter_.add();
+    // the metrics registry and MachineStats), not just logged. The
+    // counter belongs to the construction shard; in a sharded run the
+    // atomic carries the authoritative count (the run aborts on it
+    // anyway) while the registry counter stays shard-local.
+    const std::uint64_t prior =
+        dropsNoRoute_.fetch_add(1, std::memory_order_relaxed);
+    static_cast<void>(prior);
+    dropsNoRouteCounter_->add();
     COMB_LOG(Error) << "switch " << name_ << ": no route to node " << p.dst;
     return;
   }
-  ++packetsRouted_;
-  packetsCounter_.add();
+  // From here on we are on out->ctx: the upstream link resolved the
+  // egress shard before scheduling this event (serial runs trivially
+  // satisfy that — there is only one shard).
+  ++out->packetsRouted;
+  out->packetsCounter->add();
   if (!cfg_.queue.bounded()) {
     // Idealized crossbar: hand straight to the output link after the
     // cut-through delay; the link's serializer is the (infinite) queue.
     Link* link = out->link;
-    sim_.schedule(cfg_.routingLatency, [link, p = std::move(p)]() mutable {
+    out->ctx->schedule(cfg_.routingLatency, [link, p = std::move(p)]() mutable {
       link->send(std::move(p));
     });
     return;
@@ -121,7 +151,7 @@ void Switch::inject(int inputPort, Packet p) {
   // The ingress port rides in the packet's padding: the closure must fit
   // the inline event slot (48 bytes — OutputPort* + Packet exactly).
   p.switchInPort = static_cast<std::int16_t>(inputPort);
-  sim_.schedule(cfg_.routingLatency, [out, p = std::move(p)]() mutable {
+  out->ctx->schedule(cfg_.routingLatency, [out, p = std::move(p)]() mutable {
     const int in = p.switchInPort;
     out->owner->enqueue(*out, in, std::move(p));
   });
@@ -137,29 +167,31 @@ bool Switch::queueFull(const OutputPort& port, const Packet& p) const {
 void Switch::enqueue(OutputPort& port, int inputPort, Packet p) {
   if (queueFull(port, p)) {
     if (cfg_.queue.backpressure == Backpressure::TailDrop) {
-      ++dropsQueue_;
-      dropsQueueCounter_.add();
-      if (sim_.tracing())
-        sim_.emitTrace(sim::TraceCategory::Fault, p.dst, qdropLabel_,
-                       static_cast<double>(p.wireBytes),
-                       static_cast<double>(p.seq));
+      ++port.dropsQueue;
+      port.dropsQueueCounter->add();
+      if (port.ctx->tracing())
+        port.ctx->emitTrace(sim::TraceCategory::Fault, p.dst, qdropLabel_,
+                            static_cast<double>(p.wireBytes),
+                            static_cast<double>(p.seq));
       return;
     }
     // Credit backpressure: the packet waits upstream (modelled as an
     // unbounded staging area feeding the same arbitration) until the
     // queue drains — lossless, but the stall is accounted.
-    ++creditStalls_;
-    creditStallsCounter_.add();
+    ++port.creditStalls;
+    port.creditStallsCounter->add();
   }
   ++port.queuedPackets;
   port.queuedBytes += p.wireBytes;
-  if (static_cast<std::uint64_t>(port.queuedPackets) > queuePeak_) {
-    queuePeakCounter_.add(
-        static_cast<std::uint64_t>(port.queuedPackets) - queuePeak_);
-    queuePeak_ = static_cast<std::uint64_t>(port.queuedPackets);
+  if (static_cast<std::uint64_t>(port.queuedPackets) > port.queuePeak) {
+    port.queuePeak = static_cast<std::uint64_t>(port.queuedPackets);
+    // raiseTo, not add: in one registry many ports share this counter,
+    // and its value must be the max over their peaks — exactly the old
+    // switch-wide running maximum.
+    port.queuePeakCounter->raiseTo(port.queuePeak);
   }
-  if (depthHistogram_ != nullptr)
-    depthHistogram_->add(static_cast<double>(port.queuedPackets));
+  if (port.depthHistogram != nullptr)
+    port.depthHistogram->add(static_cast<double>(port.queuedPackets));
   if (cfg_.queue.arbitration == Arbitration::RoundRobin) {
     const auto slot = static_cast<std::size_t>(std::max(inputPort, 0));
     if (slot >= port.perInput.size()) port.perInput.resize(slot + 1);
@@ -200,10 +232,34 @@ void Switch::drain(OutputPort& port) {
   Link* link = port.link;
   link->send(std::move(p));
   port.draining = true;
-  sim_.scheduleAt(link->freeAt(), [this, out = &port] {
+  port.ctx->scheduleAt(link->freeAt(), [this, out = &port] {
     out->draining = false;
     drain(*out);
   });
+}
+
+std::uint64_t Switch::packetsRouted() const {
+  std::uint64_t n = 0;
+  for (const auto& port : outputs_) n += port->packetsRouted;
+  return n;
+}
+
+std::uint64_t Switch::dropsQueue() const {
+  std::uint64_t n = 0;
+  for (const auto& port : outputs_) n += port->dropsQueue;
+  return n;
+}
+
+std::uint64_t Switch::creditStalls() const {
+  std::uint64_t n = 0;
+  for (const auto& port : outputs_) n += port->creditStalls;
+  return n;
+}
+
+std::uint64_t Switch::queuePeakPackets() const {
+  std::uint64_t peak = 0;
+  for (const auto& port : outputs_) peak = std::max(peak, port->queuePeak);
+  return peak;
 }
 
 }  // namespace comb::net

@@ -22,6 +22,7 @@
 // full-duplex Myrinet crossbar is `ports = 16` in this accounting.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <memory>
@@ -92,23 +93,50 @@ class Switch {
   void setRoute(NodeId node, int outputPort);
 
   /// Convenience for star wiring: claim an output port for `downlink`
-  /// and route `node` through it.
-  void attachOutput(NodeId node, Link& downlink);
+  /// and route `node` through it. Returns the output-port id (the
+  /// topology layer records it to bind node-egress ports to the node's
+  /// shard).
+  int attachOutput(NodeId node, Link& downlink);
 
   /// Entry point for packets arriving on input port `inputPort` (as
-  /// returned by attachInput).
+  /// returned by attachInput). Under a sharded executor this runs on the
+  /// shard owning the egress port for p.dst (the upstream link resolves
+  /// it via egressCtx and targets the arrival event there), so all of a
+  /// port's state — queue, counters, the output link — is touched by
+  /// exactly one shard.
   void inject(int inputPort, Packet p);
   /// Legacy single-uplink entry point: arrives on input port 0.
   void inject(Packet p) { inject(0, std::move(p)); }
 
-  std::uint64_t packetsRouted() const { return packetsRouted_; }
-  std::uint64_t dropsNoRoute() const { return dropsNoRoute_; }
+  /// The shard owning the egress port for `dst`; nullptr when no route
+  /// exists (the caller then keeps the packet local and inject counts
+  /// the drop). This is the per-packet resolver upstream links consult —
+  /// routes_ and port owners are immutable once the fabric is bound, so
+  /// concurrent lookups from many shards are safe.
+  sim::ShardContext* egressCtx(NodeId dst) const {
+    if (const auto idx = static_cast<std::size_t>(dst);
+        dst >= 0 && idx < routes_.size() && routes_[idx] != nullptr) {
+      return routes_[idx]->ctx;
+    }
+    return nullptr;
+  }
+
+  /// Assign output port `outputPort` to `ctx`: its queue drains there,
+  /// its counters register in that shard's registry, and inject() for
+  /// destinations routed through it runs there. Called by
+  /// Topology::bindShards between wiring and the first packet.
+  void bindOutputShard(int outputPort, sim::ShardContext& ctx);
+
+  std::uint64_t packetsRouted() const;
+  std::uint64_t dropsNoRoute() const {
+    return dropsNoRoute_.load(std::memory_order_relaxed);
+  }
   /// Packets destroyed by a full output queue (TailDrop only).
-  std::uint64_t dropsQueue() const { return dropsQueue_; }
+  std::uint64_t dropsQueue() const;
   /// Packets that had to wait for a credit (Credit backpressure only).
-  std::uint64_t creditStalls() const { return creditStalls_; }
+  std::uint64_t creditStalls() const;
   /// Highest per-output queue occupancy seen (packets).
-  std::uint64_t queuePeakPackets() const { return queuePeak_; }
+  std::uint64_t queuePeakPackets() const;
   int portsUsed() const { return inputsAttached_ + outputsAttached_; }
   int inputCount() const { return inputsAttached_; }
   int outputCount() const { return outputsAttached_; }
@@ -116,9 +144,20 @@ class Switch {
   const SwitchConfig& config() const { return cfg_; }
 
  private:
+  /// All mutable per-packet state is per-port (never shared between
+  /// ports), because different ports of one switch can belong to
+  /// different shards: a spine's down-trunk toward leaf A drains
+  /// concurrently with its down-trunk toward leaf B. Counters follow the
+  /// port: each port registers the switch-wide metric names in its own
+  /// shard's registry — in a serial run every port therefore shares the
+  /// single registry's counters (find-or-create), byte-identical to the
+  /// historical switch-wide instruments; in a sharded run the per-shard
+  /// values merge by name (Sum, or Max for the peak).
   struct OutputPort {
     Switch* owner = nullptr;  ///< back-pointer for deferred enqueue events
     Link* link = nullptr;
+    sim::ShardContext* ctx = nullptr;  ///< owning shard (construction ctx
+                                       ///< until bindOutputShard)
     // Fifo arbitration uses `fifo`; RoundRobin uses one queue per input
     // port (grown on demand) plus the rotating service pointer.
     std::deque<Packet> fifo;
@@ -127,37 +166,41 @@ class Switch {
     int queuedPackets = 0;
     Bytes queuedBytes = 0;
     bool draining = false;
+    // Per-port statistics; switch-level accessors sum (or max) them.
+    std::uint64_t packetsRouted = 0;
+    std::uint64_t dropsQueue = 0;
+    std::uint64_t creditStalls = 0;
+    std::uint64_t queuePeak = 0;
+    metrics::Counter* packetsCounter = nullptr;
+    metrics::Counter* dropsQueueCounter = nullptr;
+    metrics::Counter* creditStallsCounter = nullptr;
+    metrics::Counter* queuePeakCounter = nullptr;
+    /// Occupancy-at-enqueue histogram; only registered for bounded queues.
+    Histogram* depthHistogram = nullptr;
   };
 
+  void registerPortMetrics(OutputPort& port);
   void enqueue(OutputPort& port, int inputPort, Packet p);
   void drain(OutputPort& port);
   bool queueFull(const OutputPort& port, const Packet& p) const;
 
-  sim::Simulator& sim_;
+  sim::ShardContext* sim_;  ///< construction context (port default owner)
   SwitchConfig cfg_;
   std::string name_;
   std::string qdropLabel_;  ///< "<name>:qdrop" (trace label, cached)
   /// Destination -> output port, flat-indexed by NodeId (nullptr = no
   /// route). O(1) on the per-packet hot path; the old std::map cost
-  /// O(log n) plus pointer chasing at 1024 nodes.
+  /// O(log n) plus pointer chasing at 1024 nodes. Immutable once the
+  /// fabric is wired — upstream shards read it concurrently (egressCtx).
   std::vector<OutputPort*> routes_;
   std::vector<std::unique_ptr<OutputPort>> outputs_;
   int inputsAttached_ = 0;
   int outputsAttached_ = 0;
-  std::uint64_t packetsRouted_ = 0;
-  std::uint64_t dropsNoRoute_ = 0;
-  std::uint64_t dropsQueue_ = 0;
-  std::uint64_t creditStalls_ = 0;
-  std::uint64_t queuePeak_ = 0;
-  metrics::Counter& packetsCounter_;
-  metrics::Counter& dropsNoRouteCounter_;
-  metrics::Counter& dropsQueueCounter_;
-  metrics::Counter& creditStallsCounter_;
-  /// Monotonic mirror of queuePeak_ (a counter can only grow, and so can
-  /// the peak — its value always equals queuePeakPackets()).
-  metrics::Counter& queuePeakCounter_;
-  /// Occupancy-at-enqueue histogram; only registered for bounded queues.
-  Histogram* depthHistogram_ = nullptr;
+  /// No-route drops are a wiring bug (SimCluster::run asserts zero) and
+  /// can be observed from any injecting shard — atomic, not per-port,
+  /// because a routeless packet has no port to charge.
+  std::atomic<std::uint64_t> dropsNoRoute_{0};
+  metrics::Counter* dropsNoRouteCounter_ = nullptr;
 };
 
 }  // namespace comb::net

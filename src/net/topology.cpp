@@ -1,6 +1,7 @@
 #include "net/topology.hpp"
 
 #include <algorithm>
+#include <limits>
 
 #include "common/error.hpp"
 #include "common/string_util.hpp"
@@ -82,6 +83,7 @@ Switch& Topology::makeSwitch(const std::string& name, int ports) {
   SwitchConfig cfg = swCfg_;
   cfg.ports = ports;
   switches_.push_back(std::make_unique<Switch>(sim_, cfg, name));
+  firstNode_.push_back(-1);
   return *switches_.back();
 }
 
@@ -90,18 +92,20 @@ Link& Topology::makeTrunk(const std::string& name) {
   return *trunks_.back();
 }
 
-namespace {
-/// Wire `trunk` from an output port of `from` into an input port of `to`.
-/// Returns the output-port id on `from`.
-int wireTrunk(Switch& from, Switch& to, Link& trunk) {
-  const int outPort = from.attachOutput(trunk);
-  const int inPort = to.attachInput(trunk.name());
-  Switch* dst = &to;
+int Topology::wireTrunk(int from, int to, Link& trunk) {
+  Switch& src = switchAt(from);
+  Switch* dst = &switchAt(to);
+  const int outPort = src.attachOutput(trunk);
+  const int inPort = dst->attachInput(trunk.name());
   trunk.setSink(
       [dst, inPort](Packet p) { dst->inject(inPort, std::move(p)); });
+  // The trunk feeds a switch: under a sharded executor its arrivals must
+  // land on the shard owning the egress port for each packet (no-op for
+  // serial runs).
+  trunk.setNextHop(dst);
+  trunkRecs_.push_back(TrunkRec{from, to, outPort, &trunk});
   return outPort;
 }
-}  // namespace
 
 Switch& Topology::fatTreeLeaf(int l) {
   if (l < static_cast<int>(leafIndex_.size()))
@@ -110,14 +114,14 @@ Switch& Topology::fatTreeLeaf(int l) {
   COMB_ASSERT(l == static_cast<int>(leafIndex_.size()),
               "fat-tree leaves must be created densely");
   Switch& leaf = makeSwitch(strFormat("leaf%d", l), swCfg_.ports);
-  leafIndex_.push_back(switchCount() - 1);
+  const int leafIdx = switchCount() - 1;
+  leafIndex_.push_back(leafIdx);
   leafUpPort_.emplace_back(static_cast<std::size_t>(topo_.spines), -1);
   for (int s = 0; s < topo_.spines; ++s) {
-    Switch& spine = switchAt(s);
     leafUpPort_.back()[static_cast<std::size_t>(s)] = wireTrunk(
-        leaf, spine, makeTrunk(strFormat("t.l%d.s%d", l, s)));
+        leafIdx, s, makeTrunk(strFormat("t.l%d.s%d", l, s)));
     spineDownPort_[static_cast<std::size_t>(s)].push_back(wireTrunk(
-        spine, leaf, makeTrunk(strFormat("t.s%d.l%d", s, l))));
+        s, leafIdx, makeTrunk(strFormat("t.s%d.l%d", s, l))));
   }
   // The new leaf needs uplink routes for every already-attached node
   // (each via that node's designated spine).
@@ -163,7 +167,7 @@ void Topology::buildDragonfly() {
         const int ia = routerIndex(g, a), ib = routerIndex(g, b);
         localPort_[static_cast<std::size_t>(ia)][static_cast<std::size_t>(
             ib)] =
-            wireTrunk(switchAt(ia), switchAt(ib),
+            wireTrunk(ia, ib,
                       makeTrunk(strFormat("t.r%d.%d.r%d.%d", g, a, g, b)));
       }
   // One global trunk per ordered group pair, owned by the gateway router
@@ -178,8 +182,7 @@ void Topology::buildDragonfly() {
       const int dst = routerIndex(gd, g % rpg);
       globalPort_[static_cast<std::size_t>(g)][static_cast<std::size_t>(
           gd)] =
-          wireTrunk(switchAt(src), switchAt(dst),
-                    makeTrunk(strFormat("g.%d.%d", g, gd)));
+          wireTrunk(src, dst, makeTrunk(strFormat("g.%d.%d", g, gd)));
     }
 }
 
@@ -217,6 +220,7 @@ Topology::Attachment Topology::attachNode(NodeId id, Link& downlink) {
                strFormat("topology %s is full (%d nodes)",
                          topologyKindName(topo_.kind), cap));
   Attachment att;
+  int swIdx = 0;
   switch (topo_.kind) {
     case TopologyKind::SingleSwitch:
       att.sw = &switchAt(0);
@@ -224,14 +228,19 @@ Topology::Attachment Topology::attachNode(NodeId id, Link& downlink) {
     case TopologyKind::FatTree: {
       const int leaf = static_cast<int>(id) / topo_.nodesPerSwitch;
       att.sw = &fatTreeLeaf(leaf);
+      swIdx = leafIndex_[static_cast<std::size_t>(leaf)];
       break;
     }
     case TopologyKind::Dragonfly:
-      att.sw = &switchAt(static_cast<int>(id) / topo_.nodesPerSwitch);
+      swIdx = static_cast<int>(id) / topo_.nodesPerSwitch;
+      att.sw = &switchAt(swIdx);
       break;
   }
   att.inputPort = att.sw->attachInput(strFormat("up%d", id));
-  att.sw->attachOutput(id, downlink);
+  const int egressPort = att.sw->attachOutput(id, downlink);
+  nodeEgress_.push_back(NodeEgressRec{swIdx, id, egressPort});
+  if (firstNode_[static_cast<std::size_t>(swIdx)] < 0)
+    firstNode_[static_cast<std::size_t>(swIdx)] = id;
   switch (topo_.kind) {
     case TopologyKind::SingleSwitch:
       break;
@@ -256,6 +265,32 @@ int Topology::capacityNodes() const {
       return topo_.groups * topo_.routersPerGroup * topo_.nodesPerSwitch;
   }
   return -1;
+}
+
+void Topology::bindShards(
+    const std::function<sim::ShardContext*(NodeId)>& shardOf) {
+  // Node egress ports drain into the node's delivery path — they (and
+  // the packets queued on them) belong to the node's shard.
+  for (const NodeEgressRec& e : nodeEgress_)
+    switchAt(e.sw).bindOutputShard(e.outPort, *shardOf(e.node));
+  // A trunk's send() runs on whatever shard drains its from-port, so the
+  // port and the link must share one owner. Anchor it to a node hosted
+  // by the from-switch (a spine hosts none — fall back to the to-side;
+  // every lazily-created leaf/router hosts at least one node).
+  for (const TrunkRec& t : trunkRecs_) {
+    NodeId anchor = firstNode_[static_cast<std::size_t>(t.from)];
+    if (anchor < 0) anchor = firstNode_[static_cast<std::size_t>(t.to)];
+    COMB_ASSERT(anchor >= 0, "trunk between switches hosting no nodes");
+    sim::ShardContext* ctx = shardOf(anchor);
+    COMB_ASSERT(ctx != nullptr, "bindShards: null shard for node");
+    switchAt(t.from).bindOutputShard(t.outPort, *ctx);
+    t.link->rehome(*ctx);
+  }
+}
+
+Time Topology::minTrunkLatency() const {
+  if (trunks_.empty()) return std::numeric_limits<Time>::infinity();
+  return trunkLink_.latency;
 }
 
 SwitchTotals Topology::totals() const {

@@ -17,6 +17,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -98,6 +99,21 @@ class Topology {
   /// The trunk links between switches (empty for the single star).
   const std::vector<std::unique_ptr<Link>>& trunks() const { return trunks_; }
 
+  /// Assign every switch output port (and every trunk link) to a shard,
+  /// after all nodes are attached and before the first packet. Node
+  /// egress ports go to the node's shard; a trunk (and its from-switch
+  /// port) goes to the home shard of whichever endpoint switch hosts
+  /// nodes (the from-side wins when both do) — home = the shard of the
+  /// switch's first attached node. Any single-owner assignment is
+  /// *correct* (every cross-shard hand-off rides a link whose latency
+  /// bounds the executor's lookahead); this one just minimizes crossings
+  /// for partitions aligned to the topology's node blocks.
+  void bindShards(const std::function<sim::ShardContext*(NodeId)>& shardOf);
+
+  /// Smallest trunk latency (infinity when there are no trunks) — an
+  /// input to the executor's lookahead, alongside the node link latency.
+  Time minTrunkLatency() const;
+
   SwitchTotals totals() const;
 
  private:
@@ -108,6 +124,10 @@ class Topology {
   void buildDragonfly();
   void addDragonflyRoutes(NodeId id, int router);
   Link& makeTrunk(const std::string& name);
+  /// Wire a trunk from an output port of switch `from` into an input
+  /// port of switch `to` (switches_ indices), recording it for
+  /// bindShards. Returns the output-port id on `from`.
+  int wireTrunk(int from, int to, Link& trunk);
   /// Dragonfly router (group g, local index r) -> switches_ index.
   int routerIndex(int group, int router) const {
     return group * topo_.routersPerGroup + router;
@@ -129,6 +149,22 @@ class Topology {
   // Dragonfly wiring records.
   std::vector<std::vector<int>> localPort_;   ///< [router][router] out-port
   std::vector<std::vector<int>> globalPort_;  ///< [group][group] out-port
+
+  // Shard-binding records (consumed by bindShards).
+  struct TrunkRec {
+    int from = -1;       ///< switches_ index of the sending switch
+    int to = -1;         ///< switches_ index of the receiving switch
+    int outPort = -1;    ///< output-port id on `from`
+    Link* link = nullptr;
+  };
+  struct NodeEgressRec {
+    int sw = -1;         ///< switches_ index hosting the downlink
+    NodeId node = -1;
+    int outPort = -1;
+  };
+  std::vector<TrunkRec> trunkRecs_;
+  std::vector<NodeEgressRec> nodeEgress_;
+  std::vector<NodeId> firstNode_;  ///< per switch; -1 = hosts no nodes
   int attachedNodes_ = 0;
 };
 

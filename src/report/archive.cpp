@@ -75,7 +75,8 @@ void writeArchive(std::ostream& out, const Archive& archive) {
   out << "  \"provenance\": {\"suite\": \""
       << json::escape(archive.provenance.suite) << "\", \"git_sha\": \""
       << json::escape(archive.provenance.gitSha) << "\", \"build_flags\": \""
-      << json::escape(archive.provenance.buildFlags) << "\"},\n";
+      << json::escape(archive.provenance.buildFlags)
+      << "\", \"sim_jobs\": " << archive.provenance.simJobs << "},\n";
   out << "  \"rep_policy\": {\"adaptive\": "
       << (archive.rep.adaptive ? "true" : "false")
       << ", \"reps\": " << archive.rep.reps
@@ -135,6 +136,9 @@ Archive parseArchive(const json::Value& root, const std::string& sourceName) {
     a.provenance.suite = prov.at("suite").str();
     a.provenance.gitSha = prov.at("git_sha").str();
     a.provenance.buildFlags = prov.at("build_flags").str();
+    // Older archives predate the sharded core; they ran serial (1).
+    if (const json::Value* sj = prov.find("sim_jobs"))
+      a.provenance.simJobs = static_cast<int>(sj->number());
     const auto& rep = root.at("rep_policy");
     a.rep.adaptive = rep.at("adaptive").boolean();
     a.rep.reps = static_cast<int>(rep.at("reps").number());

@@ -54,6 +54,11 @@ struct ArchiveProvenance {
   std::string suite;       ///< "comb <version>"
   std::string gitSha;      ///< configure-time HEAD, "unknown" outside git
   std::string buildFlags;  ///< build type + CXX flags
+  /// Simulator-core shard count (--sim-jobs) the samples ran under. Part
+  /// of the run's configuration identity: `comb compare` flags archives
+  /// whose values differ. Archives written before this field default to 1
+  /// (the serial core, which is what they ran).
+  int simJobs = 1;
 };
 
 /// The build stamp of this binary.

@@ -9,13 +9,13 @@ namespace comb::report {
 MachineStats snapshot(backend::SimCluster& cluster) {
   MachineStats stats;
   stats.machineName = cluster.config().name;
-  stats.simulatedTime = cluster.simulator().now();
-  stats.eventsExecuted = cluster.simulator().eventsExecuted();
+  stats.simulatedTime = cluster.now();
+  stats.eventsExecuted = cluster.eventsExecuted();
   stats.switches = cluster.fabric().switchTotals();
   stats.switchPacketsRouted = stats.switches.packetsRouted;
   stats.fault = cluster.faultCounters();
-  stats.metrics = cluster.simulator().metrics().snapshot();
-  if (const auto* log = cluster.traceLog()) stats.traceDropped = log->dropped();
+  stats.metrics = cluster.metricsSnapshot();
+  stats.traceDropped = cluster.traceDropped();
   for (int r = 0; r < cluster.nodeCount(); ++r) {
     NodeStats node;
     node.rank = r;

@@ -188,6 +188,20 @@ class EventQueue {
     return true;
   }
 
+  /// Like runNextUpTo, but with a *strict* bound: only events with time
+  /// < `bound` fire. This is the PDES window loop body — a conservative
+  /// time window [W, W + lookahead) is open on the right, because a
+  /// cross-shard message generated inside the window can carry a
+  /// timestamp of exactly W + lookahead and must still be delivered
+  /// before any local event at that time is considered.
+  template <typename Pre>
+  bool runNextBefore(Time bound, Pre&& pre) {
+    skipStale();
+    if (noEntries() || whenOf(frontKey()) >= bound) return false;
+    fireFront(std::forward<Pre>(pre));
+    return true;
+  }
+
   /// Pop and return the earliest live event's action (with its time).
   /// Requires !empty(). Slow path (two closure relocations) — the
   /// simulator uses runNext(); this remains for direct-queue callers.

@@ -1,0 +1,135 @@
+#include "sim/executor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "common/error.hpp"
+#include "common/thread_pool.hpp"
+
+namespace comb::sim {
+
+Executor::Executor(ExecutorOptions opts) : opts_(opts) {
+  COMB_REQUIRE(opts_.shards >= 1, "Executor needs at least one shard");
+  COMB_REQUIRE(opts_.shards == 1 || opts_.lookahead > 0.0,
+               "multi-shard execution requires a positive lookahead");
+  shards_.reserve(static_cast<std::size_t>(opts_.shards));
+  for (int i = 0; i < opts_.shards; ++i) {
+    auto ctx = std::make_unique<ShardContext>();
+    ctx->executor_ = this;
+    ctx->shardId_ = i;
+    ctx->sharded_ = opts_.shards > 1;
+    ctx->outboxes_.resize(static_cast<std::size_t>(opts_.shards));
+    shards_.push_back(std::move(ctx));
+  }
+  workers_ = opts_.workers > 0 ? opts_.workers : hardwareJobs();
+  workers_ = std::clamp(workers_, 1, opts_.shards);
+  // The pool exists only when it buys concurrency; with one worker the
+  // window loop runs every shard inline on the caller's thread — same
+  // results, no synchronization.
+  if (workers_ > 1) pool_ = std::make_unique<ThreadPool>(workers_);
+}
+
+Executor::~Executor() = default;
+
+Time Executor::now() const {
+  Time t = 0.0;
+  for (const auto& s : shards_) t = std::max(t, s->now());
+  return t;
+}
+
+std::size_t Executor::liveProcesses() const {
+  std::size_t n = 0;
+  for (const auto& s : shards_) n += s->liveProcesses();
+  return n;
+}
+
+std::uint64_t Executor::eventsExecuted() const {
+  std::uint64_t n = 0;
+  for (const auto& s : shards_) n += s->eventsExecuted();
+  return n;
+}
+
+metrics::Snapshot Executor::metricsSnapshot() const {
+  std::vector<metrics::Snapshot> parts;
+  parts.reserve(shards_.size());
+  for (const auto& s : shards_) parts.push_back(s->metrics().snapshot());
+  return metrics::mergeSnapshots(parts);
+}
+
+Time Executor::run(Time until) {
+  // Single shard: the classic serial loop, byte-for-byte the pre-PDES
+  // core — no windows, no barriers, no atomics anywhere on the path.
+  if (!parallel()) return shards_[0]->run(until);
+
+  const std::size_t n = shards_.size();
+  // Events at exactly `until` must still run (serial-run semantics), but
+  // the window loop uses a strict bound; the smallest representable time
+  // past `until` turns the inclusive cap into an exclusive one.
+  const Time cap = std::isinf(until)
+                       ? until
+                       : std::nextafter(until, std::numeric_limits<Time>::infinity());
+
+  for (;;) {
+    // Fold messages routed at the previous barrier, then find the global
+    // minimum next event time. Serial section: cheap (O(shards) plus the
+    // fold-in, which is proportional to actual cross-shard traffic).
+    Time t = std::numeric_limits<Time>::infinity();
+    for (const auto& s : shards_) {
+      s->drainInbox();
+      t = std::min(t, s->nextPendingTime());
+    }
+    if (t >= cap) break;  // drained, or everything left is beyond `until`
+
+    Time bound = std::min(t + opts_.lookahead, cap);
+    // Conservative-window progress requires T + lookahead > T. With
+    // times in seconds and latencies down to nanoseconds this holds for
+    // any plausible run; if virtual time ever grows so large that the
+    // lookahead vanishes in rounding, no correct window exists.
+    COMB_REQUIRE(bound > t,
+                 "lookahead vanished in floating-point rounding at t=" +
+                     std::to_string(t));
+
+    ++windows_;
+    if (pool_) {
+      for (std::size_t i = 0; i < n; ++i) {
+        ShardContext* ctx = shards_[i].get();
+        pool_->submit([ctx, bound] { ctx->runWindow(bound); });
+      }
+      // Window barrier: wait() returns once every shard has parked at
+      // `bound`, and its internal synchronization publishes all shard
+      // state (clocks, outboxes, payload buffers) to this thread and,
+      // transitively, to whichever worker runs each shard next window.
+      pool_->wait();
+    } else {
+      for (const auto& s : shards_) s->runWindow(bound);
+    }
+
+    // Route outboxes to destination inboxes. Source-major order, but the
+    // destination re-sorts by (time, seq, src) before the fold-in, so
+    // this order is immaterial to results.
+    for (const auto& src : shards_) {
+      for (std::size_t d = 0; d < n; ++d) {
+        auto& box = src->outboxes_[d];
+        if (box.empty()) continue;
+        auto& inbox = shards_[d]->inbox_;
+        inbox.insert(inbox.end(), std::make_move_iterator(box.begin()),
+                     std::make_move_iterator(box.end()));
+        box.clear();
+      }
+    }
+
+    // Deterministic failure selection: lowest shard index wins, same
+    // convention as parallelFor and runSweepParallel.
+    for (const auto& s : shards_) s->rethrowIfFailed();
+  }
+
+  // Serial-run parity: a queue with events beyond `until` parks that
+  // shard's clock at `until`.
+  for (const auto& s : shards_) {
+    if (!s->queue_.empty() && s->now_ < until) s->now_ = until;
+  }
+  return now();
+}
+
+}  // namespace comb::sim

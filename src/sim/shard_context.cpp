@@ -1,4 +1,6 @@
-#include "sim/simulator.hpp"
+#include "sim/shard_context.hpp"
+
+#include <algorithm>
 
 #include "common/error.hpp"
 #include "common/log.hpp"
@@ -6,8 +8,8 @@
 namespace comb::sim {
 
 /// Self-destroying wrapper coroutine that drives a spawned process and
-/// reports its fate to the simulator.
-struct Simulator::Detached {
+/// reports its fate to the context.
+struct ShardContext::Detached {
   struct promise_type {
     Detached get_return_object() { return {}; }
     std::suspend_never initial_suspend() noexcept { return {}; }
@@ -19,7 +21,8 @@ struct Simulator::Detached {
   };
 };
 
-Simulator::Detached Simulator::runProcess(Task<void> t, std::string name) {
+ShardContext::Detached ShardContext::runProcess(Task<void> t,
+                                                std::string name) {
   ++liveProcesses_;
   // Instants, not spans: process lifetimes interleave freely, which the
   // per-track span stack intentionally rejects. Guarded so the label
@@ -34,23 +37,23 @@ Simulator::Detached Simulator::runProcess(Task<void> t, std::string name) {
   --liveProcesses_;
 }
 
-Simulator::~Simulator() {
+ShardContext::~ShardContext() {
   // Suspended processes hold frames owned by the wrapper coroutines, whose
   // frames are owned by pending events (resumption closures). Dropping the
   // queue leaks those frames; in practice simulations run to completion or
   // the process is being torn down. Warn to surface misuse in tests.
   if (liveProcesses_ > 0) {
-    COMB_LOG(Warn) << "Simulator destroyed with " << liveProcesses_
+    COMB_LOG(Warn) << "ShardContext destroyed with " << liveProcesses_
                    << " live process(es); their frames leak";
   }
 }
 
-void Simulator::spawn(Task<void> process, std::string name) {
+void ShardContext::spawn(Task<void> process, std::string name) {
   COMB_REQUIRE(process.valid(), "spawning an empty Task");
   // Defer the first step through the event queue so that spawn order ==
   // first-run order regardless of where spawn() is called from. The task
   // lives inside the event closure (in the event pool, no heap detour);
-  // if the simulator is destroyed before the event fires, the pool
+  // if the context is destroyed before the event fires, the pool
   // destroys the closure and with it the never-started task.
   schedule(0.0,
            [this, t = std::move(process), name = std::move(name)]() mutable {
@@ -58,7 +61,8 @@ void Simulator::spawn(Task<void> process, std::string name) {
            });
 }
 
-void Simulator::recordFailure(std::exception_ptr e, const std::string& name) {
+void ShardContext::recordFailure(std::exception_ptr e,
+                                 const std::string& name) {
   if (!failure_) {
     failure_ = e;
     failedProcess_ = name.empty() ? "<unnamed>" : name;
@@ -68,7 +72,7 @@ void Simulator::recordFailure(std::exception_ptr e, const std::string& name) {
   }
 }
 
-void Simulator::rethrowIfFailed() {
+void ShardContext::rethrowIfFailed() {
   if (failure_) {
     auto e = std::exchange(failure_, nullptr);
     COMB_LOG(Error) << "simulated process '" << failedProcess_ << "' failed";
@@ -76,7 +80,7 @@ void Simulator::rethrowIfFailed() {
   }
 }
 
-bool Simulator::step() {
+bool ShardContext::step() {
   rethrowIfFailed();
   if (queue_.empty()) return false;
   // Run the closure in place from its pool slot — no per-event move of
@@ -91,7 +95,7 @@ bool Simulator::step() {
   return true;
 }
 
-Time Simulator::run(Time until) {
+Time ShardContext::run(Time until) {
   rethrowIfFailed();
   // Fused loop: runNextUpTo decides "pending and due" and fires the
   // event in one queue operation, instead of the empty()/nextTime()/
@@ -106,6 +110,44 @@ Time Simulator::run(Time until) {
   while (queue_.runNextUpTo(until, pre)) rethrowIfFailed();
   if (!queue_.empty() && now_ < until) now_ = until;
   return now_;
+}
+
+void ShardContext::drainInbox() {
+  if (inbox_.empty()) return;
+  // Deterministic fold-in order: the packed (time, seq, src) key. Pushing
+  // in this order assigns local queue sequence numbers in this order, so
+  // the destination's event order — including ties with local events,
+  // which the queue breaks by local seq — is independent of which worker
+  // thread routed what and when.
+  std::sort(inbox_.begin(), inbox_.end(),
+            [](const RemoteEvent& a, const RemoteEvent& b) {
+              if (a.when != b.when) return a.when < b.when;
+              if (a.seq != b.seq) return a.seq < b.seq;
+              return a.src < b.src;
+            });
+  for (RemoteEvent& ev : inbox_) {
+    // Straight into the queue: the lookahead invariant already guarantees
+    // when >= this shard's clock, and scheduleAt's now-check would be
+    // comparing against a clock parked mid-window.
+    queue_.push(ev.when, std::move(ev.fn));
+  }
+  inbox_.clear();
+}
+
+void ShardContext::runWindow(Time bound) {
+  windowEnd_ = bound;
+  const auto pre = [this](Time when) {
+    COMB_ASSERT(when >= now_, "event queue went backwards in time");
+    now_ = when;
+    if (trace_) trace_(now_, eventsExecuted_);
+    ++eventsExecuted_;
+  };
+  // Failures are recorded, not thrown: the Executor inspects every shard
+  // after the barrier and rethrows the lowest shard index's exception,
+  // making the reported failure deterministic under any thread schedule.
+  while (!failure_ && queue_.runNextBefore(bound, pre)) {
+  }
+  windowEnd_ = std::numeric_limits<Time>::infinity();
 }
 
 }  // namespace comb::sim

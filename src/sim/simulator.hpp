@@ -1,179 +1,22 @@
-// The discrete-event simulator driving every COMB experiment.
+// Compatibility surface for the classic serial simulator.
 //
-// A Simulator owns a virtual clock and an event queue. Simulated
-// processes are coroutines (sim::Task<void>) spawned onto the simulator;
-// they advance virtual time by awaiting delays or synchronization objects
-// (Trigger, Channel, the host CPU model, ...). Execution is single-threaded
-// and bit-reproducible: same program, same seed, same event order.
+// The engine formerly defined here is now sim::ShardContext
+// (sim/shard_context.hpp): the same clock + event queue + coroutine
+// processes + metrics + tracing, renamed when the core learned to run as
+// one shard of a parallel sim::Executor (sim/executor.hpp). A standalone
+// ShardContext *is* the classic serial simulator — same code path, same
+// results — so the old name stays as an alias and every existing test,
+// bench and example keeps compiling and behaving identically.
+//
+// New code addressing a single scheduling domain (components, models,
+// unit tests) should prefer the ShardContext name; code driving a whole
+// simulation should hold an Executor.
 #pragma once
 
-#include <coroutine>
-#include <cstdint>
-#include <exception>
-#include <functional>
-#include <limits>
-#include <string>
-#include <type_traits>
-#include <utility>
-#include <vector>
-
-#include "common/error.hpp"
-#include "common/metrics.hpp"
-#include "common/units.hpp"
-#include "sim/event_queue.hpp"
-#include "sim/task.hpp"
-#include "sim/tracelog.hpp"
+#include "sim/shard_context.hpp"
 
 namespace comb::sim {
 
-class Simulator {
- public:
-  Simulator() = default;
-  Simulator(const Simulator&) = delete;
-  Simulator& operator=(const Simulator&) = delete;
-  ~Simulator();
-
-  /// Current virtual time in seconds.
-  Time now() const { return now_; }
-
-  /// Schedule `fn` to run `delay` seconds from now (delay >= 0). Takes
-  /// any callable an event closure can hold (see sim/inplace_fn.hpp) and
-  /// forwards it straight into the event pool — no intermediate EventFn.
-  template <typename F>
-    requires std::is_constructible_v<EventFn, F&&>
-  EventHandle schedule(Time delay, F&& fn) {
-    COMB_ASSERT(delay >= 0.0, "negative event delay");
-    return queue_.push(now_ + delay, std::forward<F>(fn));
-  }
-  /// Schedule `fn` at absolute virtual time `when` (>= now()).
-  template <typename F>
-    requires std::is_constructible_v<EventFn, F&&>
-  EventHandle scheduleAt(Time when, F&& fn) {
-    COMB_ASSERT(when >= now_, "scheduling into the past");
-    return queue_.push(when, std::forward<F>(fn));
-  }
-
-  /// Launch a simulated process. The coroutine starts at the current
-  /// virtual time (before run() it starts at t = 0 when run() begins).
-  /// The simulator owns the coroutine; exceptions it throws abort the
-  /// simulation and are rethrown from run()/step().
-  void spawn(Task<void> process, std::string name = {});
-
-  /// Run until the event queue drains or `until` is reached (events at
-  /// exactly `until` still run). Returns the final virtual time.
-  Time run(Time until = std::numeric_limits<Time>::infinity());
-
-  /// Execute a single event; returns false when none are pending.
-  bool step();
-
-  /// Number of processes spawned that have not yet finished.
-  std::size_t liveProcesses() const { return liveProcesses_; }
-  std::uint64_t eventsExecuted() const { return eventsExecuted_; }
-  std::uint64_t eventsScheduled() const { return queue_.scheduledCount(); }
-
-  /// Optional hook invoked before each event executes — used by the trace
-  /// tests to record exact event ordering.
-  using TraceFn = std::function<void(Time, std::uint64_t /*eventIndex*/)>;
-  void setTrace(TraceFn fn) { trace_ = std::move(fn); }
-
-  /// Attach a structured trace log (see sim/tracelog.hpp). Instrumented
-  /// components emit through emitTrace*(); pass nullptr to detach. Detached,
-  /// every emitter below is a single pointer test.
-  void attachTraceLog(TraceLog* log) { traceLog_ = log; }
-  TraceLog* traceLog() const { return traceLog_; }
-  bool tracing() const { return traceLog_ != nullptr; }
-  void emitTrace(TraceCategory cat, int node, std::string_view label,
-                 double a = 0, double b = 0) {
-    if (traceLog_) traceLog_->emit(now_, cat, node, label, a, b);
-  }
-  void emitTraceBegin(TraceCategory cat, int node, std::string_view label,
-                      double a = 0) {
-    if (traceLog_) traceLog_->beginSpan(now_, cat, node, label, a);
-  }
-  void emitTraceEnd(TraceCategory cat, int node, std::string_view label,
-                    double a = 0) {
-    if (traceLog_) traceLog_->endSpan(now_, cat, node, label, a);
-  }
-  /// Span with a known duration, stamped [now, now + dur).
-  void emitTraceComplete(Time dur, TraceCategory cat, int node,
-                         std::string_view label, double a = 0, double b = 0) {
-    if (traceLog_) traceLog_->complete(now_, dur, cat, node, label, a, b);
-  }
-  /// Like emitTraceComplete but with an explicit start time (for emitters
-  /// that compute a window, e.g. an ISR that starts after the current
-  /// busy period).
-  void emitTraceCompleteAt(Time start, Time dur, TraceCategory cat, int node,
-                           std::string_view label, double a = 0,
-                           double b = 0) {
-    if (traceLog_) traceLog_->complete(start, dur, cat, node, label, a, b);
-  }
-
-  /// Metrics registry for this machine: components register named counters
-  /// and histograms at construction and snapshot after a run. Always
-  /// present (unlike the trace log) so increments never need a null check.
-  metrics::Registry& metrics() { return metrics_; }
-  const metrics::Registry& metrics() const { return metrics_; }
-
-  /// Awaitable: suspend the calling coroutine for `d` simulated seconds.
-  /// A zero delay still round-trips through the event queue, which
-  /// deterministically yields to other ready processes.
-  auto delay(Time d);
-  /// Awaitable: yield once (equivalent to delay(0)).
-  auto yield();
-
- private:
-  struct Detached;
-  Detached runProcess(Task<void> t, std::string name);
-  void recordFailure(std::exception_ptr e, const std::string& name);
-  void rethrowIfFailed();
-
-  Time now_ = 0.0;
-  EventQueue queue_;
-  std::uint64_t eventsExecuted_ = 0;
-  std::size_t liveProcesses_ = 0;
-  std::exception_ptr failure_;
-  std::string failedProcess_;
-  TraceFn trace_;
-  TraceLog* traceLog_ = nullptr;
-  metrics::Registry metrics_;
-};
-
-/// RAII span: begins on construction, ends (same label, same track) on
-/// destruction at the then-current virtual time. Safe when no log is
-/// attached. The label must outlive the scope (string literals do).
-class TraceScope {
- public:
-  TraceScope(Simulator& sim, TraceCategory cat, int node,
-             std::string_view label, double a = 0)
-      : sim_(sim), cat_(cat), node_(node), label_(label) {
-    sim_.emitTraceBegin(cat_, node_, label_, a);
-  }
-  TraceScope(const TraceScope&) = delete;
-  TraceScope& operator=(const TraceScope&) = delete;
-  ~TraceScope() { sim_.emitTraceEnd(cat_, node_, label_); }
-
- private:
-  Simulator& sim_;
-  TraceCategory cat_;
-  int node_;
-  std::string_view label_;
-};
-
-namespace detail {
-
-struct DelayAwaiter {
-  Simulator& sim;
-  Time d;
-  bool await_ready() const noexcept { return false; }
-  void await_suspend(std::coroutine_handle<> h) {
-    sim.schedule(d, [h] { h.resume(); });
-  }
-  void await_resume() const noexcept {}
-};
-
-}  // namespace detail
-
-inline auto Simulator::delay(Time d) { return detail::DelayAwaiter{*this, d}; }
-inline auto Simulator::yield() { return delay(0); }
+using Simulator = ShardContext;
 
 }  // namespace comb::sim

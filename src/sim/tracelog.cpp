@@ -1,5 +1,7 @@
 #include "sim/tracelog.hpp"
 
+#include <algorithm>
+
 #include "common/error.hpp"
 #include "common/log.hpp"
 #include "common/string_util.hpp"
@@ -54,6 +56,44 @@ TraceLabelId TraceLog::intern(std::string_view label) {
 std::string_view TraceLog::labelName(TraceLabelId id) const {
   COMB_REQUIRE(id < labels_.size(), "unknown trace label id");
   return *labels_[id];
+}
+
+std::unique_ptr<TraceLog> TraceLog::merge(
+    std::vector<std::unique_ptr<TraceLog>> parts) {
+  std::erase_if(parts, [](const auto& p) { return p == nullptr; });
+  if (parts.empty()) return nullptr;
+  if (parts.size() == 1) return std::move(parts.front());
+  std::size_t capacity = 0, dropped = 0, total = 0;
+  for (const auto& p : parts) {
+    capacity += p->capacity();
+    dropped += p->dropped();
+    total += p->size();
+  }
+  auto out = std::make_unique<TraceLog>(std::max(capacity, total));
+  struct Cursor {
+    std::size_t part;
+    std::size_t idx;
+  };
+  std::vector<Cursor> order;
+  order.reserve(total);
+  for (std::size_t pi = 0; pi < parts.size(); ++pi)
+    for (std::size_t i = 0; i < parts[pi]->size(); ++i)
+      order.push_back(Cursor{pi, i});
+  std::sort(order.begin(), order.end(),
+            [&parts](const Cursor& a, const Cursor& b) {
+              const Time ta = parts[a.part]->record(a.idx).t;
+              const Time tb = parts[b.part]->record(b.idx).t;
+              if (ta != tb) return ta < tb;
+              if (a.part != b.part) return a.part < b.part;
+              return a.idx < b.idx;
+            });
+  for (const Cursor& c : order) {
+    TraceRecord r = parts[c.part]->record(c.idx);
+    r.label = out->intern(parts[c.part]->labelName(r.label));
+    out->push(r);
+  }
+  out->dropped_ += dropped;
+  return out;
 }
 
 void TraceLog::push(const TraceRecord& r) {

@@ -27,6 +27,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <ostream>
 #include <string>
 #include <string_view>
@@ -126,6 +127,16 @@ class TraceLog {
   std::vector<const TraceRecord*> select(TraceCategory cat,
                                          std::string_view label,
                                          int node = -1) const;
+
+  /// Merge per-shard logs into one time-ordered log. Records sort by
+  /// (time, part index, emission order) — deterministic given the
+  /// inputs — and labels are re-interned. A single input is returned
+  /// unchanged, so the serial path round-trips byte-identically; null
+  /// parts are skipped (nullptr when all are). Dropped-record counts
+  /// sum. The result is an analysis artifact: span-pairing state is not
+  /// reconstructed, so do not continue Begin/End emission into it.
+  static std::unique_ptr<TraceLog> merge(
+      std::vector<std::unique_ptr<TraceLog>> parts);
 
   /// Human-readable dump of (up to) the last `maxRows` records.
   void dump(std::ostream& out, std::size_t maxRows = 50) const;

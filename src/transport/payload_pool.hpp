@@ -7,19 +7,24 @@
 // into the free list instead of the heap.
 //
 // Lifetime: packets can still be in flight (inside event closures owned
-// by the Simulator) when the NIC that sent them is destroyed, so pooled
+// by the simulator) when the NIC that sent them is destroyed, so pooled
 // payloads keep their backing store alive via a shared State — the free
 // list outlives the pool object until the last outstanding payload
 // returns, at which point everything is reclaimed.
 //
-// Thread-safety: none, by design — a pool belongs to one NIC inside one
-// Simulator, which is single-threaded (the parallel sweep executor runs
-// whole simulations per worker, never sharing one).
+// Thread-safety: the free list is mutex-protected. A pool belongs to one
+// NIC on one shard, but under the sharded PDES executor the *last*
+// reference to a payload is often dropped on the receiving node's shard
+// (delivery releases the in-flight ref while the sender's retained copy
+// is long gone), so releaseSelf — and therefore the free list — can run
+// on a different thread than acquire. The lock is uncontended in serial
+// runs and on the acquire path of parallel ones.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <utility>
 #include <vector>
 
@@ -36,16 +41,12 @@ class WirePayloadPool {
 
   /// A default-initialized payload (recycled when possible).
   net::PayloadRef<WirePayload> acquire() {
-    Pooled* p;
-    if (!state_->free.empty()) {
-      p = state_->free.back();
-      state_->free.pop_back();
+    Pooled* p = state_->pop();
+    if (p != nullptr) {
       p->home = state_;
       static_cast<WireFields&>(*p) = WireFields{};
-      ++state_->reused;
     } else {
       p = new Pooled(state_);
-      ++state_->allocated;
     }
     return net::PayloadRef<WirePayload>(p);
   }
@@ -59,17 +60,42 @@ class WirePayloadPool {
   }
 
   // --- introspection (tests, benchmarks) ---------------------------------
-  std::size_t freeCount() const { return state_->free.size(); }
-  std::uint64_t allocated() const { return state_->allocated; }
-  std::uint64_t reused() const { return state_->reused; }
+  std::size_t freeCount() const {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    return state_->free.size();
+  }
+  std::uint64_t allocated() const {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    return state_->allocated;
+  }
+  std::uint64_t reused() const {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    return state_->reused;
+  }
 
  private:
   struct Pooled;
 
   struct State {
+    mutable std::mutex mu;
     std::vector<Pooled*> free;
     std::uint64_t allocated = 0;
     std::uint64_t reused = 0;
+
+    /// Take a parked payload, or nullptr (counting the miss as a fresh
+    /// allocation — the caller then news one).
+    Pooled* pop() {
+      std::lock_guard<std::mutex> lock(mu);
+      if (free.empty()) {
+        ++allocated;
+        return nullptr;
+      }
+      Pooled* p = free.back();
+      free.pop_back();
+      ++reused;
+      return p;
+    }
+
     ~State() {
       for (Pooled* p : free) delete p;
     }
@@ -91,7 +117,10 @@ class WirePayloadPool {
       // ~State runs as `keep` goes out of scope and deletes everything
       // on the free list, including this object.
       std::shared_ptr<State> keep = std::move(self->home);
-      keep->free.push_back(self);
+      {
+        std::lock_guard<std::mutex> lock(keep->mu);
+        keep->free.push_back(self);
+      }
     }
   };
 

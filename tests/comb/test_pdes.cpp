@@ -1,0 +1,182 @@
+// Sharded-core (--sim-jobs) contract tests at the benchmark level:
+//   * sharded runs reproduce the serial core's numbers exactly on both
+//     transports and on multi-switch fabrics,
+//   * repeated sharded runs are deterministic,
+//   * the lookahead invariant holds when it is exactly one link latency
+//     (the fat-tree default) under maximally skewed load (incast), and
+//   * traced sharded runs produce a merged timeline the overlap audit
+//     accepts.
+// See docs/parallel_sim.md for the contracts under test.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "backend/machine.hpp"
+#include "backend/sim_cluster.hpp"
+#include "comb/audit.hpp"
+#include "comb/congestion.hpp"
+#include "comb/presets.hpp"
+#include "comb/runner.hpp"
+#include "common/units.hpp"
+
+namespace comb::bench {
+namespace {
+
+using namespace comb::units;
+using backend::MachineConfig;
+using backend::TransportKind;
+
+RunOptions simJobs(int n) {
+  RunOptions opts;
+  opts.simJobs = n;
+  return opts;
+}
+
+/// Oversubscribed fat-tree: 4 nodes per leaf, one spine, finite queues.
+/// Trunks share the node links' latency (Topology scales only the trunk
+/// rate), so the conservative lookahead equals EXACTLY one link latency —
+/// the tightest bound the partition ever runs under.
+MachineConfig fatTree(TransportKind k) {
+  auto m = k == TransportKind::Gm ? backend::gmMachine()
+                                  : backend::portalsMachine();
+  m.fabric.sw.ports = 0;
+  m.fabric.topo.kind = net::TopologyKind::FatTree;
+  m.fabric.topo.nodesPerSwitch = 4;
+  m.fabric.topo.spines = 1;
+  m.fabric.topo.trunkRateScale = 0.5;
+  m.fabric.sw.queue.depthPackets = 16;
+  return m;
+}
+
+CongestionParams congestion(CongestionPattern pattern, std::uint64_t nodes) {
+  CongestionParams p;
+  p.pattern = pattern;
+  p.nodes = nodes;
+  p.msgBytes = 16_KB;
+  p.messagesPerSender = 2;
+  p.window = 4;
+  return p;
+}
+
+void expectSameCongestion(const CongestionPoint& a, const CongestionPoint& b) {
+  EXPECT_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.bandwidthBps, b.bandwidthBps);
+  EXPECT_EQ(a.availability, b.availability);
+  EXPECT_EQ(a.minAvailability, b.minAvailability);
+  EXPECT_EQ(a.meanNodeBandwidthBps, b.meanNodeBandwidthBps);
+  EXPECT_EQ(a.minNodeBandwidthBps, b.minNodeBandwidthBps);
+  EXPECT_EQ(a.messagesDelivered, b.messagesDelivered);
+  EXPECT_EQ(a.nodeBandwidthBps, b.nodeBandwidthBps);
+  EXPECT_EQ(a.nodeAvailability, b.nodeAvailability);
+  EXPECT_EQ(a.switches.packetsRouted, b.switches.packetsRouted);
+  EXPECT_EQ(a.switches.dropsQueue, b.switches.dropsQueue);
+  EXPECT_EQ(a.switches.creditStalls, b.switches.creditStalls);
+  EXPECT_EQ(a.switches.queuePeakPackets, b.switches.queuePeakPackets);
+}
+
+TEST(Pdes, ShardedPollingMatchesSerialBitIdentical) {
+  for (const auto kind : {TransportKind::Gm, TransportKind::Portals}) {
+    const auto machine = kind == TransportKind::Gm
+                             ? backend::gmMachine()
+                             : backend::portalsMachine();
+    auto params = presets::pollingBase(100 * 1024);
+    params.targetDuration = 3e-3;
+    params.maxPolls = 5'000;
+    const auto serial = runPollingPoint(machine, params);
+    const auto sharded = runPollingPoint(machine, params, simJobs(2));
+    EXPECT_EQ(serial.bandwidthBps, sharded.bandwidthBps) << machine.name;
+    EXPECT_EQ(serial.availability, sharded.availability) << machine.name;
+    EXPECT_EQ(serial.messagesReceived, sharded.messagesReceived)
+        << machine.name;
+    EXPECT_EQ(serial.pollsExecuted, sharded.pollsExecuted) << machine.name;
+  }
+}
+
+TEST(Pdes, ShardedPwwMatchesSerialBitIdentical) {
+  for (const auto kind : {TransportKind::Gm, TransportKind::Portals}) {
+    const auto machine = kind == TransportKind::Gm
+                             ? backend::gmMachine()
+                             : backend::portalsMachine();
+    auto params = presets::pwwBase(100 * 1024);
+    params.workInterval = 200'000;
+    const auto serial = runPwwPoint(machine, params);
+    const auto sharded = runPwwPoint(machine, params, simJobs(2));
+    EXPECT_EQ(serial.bandwidthBps, sharded.bandwidthBps) << machine.name;
+    EXPECT_EQ(serial.availability, sharded.availability) << machine.name;
+    EXPECT_EQ(serial.avgPostPerOp, sharded.avgPostPerOp) << machine.name;
+    EXPECT_EQ(serial.avgWork, sharded.avgWork) << machine.name;
+    EXPECT_EQ(serial.avgWaitPerMsg, sharded.avgWaitPerMsg) << machine.name;
+  }
+}
+
+TEST(Pdes, ShardedCongestionOnFatTreeMatchesSerial) {
+  // Multi-switch fabric: cross-leaf traffic crosses shards through the
+  // trunks. 8 nodes over 2 leaves, 4 shards => 2 leaf blocks spread over
+  // the shards, every pattern exercised.
+  for (const auto pattern :
+       {CongestionPattern::Incast, CongestionPattern::Hotspot,
+        CongestionPattern::AllToAll}) {
+    const auto machine = fatTree(TransportKind::Gm);
+    const auto params = congestion(pattern, 8);
+    const auto serial = runCongestionPoint(machine, params);
+    const auto sharded = runCongestionPoint(machine, params, simJobs(4));
+    expectSameCongestion(serial, sharded);
+  }
+}
+
+TEST(Pdes, ShardSkewIncastAtExactLookahead) {
+  // Regression for the tightest legal window: incast concentrates every
+  // event on the victim's shard while the sender shards race ahead, and
+  // the lookahead equals exactly one link latency. Any off-by-one in the
+  // window bound (events at the boundary, messages landing exactly at
+  // windowEnd) shows up as divergence from the serial run here.
+  const auto machine = fatTree(TransportKind::Portals);
+  const auto params = congestion(CongestionPattern::Incast, 8);
+  const auto serial = runCongestionPoint(machine, params);
+  const auto sharded = runCongestionPoint(machine, params, simJobs(2));
+  expectSameCongestion(serial, sharded);
+}
+
+TEST(Pdes, ShardedRunsAreDeterministic) {
+  const auto machine = fatTree(TransportKind::Gm);
+  const auto params = congestion(CongestionPattern::AllToAll, 8);
+  const auto first = runCongestionPoint(machine, params, simJobs(4));
+  for (int i = 0; i < 2; ++i) {
+    const auto again = runCongestionPoint(machine, params, simJobs(4));
+    expectSameCongestion(first, again);
+  }
+}
+
+TEST(Pdes, TracedShardedRunPassesOverlapAudit) {
+  // Per-shard trace logs merged into one timeline must still satisfy the
+  // trace-driven overlap audit (span pairing intact, per-node ordering
+  // preserved, availability reproduced from span data).
+  auto params = presets::pollingBase(100 * 1024);
+  params.targetDuration = 3e-3;
+  params.maxPolls = 5'000;
+  const auto serial = runPollingPointTraced(backend::gmMachine(), params);
+  const auto sharded =
+      runPollingPointTraced(backend::gmMachine(), params, simJobs(2));
+  ASSERT_NE(sharded.trace, nullptr);
+  EXPECT_EQ(serial.point.bandwidthBps, sharded.point.bandwidthBps);
+  EXPECT_EQ(serial.trace->size(), sharded.trace->size());
+  const auto audit = auditPolling(*sharded.trace, 0);
+  EXPECT_EQ(checkPolling(audit, sharded.point), "");
+}
+
+TEST(Pdes, SimJobsAboveBlockCountClampsAndStillMatches) {
+  // More shards requested than partition blocks: the effective shard
+  // count clamps (2 nodes on a star => 2 blocks) and results still match
+  // the serial core.
+  auto params = presets::pollingBase(10 * 1024);
+  params.targetDuration = 3e-3;
+  params.maxPolls = 2'000;
+  const auto serial = runPollingPoint(backend::gmMachine(), params);
+  const auto sharded =
+      runPollingPoint(backend::gmMachine(), params, simJobs(64));
+  EXPECT_EQ(serial.bandwidthBps, sharded.bandwidthBps);
+  EXPECT_EQ(serial.messagesReceived, sharded.messagesReceived);
+}
+
+}  // namespace
+}  // namespace comb::bench

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <limits>
 #include <stdexcept>
@@ -9,6 +10,7 @@
 #include "backend/machine.hpp"
 #include "comb/presets.hpp"
 #include "common/error.hpp"
+#include "common/thread_pool.hpp"
 
 namespace comb::bench {
 namespace {
@@ -233,35 +235,46 @@ TEST(ParallelSweep, JobsGreaterThanPointsWorks) {
   EXPECT_EQ(pts[1].pollInterval, 100'000u);
 }
 
-// The pre-SweepSpec positional overloads must keep working (deprecated
-// shims forwarding to the new API).
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-TEST(Runner, DeprecatedPositionalOverloadsStillWork) {
-  auto base = presets::pollingBase(10 * 1024);
-  base.targetDuration = 3e-3;
-  base.maxPolls = 2'000;
-  const std::vector<std::uint64_t> intervals{1'000, 100'000};
-  const auto oldApi = runPollingSweep(backend::gmMachine(), base, intervals);
-  const auto newApi =
-      runPollingSweep(backend::gmMachine(), sweepOver(base, intervals));
-  ASSERT_EQ(oldApi.size(), newApi.size());
-  for (std::size_t i = 0; i < oldApi.size(); ++i)
-    expectSamePoint(oldApi[i], newApi[i], i);
+// Thread-budget mediation between sweep-level --jobs and core-level
+// --sim-jobs: never oversubscribe past hardware concurrency.
+TEST(Runner, SimWorkerBudgetCapsOversubscription) {
+  RunOptions serial;
+  serial.jobs = 64;
+  EXPECT_EQ(simWorkerBudget(serial), 0);  // serial core never spawns workers
 
-  const std::vector<Bytes> sizes{1024};
-  const auto oldLat =
-      runLatencySweep(backend::gmMachine(), sizes, /*reps=*/5, /*jobs=*/1);
-  SweepSpec<LatencyParams> spec;
-  spec.base.reps = 5;
-  spec.values = sizes;
-  const auto newLat = runLatencySweep(backend::gmMachine(), spec);
-  ASSERT_EQ(oldLat.size(), 1u);
-  ASSERT_EQ(newLat.size(), 1u);
-  EXPECT_EQ(oldLat[0].halfRoundTripAvg, newLat[0].halfRoundTripAvg);
-  EXPECT_EQ(oldLat[0].reps, newLat[0].reps);
+  RunOptions modest;
+  modest.jobs = 1;
+  modest.simJobs = 1;
+  EXPECT_EQ(simWorkerBudget(modest), 0);
+
+  // jobs * simJobs guaranteed past any real hardware concurrency: the cap
+  // must bound per-cluster workers so the product fits the machine.
+  RunOptions over;
+  over.jobs = 1 << 16;
+  over.simJobs = 4;
+  const int cap = simWorkerBudget(over);
+  EXPECT_GE(cap, 1);
+  EXPECT_LE(static_cast<long long>(cap) * over.jobs,
+            std::max(static_cast<long long>(hardwareJobs()),
+                     static_cast<long long>(over.jobs)));
 }
-#pragma GCC diagnostic pop
+
+// coreOptions forwards only the execution shape (jobs + simJobs): fault
+// and rep settings are the sweep layer's business.
+TEST(Runner, CoreOptionsForwardsExecutionShapeOnly) {
+  RunOptions opts;
+  opts.jobs = 3;
+  opts.simJobs = 2;
+  opts.rep.reps = 9;
+  net::FaultSpec fault;
+  fault.dropProb = 0.5;
+  opts.fault = fault;
+  const RunOptions core = coreOptions(opts);
+  EXPECT_EQ(core.jobs, 3);
+  EXPECT_EQ(core.simJobs, 2);
+  EXPECT_FALSE(core.fault.has_value());
+  EXPECT_EQ(core.rep.reps, RunOptions{}.rep.reps);
+}
 
 }  // namespace
 }  // namespace comb::bench

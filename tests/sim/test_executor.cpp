@@ -1,0 +1,206 @@
+// Executor (sharded PDES core): serial fast path, conservative window
+// advance, deterministic cross-shard fold-in by the packed
+// (time, seq, src) key, and independence of results from the worker
+// count. These are the contract tests behind docs/parallel_sim.md.
+#include "sim/executor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <utility>
+#include <vector>
+
+#include "sim/shard_context.hpp"
+
+namespace comb::sim {
+namespace {
+
+/// Per-shard record of executed test events: (time, tag). Each shard
+/// appends only to its own vector, so recording is race-free under any
+/// worker count.
+using Trace = std::vector<std::pair<Time, int>>;
+
+ExecutorOptions options(int shards, Time lookahead, int workers = 0) {
+  ExecutorOptions o;
+  o.shards = shards;
+  o.lookahead = lookahead;
+  o.workers = workers;
+  return o;
+}
+
+TEST(Executor, SingleShardTakesTheSerialPath) {
+  Executor exec(options(1, 0.0));
+  Trace trace;
+  exec.shard(0).schedule(2.0, [&] { trace.emplace_back(2.0, 1); });
+  exec.shard(0).schedule(1.0, [&] { trace.emplace_back(1.0, 0); });
+  const Time end = exec.run();
+  EXPECT_EQ(end, 2.0);
+  EXPECT_EQ(exec.now(), 2.0);
+  EXPECT_EQ(exec.eventsExecuted(), 2u);
+  // No windows: the serial loop runs unchanged (bit-identity contract).
+  EXPECT_EQ(exec.windowsExecuted(), 0u);
+  ASSERT_EQ(trace.size(), 2u);
+  EXPECT_EQ(trace[0].second, 0);
+  EXPECT_EQ(trace[1].second, 1);
+}
+
+TEST(Executor, SingleShardMatchesStandaloneContext) {
+  auto program = [](ShardContext& ctx, Trace& trace) {
+    for (int i = 0; i < 5; ++i)
+      ctx.schedule(0.1 * i, [&trace, &ctx, i] {
+        trace.emplace_back(ctx.now(), i);
+        ctx.schedule(0.05, [&trace, &ctx, i] {
+          trace.emplace_back(ctx.now(), 100 + i);
+        });
+      });
+  };
+  ShardContext serial;
+  Trace serialTrace;
+  program(serial, serialTrace);
+  serial.run();
+
+  Executor exec(options(1, 0.0));
+  Trace execTrace;
+  program(exec.shard(0), execTrace);
+  exec.run();
+
+  EXPECT_EQ(serialTrace, execTrace);
+  EXPECT_EQ(serial.eventsExecuted(), exec.eventsExecuted());
+  EXPECT_EQ(serial.now(), exec.now());
+}
+
+TEST(Executor, WindowedRunExecutesCrossShardPingPong) {
+  // Two shards exchange messages spaced exactly one lookahead apart —
+  // the minimal legal spacing, so every hop lands right on a window
+  // boundary (the strictest alignment the invariant allows).
+  constexpr Time kLookahead = 0.5;
+  constexpr int kHops = 8;
+  Executor exec(options(2, kLookahead));
+  std::vector<Trace> traces(2);
+
+  // hop(): runs on shard `s` and forwards to the other shard until
+  // kHops messages have been delivered in total.
+  struct Hop {
+    Executor& exec;
+    std::vector<Trace>& traces;
+    void operator()(int s, int hop) const {
+      ShardContext& ctx = exec.shard(s);
+      traces[static_cast<std::size_t>(s)].emplace_back(ctx.now(), hop);
+      if (hop + 1 >= kHops) return;
+      ShardContext& dst = exec.shard(1 - s);
+      Hop self{exec, traces};
+      ctx.postRemote(dst, ctx.now() + kLookahead,
+                     [self, s, hop] { self(1 - s, hop + 1); });
+    }
+  };
+  exec.shard(0).schedule(0.0, [&] { Hop{exec, traces}(0, 0); });
+
+  const Time end = exec.run();
+  EXPECT_GT(exec.windowsExecuted(), 0u);
+  EXPECT_DOUBLE_EQ(end, kLookahead * (kHops - 1));
+  EXPECT_EQ(exec.eventsExecuted(), static_cast<std::uint64_t>(kHops));
+  // Even hops on shard 0, odd hops on shard 1, times strictly increasing.
+  ASSERT_EQ(traces[0].size(), static_cast<std::size_t>(kHops / 2));
+  ASSERT_EQ(traces[1].size(), static_cast<std::size_t>(kHops / 2));
+  for (std::size_t i = 0; i < traces[0].size(); ++i) {
+    EXPECT_EQ(traces[0][i].second, static_cast<int>(2 * i));
+    EXPECT_EQ(traces[1][i].second, static_cast<int>(2 * i + 1));
+  }
+}
+
+TEST(Executor, FoldInOrdersRemoteEventsByPackedKey) {
+  // Shards 1 and 2 each post two messages to shard 0, all carrying the
+  // SAME timestamp. The fold-in must order them (time, seq, src):
+  // both sources' seq-0 messages first (src 1 before src 2), then both
+  // seq-1 messages. This makes the destination's event order a pure
+  // function of the simulation, not of routing order.
+  constexpr Time kLookahead = 1.0;
+  Executor exec(options(3, kLookahead));
+  Trace delivered;  // only shard 0 appends — single-threaded per shard
+
+  const Time kWhen = 2.0;  // beyond the first window [0, 1)
+  for (int src = 1; src <= 2; ++src) {
+    ShardContext& ctx = exec.shard(src);
+    ctx.schedule(0.0, [&exec, &ctx, &delivered, src, kWhen] {
+      for (int k = 0; k < 2; ++k)
+        ctx.postRemote(exec.shard(0), kWhen, [&delivered, src, k, kWhen] {
+          delivered.emplace_back(kWhen, 10 * src + k);
+        });
+    });
+  }
+  exec.run();
+  ASSERT_EQ(delivered.size(), 4u);
+  // (seq 0, src 1), (seq 0, src 2), (seq 1, src 1), (seq 1, src 2).
+  EXPECT_EQ(delivered[0].second, 10);
+  EXPECT_EQ(delivered[1].second, 20);
+  EXPECT_EQ(delivered[2].second, 11);
+  EXPECT_EQ(delivered[3].second, 21);
+}
+
+TEST(Executor, ResultsIndependentOfWorkerCount) {
+  // The same 4-shard program under workers = 1 (inline window loop) and
+  // workers = 4 (thread pool) must produce identical traces: results are
+  // a function of (program, partition, lookahead) only.
+  constexpr Time kLookahead = 0.25;
+  auto runWith = [&](int workers) {
+    Executor exec(options(4, kLookahead, workers));
+    std::vector<Trace> traces(4);
+    for (int s = 0; s < 4; ++s) {
+      ShardContext& ctx = exec.shard(s);
+      Trace& mine = traces[static_cast<std::size_t>(s)];
+      ctx.schedule(0.1 * s, [&exec, &ctx, &traces, s, kLookahead] {
+        ShardContext& dst = exec.shard((s + 1) % 4);
+        Trace& theirs = traces[static_cast<std::size_t>((s + 1) % 4)];
+        ctx.postRemote(dst, ctx.now() + kLookahead, [&dst, &theirs, s] {
+          theirs.emplace_back(dst.now(), 100 + s);
+        });
+      });
+      ctx.schedule(0.1 * s, [&ctx, &mine, s] {
+        mine.emplace_back(ctx.now(), s);
+      });
+    }
+    exec.run();
+    return traces;
+  };
+  // Note: the cross-shard closures above are no-ops by design — the trace
+  // compares local event placement; remote delivery determinism is
+  // covered by FoldInOrdersRemoteEventsByPackedKey.
+  const auto serial = runWith(1);
+  const auto pooled = runWith(4);
+  EXPECT_EQ(serial, pooled);
+}
+
+TEST(Executor, UntilParksShardClocks) {
+  Executor exec(options(2, 1.0));
+  bool ran = false;
+  exec.shard(0).schedule(0.5, [] {});
+  exec.shard(1).schedule(5.0, [&ran] { ran = true; });
+  const Time end = exec.run(2.0);
+  EXPECT_FALSE(ran);  // beyond `until`
+  EXPECT_DOUBLE_EQ(end, 2.0);
+  EXPECT_DOUBLE_EQ(exec.now(), 2.0);
+}
+
+TEST(Executor, EventAtExactlyUntilStillRuns) {
+  // Serial-run semantics: run(until) is inclusive of `until` itself.
+  Executor exec(options(2, 1.0));
+  bool ran = false;
+  exec.shard(1).schedule(2.0, [&ran] { ran = true; });
+  exec.run(2.0);
+  EXPECT_TRUE(ran);
+}
+
+TEST(Executor, RequiresPositiveLookaheadWhenSharded) {
+  EXPECT_THROW(Executor(options(2, 0.0)), Error);
+  EXPECT_NO_THROW(Executor(options(1, 0.0)));
+}
+
+TEST(Executor, MergedMetricsSumAcrossShards) {
+  Executor exec(options(2, 1.0));
+  exec.shard(0).metrics().counter("events.test").add(3);
+  exec.shard(1).metrics().counter("events.test").add(4);
+  const auto snap = exec.metricsSnapshot();
+  EXPECT_EQ(snap.counterValue("events.test"), 7u);
+}
+
+}  // namespace
+}  // namespace comb::sim

@@ -51,6 +51,9 @@ void usage() {
       "    --cpus N --nic-cpu K    SMP extension knobs\n"
       "    --jobs N                worker threads for sweeps (0 = all\n"
       "                            cores); results are bit-identical\n"
+      "    --sim-jobs N            simulator-core shards per cluster\n"
+      "                            (1 = classic serial core; N > 1 is a\n"
+      "                            distinct deterministic configuration)\n"
       "    --fault SPEC            inject link faults, e.g.\n"
       "                            drop=0.01,burst=4,seed=7 (keys: drop,\n"
       "                            burst, corrupt, jitter_us, seed)\n"
@@ -89,6 +92,11 @@ ArgParser makeParser(const std::string& method) {
                  "worker threads for sweep points (0 = all cores); results "
                  "are bit-identical for any value",
                  "0");
+  args.addOption("sim-jobs",
+                 "simulator-core shards per cluster (1 = classic serial "
+                 "core; N > 1 is a distinct deterministic configuration "
+                 "recorded in archives)",
+                 "1");
   args.addOption("interval", "polling interval (loop iterations)", "10000");
   args.addOption("work", "PWW work interval (loop iterations)", "1000000");
   args.addOption("queue", "polling queue depth", "8");
@@ -137,6 +145,15 @@ int jobsFrom(const ArgParser& args) {
     throw ConfigError("--jobs must be >= 0 (0 = all cores), got " +
                       args.str("jobs"));
   return jobs == 0 ? hardwareJobs() : static_cast<int>(jobs);
+}
+
+/// Resolve --sim-jobs with parse-time validation (any value below 1 is a
+/// configuration error, reported before any simulation starts).
+int simJobsFrom(const ArgParser& args) {
+  const auto simJobs = args.integer("sim-jobs");
+  if (simJobs < 1)
+    throw ConfigError("--sim-jobs must be >= 1, got " + args.str("sim-jobs"));
+  return static_cast<int>(simJobs);
 }
 
 backend::MachineConfig machineFrom(const ArgParser& args) {
@@ -212,6 +229,7 @@ int runPolling(const ArgParser& args) {
   params.queueDepth = static_cast<int>(args.integer("queue"));
   bench::RunOptions opts;
   opts.jobs = jobsFrom(args);
+  opts.simJobs = simJobsFrom(args);
   opts.rep = repPolicyFrom(args);
   const bool withReps = opts.rep.adaptive || opts.rep.reps > 1;
 
@@ -238,7 +256,7 @@ int runPolling(const ArgParser& args) {
               params.queueDepth, t.str().c_str());
   if (const std::string dir = args.str("archive"); !dir.empty()) {
     auto archive = bench::makeArchive("comb_polling_" + machine.name,
-                                      opts.rep);
+                                      opts.rep, opts.simJobs);
     bench::appendPollingSweep(archive, "polling/" + machine.name + "/" +
                                            fmtBytes(params.msgBytes),
                               machine, xs, runs);
@@ -270,6 +288,7 @@ int runPww(const ArgParser& args) {
   params.testCallAtFraction = args.real("test-at");
   bench::RunOptions opts;
   opts.jobs = jobsFrom(args);
+  opts.simJobs = simJobsFrom(args);
   opts.rep = repPolicyFrom(args);
   const bool withReps = opts.rep.adaptive || opts.rep.reps > 1;
 
@@ -296,7 +315,8 @@ int runPww(const ArgParser& args) {
               params.testCallAtFraction >= 0 ? " (+MPI_Test in work)" : "",
               t.str().c_str());
   if (const std::string dir = args.str("archive"); !dir.empty()) {
-    auto archive = bench::makeArchive("comb_pww_" + machine.name, opts.rep);
+    auto archive = bench::makeArchive("comb_pww_" + machine.name, opts.rep,
+                                      opts.simJobs);
     bench::appendPwwSweep(archive, "pww/" + machine.name + "/" +
                                        fmtBytes(params.msgBytes),
                           machine, xs, runs);
@@ -311,6 +331,7 @@ int runLatency(const ArgParser& args) {
   bench::LatencyParams params;
   params.msgBytes = static_cast<Bytes>(args.integer("size-kb")) * 1024;
   bench::RunOptions opts;
+  opts.simJobs = simJobsFrom(args);
   opts.rep = repPolicyFrom(args);
   const auto run = bench::runLatencyPointReps(machine, params, opts);
   const auto& pt = run.canonical();
@@ -327,7 +348,7 @@ int runLatency(const ArgParser& args) {
                 run.converged ? "" : " (CI target NOT reached)");
   if (const std::string dir = args.str("archive"); !dir.empty()) {
     auto archive = bench::makeArchive("comb_latency_" + machine.name,
-                                      opts.rep);
+                                      opts.rep, opts.simJobs);
     bench::appendLatencySweep(archive, "latency/" + machine.name, machine,
                               {params.msgBytes}, {run});
     std::printf("archive: %s\n",
@@ -374,6 +395,7 @@ int runAssess(const ArgParser& args) {
   bench::AssessOptions options;
   options.msgBytes = static_cast<Bytes>(args.integer("size-kb")) * 1024;
   options.jobs = jobsFrom(args);
+  options.simJobs = simJobsFrom(args);
   const auto a = bench::assessMachine(machine, options);
   std::printf("COMB assessment, machine=%s, size=%s\n\n%s",
               a.machineName.c_str(), fmtBytes(a.msgBytes).c_str(),
@@ -392,7 +414,7 @@ int runStats(const ArgParser& args) {
   auto params = bench::presets::pollingBase(
       static_cast<Bytes>(args.integer("size-kb")) * 1024);
   params.pollInterval = static_cast<std::uint64_t>(args.integer("interval"));
-  backend::SimCluster cluster(machine, 2);
+  backend::SimCluster cluster(machine, 2, simJobsFrom(args));
   if (args.flag("trace")) cluster.enableTracing();
   bench::PollingPoint point;
   cluster.launch(0, statsWorkerDriver(cluster.proc(0), params, point));
@@ -425,7 +447,9 @@ int runTrace(const ArgParser& args) {
     params.batch = static_cast<int>(args.integer("batch"));
     params.testCallAtFraction = args.real("test-at");
     params.workInterval = static_cast<std::uint64_t>(args.integer("work"));
-    auto run = bench::runPwwPointTraced(machine, params);
+    bench::RunOptions opts;
+    opts.simJobs = simJobsFrom(args);
+    auto run = bench::runPwwPointTraced(machine, params, opts);
     auditErr = bench::checkPww(bench::auditPww(*run.trace), run.point);
     availability = run.point.availability;
     log = std::move(run.trace);
@@ -434,7 +458,9 @@ int runTrace(const ArgParser& args) {
     auto params = bench::presets::pollingBase(size);
     params.queueDepth = static_cast<int>(args.integer("queue"));
     params.pollInterval = static_cast<std::uint64_t>(args.integer("interval"));
-    auto run = bench::runPollingPointTraced(machine, params);
+    bench::RunOptions opts;
+    opts.simJobs = simJobsFrom(args);
+    auto run = bench::runPollingPointTraced(machine, params, opts);
     auditErr = bench::checkPolling(bench::auditPolling(*run.trace), run.point);
     availability = run.point.availability;
     log = std::move(run.trace);
