@@ -45,6 +45,9 @@ struct FigArgs {
   /// configuration — archives record it so `comb compare` can flag
   /// cross-configuration comparisons).
   int simJobs = 1;
+  /// Shard-worker pinning policy (--sim-affinity). Wall time only —
+  /// results are identical across policies — but stamped into archives.
+  sim::AffinityPolicy simAffinity = sim::AffinityPolicy::None;
   /// Fault model override from --fault (per-point results stay
   /// bit-reproducible: link fault streams are seeded per link name).
   std::optional<net::FaultSpec> fault;
@@ -69,6 +72,7 @@ struct FigArgs {
     RunOptions opts;
     opts.jobs = jobs;
     opts.simJobs = simJobs;
+    opts.simAffinity = simAffinity;
     opts.fault = fault;
     opts.rep = rep;
     return opts;
@@ -77,7 +81,7 @@ struct FigArgs {
 
 /// Parse and *validate* the common figure-bench arguments. Bad values
 /// (non-numeric, --points-per-decade < 1, --jobs < 1, --sim-jobs < 1,
-/// malformed --fault)
+/// unknown --sim-affinity, malformed --fault)
 /// are reported on stderr at parse time with parsedOk=false / exitCode=2,
 /// instead of failing later inside the sweep.
 inline FigArgs parseFigArgs(int argc, const char* const* argv,
@@ -96,6 +100,10 @@ inline FigArgs parseFigArgs(int argc, const char* const* argv,
                    "core; N > 1 is a distinct, deterministic configuration "
                    "recorded in archives)",
                    "1");
+  parser.addOption("sim-affinity",
+                   "shard-worker pinning: none | compact | scatter (wall "
+                   "time only — results are identical across policies)",
+                   "none");
   parser.addOption("fault",
                    "inject link faults, e.g. drop=0.01,burst=4,seed=7 "
                    "(keys: drop, burst, corrupt, jitter_us, seed)",
@@ -136,6 +144,7 @@ inline FigArgs parseFigArgs(int argc, const char* const* argv,
     if (args.simJobs < 1)
       throw ConfigError("--sim-jobs must be >= 1, got " +
                         parser.str("sim-jobs"));
+    args.simAffinity = sim::parseAffinityPolicy(parser.str("sim-affinity"));
     if (const auto spec = parser.str("fault"); !spec.empty())
       args.fault = net::parseFaultSpec(spec);
     args.csv = parser.flag("csv");
@@ -206,7 +215,8 @@ class FigArchive {
  public:
   FigArchive(const std::string& bench, const FigArgs& args)
       : dir_(args.archiveDir),
-        archive_(makeArchive(bench, args.rep, args.simJobs)) {}
+        archive_(makeArchive(bench, args.rep, args.simJobs,
+                             args.simAffinity)) {}
 
   bool enabled() const { return !dir_.empty(); }
 

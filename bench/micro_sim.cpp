@@ -287,8 +287,13 @@ void BM_CongestionIncastSharded(benchmark::State& state) {
 BENCHMARK(BM_CongestionIncastSharded)
     ->Args({256, 1})
     ->Args({256, 4})
+    ->Args({256, 8})
     ->Args({1024, 1})
+    ->Args({1024, 4})
     ->Args({1024, 8})
+    ->Args({4096, 1})
+    ->Args({4096, 4})
+    ->Args({4096, 8})
     ->Unit(benchmark::kMillisecond);
 
 // Raw emission throughput with the ring attached: the per-record cost a

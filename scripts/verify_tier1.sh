@@ -9,8 +9,11 @@
 #      machinery on every worker thread — and the tracing/observability
 #      tests (`trace` label), whose TraceLog rides along with parallel
 #      traced-point runs — and the sharded-PDES core tests (`pdes`
-#      label), whose window loop hands shards to pool workers and folds
-#      cross-shard events back in under a mutex;
+#      label), whose window loop drives a persistent worker team through
+#      a lock-free epoch barrier and folds cross-shard events back in
+#      from per-pair mailbox rings (test_window_barrier exercises the
+#      barrier/ring primitives directly; test_executor_alloc counts
+#      operator-new calls in the steady-state loop);
 #   3. rebuild the tracing/observability suites under AddressSanitizer
 #      (-DCOMB_SANITIZE=address) and run the `trace`-labelled tests: the
 #      TraceLog ring recycles slots and interns labels, exactly the kind
@@ -79,7 +82,8 @@ build_tsan() {
     -DCMAKE_BUILD_TYPE=RelWithDebInfo &&
     cmake --build build-tsan -j --target test_thread_pool test_runner \
       test_log test_thread_comb test_fault test_fault_injection \
-      test_tracelog test_trace_export test_audit test_executor test_pdes
+      test_tracelog test_trace_export test_audit test_executor test_pdes \
+      test_window_barrier test_executor_alloc
 }
 build_asan() {
   cmake -B build-asan -S . -DCOMB_SANITIZE=address \

@@ -32,7 +32,8 @@ int partitionBlockNodes(const MachineConfig& cfg) {
 
 sim::ExecutorOptions SimCluster::executorOptions(const MachineConfig& cfg,
                                                  int nodes, int simJobs,
-                                                 int workers) {
+                                                 int workers,
+                                                 sim::AffinityPolicy affinity) {
   COMB_REQUIRE(nodes >= 1, "cluster needs at least one node");
   COMB_REQUIRE(simJobs >= 1, "sim-jobs must be >= 1");
   const int grain = partitionBlockNodes(cfg);
@@ -44,6 +45,7 @@ sim::ExecutorOptions SimCluster::executorOptions(const MachineConfig& cfg,
   // *rate*). The constructor cross-checks this against the built fabric.
   opts.lookahead = cfg.fabric.link.latency;
   opts.workers = workers;
+  opts.affinity = affinity;
   return opts;
 }
 
@@ -55,13 +57,13 @@ int SimCluster::shardOf(int rank) const {
 }
 
 SimCluster::SimCluster(MachineConfig cfg, int nodeCount, int simJobs,
-                       int workers)
+                       int workers, sim::AffinityPolicy affinity)
     : cfg_(std::move(cfg)),
       blockNodes_(partitionBlockNodes(cfg_)),
       blocks_(std::max((nodeCount + blockNodes_ - 1) /
                            std::max(blockNodes_, 1),
                        1)),
-      exec_(executorOptions(cfg_, nodeCount, simJobs, workers)) {
+      exec_(executorOptions(cfg_, nodeCount, simJobs, workers, affinity)) {
   // All wiring happens on shard 0 (the construction context); for
   // sharded runs, bindShards below re-homes every component to its
   // owning shard before the first event fires.
@@ -101,6 +103,15 @@ SimCluster::SimCluster(MachineConfig cfg, int nodeCount, int simJobs,
     fabric_->bindShards([this](net::NodeId id) {
       return &exec_.shard(shardOf(static_cast<int>(id)));
     });
+    // With every link and egress port homed, the wired topology defines
+    // the per-pair channel bounds: latency plus header serialization of
+    // each link toward each egress shard of its next-hop switch.
+    // setLookaheadMatrix certifies every entry against the scalar floor
+    // asserted above and takes the min-plus closure, so far-apart shard
+    // pairs (different leaves, different dragonfly groups) get windows
+    // as wide as the real multi-hop path, not the single-link floor.
+    exec_.setLookaheadMatrix(
+        fabric_->shardLookaheadMatrix(exec_.shardCount()));
   }
 
   COMB_REQUIRE(cfg_.cpusPerNode >= 1, "need at least one CPU per node");

@@ -76,13 +76,17 @@ class SimCluster {
   /// `simJobs` shards the simulator core: nodes are partitioned into
   /// contiguous blocks aligned to the topology (whole leaf switches /
   /// dragonfly groups), each block set driven by one sim::ShardContext,
-  /// with the fabric's minimum link latency as the conservative
-  /// lookahead. 1 (the default) is the classic serial core,
-  /// bit-identical to the pre-executor simulator. The effective shard
-  /// count is min(simJobs, partition blocks) — results are a pure
-  /// function of it. `workers` limits the threads driving the shards
-  /// (wall time only; 0 = hardware concurrency).
-  SimCluster(MachineConfig cfg, int nodes, int simJobs = 1, int workers = 0);
+  /// with the fabric's minimum link latency as the conservative scalar
+  /// lookahead floor and a per-shard-pair matrix derived from the wired
+  /// topology (Fabric::shardLookaheadMatrix) widening the windows. 1
+  /// (the default) is the classic serial core, bit-identical to the
+  /// pre-executor simulator. The effective shard count is min(simJobs,
+  /// partition blocks) — results are a pure function of it and the
+  /// matrix. `workers` limits the threads driving the shards and
+  /// `affinity` pins them (both wall time only; workers 0 = hardware
+  /// concurrency).
+  SimCluster(MachineConfig cfg, int nodes, int simJobs = 1, int workers = 0,
+             sim::AffinityPolicy affinity = sim::AffinityPolicy::None);
   SimCluster(const SimCluster&) = delete;
   SimCluster& operator=(const SimCluster&) = delete;
   ~SimCluster();
@@ -151,7 +155,8 @@ class SimCluster {
 
   static sim::ExecutorOptions executorOptions(const MachineConfig& cfg,
                                               int nodes, int simJobs,
-                                              int workers);
+                                              int workers,
+                                              sim::AffinityPolicy affinity);
 
   MachineConfig cfg_;
   /// Partition: node i belongs to block i / blockNodes_; blocks spread

@@ -18,6 +18,7 @@ OverlapAssessment assessMachine(const backend::MachineConfig& machine,
   RunOptions opts;
   opts.jobs = options.jobs;
   opts.simJobs = options.simJobs;
+  opts.simAffinity = options.simAffinity;
 
   // Conventional ping-pong.
   LatencyParams lat;

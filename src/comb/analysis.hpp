@@ -29,6 +29,8 @@ struct AssessOptions {
   /// Simulator-core shards per cluster (configuration identity: 1 is the
   /// classic serial core; see docs/parallel_sim.md).
   int simJobs = 1;
+  /// Shard-worker pinning policy (wall time only; see RunOptions).
+  sim::AffinityPolicy simAffinity = sim::AffinityPolicy::None;
 };
 
 struct OverlapAssessment {

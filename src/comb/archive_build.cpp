@@ -1,5 +1,7 @@
 #include "comb/archive_build.hpp"
 
+#include <algorithm>
+
 #include "comb/congestion.hpp"
 #include "common/error.hpp"
 #include "common/units.hpp"
@@ -28,6 +30,15 @@ void appendSweep(report::Archive& archive, const std::string& id,
                  MakeMetrics&& makeMetrics) {
   COMB_REQUIRE(xs.size() == runs.size(),
                "archive sweep: axis/result size mismatch");
+  // Sharded runs: record the certified scalar lookahead floor — the
+  // machine's fabric link latency, which every matrix entry respects
+  // (Executor::setLookaheadMatrix throws otherwise). Archives that mix
+  // machines keep the minimum, the bound every sweep honored.
+  if (archive.provenance.simJobs > 1) {
+    const double floor = machine.fabric.link.latency;
+    double& lookahead = archive.provenance.lookahead;
+    lookahead = lookahead == 0.0 ? floor : std::min(lookahead, floor);
+  }
   report::ArchiveSweep sweep;
   sweep.id = id;
   sweep.xlabel = xlabel;
@@ -46,12 +57,17 @@ void appendSweep(report::Archive& archive, const std::string& id,
 }  // namespace
 
 report::Archive makeArchive(const std::string& bench, const RepPolicy& rep,
-                            int simJobs) {
+                            int simJobs, sim::AffinityPolicy affinity) {
   report::Archive archive;
   archive.bench = bench;
   archive.seed = rep.seed;
   archive.provenance = report::buildProvenance();
   archive.provenance.simJobs = simJobs;
+  archive.provenance.simAffinity = sim::affinityPolicyName(affinity);
+  // SimCluster always installs the topology-derived per-pair matrix when
+  // the core is sharded; serial runs have no window bound at all and keep
+  // the scalar default.
+  archive.provenance.lookaheadSource = simJobs > 1 ? "matrix" : "global-min";
   archive.rep.adaptive = rep.adaptive;
   archive.rep.reps = rep.reps;
   archive.rep.minReps = rep.minReps;

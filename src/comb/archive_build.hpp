@@ -16,10 +16,15 @@ struct CongestionPoint;  // comb/congestion.hpp
 
 /// Start an archive: bench id, the rep policy the samples were collected
 /// under, and this build's provenance stamp. `simJobs` is the
-/// simulator-core shard count the samples ran under (configuration
-/// identity — `comb compare` flags archives whose values differ).
-report::Archive makeArchive(const std::string& bench, const RepPolicy& rep,
-                            int simJobs = 1);
+/// simulator-core shard count and `affinity` the worker-pinning policy
+/// the samples ran under (configuration identity — `comb compare` flags
+/// archives whose values differ). For sharded runs the lookahead source
+/// is stamped "matrix" (SimCluster always derives per-pair bounds from
+/// the wired topology); the certified scalar floor itself is stamped by
+/// the append*Sweep calls below, which see the machine.
+report::Archive makeArchive(
+    const std::string& bench, const RepPolicy& rep, int simJobs = 1,
+    sim::AffinityPolicy affinity = sim::AffinityPolicy::None);
 
 /// Append one sweep of polling points. Metrics: availability (higher is
 /// better), bandwidth_MBps (higher is better).

@@ -115,6 +115,24 @@ CompareReport compareArchives(const report::Archive& baseline,
         "--sim-jobs %d — the shard count is part of the run's identity, so "
         "deltas may reflect the configuration, not the code",
         baseline.provenance.simJobs, candidate.provenance.simJobs));
+  if (baseline.provenance.lookaheadSource !=
+          candidate.provenance.lookaheadSource ||
+      baseline.provenance.lookahead != candidate.provenance.lookahead)
+    report.notes.push_back(strFormat(
+        "window bounds differ: baseline %s (certified lookahead %g s), "
+        "candidate %s (%g s) — sharded results are a pure function of the "
+        "lookahead, so deltas may reflect the configuration, not the code",
+        baseline.provenance.lookaheadSource.c_str(),
+        baseline.provenance.lookahead,
+        candidate.provenance.lookaheadSource.c_str(),
+        candidate.provenance.lookahead));
+  if (baseline.provenance.simAffinity != candidate.provenance.simAffinity)
+    report.notes.push_back(
+        "worker affinity differs: baseline --sim-affinity " +
+        baseline.provenance.simAffinity + ", candidate --sim-affinity " +
+        candidate.provenance.simAffinity +
+        " — wall-time only (results are identical across policies), but "
+        "timing-based metrics may not be comparable");
 
   std::map<std::string, const report::ArchiveSweep*> bSweeps;
   for (const auto& s : candidate.sweeps) bSweeps.emplace(s.id, &s);

@@ -79,7 +79,8 @@ CongestionPoint runCongestionPoint(const backend::MachineConfig& machine,
                "congestion needs 2 <= nodes <= 2^20");
   const int n = static_cast<int>(params.nodes);
   backend::SimCluster cluster(machineWithOptions(machine, opts), n,
-                              opts.simJobs, simWorkerBudget(opts));
+                              opts.simJobs, simWorkerBudget(opts),
+                              opts.simAffinity);
   std::vector<CongestionNodeResult> nodes(static_cast<std::size_t>(n));
   for (int r = 0; r < n; ++r)
     cluster.launch(r, congestionDriver(cluster.proc(r), params, nodes[r]),

@@ -134,7 +134,8 @@ PollingPoint runPollingPoint(const backend::MachineConfig& machine,
                              const PollingParams& params,
                              const RunOptions& opts) {
   backend::SimCluster cluster(machineWithOptions(machine, opts), 2,
-                              opts.simJobs, simWorkerBudget(opts));
+                              opts.simJobs, simWorkerBudget(opts),
+                              opts.simAffinity);
   PollingPoint point;
   cluster.launch(0, pollingWorkerDriver(cluster.proc(0), params, point),
                  "polling-worker");
@@ -148,7 +149,8 @@ PollingPoint runPollingPoint(const backend::MachineConfig& machine,
 PwwPoint runPwwPoint(const backend::MachineConfig& machine,
                      const PwwParams& params, const RunOptions& opts) {
   backend::SimCluster cluster(machineWithOptions(machine, opts), 2,
-                              opts.simJobs, simWorkerBudget(opts));
+                              opts.simJobs, simWorkerBudget(opts),
+                              opts.simAffinity);
   PwwPoint point;
   cluster.launch(0, pwwWorkerDriver(cluster.proc(0), params, point),
                  "pww-worker");
@@ -162,7 +164,8 @@ TracedRun<PollingPoint> runPollingPointTraced(
     const backend::MachineConfig& machine, const PollingParams& params,
     const RunOptions& opts, std::size_t traceCapacity) {
   backend::SimCluster cluster(machineWithOptions(machine, opts), 2,
-                              opts.simJobs, simWorkerBudget(opts));
+                              opts.simJobs, simWorkerBudget(opts),
+                              opts.simAffinity);
   cluster.enableTracing(traceCapacity);
   TracedRun<PollingPoint> run;
   cluster.launch(0, pollingWorkerDriver(cluster.proc(0), params, run.point),
@@ -181,7 +184,8 @@ TracedRun<PwwPoint> runPwwPointTraced(const backend::MachineConfig& machine,
                                       const RunOptions& opts,
                                       std::size_t traceCapacity) {
   backend::SimCluster cluster(machineWithOptions(machine, opts), 2,
-                              opts.simJobs, simWorkerBudget(opts));
+                              opts.simJobs, simWorkerBudget(opts),
+                              opts.simAffinity);
   cluster.enableTracing(traceCapacity);
   TracedRun<PwwPoint> run;
   cluster.launch(0, pwwWorkerDriver(cluster.proc(0), params, run.point),
@@ -198,7 +202,8 @@ LatencyPoint runLatencyPoint(const backend::MachineConfig& machine,
                              const LatencyParams& params,
                              const RunOptions& opts) {
   backend::SimCluster cluster(machineWithOptions(machine, opts), 2,
-                              opts.simJobs, simWorkerBudget(opts));
+                              opts.simJobs, simWorkerBudget(opts),
+                              opts.simAffinity);
   LatencyPoint point;
   cluster.launch(0, latencyDriver(cluster.proc(0), params, point),
                  "latency-initiator");

@@ -29,6 +29,7 @@
 #include "common/thread_pool.hpp"
 #include "net/fault.hpp"
 #include "report/machine_stats.hpp"
+#include "sim/executor.hpp"
 #include "sim/tracelog.hpp"
 
 namespace comb::bench {
@@ -87,6 +88,11 @@ struct RunOptions {
   /// Part of a run's configuration identity — archives record it and
   /// `comb compare` flags cross-simJobs comparisons.
   int simJobs = 1;
+  /// Pinning policy for the sharded core's worker threads
+  /// (--sim-affinity). Wall time only — results are identical across
+  /// policies — but archives stamp it so perf comparisons can flag
+  /// cross-policy runs. Ignored when simJobs == 1.
+  sim::AffinityPolicy simAffinity = sim::AffinityPolicy::None;
   /// When set, overrides the machine's fabric fault model for this run
   /// (the CLI's --fault flag lands here).
   std::optional<net::FaultSpec> fault;
@@ -102,7 +108,8 @@ struct RunOptions {
 /// warning (once per process) when it has to throttle.
 int simWorkerBudget(const RunOptions& opts);
 
-/// The execution-shape subset of `opts` (jobs + simJobs) that nested
+/// The execution-shape subset of `opts` (jobs + simJobs + simAffinity)
+/// that nested
 /// point runs must inherit from a sweep or rep loop. Fault/rep settings
 /// are deliberately dropped — the caller has already folded them into
 /// the machine config — but simJobs must ride along (it shapes the
@@ -112,6 +119,7 @@ inline RunOptions coreOptions(const RunOptions& opts) {
   RunOptions ro;
   ro.jobs = opts.jobs;
   ro.simJobs = opts.simJobs;
+  ro.simAffinity = opts.simAffinity;
   return ro;
 }
 

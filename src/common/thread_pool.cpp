@@ -1,6 +1,7 @@
 #include "common/thread_pool.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <exception>
 
 #include "common/error.hpp"
@@ -72,15 +73,26 @@ void parallelFor(std::size_t n, int jobs,
   }
   const int threads =
       static_cast<int>(std::min<std::size_t>(static_cast<std::size_t>(jobs), n));
+  // One submitted job per thread pulling indices from a shared counter,
+  // not one job per index: a sweep of thousands of points would
+  // otherwise heap-allocate a std::function per index (the closure
+  // exceeds the small-buffer size) just to queue and dequeue it once.
+  // Indices are still claimed in increasing order, and errors[] keeps
+  // the by-index identity for the deterministic lowest-index rethrow.
   std::vector<std::exception_ptr> errors(n);
+  std::atomic<std::size_t> next{0};
   {
     ThreadPool pool(threads);
-    for (std::size_t i = 0; i < n; ++i) {
-      pool.submit([&body, &errors, i] {
-        try {
-          body(i);
-        } catch (...) {
-          errors[i] = std::current_exception();
+    for (int t = 0; t < threads; ++t) {
+      pool.submit([&body, &errors, &next, n] {
+        for (;;) {
+          const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+          if (i >= n) return;
+          try {
+            body(i);
+          } catch (...) {
+            errors[i] = std::current_exception();
+          }
         }
       });
     }

@@ -1,6 +1,7 @@
 #include "net/fabric.hpp"
 
 #include <algorithm>
+#include <limits>
 
 #include "common/error.hpp"
 #include "common/string_util.hpp"
@@ -85,6 +86,31 @@ void Fabric::bindShards(
 
 Time Fabric::minLinkLatency() const {
   return std::min(cfg_.link.latency, topology_.minTrunkLatency());
+}
+
+std::vector<Time> Fabric::shardLookaheadMatrix(int shardCount) const {
+  const auto n = static_cast<std::size_t>(shardCount);
+  std::vector<Time> direct(n * n, std::numeric_limits<Time>::infinity());
+  const auto fold = [&](const Link& link) {
+    const Switch* sw = link.nextHop();
+    if (sw == nullptr) return;  // node-delivery link: arrivals stay local
+    // Arrival = start + occupancy + latency, occupancy >= header/rate
+    // (wire size includes the header), and jitter only delays — so this
+    // lower-bounds the virtual-time distance of every post on the channel.
+    const auto src = static_cast<std::size_t>(link.owner().shard());
+    const Time bound =
+        link.config().latency +
+        static_cast<Time>(cfg_.perPacketHeader) / link.config().rate;
+    for (int p = 0; p < sw->outputCount(); ++p) {
+      const auto dst = static_cast<std::size_t>(sw->outputCtx(p)->shard());
+      if (src == dst) continue;
+      Time& entry = direct[src * n + dst];
+      entry = std::min(entry, bound);
+    }
+  };
+  for (const auto& np : nodes_) fold(*np.up);
+  for (const auto& trunk : topology_.trunks()) fold(*trunk);
+  return direct;
 }
 
 Link& Fabric::uplink(NodeId node) {

@@ -60,6 +60,18 @@ class Fabric {
   /// hand-off rides some link end to end.
   Time minLinkLatency() const;
 
+  /// Per-shard-pair direct channel lookahead matrix (row-major
+  /// shardCount x shardCount, +inf where no direct channel exists) for
+  /// Executor::setLookaheadMatrix. Call after bindShards. Every
+  /// cross-shard hand-off in this fabric is a link arrival targeting an
+  /// egress-port shard of the link's next-hop switch, so the entry for
+  /// (link owner, egress shard) is the link's latency plus the
+  /// serialization time of the per-packet header — a lower bound on any
+  /// packet's occupancy, since wire size >= header. Pairs with no fabric
+  /// channel stay +inf: the executor's min-plus closure fills in
+  /// multi-hop paths, and unreachable pairs never constrain each other.
+  std::vector<Time> shardLookaheadMatrix(int shardCount) const;
+
   Bytes mtu() const { return cfg_.mtu; }
   Bytes perPacketHeader() const { return cfg_.perPacketHeader; }
   const FabricConfig& config() const { return cfg_; }

@@ -47,6 +47,10 @@ class Link {
   /// the conservative-lookahead bound. Links that feed a node delivery
   /// (downlinks) leave this unset: their arrival is always owner-local.
   void setNextHop(Switch* sw) { nextHop_ = sw; }
+  /// The switch this link feeds, or nullptr for node-delivery links.
+  /// Fabric::shardLookaheadMatrix walks this to enumerate the fabric's
+  /// cross-shard channels.
+  Switch* nextHop() const { return nextHop_; }
 
   /// Move this link (clock, counters, fault stream, busy state) to a
   /// different shard. Called once, between fabric wiring and the first

@@ -127,6 +127,14 @@ class Switch {
   /// Topology::bindShards between wiring and the first packet.
   void bindOutputShard(int outputPort, sim::ShardContext& ctx);
 
+  /// Shard owning output port `outputPort` (construction context until
+  /// bindOutputShard). A link feeding this switch can target the arrival
+  /// event at any of these shards, so they are exactly the destinations
+  /// Fabric::shardLookaheadMatrix must cover for that link.
+  sim::ShardContext* outputCtx(int outputPort) const {
+    return outputs_[static_cast<std::size_t>(outputPort)]->ctx;
+  }
+
   std::uint64_t packetsRouted() const;
   std::uint64_t dropsNoRoute() const {
     return dropsNoRoute_.load(std::memory_order_relaxed);

@@ -76,7 +76,12 @@ void writeArchive(std::ostream& out, const Archive& archive) {
       << json::escape(archive.provenance.suite) << "\", \"git_sha\": \""
       << json::escape(archive.provenance.gitSha) << "\", \"build_flags\": \""
       << json::escape(archive.provenance.buildFlags)
-      << "\", \"sim_jobs\": " << archive.provenance.simJobs << "},\n";
+      << "\", \"sim_jobs\": " << archive.provenance.simJobs
+      << ", \"lookahead\": " << num(archive.provenance.lookahead)
+      << ", \"lookahead_source\": \""
+      << json::escape(archive.provenance.lookaheadSource)
+      << "\", \"sim_affinity\": \""
+      << json::escape(archive.provenance.simAffinity) << "\"},\n";
   out << "  \"rep_policy\": {\"adaptive\": "
       << (archive.rep.adaptive ? "true" : "false")
       << ", \"reps\": " << archive.rep.reps
@@ -136,9 +141,16 @@ Archive parseArchive(const json::Value& root, const std::string& sourceName) {
     a.provenance.suite = prov.at("suite").str();
     a.provenance.gitSha = prov.at("git_sha").str();
     a.provenance.buildFlags = prov.at("build_flags").str();
-    // Older archives predate the sharded core; they ran serial (1).
+    // Older archives predate the sharded core; they ran serial (1) with
+    // no window bound ("global-min", lookahead 0) and no pinning.
     if (const json::Value* sj = prov.find("sim_jobs"))
       a.provenance.simJobs = static_cast<int>(sj->number());
+    if (const json::Value* la = prov.find("lookahead"))
+      a.provenance.lookahead = la->number();
+    if (const json::Value* ls = prov.find("lookahead_source"))
+      a.provenance.lookaheadSource = ls->str();
+    if (const json::Value* sa = prov.find("sim_affinity"))
+      a.provenance.simAffinity = sa->str();
     const auto& rep = root.at("rep_policy");
     a.rep.adaptive = rep.at("adaptive").boolean();
     a.rep.reps = static_cast<int>(rep.at("reps").number());

@@ -59,6 +59,21 @@ struct ArchiveProvenance {
   /// whose values differ. Archives written before this field default to 1
   /// (the serial core, which is what they ran).
   int simJobs = 1;
+  /// Certified conservative lookahead (seconds) the sharded windows ran
+  /// under: the scalar floor every cross-shard bound respects (the
+  /// minimum fabric link latency, taken across the archive's machines
+  /// when sweeps mix models). 0 for serial runs — the serial core has no
+  /// window bound at all.
+  double lookahead = 0.0;
+  /// Which mechanism bounded the windows: "global-min" (the scalar
+  /// fabric-wide minimum — serial runs and pre-matrix archives) or
+  /// "matrix" (per-shard-pair bounds derived from the wired topology,
+  /// every entry certified against the scalar floor above).
+  std::string lookaheadSource = "global-min";
+  /// Shard-worker pinning policy (--sim-affinity). Wall-time only —
+  /// results are identical across policies — but stamped so performance
+  /// comparisons can flag cross-policy runs.
+  std::string simAffinity = "none";
 };
 
 /// The build stamp of this binary.

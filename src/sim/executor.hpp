@@ -1,60 +1,95 @@
 // Executor: top-level driver for one simulation run, serial or sharded.
 //
 // The Executor owns N ShardContexts and advances them together in
-// conservative time windows (classic time-window / null-message PDES).
+// conservative time windows (classic time-window / LBTS PDES).
 // Components never see the Executor on the hot path — they schedule on
 // their shard's ShardContext; the Executor only decides *when each shard
-// may run* and ferries cross-shard messages at window boundaries.
+// may run* and carries cross-shard messages between windows.
 //
-// Window algorithm (multi-shard):
-//   1. fold every shard's routed inbox into its local queue (sorted by
-//      the packed (time, seq, src) key — deterministic);
-//   2. T = min over shards of the earliest pending local event;
-//   3. run every shard's events in [T, T + lookahead) concurrently —
-//      safe because any cross-shard message generated by an event at
-//      t >= T carries a timestamp >= t + lookahead >= T + lookahead,
-//      i.e. beyond the window (postRemote asserts this);
-//   4. barrier; route outboxes to inboxes; collect failures (the lowest
-//      shard index's exception wins, mirroring parallelFor); repeat.
+// Steady state (multi-shard): a persistent worker team — the calling
+// thread plus workers-1 long-lived threads, optionally pinned by an
+// affinity policy — cycles through two phases per window, separated by a
+// lock-free EpochBarrier (sim/window_barrier.hpp):
 //
-// `lookahead` must be a certified lower bound on every cross-shard
-// interaction latency — SimCluster uses the fabric's minimum link
-// latency. Larger lookahead = fewer barriers; correctness only needs
-// the bound to hold.
+//   fold-in phase: each worker drains the mailbox rings targeting its
+//     shards (sorted by the packed (time, seq, src) key — deterministic)
+//     and publishes each shard's earliest pending event time T_d;
+//   barrier (completion = planWindow): the last arriver computes every
+//     shard's window bound from the lookahead matrix,
+//        bound_d = min( cap, min over all s of T_s + L[s][d] ),
+//     the per-shard LBTS (L[d][d] is d's min feedback cycle: d's own
+//     earliest event can bounce off a neighbor and return) — or flags
+//     termination when min T_s >= cap;
+//   run phase: each shard runs its local events with time < bound_d;
+//     cross-shard messages append to the per-pair mailbox rings
+//     (sim/mailbox.hpp) — postRemote is a plain store, no lock;
+//   barrier; repeat.
 //
-// Worker threads are a pure performance knob: S shards multiplex onto
-// W = min(shards, workers) pool threads, and results depend only on
-// (program, partition, lookahead) — never on W or thread scheduling.
-// shards == 1 bypasses all of this: run() forwards to the single
-// context's classic serial loop, bit-identical to the pre-PDES core.
+// L is the min-plus closure of the per-pair direct channel lookahead
+// matrix (setLookaheadMatrix): L[s][d] lower-bounds the virtual-time
+// distance of *any* influence from shard s to shard d, along direct
+// edges and through intermediaries alike. An event shard s runs at
+// t >= T_s can therefore only produce effects on d at >= t + L[s][d]
+// >= bound_d — strictly beyond d's window (postRemote asserts the bound
+// on every message). Every entry must be >= the scalar lookahead, which
+// stays the certified global floor; when no matrix is installed the
+// executor uses that scalar for every pair, which is the pre-matrix
+// behavior with per-shard (instead of global) bounds.
+//
+// Worker threads are a pure performance knob: S shards split
+// contiguously over W = min(shards, workers) workers, and results depend
+// only on (program, partition, lookahead matrix) — never on W, affinity
+// or thread scheduling. shards == 1 bypasses all of this: run() forwards
+// to the single context's classic serial loop, bit-identical to the
+// pre-PDES core.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <exception>
 #include <limits>
 #include <memory>
+#include <string_view>
+#include <thread>
 #include <vector>
 
 #include "common/metrics.hpp"
 #include "common/units.hpp"
+#include "sim/mailbox.hpp"
 #include "sim/shard_context.hpp"
-
-namespace comb {
-class ThreadPool;
-}
+#include "sim/window_barrier.hpp"
 
 namespace comb::sim {
+
+/// CPU pinning for the executor's spawned worker threads (the calling
+/// thread, which acts as worker 0, is never pinned — it may belong to a
+/// sweep-level pool whose affinity is not the executor's to change).
+enum class AffinityPolicy {
+  None,     ///< leave placement to the OS scheduler (default)
+  Compact,  ///< worker w -> cpu w mod ncpu: adjacent shards share caches
+  Scatter,  ///< spread workers across the cpu range: one shard per
+            ///< core/cache-domain when the host has room
+};
+
+const char* affinityPolicyName(AffinityPolicy p);
+/// Parse "none" | "compact" | "scatter"; throws comb::ConfigError.
+AffinityPolicy parseAffinityPolicy(std::string_view s);
 
 struct ExecutorOptions {
   /// Number of shard contexts. Part of the determinism contract: a run's
   /// results are a function of the shard count and partition, so this is
   /// never silently reduced (unlike `workers`).
   int shards = 1;
-  /// Conservative lookahead in seconds — a lower bound on the latency of
-  /// every cross-shard interaction. Required > 0 when shards > 1.
+  /// Conservative scalar lookahead in seconds — the certified global
+  /// lower bound on every cross-shard interaction latency, and the floor
+  /// every lookahead-matrix entry must respect. Required > 0 when
+  /// shards > 1.
   Time lookahead = 0.0;
   /// Worker threads driving the shards. 0 = min(shards, hardware
   /// concurrency). Clamped to [1, shards]; affects wall time only.
   int workers = 0;
+  /// Pinning policy for the spawned workers; wall time only.
+  AffinityPolicy affinity = AffinityPolicy::None;
 };
 
 class Executor {
@@ -68,11 +103,33 @@ class Executor {
   bool parallel() const { return shards_.size() > 1; }
   Time lookahead() const { return opts_.lookahead; }
   int workers() const { return workers_; }
+  AffinityPolicy affinity() const { return opts_.affinity; }
 
   ShardContext& shard(int i) { return *shards_[static_cast<std::size_t>(i)]; }
   const ShardContext& shard(int i) const {
     return *shards_[static_cast<std::size_t>(i)];
   }
+
+  /// Install the per-shard-pair direct channel lookahead matrix
+  /// (row-major shards x shards; entry [s][d] = a lower bound on the
+  /// virtual-time cost of any direct s -> d interaction; +inf when the
+  /// pair has no direct channel; the diagonal is ignored). The executor
+  /// takes the min-plus closure, so callers supply only the direct
+  /// edges. Every finite entry must be >= the scalar lookahead (the
+  /// certified floor — widening is the only legal direction). Call
+  /// before run(); no-op for a single shard.
+  void setLookaheadMatrix(std::vector<Time> direct);
+  /// The closed matrix in effect (row-major shards x shards; the
+  /// diagonal holds each shard's min feedback cycle through any other
+  /// shard, +inf when none exists).
+  const std::vector<Time>& lookaheadMatrix() const { return matrix_; }
+  /// True once setLookaheadMatrix installed per-pair bounds ("matrix"
+  /// provenance); false while every pair uses the scalar ("global-min").
+  bool lookaheadFromMatrix() const { return matrixSet_; }
+  /// The smallest cross-shard bound actually in effect: min finite
+  /// off-diagonal entry of the closed matrix (= the scalar when no
+  /// matrix is installed or nothing is connected).
+  Time effectiveLookahead() const;
 
   /// Advance the whole simulation until every shard's queue drains or
   /// `until` is reached (events at exactly `until` still run, as in the
@@ -95,13 +152,64 @@ class Executor {
   metrics::Snapshot metricsSnapshot() const;
 
  private:
+  static int computeWorkers(const ExecutorOptions& opts);
+
+  /// Contiguous shard range [shardLo(w), shardHi(w)) owned by worker w.
+  int shardLo(int w) const { return w * shardCount() / workers_; }
+  int shardHi(int w) const { return (w + 1) * shardCount() / workers_; }
+
+  /// Park-until-run loop of a spawned worker thread (w >= 1).
+  void workerLoop(int w);
+  /// One run()'s window loop, executed by every worker for its shards.
+  void driveShards(int w);
+  /// Barrier completion: compute per-shard LBTS bounds for the next
+  /// window, or set done_. Runs on exactly one thread per window.
+  void planWindow();
+  /// Fold shard d's inbound mailbox rings into its queue, sorted by the
+  /// (time, seq, src) key.
+  void drainShard(int d);
+
+  MailboxRing& ring(int src, int dst) {
+    return mail_[static_cast<std::size_t>(src) * shards_.size() +
+                 static_cast<std::size_t>(dst)];
+  }
+
   ExecutorOptions opts_;
   int workers_ = 1;
   std::vector<std::unique_ptr<ShardContext>> shards_;
-  /// Present only when workers_ > 1; windows are dispatched one job per
-  /// shard and ThreadPool::wait() is the window barrier.
-  std::unique_ptr<ThreadPool> pool_;
+
+  /// Closed lookahead matrix, row-major S x S (diagonal 0). Filled with
+  /// the scalar at construction; replaced by setLookaheadMatrix.
+  std::vector<Time> matrix_;
+  bool matrixSet_ = false;
+
+  // --- window-loop state (multi-shard only) -------------------------------
+  // Plain memory: every cross-thread access is separated by an
+  // EpochBarrier crossing (see the phase walkthrough above).
+  /// T_d per shard, published in the fold-in phase by the owning worker.
+  std::vector<Time> nextTimes_;
+  /// Window bound per shard, written by planWindow; ShardContext keeps a
+  /// pointer into this array for the postRemote assert.
+  std::vector<Time> bounds_;
+  /// One mailbox ring per ordered shard pair, indexed src * S + dst.
+  std::vector<MailboxRing> mail_;
+  /// Per-shard fold-in scratch (gather + sort); capacity is retained, so
+  /// the steady state allocates nothing.
+  std::vector<std::vector<RemoteEvent>> scratch_;
+  Time cap_ = std::numeric_limits<Time>::infinity();
+  bool done_ = false;
+  /// Progress-failure (vanishing lookahead) raised by planWindow; rethrown
+  /// on the calling thread after the loop stops.
+  std::exception_ptr windowError_;
   std::uint64_t windows_ = 0;
+
+  // --- persistent worker team ---------------------------------------------
+  EpochBarrier barrier_;
+  /// Spawned workers (workers_ - 1 threads; the caller is worker 0). They
+  /// park on runGen_ between run() calls and exit when shutdown_ is set.
+  std::vector<std::thread> team_;
+  std::atomic<std::uint64_t> runGen_{0};
+  std::atomic<bool> shutdown_{false};
 };
 
 }  // namespace comb::sim

@@ -1,7 +1,5 @@
 #include "sim/shard_context.hpp"
 
-#include <algorithm>
-
 #include "common/error.hpp"
 #include "common/log.hpp"
 
@@ -112,30 +110,7 @@ Time ShardContext::run(Time until) {
   return now_;
 }
 
-void ShardContext::drainInbox() {
-  if (inbox_.empty()) return;
-  // Deterministic fold-in order: the packed (time, seq, src) key. Pushing
-  // in this order assigns local queue sequence numbers in this order, so
-  // the destination's event order — including ties with local events,
-  // which the queue breaks by local seq — is independent of which worker
-  // thread routed what and when.
-  std::sort(inbox_.begin(), inbox_.end(),
-            [](const RemoteEvent& a, const RemoteEvent& b) {
-              if (a.when != b.when) return a.when < b.when;
-              if (a.seq != b.seq) return a.seq < b.seq;
-              return a.src < b.src;
-            });
-  for (RemoteEvent& ev : inbox_) {
-    // Straight into the queue: the lookahead invariant already guarantees
-    // when >= this shard's clock, and scheduleAt's now-check would be
-    // comparing against a clock parked mid-window.
-    queue_.push(ev.when, std::move(ev.fn));
-  }
-  inbox_.clear();
-}
-
 void ShardContext::runWindow(Time bound) {
-  windowEnd_ = bound;
   const auto pre = [this](Time when) {
     COMB_ASSERT(when >= now_, "event queue went backwards in time");
     now_ = when;
@@ -147,7 +122,6 @@ void ShardContext::runWindow(Time bound) {
   // making the reported failure deterministic under any thread schedule.
   while (!failure_ && queue_.runNextBefore(bound, pre)) {
   }
-  windowEnd_ = std::numeric_limits<Time>::infinity();
 }
 
 }  // namespace comb::sim

@@ -45,6 +45,7 @@
 #include "common/metrics.hpp"
 #include "common/units.hpp"
 #include "sim/event_queue.hpp"
+#include "sim/mailbox.hpp"
 #include "sim/task.hpp"
 #include "sim/tracelog.hpp"
 
@@ -91,14 +92,15 @@ class ShardContext {
   }
 
   /// Post an event onto another shard at absolute time `when`. The
-  /// message is buffered in this shard's outbox and folded into `dst`'s
-  /// queue at the next window boundary, ordered by its packed
-  /// (time, seq, src) key. `when` must respect the conservative
-  /// lookahead: it may not fall inside the window currently executing
-  /// (asserted — a violation means a cross-shard interaction with less
-  /// than the configured minimum latency, i.e. a partitioning bug).
-  /// Posting to self (or from a standalone context) degenerates to
-  /// scheduleAt.
+  /// message is appended to the (this, dst) mailbox ring — a plain
+  /// store, no lock — and folded into `dst`'s queue at the next window
+  /// boundary, ordered by its packed (time, seq, src) key. `when` must
+  /// respect the conservative lookahead: it may not fall inside the
+  /// window `dst` is currently executing (asserted against the
+  /// executor-published per-shard bound — a violation means a
+  /// cross-shard interaction faster than the certified lookahead matrix
+  /// entry, i.e. a partitioning bug). Posting to self (or from a
+  /// standalone context) degenerates to scheduleAt.
   template <typename F>
     requires std::is_constructible_v<EventFn, F&&>
   void postRemote(ShardContext& dst, Time when, F&& fn) {
@@ -106,15 +108,11 @@ class ShardContext {
       dst.scheduleAt(when, std::forward<F>(fn));
       return;
     }
-    COMB_ASSERT(when >= windowEnd_,
+    COMB_ASSERT(when >= shardBounds_[static_cast<std::size_t>(dst.shardId_)],
                 "cross-shard post violates the lookahead bound");
-    auto& box = outboxes_[static_cast<std::size_t>(dst.shardId_)];
-    box.emplace_back();
-    RemoteEvent& ev = box.back();
-    ev.when = when;
-    ev.seq = nextRemoteSeq_++;
-    ev.src = static_cast<std::uint32_t>(shardId_);
-    ev.fn.emplace(std::forward<F>(fn));
+    outRings_[static_cast<std::size_t>(dst.shardId_)].push(
+        when, nextRemoteSeq_++, static_cast<std::uint32_t>(shardId_),
+        std::forward<F>(fn));
   }
 
   /// Launch a simulated process. The coroutine starts at the current
@@ -196,18 +194,6 @@ class ShardContext {
  private:
   friend class Executor;
 
-  /// A timestamped cross-shard channel message. Ordering across sources
-  /// is by the packed (time, seq, src) key — time first, then the
-  /// source's deterministic message sequence, then the source shard id —
-  /// which makes the fold-in order (and therefore the destination
-  /// shard's event order) a pure function of the simulation state.
-  struct RemoteEvent {
-    Time when = 0;
-    std::uint64_t seq = 0;
-    std::uint32_t src = 0;
-    EventFn fn;
-  };
-
   struct Detached;
   Detached runProcess(Task<void> t, std::string name);
   void recordFailure(std::exception_ptr e, const std::string& name);
@@ -219,13 +205,10 @@ class ShardContext {
     return queue_.empty() ? std::numeric_limits<Time>::infinity()
                           : queue_.nextTime();
   }
-  /// Sort this shard's inbox by (time, seq, src) and fold the messages
-  /// into the local event queue. Runs on the shard's worker thread at the
-  /// start of a window, after the Executor routed all outboxes.
-  void drainInbox();
   /// Execute every local event with time < `bound` (one conservative
   /// window). Failures are recorded, not thrown — the Executor collects
-  /// them deterministically across shards.
+  /// them deterministically across shards. Mailbox fold-in lives on the
+  /// Executor (drainShard), which owns the rings.
   void runWindow(Time bound);
 
   Time now_ = 0.0;
@@ -242,16 +225,15 @@ class ShardContext {
   Executor* executor_ = nullptr;
   int shardId_ = 0;
   bool sharded_ = false;
-  /// Right edge (exclusive) of the window currently executing; remote
-  /// posts must land at or beyond it. +inf while not inside a window.
-  Time windowEnd_ = std::numeric_limits<Time>::infinity();
   std::uint64_t nextRemoteSeq_ = 0;
-  /// Outgoing messages, one box per destination shard; drained by the
-  /// Executor at the window barrier.
-  std::vector<std::vector<RemoteEvent>> outboxes_;
-  /// Incoming messages routed here by the Executor, folded in (sorted)
-  /// by drainInbox() at the start of the next window.
-  std::vector<RemoteEvent> inbox_;
+  /// Row of the Executor's mailbox array for this source shard:
+  /// outRings_[d] is the (this, d) ring. Set once at Executor
+  /// construction; null for standalone contexts.
+  MailboxRing* outRings_ = nullptr;
+  /// The Executor's per-shard window bounds (bounds_.data()), for the
+  /// postRemote lookahead assert. Written by the window planner under
+  /// the barrier, read-only during the run phase.
+  const Time* shardBounds_ = nullptr;
 };
 
 /// RAII span: begins on construction, ends (same label, same track) on

@@ -71,6 +71,25 @@ TEST(FigArgs, RejectsNonNumericJobs) {
   EXPECT_EQ(args.exitCode, 2);
 }
 
+TEST(FigArgs, ParsesSimAffinityPolicies) {
+  EXPECT_EQ(parse({}).simAffinity, sim::AffinityPolicy::None);
+  EXPECT_EQ(parse({"--sim-affinity", "compact"}).simAffinity,
+            sim::AffinityPolicy::Compact);
+  EXPECT_EQ(parse({"--sim-affinity", "scatter"}).simAffinity,
+            sim::AffinityPolicy::Scatter);
+  // Rides into the sweep-execution options alongside --sim-jobs.
+  const auto opts =
+      parse({"--sim-jobs", "4", "--sim-affinity", "scatter"}).runOptions();
+  EXPECT_EQ(opts.simJobs, 4);
+  EXPECT_EQ(opts.simAffinity, sim::AffinityPolicy::Scatter);
+}
+
+TEST(FigArgs, RejectsUnknownSimAffinity) {
+  const auto args = parse({"--sim-affinity", "numa"});
+  EXPECT_FALSE(args.parsedOk);
+  EXPECT_EQ(args.exitCode, 2);
+}
+
 TEST(FigArgs, ParsesFaultSpec) {
   const auto args = parse({"--fault", "drop=0.01,burst=4,seed=7"});
   EXPECT_TRUE(args.parsedOk);

@@ -128,6 +128,26 @@ TEST(Compare, MachineHashMismatchIsNoted) {
             std::string::npos);
 }
 
+TEST(Compare, CrossCoreConfigurationIsNoted) {
+  const auto base = archiveWith("s", "bw", true, {{1, 1, 1}});
+  auto cand = base;
+  cand.provenance.simJobs = 4;
+  cand.provenance.lookahead = 1.5e-6;
+  cand.provenance.lookaheadSource = "matrix";
+  cand.provenance.simAffinity = "compact";
+  const auto report = compareArchives(base, cand, {});
+  // Still comparable (no rows dropped), but every configuration
+  // difference is called out: shard count, window bounds, affinity.
+  EXPECT_EQ(report.rows.size(), 1u);
+  ASSERT_EQ(report.notes.size(), 3u);
+  EXPECT_NE(report.notes[0].find("--sim-jobs"), std::string::npos);
+  EXPECT_NE(report.notes[1].find("window bounds differ"), std::string::npos);
+  EXPECT_NE(report.notes[1].find("matrix"), std::string::npos);
+  EXPECT_NE(report.notes[2].find("--sim-affinity"), std::string::npos);
+  // Identical configurations stay silent.
+  EXPECT_TRUE(compareArchives(base, base, {}).notes.empty());
+}
+
 TEST(Compare, RejectsBadOptions) {
   const auto a = archiveWith("s", "bw", true, {{1}});
   CompareOptions opts;

@@ -9,6 +9,7 @@
 // See docs/parallel_sim.md for the contracts under test.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <vector>
 
 #include "backend/machine.hpp"
@@ -162,6 +163,59 @@ TEST(Pdes, TracedShardedRunPassesOverlapAudit) {
   EXPECT_EQ(serial.trace->size(), sharded.trace->size());
   const auto audit = auditPolling(*sharded.trace, 0);
   EXPECT_EQ(checkPolling(audit, sharded.point), "");
+}
+
+TEST(Pdes, ShardLookaheadMatrixCertifiedAgainstTopology) {
+  // The matrix SimCluster derives from the wired fat-tree must (a) keep
+  // every entry at or above the certified scalar floor, (b) equal the
+  // true minimum cross-leaf path: one trunk hop — latency plus the
+  // per-packet header serialized at the (scaled) trunk rate — because a
+  // trunk arrival posts directly onto the egress shard, and (c) be
+  // symmetric on this symmetric fabric, with the diagonal holding the
+  // round-trip feedback cycle.
+  const auto machine = fatTree(TransportKind::Gm);
+  backend::SimCluster cluster(machine, 8, /*simJobs=*/2);
+  const auto& exec = cluster.executor();
+  ASSERT_TRUE(exec.parallel());
+  ASSERT_EQ(exec.shardCount(), 2);
+  EXPECT_TRUE(exec.lookaheadFromMatrix());
+  const auto& m = exec.lookaheadMatrix();
+  const auto& f = machine.fabric;
+  const double trunkRate = f.link.rate * f.topo.trunkRateScale;
+  const Time oneTrunkHop =
+      f.link.latency + static_cast<Time>(f.perPacketHeader) / trunkRate;
+  for (const Time entry : m) {
+    ASSERT_TRUE(std::isfinite(entry));
+    EXPECT_GE(entry, exec.lookahead());  // certified scalar floor
+  }
+  EXPECT_DOUBLE_EQ(m[0 * 2 + 1], oneTrunkHop);
+  EXPECT_EQ(m[0 * 2 + 1], m[1 * 2 + 0]);  // symmetric fabric
+  EXPECT_DOUBLE_EQ(m[0 * 2 + 0], 2 * oneTrunkHop);  // feedback cycle
+  EXPECT_DOUBLE_EQ(m[1 * 2 + 1], 2 * oneTrunkHop);
+  EXPECT_DOUBLE_EQ(exec.effectiveLookahead(), oneTrunkHop);
+  EXPECT_GT(exec.effectiveLookahead(), exec.lookahead());
+}
+
+TEST(Pdes, SingleNodeShardsOnStarMatchSerial) {
+  // Star partition grain = 1 node, so simJobs = nodes gives the finest
+  // legal partition: every shard hosts exactly one node and *all*
+  // traffic crosses shards.
+  const auto machine = backend::gmMachine();
+  const auto params = congestion(CongestionPattern::AllToAll, 4);
+  const auto serial = runCongestionPoint(machine, params);
+  const auto sharded = runCongestionPoint(machine, params, simJobs(4));
+  expectSameCongestion(serial, sharded);
+}
+
+TEST(Pdes, PartitionClampsShardsToWholeBlocks) {
+  // 8 nodes over 2 fat-tree leaves: at most 2 blocks, so any simJobs
+  // above that must clamp to 2 shards — blocks never split.
+  const auto machine = fatTree(TransportKind::Gm);
+  backend::SimCluster cluster(machine, 8, /*simJobs=*/5);
+  EXPECT_EQ(cluster.executor().shardCount(), 2);
+  // All four nodes of a leaf land on that leaf's shard.
+  for (int rank = 0; rank < 4; ++rank) EXPECT_EQ(cluster.shardOf(rank), 0);
+  for (int rank = 4; rank < 8; ++rank) EXPECT_EQ(cluster.shardOf(rank), 1);
 }
 
 TEST(Pdes, SimJobsAboveBlockCountClampsAndStillMatches) {

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "backend/machine.hpp"
+#include "comb/archive_build.hpp"
 #include "comb/presets.hpp"
 #include "comb/runner.hpp"
 #include "common/error.hpp"
@@ -163,6 +164,37 @@ TEST(Reps, SweepRepsAreJobsIndependent) {
     for (std::size_t r = 0; r < serial[i].reps.size(); ++r)
       expectSamePolling(parallel[i].reps[r], serial[i].reps[r]);
   }
+}
+
+TEST(Reps, ArchiveStampsCoreConfiguration) {
+  // Sharded archives record the full core configuration: shard count,
+  // affinity policy, the "matrix" window-bound source, and — once a
+  // sweep has named the machine — the certified scalar lookahead floor.
+  const auto machine = backend::gmMachine();
+  RunOptions opts;
+  opts.simJobs = 2;
+  opts.simAffinity = sim::AffinityPolicy::Compact;
+  opts.rep.reps = 1;
+  auto params = presets::pollingBase(10_KB);
+  params.targetDuration = 3e-3;
+  params.maxPolls = 2'000;
+  const auto run = runPollingPointReps(machine, params, opts);
+
+  auto archive =
+      makeArchive("stamp_test", opts.rep, opts.simJobs, opts.simAffinity);
+  EXPECT_EQ(archive.provenance.simJobs, 2);
+  EXPECT_EQ(archive.provenance.simAffinity, "compact");
+  EXPECT_EQ(archive.provenance.lookaheadSource, "matrix");
+  EXPECT_EQ(archive.provenance.lookahead, 0.0);  // no sweep appended yet
+  appendPollingSweep(archive, "polling/gm/10 KB", machine,
+                     {params.pollInterval}, {run});
+  EXPECT_EQ(archive.provenance.lookahead, machine.fabric.link.latency);
+
+  // Serial archives keep the scalar default: no shards, no window bound.
+  const auto serial = makeArchive("stamp_test", opts.rep);
+  EXPECT_EQ(serial.provenance.simJobs, 1);
+  EXPECT_EQ(serial.provenance.simAffinity, "none");
+  EXPECT_EQ(serial.provenance.lookaheadSource, "global-min");
 }
 
 }  // namespace

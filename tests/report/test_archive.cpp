@@ -19,6 +19,10 @@ Archive sampleArchive() {
   a.provenance.suite = "comb 1.2.3";
   a.provenance.gitSha = "abc123def456";
   a.provenance.buildFlags = "Release -O2";
+  a.provenance.simJobs = 4;
+  a.provenance.lookahead = 1.25e-6;
+  a.provenance.lookaheadSource = "matrix";
+  a.provenance.simAffinity = "compact";
   a.rep.adaptive = true;
   a.rep.reps = 5;
   a.rep.minReps = 3;
@@ -66,6 +70,10 @@ TEST(Archive, RoundTripPreservesEverything) {
   EXPECT_EQ(b.provenance.suite, a.provenance.suite);
   EXPECT_EQ(b.provenance.gitSha, a.provenance.gitSha);
   EXPECT_EQ(b.provenance.buildFlags, a.provenance.buildFlags);
+  EXPECT_EQ(b.provenance.simJobs, a.provenance.simJobs);
+  EXPECT_DOUBLE_EQ(b.provenance.lookahead, a.provenance.lookahead);
+  EXPECT_EQ(b.provenance.lookaheadSource, a.provenance.lookaheadSource);
+  EXPECT_EQ(b.provenance.simAffinity, a.provenance.simAffinity);
   EXPECT_EQ(b.rep.adaptive, a.rep.adaptive);
   EXPECT_EQ(b.rep.reps, a.rep.reps);
   EXPECT_EQ(b.rep.minReps, a.rep.minReps);
@@ -135,6 +143,27 @@ TEST(Archive, FileRoundTrip) {
 
 TEST(Archive, LoadMissingFileThrows) {
   EXPECT_THROW(loadArchiveFile("/nonexistent/a.json"), ConfigError);
+}
+
+TEST(Archive, ParsesArchivesWithoutCoreConfigFields) {
+  // Archives written before the sharded core ran serial with no window
+  // bound and no pinning — dropping the new provenance keys must parse
+  // back to exactly those defaults.
+  const Archive a = sampleArchive();
+  std::ostringstream out;
+  writeArchive(out, a);
+  auto doc = out.str();
+  const auto begin = doc.find(", \"sim_jobs\":");
+  const std::string last = "\"sim_affinity\": \"compact\"";
+  const auto end = doc.find(last);
+  ASSERT_NE(begin, std::string::npos) << doc.substr(0, 400);
+  ASSERT_NE(end, std::string::npos) << doc.substr(0, 400);
+  doc.erase(begin, end + last.size() - begin);
+  const Archive b = parseArchive(json::parse(doc, "legacy"), "legacy");
+  EXPECT_EQ(b.provenance.simJobs, 1);
+  EXPECT_DOUBLE_EQ(b.provenance.lookahead, 0.0);
+  EXPECT_EQ(b.provenance.lookaheadSource, "global-min");
+  EXPECT_EQ(b.provenance.simAffinity, "none");
 }
 
 TEST(Archive, BuildProvenanceIsStamped) {

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <utility>
 #include <vector>
 
@@ -192,6 +193,106 @@ TEST(Executor, EventAtExactlyUntilStillRuns) {
 TEST(Executor, RequiresPositiveLookaheadWhenSharded) {
   EXPECT_THROW(Executor(options(2, 0.0)), Error);
   EXPECT_NO_THROW(Executor(options(1, 0.0)));
+}
+
+TEST(Executor, LookaheadMatrixClosureComputesPathsAndCycles) {
+  // Directed 3-cycle of direct edges (0 -> 1 -> 2 -> 0, each 1.0, scalar
+  // floor 1.0): the closure must fill the reverse directions with the
+  // two-hop path and the diagonal with each shard's feedback cycle.
+  constexpr Time kInf = std::numeric_limits<Time>::infinity();
+  Executor exec(options(3, 1.0));
+  EXPECT_FALSE(exec.lookaheadFromMatrix());
+  std::vector<Time> direct(9, kInf);
+  direct[0 * 3 + 1] = 1.0;
+  direct[1 * 3 + 2] = 1.0;
+  direct[2 * 3 + 0] = 1.0;
+  exec.setLookaheadMatrix(std::move(direct));
+  EXPECT_TRUE(exec.lookaheadFromMatrix());
+  const auto& m = exec.lookaheadMatrix();
+  EXPECT_DOUBLE_EQ(m[0 * 3 + 1], 1.0);  // direct edge kept
+  EXPECT_DOUBLE_EQ(m[0 * 3 + 2], 2.0);  // closed two-hop path 0->1->2
+  EXPECT_DOUBLE_EQ(m[1 * 3 + 0], 2.0);  // 1->2->0
+  EXPECT_DOUBLE_EQ(m[2 * 3 + 1], 2.0);  // 2->0->1
+  for (int d = 0; d < 3; ++d)  // min feedback cycle: around the ring
+    EXPECT_DOUBLE_EQ(m[d * 3 + d], 3.0);
+  EXPECT_DOUBLE_EQ(exec.effectiveLookahead(), 1.0);
+}
+
+TEST(Executor, LookaheadMatrixRejectsEntryBelowScalarFloor) {
+  Executor exec(options(2, 1.0));
+  // 0.5 < the certified scalar floor of 1.0: narrowing is never legal.
+  std::vector<Time> direct = {0.0, 0.5, 1.0, 0.0};
+  EXPECT_THROW(exec.setLookaheadMatrix(std::move(direct)), Error);
+}
+
+TEST(Executor, MatrixWindowsStillMatchScalarResults) {
+  // A wider (but truthful) matrix may change window placement, never
+  // results: the same ping-pong under the scalar and under a 2x matrix
+  // must produce identical traces, with no more windows than the scalar.
+  constexpr Time kLookahead = 0.5;
+  auto runWith = [&](bool matrix) {
+    Executor exec(options(2, kLookahead));
+    if (matrix) {
+      constexpr Time kInf = std::numeric_limits<Time>::infinity();
+      std::vector<Time> direct = {kInf, 2 * kLookahead, 2 * kLookahead, kInf};
+      exec.setLookaheadMatrix(std::move(direct));
+    }
+    Trace trace;  // only shard 0 appends
+    struct Hop {
+      Executor& exec;
+      Trace& trace;
+      void operator()(int s, int hop) const {
+        ShardContext& ctx = exec.shard(s);
+        if (s == 0) trace.emplace_back(ctx.now(), hop);
+        if (hop >= 12) return;
+        Hop self{exec, trace};
+        // 2x spacing: legal under both the scalar and the 2x matrix.
+        ctx.postRemote(exec.shard(1 - s), ctx.now() + 2 * kLookahead,
+                       [self, s, hop] { self(1 - s, hop + 1); });
+      }
+    };
+    exec.shard(0).schedule(0.0, [&] { Hop{exec, trace}(0, 0); });
+    exec.run();
+    return std::make_pair(trace, exec.windowsExecuted());
+  };
+  const auto scalar = runWith(false);
+  const auto widened = runWith(true);
+  EXPECT_EQ(scalar.first, widened.first);
+  EXPECT_LE(widened.second, scalar.second);
+}
+
+TEST(Executor, AffinityPolicyParsesAndRoundTrips) {
+  EXPECT_EQ(parseAffinityPolicy("none"), AffinityPolicy::None);
+  EXPECT_EQ(parseAffinityPolicy("compact"), AffinityPolicy::Compact);
+  EXPECT_EQ(parseAffinityPolicy("scatter"), AffinityPolicy::Scatter);
+  for (auto p : {AffinityPolicy::None, AffinityPolicy::Compact,
+                 AffinityPolicy::Scatter})
+    EXPECT_EQ(parseAffinityPolicy(affinityPolicyName(p)), p);
+  EXPECT_THROW(parseAffinityPolicy("numa"), ConfigError);
+}
+
+TEST(Executor, PinnedWorkersProduceIdenticalResults) {
+  // Affinity is a wall-time knob only. Also exercises the pthread pinning
+  // path end to end (best-effort: it must never fail the run).
+  constexpr Time kLookahead = 0.25;
+  auto runWith = [&](AffinityPolicy policy) {
+    ExecutorOptions o = options(4, kLookahead, 4);
+    o.affinity = policy;
+    Executor exec(o);
+    std::vector<Trace> traces(4);
+    for (int s = 0; s < 4; ++s) {
+      ShardContext& ctx = exec.shard(s);
+      Trace& mine = traces[static_cast<std::size_t>(s)];
+      ctx.schedule(0.1 * s, [&ctx, &mine, s] {
+        mine.emplace_back(ctx.now(), s);
+      });
+    }
+    exec.run();
+    return traces;
+  };
+  const auto none = runWith(AffinityPolicy::None);
+  EXPECT_EQ(none, runWith(AffinityPolicy::Compact));
+  EXPECT_EQ(none, runWith(AffinityPolicy::Scatter));
 }
 
 TEST(Executor, MergedMetricsSumAcrossShards) {

@@ -54,6 +54,8 @@ void usage() {
       "    --sim-jobs N            simulator-core shards per cluster\n"
       "                            (1 = classic serial core; N > 1 is a\n"
       "                            distinct deterministic configuration)\n"
+      "    --sim-affinity P        pin shard workers: none|compact|scatter\n"
+      "                            (wall time only; results identical)\n"
       "    --fault SPEC            inject link faults, e.g.\n"
       "                            drop=0.01,burst=4,seed=7 (keys: drop,\n"
       "                            burst, corrupt, jitter_us, seed)\n"
@@ -97,6 +99,10 @@ ArgParser makeParser(const std::string& method) {
                  "core; N > 1 is a distinct deterministic configuration "
                  "recorded in archives)",
                  "1");
+  args.addOption("sim-affinity",
+                 "shard-worker pinning: none | compact | scatter (wall "
+                 "time only — results are identical across policies)",
+                 "none");
   args.addOption("interval", "polling interval (loop iterations)", "10000");
   args.addOption("work", "PWW work interval (loop iterations)", "1000000");
   args.addOption("queue", "polling queue depth", "8");
@@ -154,6 +160,12 @@ int simJobsFrom(const ArgParser& args) {
   if (simJobs < 1)
     throw ConfigError("--sim-jobs must be >= 1, got " + args.str("sim-jobs"));
   return static_cast<int>(simJobs);
+}
+
+/// Resolve --sim-affinity; sim::parseAffinityPolicy reports unknown
+/// policy names as configuration errors before any simulation starts.
+sim::AffinityPolicy simAffinityFrom(const ArgParser& args) {
+  return sim::parseAffinityPolicy(args.str("sim-affinity"));
 }
 
 backend::MachineConfig machineFrom(const ArgParser& args) {
@@ -230,6 +242,7 @@ int runPolling(const ArgParser& args) {
   bench::RunOptions opts;
   opts.jobs = jobsFrom(args);
   opts.simJobs = simJobsFrom(args);
+  opts.simAffinity = simAffinityFrom(args);
   opts.rep = repPolicyFrom(args);
   const bool withReps = opts.rep.adaptive || opts.rep.reps > 1;
 
@@ -256,7 +269,8 @@ int runPolling(const ArgParser& args) {
               params.queueDepth, t.str().c_str());
   if (const std::string dir = args.str("archive"); !dir.empty()) {
     auto archive = bench::makeArchive("comb_polling_" + machine.name,
-                                      opts.rep, opts.simJobs);
+                                      opts.rep, opts.simJobs,
+                                      opts.simAffinity);
     bench::appendPollingSweep(archive, "polling/" + machine.name + "/" +
                                            fmtBytes(params.msgBytes),
                               machine, xs, runs);
@@ -289,6 +303,7 @@ int runPww(const ArgParser& args) {
   bench::RunOptions opts;
   opts.jobs = jobsFrom(args);
   opts.simJobs = simJobsFrom(args);
+  opts.simAffinity = simAffinityFrom(args);
   opts.rep = repPolicyFrom(args);
   const bool withReps = opts.rep.adaptive || opts.rep.reps > 1;
 
@@ -316,7 +331,7 @@ int runPww(const ArgParser& args) {
               t.str().c_str());
   if (const std::string dir = args.str("archive"); !dir.empty()) {
     auto archive = bench::makeArchive("comb_pww_" + machine.name, opts.rep,
-                                      opts.simJobs);
+                                      opts.simJobs, opts.simAffinity);
     bench::appendPwwSweep(archive, "pww/" + machine.name + "/" +
                                        fmtBytes(params.msgBytes),
                           machine, xs, runs);
@@ -332,6 +347,7 @@ int runLatency(const ArgParser& args) {
   params.msgBytes = static_cast<Bytes>(args.integer("size-kb")) * 1024;
   bench::RunOptions opts;
   opts.simJobs = simJobsFrom(args);
+  opts.simAffinity = simAffinityFrom(args);
   opts.rep = repPolicyFrom(args);
   const auto run = bench::runLatencyPointReps(machine, params, opts);
   const auto& pt = run.canonical();
@@ -348,7 +364,8 @@ int runLatency(const ArgParser& args) {
                 run.converged ? "" : " (CI target NOT reached)");
   if (const std::string dir = args.str("archive"); !dir.empty()) {
     auto archive = bench::makeArchive("comb_latency_" + machine.name,
-                                      opts.rep, opts.simJobs);
+                                      opts.rep, opts.simJobs,
+                                      opts.simAffinity);
     bench::appendLatencySweep(archive, "latency/" + machine.name, machine,
                               {params.msgBytes}, {run});
     std::printf("archive: %s\n",
@@ -396,6 +413,7 @@ int runAssess(const ArgParser& args) {
   options.msgBytes = static_cast<Bytes>(args.integer("size-kb")) * 1024;
   options.jobs = jobsFrom(args);
   options.simJobs = simJobsFrom(args);
+  options.simAffinity = simAffinityFrom(args);
   const auto a = bench::assessMachine(machine, options);
   std::printf("COMB assessment, machine=%s, size=%s\n\n%s",
               a.machineName.c_str(), fmtBytes(a.msgBytes).c_str(),
@@ -414,7 +432,8 @@ int runStats(const ArgParser& args) {
   auto params = bench::presets::pollingBase(
       static_cast<Bytes>(args.integer("size-kb")) * 1024);
   params.pollInterval = static_cast<std::uint64_t>(args.integer("interval"));
-  backend::SimCluster cluster(machine, 2, simJobsFrom(args));
+  backend::SimCluster cluster(machine, 2, simJobsFrom(args),
+                              /*workers=*/0, simAffinityFrom(args));
   if (args.flag("trace")) cluster.enableTracing();
   bench::PollingPoint point;
   cluster.launch(0, statsWorkerDriver(cluster.proc(0), params, point));
@@ -449,6 +468,7 @@ int runTrace(const ArgParser& args) {
     params.workInterval = static_cast<std::uint64_t>(args.integer("work"));
     bench::RunOptions opts;
     opts.simJobs = simJobsFrom(args);
+  opts.simAffinity = simAffinityFrom(args);
     auto run = bench::runPwwPointTraced(machine, params, opts);
     auditErr = bench::checkPww(bench::auditPww(*run.trace), run.point);
     availability = run.point.availability;
@@ -460,6 +480,7 @@ int runTrace(const ArgParser& args) {
     params.pollInterval = static_cast<std::uint64_t>(args.integer("interval"));
     bench::RunOptions opts;
     opts.simJobs = simJobsFrom(args);
+  opts.simAffinity = simAffinityFrom(args);
     auto run = bench::runPollingPointTraced(machine, params, opts);
     auditErr = bench::checkPolling(bench::auditPolling(*run.trace), run.point);
     availability = run.point.availability;
