@@ -27,6 +27,7 @@
 #include "common/string_util.hpp"
 #include "common/thread_pool.hpp"
 #include "common/units.hpp"
+#include "host/noise.hpp"
 #include "net/fault.hpp"
 #include "report/expectations.hpp"
 #include "report/figure.hpp"
@@ -51,6 +52,9 @@ struct FigArgs {
   /// Fault model override from --fault (per-point results stay
   /// bit-reproducible: link fault streams are seeded per link name).
   std::optional<net::FaultSpec> fault;
+  /// OS-noise override from --noise (bit-reproducible: daemon schedules
+  /// are seeded per (seed, node, cpu)).
+  std::optional<host::NoiseSpec> noise;
   bool csv = false;
   std::string outDir = "bench_out";
   /// When non-empty (--trace FILE): re-run one representative sweep point
@@ -74,6 +78,7 @@ struct FigArgs {
     opts.simJobs = simJobs;
     opts.simAffinity = simAffinity;
     opts.fault = fault;
+    opts.noise = noise;
     opts.rep = rep;
     return opts;
   }
@@ -107,6 +112,11 @@ inline FigArgs parseFigArgs(int argc, const char* const* argv,
   parser.addOption("fault",
                    "inject link faults, e.g. drop=0.01,burst=4,seed=7 "
                    "(keys: drop, burst, corrupt, jitter_us, seed)",
+                   "");
+  parser.addOption("noise",
+                   "inject OS noise on every host CPU, e.g. "
+                   "period_us=250,duration_us=20 (keys: period_us, "
+                   "duration_us, jitter, daemons, coalesce_us, seed)",
                    "");
   parser.addOption("trace",
                    "write a Chrome trace JSON of one representative point "
@@ -147,6 +157,8 @@ inline FigArgs parseFigArgs(int argc, const char* const* argv,
     args.simAffinity = sim::parseAffinityPolicy(parser.str("sim-affinity"));
     if (const auto spec = parser.str("fault"); !spec.empty())
       args.fault = net::parseFaultSpec(spec);
+    if (const auto spec = parser.str("noise"); !spec.empty())
+      args.noise = host::parseNoiseSpec(spec);
     args.csv = parser.flag("csv");
     args.outDir = parser.str("out");
     args.traceFile = parser.str("trace");

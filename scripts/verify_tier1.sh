@@ -83,7 +83,7 @@ build_tsan() {
     cmake --build build-tsan -j --target test_thread_pool test_runner \
       test_log test_thread_comb test_fault test_fault_injection \
       test_tracelog test_trace_export test_audit test_executor test_pdes \
-      test_window_barrier test_executor_alloc
+      test_window_barrier test_executor_alloc test_tail_observability
 }
 build_asan() {
   cmake -B build-asan -S . -DCOMB_SANITIZE=address \

@@ -75,6 +75,17 @@ std::string machineSignature(const MachineConfig& m) {
   field("fault.jitter", f.link.fault.jitter);
   os << "fault.seed=" << f.link.fault.seed << '\n';
 
+  // Noise fields enter the signature only when the injector does
+  // anything, so every historical (noise-free) machine keeps its hash.
+  if (m.noise.active()) {
+    field("noise.period", m.noise.period);
+    field("noise.duration", m.noise.duration);
+    field("noise.jitter", m.noise.jitter);
+    os << "noise.daemons=" << m.noise.daemons << '\n';
+    field("noise.coalesce", m.noise.coalesce);
+    os << "noise.seed=" << m.noise.seed << '\n';
+  }
+
   const auto relFields = [&](const char* prefix,
                              const transport::ReliabilityConfig& rel) {
     os << prefix << ".ack_bytes=" << rel.ackBytes << '\n';

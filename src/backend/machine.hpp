@@ -10,6 +10,7 @@
 #include <string>
 
 #include "common/units.hpp"
+#include "host/noise.hpp"
 #include "net/fabric.hpp"
 #include "transport/gm.hpp"
 #include "transport/portals.hpp"
@@ -36,6 +37,11 @@ struct MachineConfig {
   /// GM raises no interrupts). The application always runs on CPU 0.
   int cpusPerNode = 1;
   int nicCpu = 0;
+
+  /// OS-noise injection on every CPU (host/noise.hpp): daemon preemption
+  /// windows plus interrupt coalescing. Disabled by default; a disabled
+  /// spec leaves the machine signature (and hash) unchanged.
+  host::NoiseSpec noise;
 };
 
 /// Canonical one-line-per-field text serialization of every model

@@ -9,6 +9,7 @@
 
 #include "common/error.hpp"
 #include "common/string_util.hpp"
+#include "host/noise.hpp"
 #include "net/fault.hpp"
 #include "net/topology.hpp"
 
@@ -202,6 +203,13 @@ MachineConfig parseMachineFile(std::istream& in, const std::string& source) {
   bind.number("fault", "jitter_us", fault.jitter, kUs);
   bind.integer("fault", "seed", fault.seed);
 
+  bind.number("noise", "period_us", m.noise.period, kUs);
+  bind.number("noise", "duration_us", m.noise.duration, kUs);
+  bind.number("noise", "jitter", m.noise.jitter);
+  bind.integer("noise", "daemons", m.noise.daemons);
+  bind.number("noise", "coalesce_us", m.noise.coalesce, kUs);
+  bind.integer("noise", "seed", m.noise.seed);
+
   // Retransmission protocol knobs land on whichever stack is active.
   auto& rel = m.kind == TransportKind::Gm ? m.gm.rel : m.portals.rel;
   const std::string relSection =
@@ -234,6 +242,7 @@ MachineConfig parseMachineFile(std::istream& in, const std::string& source) {
   bind.finish();
 
   net::validateFaultSpec(m.fabric.link.fault);
+  host::validateNoiseSpec(m.noise);
   net::validateTopology(m.fabric.topo, m.fabric.sw);
   COMB_REQUIRE(rel.ackTimeout > 0 && rel.backoff >= 1.0 && rel.maxRetries >= 1,
                source + ": bad reliability configuration (ack_timeout_us > 0, "

@@ -121,8 +121,8 @@ SimCluster::SimCluster(MachineConfig cfg, int nodeCount, int simJobs,
     Node& node = nodes_[static_cast<std::size_t>(i)];
     sim::Simulator& ctx = shardFor(i);
     for (int c = 0; c < cfg_.cpusPerNode; ++c)
-      node.cpus.push_back(
-          std::make_unique<host::Cpu>(ctx, strFormat("cpu%d.%d", i, c), i));
+      node.cpus.push_back(std::make_unique<host::Cpu>(
+          ctx, strFormat("cpu%d.%d", i, c), i, cfg_.noise));
     host::Cpu& appCpu = *node.cpus[0];
     host::Cpu& nicCpu = *node.cpus[static_cast<std::size_t>(cfg_.nicCpu)];
     if (cfg_.kind == TransportKind::Gm) {

@@ -55,13 +55,17 @@ class SimProc {
   }
 
   /// Benchmark-phase span markers ("post", "work", "wait", "dry", ...)
-  /// for the trace-driven overlap audit. No-ops when tracing is detached;
-  /// `label` must outlive the span (use string literals).
+  /// for the trace-driven overlap audit and the per-phase latency
+  /// recorders: while a phase is open, MPI completion latencies are also
+  /// recorded into phase-suffixed distributions. `label` must outlive
+  /// the span (use string literals).
   void phaseBegin(std::string_view label) {
     sim_->emitTraceBegin(sim::TraceCategory::Phase, rank(), label);
+    mpi_->beginPhase(label);
   }
   void phaseEnd(std::string_view label) {
     sim_->emitTraceEnd(sim::TraceCategory::Phase, rank(), label);
+    mpi_->endPhase();
   }
 
  private:
@@ -109,6 +113,9 @@ class SimCluster {
   Time now() const { return exec_.now(); }
   std::uint64_t eventsExecuted() const { return exec_.eventsExecuted(); }
   metrics::Snapshot metricsSnapshot() const { return exec_.metricsSnapshot(); }
+  /// Executor load imbalance (1.0 for the serial core); see
+  /// sim::Executor::shardImbalance.
+  double shardImbalance() const { return exec_.shardImbalance(); }
 
   SimProc& proc(int rank);
   /// CPU `which` of a node (0 = the application CPU).

@@ -21,6 +21,41 @@ report::ArchiveMetric metricOf(const RepRun<Point>& run,
   return m;
 }
 
+/// Per-rep samples of one latency-percentile metric. Tails regress by
+/// growing, so every tail metric is lower-is-better; the class marks it
+/// for `comb compare --metric-class tail`.
+template <typename Point>
+report::ArchiveMetric tailMetricOf(const RepRun<Point>& run,
+                                   const std::string& name,
+                                   double (*value)(const Point&)) {
+  report::ArchiveMetric m = metricOf(run, name, /*higherIsBetter=*/false,
+                                     value);
+  m.metricClass = "tail";
+  return m;
+}
+
+/// The tail metrics every method shares: send/recv completion-latency
+/// p50 (the median, so a tail-only regression is visible as such), p99
+/// and p999, merged over all ranks.
+template <typename Point>
+void addTailMetrics(std::vector<report::ArchiveMetric>& metrics,
+                    const RepRun<Point>& run) {
+  metrics.push_back(tailMetricOf<Point>(
+      run, "send_p50_us", [](const Point& p) { return p.sendTail.p50 * 1e6; }));
+  metrics.push_back(tailMetricOf<Point>(
+      run, "send_p99_us", [](const Point& p) { return p.sendTail.p99 * 1e6; }));
+  metrics.push_back(tailMetricOf<Point>(
+      run, "send_p999_us",
+      [](const Point& p) { return p.sendTail.p999 * 1e6; }));
+  metrics.push_back(tailMetricOf<Point>(
+      run, "recv_p50_us", [](const Point& p) { return p.recvTail.p50 * 1e6; }));
+  metrics.push_back(tailMetricOf<Point>(
+      run, "recv_p99_us", [](const Point& p) { return p.recvTail.p99 * 1e6; }));
+  metrics.push_back(tailMetricOf<Point>(
+      run, "recv_p999_us",
+      [](const Point& p) { return p.recvTail.p999 * 1e6; }));
+}
+
 template <typename Point, typename MakeMetrics>
 void appendSweep(report::Archive& archive, const std::string& id,
                  const backend::MachineConfig& machine,
@@ -30,6 +65,11 @@ void appendSweep(report::Archive& archive, const std::string& id,
                  MakeMetrics&& makeMetrics) {
   COMB_REQUIRE(xs.size() == runs.size(),
                "archive sweep: axis/result size mismatch");
+  archive.provenance.tailPercentiles = report::kTailPercentiles;
+  for (const auto& run : runs)
+    for (const auto& rep : run.reps)
+      archive.provenance.shardImbalance =
+          std::max(archive.provenance.shardImbalance, rep.shardImbalance);
   // Sharded runs: record the certified scalar lookahead floor — the
   // machine's fabric link latency, which every matrix entry respects
   // (Executor::setLookaheadMatrix throws otherwise). Archives that mix
@@ -49,6 +89,7 @@ void appendSweep(report::Archive& archive, const std::string& id,
     point.x = static_cast<double>(xs[i]);
     point.converged = runs[i].converged;
     point.metrics = makeMetrics(runs[i]);
+    addTailMetrics(point.metrics, runs[i]);
     sweep.points.push_back(std::move(point));
   }
   archive.sweeps.push_back(std::move(sweep));

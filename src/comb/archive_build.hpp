@@ -2,6 +2,13 @@
 // report/archive schema: one ArchiveSweep per (method, machine, size)
 // family, with per-rep samples for every metric the figures report and
 // the regression direction each metric moves in.
+//
+// Every append*Sweep call also attaches the shared tail metrics —
+// send/recv completion-latency p50/p99/p999 (µs, merged over all ranks,
+// class "tail", lower is better) — and stamps the archive provenance
+// with the percentile base and the peak shard imbalance over all reps,
+// so `comb compare --metric-class tail` can gate latency tails
+// separately from the central-tendency metrics.
 #pragma once
 
 #include <string>

@@ -24,7 +24,41 @@ const char* verdictName(Verdict v) {
   return "?";
 }
 
+const char* metricClassName(MetricClass c) {
+  switch (c) {
+    case MetricClass::All:
+      return "all";
+    case MetricClass::Mean:
+      return "mean";
+    case MetricClass::Tail:
+      return "tail";
+  }
+  return "?";
+}
+
+MetricClass parseMetricClass(std::string_view s) {
+  if (s == "all") return MetricClass::All;
+  if (s == "mean") return MetricClass::Mean;
+  if (s == "tail") return MetricClass::Tail;
+  throw ConfigError("--metric-class must be all | mean | tail, got '" +
+                    std::string(s) + "'");
+}
+
 namespace {
+
+/// True when the archived metric's class passes the --metric-class filter.
+/// Archives written before metric classes existed carry "mean" implicitly.
+bool classSelected(const report::ArchiveMetric& m, MetricClass filter) {
+  switch (filter) {
+    case MetricClass::All:
+      return true;
+    case MetricClass::Mean:
+      return m.metricClass != "tail";
+    case MetricClass::Tail:
+      return m.metricClass == "tail";
+  }
+  return true;
+}
 
 /// Signed relative delta with the same denominator as stats::relDiff.
 double signedRelDelta(double baseline, double candidate) {
@@ -133,6 +167,25 @@ CompareReport compareArchives(const report::Archive& baseline,
         candidate.provenance.simAffinity +
         " — wall-time only (results are identical across policies), but "
         "timing-based metrics may not be comparable");
+  if (baseline.rep.reps != candidate.rep.reps ||
+      baseline.rep.adaptive != candidate.rep.adaptive)
+    report.notes.push_back(strFormat(
+        "rep counts differ: baseline %s%d rep(s), candidate %s%d rep(s) — "
+        "percentile estimates sharpen with sample count, so tail deltas may "
+        "reflect the repetition budget, not the code",
+        baseline.rep.adaptive ? "adaptive up to " : "",
+        baseline.rep.adaptive ? baseline.rep.maxReps : baseline.rep.reps,
+        candidate.rep.adaptive ? "adaptive up to " : "",
+        candidate.rep.adaptive ? candidate.rep.maxReps : candidate.rep.reps));
+  if (!baseline.provenance.tailPercentiles.empty() &&
+      !candidate.provenance.tailPercentiles.empty() &&
+      baseline.provenance.tailPercentiles !=
+          candidate.provenance.tailPercentiles)
+    report.notes.push_back(
+        "tail percentile bases differ: baseline {" +
+        baseline.provenance.tailPercentiles + "}, candidate {" +
+        candidate.provenance.tailPercentiles +
+        "} — same-named tail metrics may summarize different quantiles");
 
   std::map<std::string, const report::ArchiveSweep*> bSweeps;
   for (const auto& s : candidate.sweeps) bSweeps.emplace(s.id, &s);
@@ -165,6 +218,7 @@ CompareReport compareArchives(const report::Archive& baseline,
       const auto& pb = *pit->second;
       bPoints.erase(pit);
       for (const auto& ma : pa.metrics) {
+        if (!classSelected(ma, opts.metricClass)) continue;
         const auto mb = std::find_if(
             pb.metrics.begin(), pb.metrics.end(),
             [&](const report::ArchiveMetric& m) { return m.name == ma.name; });

@@ -23,6 +23,7 @@
 #include <cmath>
 #include <iosfwd>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "report/archive.hpp"
@@ -33,6 +34,16 @@ class Value;
 
 namespace comb::bench {
 
+/// Which archived metric classes to gate on: everything, only the
+/// central-tendency ("mean") metrics — the pre-tail behaviour — or only
+/// the latency-percentile ("tail") metrics, for a tail-latency-focused
+/// gate that ignores throughput deltas.
+enum class MetricClass { All, Mean, Tail };
+
+const char* metricClassName(MetricClass c);
+/// Parse "all" | "mean" | "tail"; throws comb::ConfigError.
+MetricClass parseMetricClass(std::string_view s);
+
 struct CompareOptions {
   /// Relative median difference below which a change is never flagged.
   double tolerance = 0.02;
@@ -40,6 +51,9 @@ struct CompareOptions {
   double alpha = 0.05;
   /// Seed for the bootstrap streams used in the CI-overlap fallback.
   std::uint64_t seed = 0xC04Bu;
+  /// Metric-class filter (--metric-class); rows outside the class are
+  /// neither compared nor counted.
+  MetricClass metricClass = MetricClass::All;
 };
 
 enum class Verdict { Ok, Regressed, Improved };

@@ -133,6 +133,12 @@ CongestionPoint runCongestionPoint(const backend::MachineConfig& machine,
   point.bandwidthBps = point.makespan > 0 ? totalBytes / point.makespan : 0.0;
   point.switches = cluster.fabric().switchTotals();
   point.fault = cluster.faultCounters();
+  const auto snap = cluster.metricsSnapshot();
+  point.sendTail =
+      metrics::mergeLatencyFamily(snap, "mpi.n", ".send_latency").tail();
+  point.recvTail =
+      metrics::mergeLatencyFamily(snap, "mpi.n", ".recv_latency").tail();
+  point.shardImbalance = cluster.shardImbalance();
   return point;
 }
 

@@ -104,6 +104,11 @@ struct CongestionPoint {
   /// depth are the congestion signature.
   net::SwitchTotals switches;
   net::FaultCounters fault;
+  /// Per-message MPI send/recv completion-latency tails (see
+  /// PollingPoint) and executor load imbalance.
+  TailSummary sendTail;
+  TailSummary recvTail;
+  double shardImbalance = 1.0;
 };
 
 /// One node's role: window of wildcard receives, windowed sends along the

@@ -34,6 +34,11 @@ struct LatencyPoint {
   int reps = 0;
   /// Fault-injection/reliability counters for the whole cluster run.
   net::FaultCounters fault;
+  /// Per-message MPI send/recv completion-latency tails (see
+  /// PollingPoint) and executor load imbalance.
+  TailSummary sendTail;
+  TailSummary recvTail;
+  double shardImbalance = 1.0;
 };
 
 /// Initiator role (rank 0 of `world`, any 2-rank communicator).

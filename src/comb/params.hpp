@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/latency_recorder.hpp"
 #include "common/units.hpp"
 #include "mpi/types.hpp"
 #include "net/fault.hpp"
@@ -46,6 +47,15 @@ struct PollingPoint {
   /// Fault-injection/reliability counters for the whole cluster run (all
   /// zero on a lossless fabric). Filled in by the point runner.
   net::FaultCounters fault;
+  /// Per-message MPI completion-latency distribution summaries, merged
+  /// across every rank's base send/recv recorder (phase-scoped variants
+  /// excluded). Filled in by the point runner; zero when the run recorded
+  /// no messages.
+  TailSummary sendTail;
+  TailSummary recvTail;
+  /// Executor load imbalance (sim/executor shardImbalance): 1.0 for the
+  /// serial core and perfectly balanced shards.
+  double shardImbalance = 1.0;
 };
 
 // ---------------------------------------------------------------------------
@@ -86,6 +96,11 @@ struct PwwPoint {
   int reps = 0;
   /// Fault-injection/reliability counters for the whole cluster run.
   net::FaultCounters fault;
+  /// Per-message MPI send/recv completion-latency tails (see
+  /// PollingPoint) and executor load imbalance.
+  TailSummary sendTail;
+  TailSummary recvTail;
+  double shardImbalance = 1.0;
 };
 
 /// Log-spaced sweep values (paper x-axes are log poll/work interval).

@@ -31,14 +31,34 @@ sim::Task<void> latencyDriver(backend::SimProc& env, LatencyParams p,
   out = co_await latencyInitiator(env, p);
 }
 
+/// Harvest the per-message MPI latency tails and the executor imbalance
+/// after a cluster run. The merged families cover every rank's base
+/// send/recv recorder; shard-count invariance of the merge keeps the
+/// summaries byte-identical across --sim-jobs values.
+template <typename Point>
+void fillObservability(backend::SimCluster& cluster, Point& point) {
+  const auto snap = cluster.metricsSnapshot();
+  point.sendTail =
+      metrics::mergeLatencyFamily(snap, "mpi.n", ".send_latency").tail();
+  point.recvTail =
+      metrics::mergeLatencyFamily(snap, "mpi.n", ".recv_latency").tail();
+  point.shardImbalance = cluster.shardImbalance();
+}
+
 }  // namespace
 
 backend::MachineConfig machineWithOptions(const backend::MachineConfig& machine,
                                           const RunOptions& opts) {
-  if (!opts.fault) return machine;
-  net::validateFaultSpec(*opts.fault);
+  if (!opts.fault && !opts.noise) return machine;
   backend::MachineConfig m = machine;
-  m.fabric.link.fault = *opts.fault;
+  if (opts.fault) {
+    net::validateFaultSpec(*opts.fault);
+    m.fabric.link.fault = *opts.fault;
+  }
+  if (opts.noise) {
+    host::validateNoiseSpec(*opts.noise);
+    m.noise = *opts.noise;
+  }
   return m;
 }
 
@@ -143,6 +163,7 @@ PollingPoint runPollingPoint(const backend::MachineConfig& machine,
                  "polling-support");
   cluster.run();
   point.fault = cluster.faultCounters();
+  fillObservability(cluster, point);
   return point;
 }
 
@@ -157,6 +178,7 @@ PwwPoint runPwwPoint(const backend::MachineConfig& machine,
   cluster.launch(1, pwwSupport(cluster.proc(1), params), "pww-support");
   cluster.run();
   point.fault = cluster.faultCounters();
+  fillObservability(cluster, point);
   return point;
 }
 
@@ -174,6 +196,7 @@ TracedRun<PollingPoint> runPollingPointTraced(
                  "polling-support");
   cluster.run();
   run.point.fault = cluster.faultCounters();
+  fillObservability(cluster, run.point);
   run.stats = report::snapshot(cluster);
   run.trace = cluster.releaseTraceLog();
   return run;
@@ -193,6 +216,7 @@ TracedRun<PwwPoint> runPwwPointTraced(const backend::MachineConfig& machine,
   cluster.launch(1, pwwSupport(cluster.proc(1), params), "pww-support");
   cluster.run();
   run.point.fault = cluster.faultCounters();
+  fillObservability(cluster, run.point);
   run.stats = report::snapshot(cluster);
   run.trace = cluster.releaseTraceLog();
   return run;
@@ -210,6 +234,7 @@ LatencyPoint runLatencyPoint(const backend::MachineConfig& machine,
   cluster.launch(1, latencyEcho(cluster.proc(1), params), "latency-echo");
   cluster.run();
   point.fault = cluster.faultCounters();
+  fillObservability(cluster, point);
   return point;
 }
 

@@ -27,6 +27,7 @@
 #include "comb/params.hpp"
 #include "common/stats.hpp"
 #include "common/thread_pool.hpp"
+#include "host/noise.hpp"
 #include "net/fault.hpp"
 #include "report/machine_stats.hpp"
 #include "sim/executor.hpp"
@@ -96,6 +97,9 @@ struct RunOptions {
   /// When set, overrides the machine's fabric fault model for this run
   /// (the CLI's --fault flag lands here).
   std::optional<net::FaultSpec> fault;
+  /// When set, overrides the machine's OS-noise injector for this run
+  /// (the CLI's --noise flag lands here).
+  std::optional<host::NoiseSpec> noise;
   /// Repetitions per point (only the *Reps runners look at this; the
   /// single-shot runners below always measure exactly once).
   RepPolicy rep;

@@ -1,6 +1,7 @@
 #include "common/metrics.hpp"
 
 #include <algorithm>
+#include <cstdio>
 
 #include "common/error.hpp"
 
@@ -27,6 +28,14 @@ Histogram& Registry::histogram(std::string_view name, double lo, double hi,
   return *histograms_.emplace(std::string(name), std::move(h)).first->second;
 }
 
+LatencyRecorder& Registry::latency(std::string_view name) {
+  COMB_REQUIRE(!name.empty(), "metric name must not be empty");
+  if (const auto it = latencies_.find(name); it != latencies_.end())
+    return *it->second;
+  auto r = std::make_unique<LatencyRecorder>();
+  return *latencies_.emplace(std::string(name), std::move(r)).first->second;
+}
+
 Snapshot Registry::snapshot() const {
   Snapshot snap;
   snap.counters.reserve(counters_.size());
@@ -45,6 +54,17 @@ Snapshot Registry::snapshot() const {
     s.total = h->total();
     snap.histograms.push_back(std::move(s));
   }
+  snap.latencies.reserve(latencies_.size());
+  for (const auto& [name, r] : latencies_) {
+    LatencySample s;
+    s.name = name;
+    s.buckets = r->buckets();
+    s.count = r->count();
+    s.sumTicks = r->sumTicks();
+    s.minTicks = r->minTicks();
+    s.maxTicks = r->maxTicks();
+    snap.latencies.push_back(std::move(s));
+  }
   return snap;
 }
 
@@ -55,6 +75,47 @@ std::uint64_t Snapshot::counterValue(std::string_view name) const {
   return it == counters.end() ? 0 : it->value;
 }
 
+const LatencySample* Snapshot::latency(std::string_view name) const {
+  const auto it = std::find_if(
+      latencies.begin(), latencies.end(),
+      [name](const LatencySample& l) { return l.name == name; });
+  return it == latencies.end() ? nullptr : &*it;
+}
+
+LatencySample mergeLatencyFamily(const Snapshot& snap,
+                                 std::string_view prefix,
+                                 std::string_view suffix) {
+  LatencySample out;
+  out.name.reserve(prefix.size() + 1 + suffix.size());
+  out.name.append(prefix).append("*").append(suffix);
+  for (const LatencySample& l : snap.latencies) {
+    const std::string_view name = l.name;
+    if (name.size() < prefix.size() + suffix.size()) continue;
+    if (name.substr(0, prefix.size()) != prefix) continue;
+    if (name.substr(name.size() - suffix.size()) != suffix) continue;
+    if (out.buckets.empty()) {
+      out.buckets = l.buckets;
+      out.count = l.count;
+      out.sumTicks = l.sumTicks;
+      out.minTicks = l.minTicks;
+      out.maxTicks = l.maxTicks;
+      continue;
+    }
+    COMB_REQUIRE(out.buckets.size() == l.buckets.size(),
+                 "merging latency samples with mismatched layouts");
+    for (std::size_t i = 0; i < l.buckets.size(); ++i)
+      out.buckets[i] += l.buckets[i];
+    if (l.count) {
+      out.minTicks =
+          out.count ? std::min(out.minTicks, l.minTicks) : l.minTicks;
+      out.maxTicks = std::max(out.maxTicks, l.maxTicks);
+    }
+    out.count += l.count;
+    out.sumTicks += l.sumTicks;
+  }
+  return out;
+}
+
 Snapshot mergeSnapshots(const std::vector<Snapshot>& parts) {
   if (parts.size() == 1) return parts.front();
   Snapshot out;
@@ -63,6 +124,7 @@ Snapshot mergeSnapshots(const std::vector<Snapshot>& parts) {
   // result sorted and the lookups simple.
   std::map<std::string, CounterSample, std::less<>> counters;
   std::map<std::string, HistogramSample, std::less<>> histograms;
+  std::map<std::string, LatencySample, std::less<>> latencies;
   for (const Snapshot& part : parts) {
     for (const CounterSample& c : part.counters) {
       auto [it, fresh] = counters.emplace(c.name, c);
@@ -78,20 +140,60 @@ Snapshot mergeSnapshots(const std::vector<Snapshot>& parts) {
       auto [it, fresh] = histograms.emplace(h.name, h);
       if (fresh) continue;
       HistogramSample& acc = it->second;
-      COMB_REQUIRE(acc.lo == h.lo && acc.hi == h.hi &&
-                       acc.counts.size() == h.counts.size(),
-                   "merging histograms with mismatched layouts");
-      for (std::size_t i = 0; i < h.counts.size(); ++i)
-        acc.counts[i] += h.counts[i];
       acc.underflow += h.underflow;
       acc.overflow += h.overflow;
       acc.total += h.total;
+      if (acc.lo == h.lo && acc.hi == h.hi &&
+          acc.counts.size() == h.counts.size()) {
+        for (std::size_t i = 0; i < h.counts.size(); ++i)
+          acc.counts[i] += h.counts[i];
+        continue;
+      }
+      // Mismatched layouts: rebucket into the first-seen layout by bin
+      // midpoint, mirroring Histogram::merge. Count-preserving and
+      // deterministic; resolution is bounded by the coarser layout.
+      const double srcWidth =
+          (h.hi - h.lo) / static_cast<double>(h.counts.size());
+      for (std::size_t i = 0; i < h.counts.size(); ++i) {
+        const std::size_t c = h.counts[i];
+        if (c == 0) continue;
+        const double mid = h.lo + srcWidth * (static_cast<double>(i) + 0.5);
+        if (mid < acc.lo) {
+          acc.underflow += c;
+        } else if (mid >= acc.hi) {
+          acc.overflow += c;
+        } else {
+          const double t = (mid - acc.lo) / (acc.hi - acc.lo);
+          auto bin = static_cast<std::size_t>(
+              t * static_cast<double>(acc.counts.size()));
+          bin = std::min(bin, acc.counts.size() - 1);
+          acc.counts[bin] += c;
+        }
+      }
+    }
+    for (const LatencySample& l : part.latencies) {
+      auto [it, fresh] = latencies.emplace(l.name, l);
+      if (fresh) continue;
+      LatencySample& acc = it->second;
+      COMB_REQUIRE(acc.buckets.size() == l.buckets.size(),
+                   "merging latency samples with mismatched layouts");
+      for (std::size_t i = 0; i < l.buckets.size(); ++i)
+        acc.buckets[i] += l.buckets[i];
+      if (l.count) {
+        acc.minTicks =
+            acc.count ? std::min(acc.minTicks, l.minTicks) : l.minTicks;
+        acc.maxTicks = std::max(acc.maxTicks, l.maxTicks);
+      }
+      acc.count += l.count;
+      acc.sumTicks += l.sumTicks;
     }
   }
   out.counters.reserve(counters.size());
   for (auto& [name, c] : counters) out.counters.push_back(std::move(c));
   out.histograms.reserve(histograms.size());
   for (auto& [name, h] : histograms) out.histograms.push_back(std::move(h));
+  out.latencies.reserve(latencies.size());
+  for (auto& [name, l] : latencies) out.latencies.push_back(std::move(l));
   return out;
 }
 
@@ -148,6 +250,42 @@ void writeJson(std::ostream& out, const Snapshot& snap, int indent) {
         << "}";
   }
   if (!snap.histograms.empty()) {
+    out << '\n';
+    pad(out, in1);
+  }
+  out << "},\n";
+  pad(out, in1);
+  out << "\"latencies\": {";
+  for (std::size_t i = 0; i < snap.latencies.size(); ++i) {
+    const LatencySample& l = snap.latencies[i];
+    const TailSummary t = l.tail();
+    out << (i == 0 ? "\n" : ",\n");
+    pad(out, in2);
+    writeJsonString(out, l.name);
+    out << ": {\"count\": " << t.count;
+    const auto us = [&out](const char* key, double seconds) {
+      char buf[64];
+      std::snprintf(buf, sizeof buf, ", \"%s\": %.6f", key, seconds * 1e6);
+      out << buf;
+    };
+    us("mean_us", t.mean);
+    us("min_us", t.min);
+    us("max_us", t.max);
+    us("p50_us", t.p50);
+    us("p90_us", t.p90);
+    us("p99_us", t.p99);
+    us("p999_us", t.p999);
+    out << ", \"buckets\": [";
+    bool first = true;
+    for (std::size_t b = 0; b < l.buckets.size(); ++b) {
+      if (l.buckets[b] == 0) continue;
+      if (!first) out << ", ";
+      first = false;
+      out << '[' << b << ", " << l.buckets[b] << ']';
+    }
+    out << "]}";
+  }
+  if (!snap.latencies.empty()) {
     out << '\n';
     pad(out, in1);
   }

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "common/histogram.hpp"
+#include "common/latency_recorder.hpp"
 
 namespace comb::metrics {
 
@@ -69,15 +70,46 @@ struct HistogramSample {
   std::size_t total = 0;
 };
 
+/// A latency recorder's state at snapshot time. Buckets follow the global
+/// LatencyRecorder layout, so same-named samples merge by element-wise
+/// count addition — order- and shard-count-independent.
+struct LatencySample {
+  std::string name;
+  std::vector<std::uint64_t> buckets;
+  std::uint64_t count = 0;
+  std::uint64_t sumTicks = 0;
+  std::uint64_t minTicks = 0;
+  std::uint64_t maxTicks = 0;
+
+  TailSummary tail() const {
+    return latencyTail(buckets, count, sumTicks, minTicks, maxTicks);
+  }
+};
+
 /// A point-in-time copy of every registered instrument, sorted by name.
 struct Snapshot {
   std::vector<CounterSample> counters;
   std::vector<HistogramSample> histograms;
+  std::vector<LatencySample> latencies;
 
-  bool empty() const { return counters.empty() && histograms.empty(); }
+  bool empty() const {
+    return counters.empty() && histograms.empty() && latencies.empty();
+  }
   /// Value of a counter by exact name; 0 when absent.
   std::uint64_t counterValue(std::string_view name) const;
+  /// Latency sample by exact name; nullptr when absent.
+  const LatencySample* latency(std::string_view name) const;
 };
+
+/// Merge every latency sample whose name starts with `prefix` and ends
+/// with `suffix` (e.g. "mpi.n" + ".send_latency" collects the per-rank
+/// base recorders but not their phase-scoped ".send_latency.<phase>"
+/// variants). All recorders share the global layout, so the merge is
+/// element-wise count addition — order-independent. The result's name is
+/// `prefix*suffix`; count == 0 when nothing matched.
+LatencySample mergeLatencyFamily(const Snapshot& snap,
+                                 std::string_view prefix,
+                                 std::string_view suffix);
 
 class Registry {
  public:
@@ -92,9 +124,13 @@ class Registry {
   /// Find-or-create; bin layout is fixed by the first registration.
   Histogram& histogram(std::string_view name, double lo, double hi,
                        std::size_t bins);
+  /// Find-or-create. All recorders share the global log-bucket layout,
+  /// so there is nothing to configure; recording is allocation-free.
+  LatencyRecorder& latency(std::string_view name);
 
   std::size_t counterCount() const { return counters_.size(); }
   std::size_t histogramCount() const { return histograms_.size(); }
+  std::size_t latencyCount() const { return latencies_.size(); }
 
   Snapshot snapshot() const;
 
@@ -102,22 +138,33 @@ class Registry {
   // std::map: stable references, deterministic (sorted) iteration.
   std::map<std::string, Counter, std::less<>> counters_;
   std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  std::map<std::string, std::unique_ptr<LatencyRecorder>, std::less<>>
+      latencies_;
 };
 
 /// Combine per-shard snapshots into one machine-wide view, matching
 /// instruments by exact name. Counters combine by their MergeKind (Sum
 /// counters add, Max counters take the largest; a name appearing in
 /// several inputs must carry the same kind in all of them). Histograms
-/// combine bin-wise and require identical layouts. Inputs are
-/// name-sorted (as Registry::snapshot produces) and so is the result —
-/// a single input round-trips unchanged, which keeps the serial path
-/// byte-identical.
+/// with identical layouts combine bin-wise; mismatched layouts are
+/// rebucketed into the first-seen layout by midpoint attribution
+/// (count-preserving, resolution bounded by the coarser layout).
+/// Latency samples share one global layout and always add element-wise.
+/// Inputs are name-sorted (as Registry::snapshot produces) and so is the
+/// result — a single input round-trips unchanged, which keeps the serial
+/// path byte-identical.
 Snapshot mergeSnapshots(const std::vector<Snapshot>& parts);
 
 /// Serialize a snapshot as a JSON object:
 ///   {"counters": {"name": value, ...},
 ///    "histograms": {"name": {"lo": ..., "hi": ..., "counts": [...],
-///                            "underflow": ..., "overflow": ...}, ...}}
+///                            "underflow": ..., "overflow": ...}, ...},
+///    "latencies": {"name": {"count": ..., "mean_us": ..., "min_us": ...,
+///                           "max_us": ..., "p50_us": ..., "p90_us": ...,
+///                           "p99_us": ..., "p999_us": ...,
+///                           "buckets": [[bucket, count], ...]}, ...}}
+/// Latency buckets are sparse [index, count] pairs over the global
+/// LatencyRecorder layout (dense arrays would be ~2k mostly-zero cells).
 void writeJson(std::ostream& out, const Snapshot& snap, int indent = 0);
 
 }  // namespace comb::metrics

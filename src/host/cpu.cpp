@@ -7,12 +7,29 @@
 
 namespace comb::host {
 
-Cpu::Cpu(sim::Simulator& sim, std::string name, int node)
+Cpu::Cpu(sim::Simulator& sim, std::string name, int node,
+         const NoiseSpec& noise)
     : sim_(sim),
       name_(std::move(name)),
       node_(node),
       interruptCounter_(sim.metrics().counter(
-          strFormat("host.%s.interrupts", name_.c_str()))) {}
+          strFormat("host.%s.interrupts", name_.c_str()))),
+      isrServiceLatency_(sim.metrics().latency(
+          strFormat("host.%s.isr_service", name_.c_str()))),
+      computeStretchLatency_(sim.metrics().latency(
+          strFormat("host.%s.compute_stretch", name_.c_str()))) {
+  if (noise.active()) {
+    // The stream key hashes the CPU name ("cpu<node>.<idx>"), so the
+    // schedule is a pure function of (seed, node, cpu) — independent of
+    // sharding or construction order.
+    noise_ = NoiseModel(noise, noiseStreamKey(name_));
+    noiseTraceName_ = name_ + ".noise";
+    noisePreemptCounter_ = &sim.metrics().counter(
+        strFormat("host.%s.noise_preempts", name_.c_str()));
+    noiseWindowLatency_ = &sim.metrics().latency(
+        strFormat("host.%s.noise_window", name_.c_str()));
+  }
+}
 
 sim::Task<void> Cpu::compute(Time seconds) {
   COMB_ASSERT(seconds >= 0.0, "negative compute request");
@@ -24,15 +41,58 @@ sim::Task<void> Cpu::compute(Time seconds) {
 
 void Cpu::startFrontJob() {
   COMB_ASSERT(!jobs_.empty(), "startFrontJob with no jobs");
-  if (sim_.now() < isrBusyUntil_) {
-    userRunning_ = false;
+  userRunning_ = false;
+  runFrontJob();
+}
+
+void Cpu::runFrontJob() {
+  COMB_ASSERT(!jobs_.empty() && !userRunning_, "runFrontJob misuse");
+  const Time now = sim_.now();
+  if (now < std::max(isrBusyUntil_, noiseBusyUntil_)) {
     scheduleUserResume();
     return;
   }
+  if (noise_.enabled()) {
+    // A daemon window already covering `now` holds the CPU before the
+    // job can start (the daemon was "running" while we were idle).
+    const Time busy = noise_.busyEnd(now);
+    if (busy > now) {
+      chargeNoise(now, busy);
+      scheduleUserResume();
+      return;
+    }
+  }
   userRunning_ = true;
-  userStartedAt_ = sim_.now();
+  userStartedAt_ = now;
   userCompletion_ =
       sim_.schedule(jobs_.front()->remaining, [this] { onUserJobComplete(); });
+  if (noise_.enabled()) {
+    const Time next = noise_.nextStart(now);
+    if (next < now + jobs_.front()->remaining)
+      noisePreempt_ =
+          sim_.scheduleAt(next, [this] { onNoisePreempt(); });
+  }
+}
+
+void Cpu::onNoisePreempt() {
+  if (!userRunning_ || jobs_.empty()) return;  // stale (preempted meanwhile)
+  const Time now = sim_.now();
+  const Time busy = noise_.busyEnd(now);
+  COMB_ASSERT(busy > now, "noise preemption outside a daemon window");
+  preemptRunningJob();
+  chargeNoise(now, busy);
+  scheduleUserResume();
+}
+
+void Cpu::chargeNoise(Time from, Time to) {
+  noiseBusyUntil_ = to;
+  noiseAccum_ += to - from;
+  ++noisePreemptions_;
+  if (noisePreemptCounter_ != nullptr) noisePreemptCounter_->add();
+  if (noiseWindowLatency_ != nullptr) noiseWindowLatency_->record(to - from);
+  if (sim_.tracing())
+    sim_.emitTraceCompleteAt(from, to - from, sim::TraceCategory::Interrupt,
+                             node_, noiseTraceName_, to - from);
 }
 
 void Cpu::onUserJobComplete() {
@@ -50,6 +110,8 @@ void Cpu::onUserJobComplete() {
     sim_.emitTraceCompleteAt(job->enqueuedAt, sim_.now() - job->enqueuedAt,
                              sim::TraceCategory::Compute, node_, name_,
                              job->requested);
+  computeStretchLatency_.record(sim_.now() - job->enqueuedAt -
+                                job->requested);
   job->done.fire();
   if (!jobs_.empty()) startFrontJob();
 }
@@ -63,18 +125,18 @@ void Cpu::preemptRunningJob() {
   job->remaining -= progressed;
   userAccum_ += progressed;
   userCompletion_.cancel();
+  noisePreempt_.cancel();
   userRunning_ = false;
 }
 
 void Cpu::scheduleUserResume() {
   userResume_.cancel();
-  userResume_ = sim_.scheduleAt(isrBusyUntil_, [this] {
-    if (sim_.now() < isrBusyUntil_) return;  // superseded by a later resume
+  const Time at = std::max(isrBusyUntil_, noiseBusyUntil_);
+  userResume_ = sim_.scheduleAt(at, [this] {
+    // Superseded by a later resume (another ISR / daemon window landed).
+    if (sim_.now() < std::max(isrBusyUntil_, noiseBusyUntil_)) return;
     if (jobs_.empty() || userRunning_) return;
-    userRunning_ = true;
-    userStartedAt_ = sim_.now();
-    userCompletion_ = sim_.schedule(jobs_.front()->remaining,
-                                    [this] { onUserJobComplete(); });
+    runFrontJob();
   });
 }
 
@@ -82,7 +144,13 @@ void Cpu::raiseInterrupt(Time service, IsrHandler handler) {
   COMB_ASSERT(service >= 0.0, "negative interrupt service time");
   ++interruptsRaised_;
   interruptCounter_.add();
-  const Time start = std::max(sim_.now(), isrBusyUntil_);
+  isrServiceLatency_.record(service);
+  // Interrupt coalescing: the first ISR of an idle batch is held for the
+  // coalescing window; anything raised while the queue is busy batches
+  // behind it at no extra delay. ISRs ignore daemon windows (interrupts
+  // outrank daemons).
+  const Time hold = isrQueue_.empty() ? noise_.coalesce() : 0.0;
+  const Time start = std::max(sim_.now() + hold, isrBusyUntil_);
   const Time end = start + service;
   // ISRs queue FIFO behind the current kernel busy period; the service
   // window [start, end) is known here, so emit it as a Complete span.

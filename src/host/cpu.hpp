@@ -14,6 +14,12 @@
 //
 // The model tracks cumulative user and ISR time so tests can verify the
 // accounting identity:  userTime + isrTime + idleTime == now.
+//
+// OS noise (host/noise.hpp) plugs in here: daemon windows preempt user
+// compute exactly like ISRs (at lower priority — an ISR raised during a
+// daemon window still runs on schedule), and the coalescing knob defers
+// the first ISR of an idle batch. With a default-constructed NoiseSpec
+// the behaviour is bit-identical to the noise-free model.
 #pragma once
 
 #include <cstdint>
@@ -21,6 +27,7 @@
 #include <string>
 
 #include "common/units.hpp"
+#include "host/noise.hpp"
 #include "sim/inplace_fn.hpp"
 #include "sim/simulator.hpp"
 #include "sim/task.hpp"
@@ -31,7 +38,11 @@ namespace comb::host {
 class Cpu {
  public:
   /// `node` tags this CPU's trace records and metrics (-1 = unattributed).
-  Cpu(sim::Simulator& sim, std::string name, int node = -1);
+  /// `noise` (default: disabled) attaches the OS-noise injector; its
+  /// schedule is derived from (noise.seed, name), so it reproduces
+  /// deterministically per (seed, node, cpu).
+  Cpu(sim::Simulator& sim, std::string name, int node = -1,
+      const NoiseSpec& noise = {});
   Cpu(const Cpu&) = delete;
   Cpu& operator=(const Cpu&) = delete;
 
@@ -61,6 +72,11 @@ class Cpu {
   /// Cumulative interrupt service executed (includes the in-service
   /// ISR's progress up to now()).
   Time isrTime() const;
+  /// Cumulative time noise-daemon windows held the CPU away from pending
+  /// user work (0 when the injector is disabled or never collided).
+  Time noiseTime() const { return noiseAccum_; }
+  std::uint64_t noisePreemptions() const { return noisePreemptions_; }
+  const NoiseModel& noise() const { return noise_; }
   std::uint64_t interruptsRaised() const { return interruptsRaised_; }
   const std::string& name() const { return name_; }
   int node() const { return node_; }
@@ -85,15 +101,29 @@ class Cpu {
   };
 
   void startFrontJob();
+  /// Start (or re-start) the front job at now: waits out kernel/daemon
+  /// busy periods, charges a daemon window covering now, or begins the
+  /// run and arms the next daemon preemption inside the job's span.
+  void runFrontJob();
   void onUserJobComplete();
   void preemptRunningJob();
   void scheduleUserResume();
   void onIsrComplete();
+  void onNoisePreempt();
+  /// Account a daemon window [from, to) that held the CPU while user
+  /// work was pending.
+  void chargeNoise(Time from, Time to);
 
   sim::Simulator& sim_;
   std::string name_;
   int node_;
   metrics::Counter& interruptCounter_;  ///< "host.<name>.interrupts"
+  /// "host.<name>.isr_service": distribution of ISR service durations.
+  LatencyRecorder& isrServiceLatency_;
+  /// "host.<name>.compute_stretch": per-compute() wall-clock overrun
+  /// (wall window minus requested cycles) — queuing plus preemption,
+  /// i.e. exactly what OS noise inflates at the tail.
+  LatencyRecorder& computeStretchLatency_;
 
   // User side. jobs_ front is the active job; entries point into the
   // awaiting coroutines' frames (valid until the job's trigger fires).
@@ -110,6 +140,18 @@ class Cpu {
   Time isrBusyUntil_ = 0.0;
   Time isrAccum_ = 0.0;  ///< completed ISR service time
   std::uint64_t interruptsRaised_ = 0;
+
+  // Noise side. Preemption events exist only while a user job is
+  // running (the schedule itself is lazy arithmetic), so an idle machine
+  // quiesces with the injector attached.
+  NoiseModel noise_;
+  std::string noiseTraceName_;  ///< "<name>.noise" (stable for trace refs)
+  Time noiseBusyUntil_ = 0.0;   ///< end of the last charged daemon window
+  Time noiseAccum_ = 0.0;
+  std::uint64_t noisePreemptions_ = 0;
+  metrics::Counter* noisePreemptCounter_ = nullptr;
+  LatencyRecorder* noiseWindowLatency_ = nullptr;
+  sim::EventHandle noisePreempt_;
 };
 
 }  // namespace comb::host

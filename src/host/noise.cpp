@@ -1,0 +1,148 @@
+#include "host/noise.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+
+#include "common/error.hpp"
+#include "common/string_util.hpp"
+
+namespace comb::host {
+
+namespace {
+
+constexpr std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+/// Uniform in [0, 1) from 53 high bits.
+double toUnit(std::uint64_t h) {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+void validateNoiseSpec(const NoiseSpec& spec) {
+  COMB_REQUIRE(spec.period >= 0.0 && spec.duration >= 0.0,
+               "noise: period and duration must be >= 0");
+  COMB_REQUIRE(!(spec.duration > 0.0) || spec.period > 0.0,
+               "noise: duration needs a positive period");
+  COMB_REQUIRE(spec.duration <= spec.period,
+               "noise: mean duration must not exceed the period");
+  COMB_REQUIRE(spec.jitter >= 0.0 && spec.jitter <= 1.0,
+               "noise: jitter must be in [0, 1]");
+  COMB_REQUIRE(spec.daemons >= 1, "noise: daemons must be >= 1");
+  COMB_REQUIRE(spec.coalesce >= 0.0, "noise: coalesce must be >= 0");
+}
+
+NoiseSpec parseNoiseSpec(std::string_view text) {
+  NoiseSpec spec;
+  while (!text.empty()) {
+    const auto comma = text.find(',');
+    const auto part = text.substr(0, comma);
+    text = comma == std::string_view::npos ? std::string_view{}
+                                           : text.substr(comma + 1);
+    const auto body = trim(part);
+    if (body.empty()) continue;
+    const auto eq = body.find('=');
+    COMB_REQUIRE(eq != std::string_view::npos,
+                 "noise spec: expected key=value, got '" + std::string(body) +
+                     "'");
+    const auto key = trim(body.substr(0, eq));
+    const std::string value{trim(body.substr(eq + 1))};
+    char* end = nullptr;
+    const double v = std::strtod(value.c_str(), &end);
+    COMB_REQUIRE(end != value.c_str() && *end == '\0',
+                 "noise spec: key '" + std::string(key) +
+                     "' expects a number, got '" + value + "'");
+    if (key == "period_us") {
+      spec.period = v * 1e-6;
+    } else if (key == "duration_us") {
+      spec.duration = v * 1e-6;
+    } else if (key == "jitter") {
+      spec.jitter = v;
+    } else if (key == "daemons") {
+      spec.daemons = static_cast<int>(v);
+    } else if (key == "coalesce_us") {
+      spec.coalesce = v * 1e-6;
+    } else if (key == "seed") {
+      spec.seed = static_cast<std::uint64_t>(v);
+    } else {
+      throw ConfigError("noise spec: unknown key '" + std::string(key) +
+                        "' (period_us, duration_us, jitter, daemons, "
+                        "coalesce_us, seed)");
+    }
+  }
+  validateNoiseSpec(spec);
+  return spec;
+}
+
+std::string noiseSpecSummary(const NoiseSpec& spec) {
+  return strFormat(
+      "period_us=%g,duration_us=%g,jitter=%g,daemons=%d,coalesce_us=%g,"
+      "seed=%llu",
+      spec.period * 1e6, spec.duration * 1e6, spec.jitter, spec.daemons,
+      spec.coalesce * 1e6, static_cast<unsigned long long>(spec.seed));
+}
+
+NoiseModel::NoiseModel(const NoiseSpec& spec, std::uint64_t streamKey)
+    : spec_(spec) {
+  validateNoiseSpec(spec_);
+  daemonSeeds_.reserve(static_cast<std::size_t>(spec_.daemons));
+  for (int k = 0; k < spec_.daemons; ++k)
+    daemonSeeds_.push_back(splitmix64(
+        spec_.seed ^ splitmix64(streamKey + static_cast<std::uint64_t>(k))));
+}
+
+NoiseModel::Window NoiseModel::window(int daemon, std::uint64_t slot) const {
+  const std::uint64_t base = daemonSeeds_[static_cast<std::size_t>(daemon)];
+  const double u1 = toUnit(splitmix64(base + 2 * slot));
+  const double u2 = toUnit(splitmix64(base + 2 * slot + 1));
+  // Exponential burst around the mean, capped at 3/4 of the period so
+  // every burst fits its slot (windows of one daemon never overlap).
+  const Time dur = std::min(-spec_.duration * std::log1p(-u1 * 0.999999),
+                            0.75 * spec_.period);
+  const Time slotStart = static_cast<Time>(slot) * spec_.period;
+  const Time slack = spec_.period - dur;
+  Window w;
+  w.start = slotStart + spec_.jitter * slack * u2;
+  w.end = w.start + dur;
+  return w;
+}
+
+Time NoiseModel::busyEnd(Time t) const {
+  if (!enabled() || t < 0.0) return t;
+  Time cur = t;
+  bool advanced = true;
+  while (advanced) {
+    advanced = false;
+    const auto slot = static_cast<std::uint64_t>(cur / spec_.period);
+    for (int k = 0; k < spec_.daemons; ++k) {
+      const Window w = window(k, slot);
+      if (w.start <= cur && cur < w.end) {
+        cur = w.end;
+        advanced = true;
+      }
+    }
+  }
+  return cur;
+}
+
+Time NoiseModel::nextStart(Time t) const {
+  if (!enabled()) return std::numeric_limits<Time>::infinity();
+  Time best = std::numeric_limits<Time>::infinity();
+  const Time from = std::max(t, 0.0);
+  const auto slot = static_cast<std::uint64_t>(from / spec_.period);
+  for (int k = 0; k < spec_.daemons; ++k) {
+    Window w = window(k, slot);
+    if (w.start <= from) w = window(k, slot + 1);
+    best = std::min(best, w.start);
+  }
+  return best;
+}
+
+}  // namespace comb::host

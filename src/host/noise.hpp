@@ -1,0 +1,111 @@
+// Deterministic OS-noise injection for the host CPU model.
+//
+// A NoiseSpec describes background "daemon" activity on a node: each of
+// `daemons` independent daemons wakes roughly once per `period`, holds
+// the CPU for an exponentially distributed burst around `duration`, and
+// its wake time jitters uniformly inside the period. While a daemon
+// holds the CPU, user compute is preempted exactly like interrupt
+// service — which is what stretches the tail of per-message latency
+// without moving the median. An orthogonal `coalesce` knob models NIC
+// interrupt coalescing: the first interrupt of an idle batch is held for
+// the coalescing window before service starts, so back-to-back
+// interrupts batch behind it at no extra delay.
+//
+// Everything is a pure function of (spec.seed, stream key, daemon, slot):
+// the window covering any instant — and the next window after it — is
+// computed arithmetically on demand, so the injector schedules no
+// free-running events and an idle machine still quiesces. That also
+// makes runs bit-reproducible for a fixed seed regardless of sharding.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace comb::host {
+
+struct NoiseSpec {
+  /// Mean gap between one daemon's wakeups (seconds). 0 disables the
+  /// daemon model.
+  Time period = 0.0;
+  /// Mean CPU burst per wakeup (exponentially distributed, capped at
+  /// 3/4 of the period so consecutive wakeups never overlap).
+  Time duration = 0.0;
+  /// Wakeup-phase jitter as a fraction of the post-burst slack in each
+  /// period slot: 0 = strictly periodic, 1 = uniform over the slot.
+  double jitter = 1.0;
+  /// Independent daemons per CPU.
+  int daemons = 1;
+  /// Interrupt-coalescing window: the first ISR of an idle batch starts
+  /// this much later (0 = immediate service, the historical model).
+  Time coalesce = 0.0;
+  /// Root seed for the per-daemon streams.
+  std::uint64_t seed = 42;
+
+  /// True when the daemon model runs.
+  bool enabled() const { return period > 0.0 && duration > 0.0 && daemons > 0; }
+  /// Any effect at all (daemons or coalescing) — gates the machine
+  /// signature so noise-free configs keep their historical hashes.
+  bool active() const { return enabled() || coalesce > 0.0; }
+};
+
+/// Validate a spec (throws ConfigError on out-of-range values).
+void validateNoiseSpec(const NoiseSpec& spec);
+
+/// Parse the CLI syntax
+/// `period_us=250,duration_us=20[,daemons=2][,jitter=0.5][,coalesce_us=4]
+/// [,seed=42]`. Unknown keys and out-of-range values throw ConfigError.
+NoiseSpec parseNoiseSpec(std::string_view text);
+
+/// Render a spec back to the CLI syntax (round-trips via parseNoiseSpec).
+std::string noiseSpecSummary(const NoiseSpec& spec);
+
+/// The evaluated daemon schedule for one CPU. Windows are derived lazily:
+/// daemon k's slot i is the interval [i*period, (i+1)*period) and holds at
+/// most one burst, fully contained in the slot, so point queries are O(1)
+/// per daemon.
+class NoiseModel {
+ public:
+  /// Disabled model: busyEnd(t) == t, nextStart(t) == +inf.
+  NoiseModel() = default;
+  /// `streamKey` decorrelates CPUs (derive it from the CPU name / node id);
+  /// the same (spec.seed, streamKey) always yields the same schedule.
+  NoiseModel(const NoiseSpec& spec, std::uint64_t streamKey);
+
+  bool enabled() const { return spec_.enabled(); }
+  Time coalesce() const { return spec_.coalesce; }
+  const NoiseSpec& spec() const { return spec_; }
+
+  /// End of the daemon busy period covering `t` across all daemons
+  /// (returns `t` itself when no daemon holds the CPU at `t`).
+  Time busyEnd(Time t) const;
+  /// Earliest window start strictly after `t` over all daemons
+  /// (infinity() when disabled).
+  Time nextStart(Time t) const;
+
+ private:
+  struct Window {
+    Time start = 0.0;
+    Time end = 0.0;
+  };
+  Window window(int daemon, std::uint64_t slot) const;
+
+  NoiseSpec spec_;
+  std::vector<std::uint64_t> daemonSeeds_;
+};
+
+/// Stable string hash for deriving per-CPU noise stream keys (FNV-1a,
+/// same construction the fault injector uses for per-link streams).
+constexpr std::uint64_t noiseStreamKey(std::string_view s) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+}  // namespace comb::host

@@ -21,6 +21,11 @@ metrics::Counter& mpiCounter(sim::Simulator& sim, Rank rank,
   return sim.metrics().counter(strFormat("mpi.n%d.%s", rank, call));
 }
 
+LatencyRecorder& mpiLatency(sim::Simulator& sim, Rank rank,
+                            const char* name) {
+  return sim.metrics().latency(strFormat("mpi.n%d.%s", rank, name));
+}
+
 }  // namespace
 
 Mpi::Mpi(sim::Simulator& sim, transport::Endpoint& ep, Rank worldRank,
@@ -31,6 +36,8 @@ Mpi::Mpi(sim::Simulator& sim, transport::Endpoint& ep, Rank worldRank,
                 mpiCounter(sim, worldRank, "test"),
                 mpiCounter(sim, worldRank, "wait"),
                 mpiCounter(sim, worldRank, "progress")},
+      latency_{mpiLatency(sim, worldRank, "send_latency"),
+               mpiLatency(sim, worldRank, "recv_latency")},
       world_(Comm(0, iota(worldSize), worldRank)) {
   COMB_REQUIRE(worldRank == ep.nodeId(),
                "world rank must equal the endpoint's node id");
@@ -45,6 +52,10 @@ void Mpi::onTxDone(std::uint64_t handle) {
   COMB_ASSERT(it != states_.end(), "tx completion for unknown request");
   COMB_ASSERT(it->second.kind == Kind::Send, "tx completion for a recv");
   it->second.done = true;
+  const auto ticks =
+      LatencyRecorder::toTicks(sim_.now() - it->second.postedAt);
+  latency_.send.recordTicks(ticks);
+  if (phaseSend_) phaseSend_->recordTicks(ticks);
 }
 
 void Mpi::onRxDone(std::uint64_t handle, const Status& st,
@@ -58,6 +69,23 @@ void Mpi::onRxDone(std::uint64_t handle, const Status& st,
   state.status = st;
   bytesReceived_ += st.bytes;
   transport::deliverData(data, state.userDst);
+  const auto ticks = LatencyRecorder::toTicks(sim_.now() - state.postedAt);
+  latency_.recv.recordTicks(ticks);
+  if (phaseRecv_) phaseRecv_->recordTicks(ticks);
+}
+
+void Mpi::beginPhase(std::string_view phase) {
+  phaseSend_ = &sim_.metrics().latency(
+      strFormat("mpi.n%d.send_latency.%.*s", rank(),
+                static_cast<int>(phase.size()), phase.data()));
+  phaseRecv_ = &sim_.metrics().latency(
+      strFormat("mpi.n%d.recv_latency.%.*s", rank(),
+                static_cast<int>(phase.size()), phase.data()));
+}
+
+void Mpi::endPhase() {
+  phaseSend_ = nullptr;
+  phaseRecv_ = nullptr;
 }
 
 Mpi::ReqState& Mpi::stateOf(Request req) {
@@ -84,7 +112,7 @@ sim::Task<Request> Mpi::isend(const Comm& comm, Rank dst, Tag tag,
   COMB_REQUIRE(data.empty() || data.size() == bytes,
                "payload span size must equal the message byte count");
   const Request req{nextReq_++};
-  states_[req.id] = ReqState{Kind::Send, false, Status{}, {}};
+  states_[req.id] = ReqState{Kind::Send, false, Status{}, {}, sim_.now()};
   ++sendsPosted_;
   bytesSent_ += bytes;
   counters_.isend.add();
@@ -109,7 +137,7 @@ sim::Task<Request> Mpi::irecv(const Comm& comm, Rank src, Tag tag,
   COMB_REQUIRE(dstBuf.empty() || dstBuf.size() >= maxBytes,
                "receive buffer smaller than maxBytes");
   const Request req{nextReq_++};
-  states_[req.id] = ReqState{Kind::Recv, false, Status{}, dstBuf};
+  states_[req.id] = ReqState{Kind::Recv, false, Status{}, dstBuf, sim_.now()};
   ++recvsPosted_;
   counters_.irecv.add();
   sim::TraceScope span(sim_, sim::TraceCategory::MpiCall, rank(), "irecv",

@@ -22,6 +22,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/latency_recorder.hpp"
 #include "common/units.hpp"
 #include "mpi/comm.hpp"
 #include "mpi/request.hpp"
@@ -126,6 +127,14 @@ class Mpi {
   Bytes bytesReceived() const { return bytesReceived_; }
   std::size_t pendingRequests() const { return states_.size(); }
 
+  // --- tail-latency observability -----------------------------------------
+  /// While a phase is active, per-message completion latencies are also
+  /// recorded into `mpi.n<rank>.{send,recv}_latency.<phase>` recorders
+  /// (find-or-create happens here, outside the steady state; recording
+  /// itself stays allocation-free). Driven by SimProc::phaseBegin/End.
+  void beginPhase(std::string_view phase);
+  void endPhase();
+
  private:
   enum class Kind { Send, Recv };
   struct ReqState {
@@ -133,6 +142,8 @@ class Mpi {
     bool done = false;
     Status status;
     std::span<std::byte> userDst;
+    /// Post time; completion latency = now - postedAt.
+    double postedAt = 0;
   };
 
   void onTxDone(std::uint64_t handle);
@@ -151,6 +162,15 @@ class Mpi {
     metrics::Counter& wait;
     metrics::Counter& progress;
   } counters_;
+  /// Per-message completion-latency distributions (post → completion),
+  /// cached at construction like the call counters.
+  struct LatencyRecorders {
+    LatencyRecorder& send;
+    LatencyRecorder& recv;
+  } latency_;
+  /// Extra per-phase recorders, active between beginPhase/endPhase.
+  LatencyRecorder* phaseSend_ = nullptr;
+  LatencyRecorder* phaseRecv_ = nullptr;
   Comm world_;
   std::unordered_map<std::uint64_t, ReqState> states_;
   std::uint64_t nextReq_ = 1;

@@ -29,7 +29,9 @@ GmNic::GmNic(sim::Simulator& sim, net::Fabric& fabric, net::NodeId node,
                 nicCounter(sim, node, "frags_tx"),
                 nicCounter(sim, node, "retransmits"),
                 nicCounter(sim, node, "timeout_wakeups"),
-                nicCounter(sim, node, "duplicates_filtered")} {}
+                nicCounter(sim, node, "duplicates_filtered")},
+      eventWaitLatency_(sim.metrics().latency(
+          strFormat("nic.gm.n%d.event_wait", node))) {}
 
 std::uint64_t GmNic::sendMessage(net::NodeId dst, WireKind kind,
                                  const mpi::Envelope& env, Bytes wireBytes,
@@ -306,10 +308,12 @@ std::optional<GmEvent> GmNic::pop() {
   if (events_.empty()) return std::nullopt;
   GmEvent ev = std::move(events_.front());
   events_.pop_front();
+  eventWaitLatency_.record(sim_.now() - ev.queuedAt);
   return ev;
 }
 
 void GmNic::pushEvent(GmEvent ev) {
+  ev.queuedAt = sim_.now();
   if (sim_.tracing()) {
     const char* label = wireKindName(ev.kind);
     if (ev.type == GmEvent::Type::SendDone) label = "send-done";

@@ -35,6 +35,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/latency_recorder.hpp"
 #include "common/units.hpp"
 #include "net/fabric.hpp"
 #include "sim/simulator.hpp"
@@ -62,6 +63,9 @@ struct GmEvent {
   std::uint64_t matchSeq = 0;
   transport::DataBuffer data;
   net::NodeId srcNode = -1;
+  /// When the event entered the user-level queue; pop() records the
+  /// queue dwell time (GM's poll lag — its defining tail behaviour).
+  double queuedAt = 0;
 };
 
 class GmNic {
@@ -179,6 +183,9 @@ class GmNic {
     metrics::Counter& timeouts;
     metrics::Counter& duplicates;
   } counters_;
+  /// "nic.gm.n<id>.event_wait": time each event sits in the user-level
+  /// queue before the library polls it.
+  LatencyRecorder& eventWaitLatency_;
   /// Fragment payloads recycle through this free list (zero steady-state
   /// allocation on the transmit path).
   transport::WirePayloadPool pool_;

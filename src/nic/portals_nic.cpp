@@ -29,6 +29,8 @@ PortalsNic::PortalsNic(sim::Simulator& sim, net::Fabric& fabric,
                 nicCounter(sim, node, "retransmits"),
                 nicCounter(sim, node, "timeout_wakeups"),
                 nicCounter(sim, node, "duplicates_filtered")},
+      txQueueWaitLatency_(sim.metrics().latency(
+          strFormat("nic.ptl.n%d.tx_queue_wait", node))),
       rel_(rel), reliable_(fabric.lossy()) {
   COMB_REQUIRE(cfg.kernelCopyRate > 0.0, "kernelCopyRate must be positive");
 }
@@ -70,8 +72,8 @@ std::uint64_t PortalsNic::sendMessage(net::NodeId dst, WireKind kind,
       u->frags.push_back(wp);
       u->fragBytes.push_back(fragBytes);
     }
-    txQueue_.push_back(
-        TxFrag{dst, fragBytes, std::move(wp), i + 1 == fragCount, msgId});
+    txQueue_.push_back(TxFrag{dst, fragBytes, std::move(wp),
+                              i + 1 == fragCount, msgId, sim_.now()});
   }
   COMB_ASSERT(remaining == 0, "fragmentation lost bytes");
   pumpTx();
@@ -84,6 +86,7 @@ void PortalsNic::pumpTx() {
   TxFrag frag = std::move(txQueue_.front());
   txQueue_.pop_front();
   counters_.fragsTx.add();
+  txQueueWaitLatency_.record(sim_.now() - frag.enqueuedAt);
   sim_.emitTrace(sim::TraceCategory::NicEvent, node_, "tx-frag",
                  static_cast<double>(frag.fragBytes));
   const Time service =

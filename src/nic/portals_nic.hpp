@@ -26,6 +26,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/latency_recorder.hpp"
 #include "common/units.hpp"
 #include "host/cpu.hpp"
 #include "net/fabric.hpp"
@@ -98,6 +99,9 @@ class PortalsNic {
     net::PayloadRef<transport::WirePayload> payload;
     bool lastOfMessage;
     std::uint64_t msgId;
+    /// When the fragment entered the kernel tx queue; the pump records
+    /// the dwell time (kernel queueing is Portals' tx tail signal).
+    Time enqueuedAt = 0;
   };
 
   /// Sender-side reliability record: fragments retained in NIC buffers
@@ -133,6 +137,8 @@ class PortalsNic {
     metrics::Counter& timeouts;
     metrics::Counter& duplicates;
   } counters_;
+  /// "nic.ptl.n<id>.tx_queue_wait": kernel tx-queue dwell per fragment.
+  LatencyRecorder& txQueueWaitLatency_;
   RxHandler rxHandler_;
   TxDoneHandler txDone_;
   /// Fragment payloads recycle through this free list (zero steady-state

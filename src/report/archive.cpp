@@ -38,6 +38,7 @@ void writeMetric(std::ostream& out, const ArchiveMetric& m,
                  const char* indent) {
   out << indent << "{\"name\": \"" << json::escape(m.name)
       << "\", \"better\": \"" << (m.higherIsBetter ? "higher" : "lower")
+      << "\", \"class\": \"" << json::escape(m.metricClass)
       << "\", \"samples\": [";
   for (std::size_t i = 0; i < m.samples.size(); ++i) {
     if (i) out << ", ";
@@ -58,6 +59,9 @@ ArchiveMetric parseMetric(const json::Value& v) {
     throw ConfigError("archive: metric 'better' must be higher|lower, got '" +
                       better + "'");
   }
+  // Archives written before metric classes existed carry only mean-style
+  // metrics, which is exactly the default.
+  if (const json::Value* cls = v.find("class")) m.metricClass = cls->str();
   for (const auto& s : v.at("samples").array())
     m.samples.push_back(s.number());
   COMB_REQUIRE(!m.samples.empty(),
@@ -81,7 +85,10 @@ void writeArchive(std::ostream& out, const Archive& archive) {
       << ", \"lookahead_source\": \""
       << json::escape(archive.provenance.lookaheadSource)
       << "\", \"sim_affinity\": \""
-      << json::escape(archive.provenance.simAffinity) << "\"},\n";
+      << json::escape(archive.provenance.simAffinity)
+      << "\", \"shard_imbalance\": " << num(archive.provenance.shardImbalance)
+      << ", \"tail_percentiles\": \""
+      << json::escape(archive.provenance.tailPercentiles) << "\"},\n";
   out << "  \"rep_policy\": {\"adaptive\": "
       << (archive.rep.adaptive ? "true" : "false")
       << ", \"reps\": " << archive.rep.reps
@@ -151,6 +158,10 @@ Archive parseArchive(const json::Value& root, const std::string& sourceName) {
       a.provenance.lookaheadSource = ls->str();
     if (const json::Value* sa = prov.find("sim_affinity"))
       a.provenance.simAffinity = sa->str();
+    if (const json::Value* si = prov.find("shard_imbalance"))
+      a.provenance.shardImbalance = si->number();
+    if (const json::Value* tp = prov.find("tail_percentiles"))
+      a.provenance.tailPercentiles = tp->str();
     const auto& rep = root.at("rep_policy");
     a.rep.adaptive = rep.at("adaptive").boolean();
     a.rep.reps = static_cast<int>(rep.at("reps").number());

@@ -29,6 +29,11 @@ inline constexpr int kArchiveVersion = 1;
 struct ArchiveMetric {
   std::string name;
   bool higherIsBetter = true;
+  /// Metric class for `comb compare --metric-class` filtering: "mean"
+  /// (central-tendency metrics — the default, and what archives written
+  /// before this field carry) or "tail" (latency-distribution percentile
+  /// metrics such as recv_p999_us).
+  std::string metricClass = "mean";
   std::vector<double> samples;
 };
 
@@ -74,7 +79,19 @@ struct ArchiveProvenance {
   /// results are identical across policies — but stamped so performance
   /// comparisons can flag cross-policy runs.
   std::string simAffinity = "none";
+  /// Largest executor shard imbalance observed across the archive's runs
+  /// (max per-shard events / mean per-shard events; 1.0 = serial core or
+  /// perfectly balanced shards). Deterministic — a pure function of the
+  /// program and partition — so it is part of the run's identity.
+  double shardImbalance = 1.0;
+  /// Percentile base of the archived tail-class metrics. Empty for
+  /// archives written before tail metrics existed; `comb compare` notes
+  /// when two non-empty bases differ.
+  std::string tailPercentiles;
 };
+
+/// The percentile base this build's tail metrics are computed on.
+inline constexpr const char* kTailPercentiles = "p50,p90,p99,p999";
 
 /// The build stamp of this binary.
 ArchiveProvenance buildProvenance();

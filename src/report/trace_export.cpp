@@ -163,6 +163,23 @@ void writeChromeTrace(std::ostream& out, const sim::TraceLog& log) {
     }
     out << "}";
   }
+
+  // Latency counter tracks: one Perfetto counter per (node, category)
+  // carrying each closed span's duration at its end time. The library and
+  // interrupt tracks are the tail-latency view — an OS-noise window or a
+  // slow MPI completion shows up as a spike, exactly where the latency
+  // recorders put it in the histogram.
+  using C = sim::TraceCategory;
+  for (const ClosedSpan& s : collectSpans(log)) {
+    if (s.cat != C::MpiCall && s.cat != C::Protocol && s.cat != C::Interrupt)
+      continue;
+    sep();
+    out << "{\"ph\": \"C\", \"pid\": " << s.node + 1
+        << ", \"tid\": " << traceLayer(s.cat) << ", \"ts\": "
+        << strFormat("%.3f", (s.start + s.dur) * 1e6) << ", \"name\": \""
+        << sim::traceCategoryName(s.cat) << "_latency\", \"args\": {\"us\": "
+        << strFormat("%.3f", s.dur * 1e6) << "}}";
+  }
   out << "\n]\n}\n";
 }
 

@@ -1,11 +1,13 @@
 #include "sim/executor.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <string>
 #include <utility>
 
 #include "common/error.hpp"
+#include "common/string_util.hpp"
 #include "common/thread_pool.hpp"
 
 #if defined(__linux__)
@@ -127,6 +129,22 @@ Executor::Executor(ExecutorOptions opts)
     s->shardBounds_ = bounds_.data();
   }
 
+  // Self-observability instruments, created once here so the window loop
+  // never does a registry lookup. Each lives in a registry its owning
+  // worker touches exclusively during a run, like every other per-shard
+  // metric.
+  windowEvents_.reserve(n);
+  for (int i = 0; i < opts_.shards; ++i)
+    windowEvents_.push_back(&shards_[static_cast<std::size_t>(i)]
+                                 ->metrics()
+                                 .histogram(strFormat("exec.shard%d.window_events", i),
+                                            0.0, 1024.0, 64));
+  barrierWait_.reserve(static_cast<std::size_t>(workers_));
+  for (int w = 0; w < workers_; ++w)
+    barrierWait_.push_back(&shards_[static_cast<std::size_t>(shardLo(w))]
+                                ->metrics()
+                                .latency(strFormat("exec.w%d.barrier_wait", w)));
+
   // Persistent team: workers_ - 1 spawned threads (the run() caller is
   // worker 0). They are created once, park on runGen_ between runs, and
   // live until the destructor — a window barrier never pays thread
@@ -164,6 +182,20 @@ std::uint64_t Executor::eventsExecuted() const {
   std::uint64_t n = 0;
   for (const auto& s : shards_) n += s->eventsExecuted();
   return n;
+}
+
+double Executor::shardImbalance() const {
+  if (!parallel()) return 1.0;
+  std::uint64_t total = 0;
+  std::uint64_t peak = 0;
+  for (const auto& s : shards_) {
+    const std::uint64_t e = s->eventsExecuted();
+    total += e;
+    peak = std::max(peak, e);
+  }
+  if (total == 0) return 1.0;
+  return static_cast<double>(peak) * static_cast<double>(shardCount()) /
+         static_cast<double>(total);
 }
 
 metrics::Snapshot Executor::metricsSnapshot() const {
@@ -300,8 +332,10 @@ void Executor::drainShard(int d) {
 }
 
 void Executor::driveShards(int w) {
+  using WallClock = std::chrono::steady_clock;
   const int lo = shardLo(w);
   const int hi = shardHi(w);
+  LatencyRecorder& barrierWait = *barrierWait_[static_cast<std::size_t>(w)];
   for (;;) {
     for (int d = lo; d < hi; ++d) {
       ShardContext& s = *shards_[static_cast<std::size_t>(d)];
@@ -314,15 +348,25 @@ void Executor::driveShards(int w) {
       }
       nextTimes_[static_cast<std::size_t>(d)] = s.nextPendingTime();
     }
+    const auto planArrive = WallClock::now();
     barrier_.arriveAndWait([this] { planWindow(); });
+    barrierWait.record(
+        std::chrono::duration<double>(WallClock::now() - planArrive).count());
     if (done_) return;
     for (int d = lo; d < hi; ++d) {
+      ShardContext& s = *shards_[static_cast<std::size_t>(d)];
+      const std::uint64_t before = s.eventsExecuted();
       if (nextTimes_[static_cast<std::size_t>(d)] <
           bounds_[static_cast<std::size_t>(d)])
-        shards_[static_cast<std::size_t>(d)]->runWindow(
-            bounds_[static_cast<std::size_t>(d)]);
+        s.runWindow(bounds_[static_cast<std::size_t>(d)]);
+      // Window occupancy, idle windows included — the imbalance signal.
+      windowEvents_[static_cast<std::size_t>(d)]->add(
+          static_cast<double>(s.eventsExecuted() - before));
     }
+    const auto syncArrive = WallClock::now();
     barrier_.arriveAndWait([] {});
+    barrierWait.record(
+        std::chrono::duration<double>(WallClock::now() - syncArrive).count());
   }
 }
 

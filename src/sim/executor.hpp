@@ -147,6 +147,12 @@ class Executor {
   /// single-shard fast path) — observability for tests and benches.
   std::uint64_t windowsExecuted() const { return windows_; }
 
+  /// Load imbalance across shards: max per-shard events / mean per-shard
+  /// events (1.0 = perfectly balanced; 1.0 for the serial core). A pure
+  /// function of the deterministic per-shard event counts, so archives
+  /// can stamp it into provenance. Meaningful after run().
+  double shardImbalance() const;
+
   /// Merged view of every shard's metrics registry (see
   /// metrics::mergeSnapshots). Single-shard: the plain snapshot.
   metrics::Snapshot metricsSnapshot() const;
@@ -196,6 +202,16 @@ class Executor {
   /// Per-shard fold-in scratch (gather + sort); capacity is retained, so
   /// the steady state allocates nothing.
   std::vector<std::vector<RemoteEvent>> scratch_;
+  // --- self-observability (multi-shard only) ------------------------------
+  /// "exec.shard<k>.window_events": events the shard ran per window
+  /// (deterministic — a pure function of the program and partition).
+  /// Lives in shard k's registry; recorded by the owning worker only.
+  std::vector<Histogram*> windowEvents_;
+  /// "exec.w<w>.barrier_wait": wall-clock seconds worker w spent inside
+  /// each barrier crossing (wall time only — excluded from determinism
+  /// claims). Lives in the registry of the worker's first shard.
+  std::vector<LatencyRecorder*> barrierWait_;
+
   Time cap_ = std::numeric_limits<Time>::infinity();
   bool done_ = false;
   /// Progress-failure (vanishing lookahead) raised by planWindow; rethrown

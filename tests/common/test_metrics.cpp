@@ -75,14 +75,38 @@ TEST(Metrics, SnapshotIsACopy) {
   EXPECT_EQ(reg.snapshot().counterValue("x"), 11u);
 }
 
+TEST(Metrics, MergeRebucketsMismatchedHistogramLayouts) {
+  Registry a, b;
+  a.histogram("h", 0.0, 100.0, 10).add(15.0);
+  Histogram& fine = b.histogram("h", 0.0, 50.0, 50);
+  fine.add(15.5);  // midpoint of its bin is 15.5 → coarse bin 1
+  fine.add(49.5);  // → coarse bin 4
+  fine.add(60.0);  // overflow in the fine layout, carried over
+  const Snapshot m = mergeSnapshots({a.snapshot(), b.snapshot()});
+  ASSERT_EQ(m.histograms.size(), 1u);
+  const HistogramSample& h = m.histograms[0];
+  // First-seen (coarse) layout wins.
+  EXPECT_DOUBLE_EQ(h.lo, 0.0);
+  EXPECT_DOUBLE_EQ(h.hi, 100.0);
+  ASSERT_EQ(h.counts.size(), 10u);
+  EXPECT_EQ(h.counts[1], 2u);
+  EXPECT_EQ(h.counts[4], 1u);
+  EXPECT_EQ(h.overflow, 1u);
+  EXPECT_EQ(h.total, 4u);
+}
+
 TEST(Metrics, WriteJsonFormat) {
   Registry reg;
   reg.counter("b.count").add(2);
   reg.counter("a.count").add(1);
   reg.histogram("h", 0.0, 4.0, 2).add(1.0);
+  reg.latency("lat").recordTicks(5);
   std::ostringstream os;
   writeJson(os, reg.snapshot());
   const std::string s = os.str();
+  EXPECT_NE(s.find("\"latencies\""), std::string::npos);
+  EXPECT_NE(s.find("\"buckets\": [[5, 1]]"), std::string::npos);
+  EXPECT_NE(s.find("\"p999_us\": 0.005000"), std::string::npos);
   EXPECT_NE(s.find("\"counters\""), std::string::npos);
   EXPECT_NE(s.find("\"a.count\": 1"), std::string::npos);
   EXPECT_NE(s.find("\"b.count\": 2"), std::string::npos);
@@ -106,6 +130,7 @@ TEST(Metrics, EmptyRegistryJson) {
   writeJson(os, reg.snapshot());
   EXPECT_NE(os.str().find("\"counters\": {}"), std::string::npos);
   EXPECT_NE(os.str().find("\"histograms\": {}"), std::string::npos);
+  EXPECT_NE(os.str().find("\"latencies\": {}"), std::string::npos);
 }
 
 }  // namespace

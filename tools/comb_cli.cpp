@@ -24,6 +24,8 @@
 #include "comb/polling.hpp"
 #include "comb/presets.hpp"
 #include "comb/runner.hpp"
+#include "comb/pww.hpp"
+#include "common/ascii_plot.hpp"
 #include "common/json.hpp"
 #include "common/cli.hpp"
 #include "common/error.hpp"
@@ -42,7 +44,7 @@ namespace {
 
 void usage() {
   std::puts(
-      "usage: comb <polling|pww|latency|assess|stats|trace|compare> "
+      "usage: comb <polling|pww|latency|assess|stats|trace|compare|hist> "
       "[options]\n"
       "  common options:\n"
       "    --machine gm|portals    machine model (default gm)\n"
@@ -59,6 +61,10 @@ void usage() {
       "    --fault SPEC            inject link faults, e.g.\n"
       "                            drop=0.01,burst=4,seed=7 (keys: drop,\n"
       "                            burst, corrupt, jitter_us, seed)\n"
+      "    --noise SPEC            inject OS noise on every host CPU,\n"
+      "                            e.g. period_us=250,duration_us=20\n"
+      "                            (keys: period_us, duration_us, jitter,\n"
+      "                            daemons, coalesce_us, seed)\n"
       "    --reps N                repetitions per point (default 1)\n"
       "    --reps-auto             adaptive reps: stop when the relative\n"
       "                            CI half-width reaches --ci-target\n"
@@ -76,9 +82,14 @@ void usage() {
       "           (--out FILE Chrome JSON, --summary, --top N,\n"
       "           --stats-json)\n"
       "  compare: comb compare BASELINE.json CANDIDATE.json\n"
-      "           [--tolerance F] [--alpha F] [--all]; exits 1 when the\n"
+      "           [--tolerance F] [--alpha F] [--all]\n"
+      "           [--metric-class all|mean|tail]; exits 1 when the\n"
       "           candidate regressed. With one file of the\n"
       "           BENCH_sim_core.json shape, gates current vs baseline.\n"
+      "  hist:    run one point (--method polling|pww) and render the\n"
+      "           per-message latency distributions as ASCII CDFs\n"
+      "           (--metric NAME for one instrument, --density for\n"
+      "           per-bucket counts instead of the CDF)\n"
       "  try `comb <method> --help` for details");
 }
 
@@ -113,6 +124,11 @@ ArgParser makeParser(const std::string& method) {
                  "inject link faults, e.g. drop=0.01,burst=4,seed=7 "
                  "(keys: drop, burst, corrupt, jitter_us, seed)",
                  "");
+  args.addOption("noise",
+                 "inject OS noise on every host CPU, e.g. "
+                 "period_us=250,duration_us=20 (keys: period_us, "
+                 "duration_us, jitter, daemons, coalesce_us, seed)",
+                 "");
   args.addOption("reps", "repetitions per measurement point", "1");
   args.addFlag("reps-auto",
                "adaptive reps: run until the relative CI half-width of the "
@@ -131,6 +147,15 @@ ArgParser makeParser(const std::string& method) {
   args.addOption("alpha", "compare: Mann-Whitney significance level",
                  "0.05");
   args.addFlag("all", "compare: print every compared row, not just flagged");
+  args.addOption("metric-class",
+                 "compare: gate only this metric class (all | mean | tail)",
+                 "all");
+  args.addOption("metric",
+                 "hist: exact latency-instrument name to plot (default: "
+                 "the merged mpi send/recv families)",
+                 "");
+  args.addFlag("density",
+               "hist: plot per-bucket sample counts instead of the CDF");
   args.addFlag("trace", "stats: also dump the substrate event trace");
   args.addOption("trace-rows", "stats: trace rows to print", "40");
   args.addOption("method", "trace: workload to trace (polling | pww)", "pww");
@@ -184,9 +209,12 @@ backend::MachineConfig machineFrom(const ArgParser& args) {
     m.cpusPerNode = static_cast<int>(args.integer("cpus"));
     m.nicCpu = static_cast<int>(args.integer("nic-cpu"));
   }
-  // --fault overrides whatever the machine (or machine file) specified.
+  // --fault / --noise override whatever the machine (or machine file)
+  // specified.
   if (const std::string spec = args.str("fault"); !spec.empty())
     m.fabric.link.fault = net::parseFaultSpec(spec);
+  if (const std::string spec = args.str("noise"); !spec.empty())
+    m.noise = host::parseNoiseSpec(spec);
   return m;
 }
 
@@ -229,7 +257,10 @@ void printPollingRow(TextTable& t, const bench::RepRun<bench::PollingPoint>& run
       strFormat("%llu", (unsigned long long)pt.pollInterval),
       strFormat("%.2f", toMBps(pt.bandwidthBps)),
       strFormat("%.3f", pt.availability),
-      strFormat("%llu", (unsigned long long)pt.messagesReceived)};
+      strFormat("%llu", (unsigned long long)pt.messagesReceived),
+      strFormat("%.1f", pt.recvTail.p50 * 1e6),
+      strFormat("%.1f", pt.recvTail.p99 * 1e6),
+      strFormat("%.1f", pt.recvTail.p999 * 1e6)};
   if (withReps) addRepFields(row, run);
   t.addRow(std::move(row));
 }
@@ -247,7 +278,9 @@ int runPolling(const ArgParser& args) {
   const bool withReps = opts.rep.adaptive || opts.rep.reps > 1;
 
   std::vector<std::string> header{"poll_interval", "bandwidth_MBps",
-                                  "availability", "messages"};
+                                  "availability", "messages",
+                                  "recv_p50_us", "recv_p99_us",
+                                  "recv_p999_us"};
   if (withReps) addRepColumns(header);
   TextTable t(std::move(header));
 
@@ -289,7 +322,9 @@ void printPwwRow(TextTable& t, const bench::RepRun<bench::PwwPoint>& run,
       strFormat("%.3f", pt.availability),
       strFormat("%.1f", pt.avgPostPerOp * 1e6),
       strFormat("%.1f", pt.avgWork * 1e6),
-      strFormat("%.1f", pt.avgWaitPerMsg * 1e6)};
+      strFormat("%.1f", pt.avgWaitPerMsg * 1e6),
+      strFormat("%.1f", pt.recvTail.p99 * 1e6),
+      strFormat("%.1f", pt.recvTail.p999 * 1e6)};
   if (withReps) addRepFields(row, run);
   t.addRow(std::move(row));
 }
@@ -309,7 +344,8 @@ int runPww(const ArgParser& args) {
 
   std::vector<std::string> header{"work_interval", "bandwidth_MBps",
                                   "availability", "post_us_per_op", "work_us",
-                                  "wait_us_per_msg"};
+                                  "wait_us_per_msg", "recv_p99_us",
+                                  "recv_p999_us"};
   if (withReps) addRepColumns(header);
   TextTable t(std::move(header));
 
@@ -357,6 +393,11 @@ int runLatency(const ArgParser& args) {
               fmtTime(pt.halfRoundTripAvg).c_str(),
               fmtTime(pt.halfRoundTripMin).c_str());
   std::printf("  bandwidth: %.2f MB/s\n", toMBps(pt.bandwidthBps));
+  std::printf("  send latency tails (us): p50 %.1f, p90 %.1f, p99 %.1f, "
+              "p999 %.1f over %llu msgs\n",
+              pt.sendTail.p50 * 1e6, pt.sendTail.p90 * 1e6,
+              pt.sendTail.p99 * 1e6, pt.sendTail.p999 * 1e6,
+              (unsigned long long)pt.sendTail.count);
   if (run.reps.size() > 1)
     std::printf("  reps: %zu, bandwidth CI95 [%.2f, %.2f] MB/s%s\n",
                 run.reps.size(), toMBps(run.bandwidthCi.lo),
@@ -381,6 +422,7 @@ int runCompare(const ArgParser& args) {
   opts.tolerance = args.real("tolerance");
   opts.alpha = args.real("alpha");
   opts.seed = static_cast<std::uint64_t>(args.integer("seed"));
+  opts.metricClass = bench::parseMetricClass(args.str("metric-class"));
   const auto& paths = args.positional();
 
   bench::CompareReport report;
@@ -388,10 +430,11 @@ int runCompare(const ArgParser& args) {
     const auto baseline = report::loadArchiveFile(paths[0]);
     const auto candidate = report::loadArchiveFile(paths[1]);
     std::printf("comparing archives: baseline %s (git %s) vs candidate %s "
-                "(git %s), tolerance %.1f%%\n",
+                "(git %s), tolerance %.1f%%, metric class %s\n",
                 paths[0].c_str(), baseline.provenance.gitSha.c_str(),
                 paths[1].c_str(), candidate.provenance.gitSha.c_str(),
-                100.0 * opts.tolerance);
+                100.0 * opts.tolerance,
+                bench::metricClassName(opts.metricClass));
     report = bench::compareArchives(baseline, candidate, opts);
   } else if (paths.size() == 1) {
     const auto doc = json::parseFile(paths[0]);
@@ -515,6 +558,113 @@ int runTrace(const ArgParser& args) {
   return 0;
 }
 
+sim::Task<void> histPwwDriver(backend::SimProc& env, bench::PwwParams p,
+                              bench::PwwPoint& out) {
+  out = co_await bench::pwwWorker(env, p);
+}
+
+/// One plot series per latency sample: the empirical CDF (default) or the
+/// per-bucket sample counts (--density), x in microseconds.
+PlotSeries latencySeries(const metrics::LatencySample& sample,
+                         std::string name, bool density) {
+  PlotSeries s;
+  s.name = std::move(name);
+  std::uint64_t cum = 0;
+  for (std::size_t b = 0; b < sample.buckets.size(); ++b) {
+    const std::uint64_t c = sample.buckets[b];
+    if (c == 0) continue;
+    cum += c;
+    const double midTicks =
+        0.5 * (static_cast<double>(LatencyRecorder::bucketLowTicks(b)) +
+               static_cast<double>(LatencyRecorder::bucketHighTicks(b)));
+    s.xs.push_back(midTicks * 1e-3);  // ticks are ns; plot in us
+    s.ys.push_back(density ? static_cast<double>(c)
+                           : static_cast<double>(cum) /
+                                 static_cast<double>(sample.count));
+  }
+  return s;
+}
+
+void printTailLine(const char* label, const TailSummary& t) {
+  std::printf("  %-28s n=%llu  mean %.1f  p50 %.1f  p90 %.1f  p99 %.1f  "
+              "p999 %.1f  max %.1f (us)\n",
+              label, (unsigned long long)t.count, t.mean * 1e6, t.p50 * 1e6,
+              t.p90 * 1e6, t.p99 * 1e6, t.p999 * 1e6, t.max * 1e6);
+}
+
+/// `comb hist`: run one point and render the per-message latency
+/// distributions as ASCII CDFs (or bucket densities).
+int runHist(const ArgParser& args) {
+  const auto machine = machineFrom(args);
+  const Bytes size = static_cast<Bytes>(args.integer("size-kb")) * 1024;
+  const std::string method = args.str("method");
+  backend::SimCluster cluster(machine, 2, simJobsFrom(args), /*workers=*/0,
+                              simAffinityFrom(args));
+  bench::PollingPoint pollPoint;
+  bench::PwwPoint pwwPoint;
+  if (method == "polling") {
+    auto params = bench::presets::pollingBase(size);
+    params.queueDepth = static_cast<int>(args.integer("queue"));
+    params.pollInterval = static_cast<std::uint64_t>(args.integer("interval"));
+    cluster.launch(0, statsWorkerDriver(cluster.proc(0), params, pollPoint));
+    cluster.launch(1, bench::pollingSupport(cluster.proc(1), params));
+  } else if (method == "pww") {
+    auto params = bench::presets::pwwBase(size);
+    params.batch = static_cast<int>(args.integer("batch"));
+    params.workInterval = static_cast<std::uint64_t>(args.integer("work"));
+    cluster.launch(0, histPwwDriver(cluster.proc(0), params, pwwPoint));
+    cluster.launch(1, bench::pwwSupport(cluster.proc(1), params));
+  } else {
+    throw ConfigError("--method must be polling or pww, got '" + method +
+                      "'");
+  }
+  cluster.run();
+  const auto snap = cluster.metricsSnapshot();
+  const bool density = args.flag("density");
+
+  std::vector<PlotSeries> series;
+  std::printf("%s point, machine=%s, size=%s\n", method.c_str(),
+              machine.name.c_str(), fmtBytes(size).c_str());
+  if (const std::string name = args.str("metric"); !name.empty()) {
+    const metrics::LatencySample* sample = snap.latency(name);
+    if (sample == nullptr || sample->count == 0) {
+      std::printf("no samples under latency instrument '%s'; available:\n",
+                  name.c_str());
+      for (const auto& l : snap.latencies)
+        if (l.count > 0)
+          std::printf("  %s (%llu samples)\n", l.name.c_str(),
+                      (unsigned long long)l.count);
+      return 2;
+    }
+    printTailLine(name.c_str(), sample->tail());
+    series.push_back(latencySeries(*sample, name, density));
+  } else {
+    const auto send =
+        metrics::mergeLatencyFamily(snap, "mpi.n", ".send_latency");
+    const auto recv =
+        metrics::mergeLatencyFamily(snap, "mpi.n", ".recv_latency");
+    printTailLine("send (all ranks)", send.tail());
+    printTailLine("recv (all ranks)", recv.tail());
+    if (send.count) series.push_back(latencySeries(send, "send", density));
+    if (recv.count) series.push_back(latencySeries(recv, "recv", density));
+  }
+  if (series.empty()) {
+    std::printf("no latency samples recorded\n");
+    return 2;
+  }
+  PlotOptions plot;
+  plot.logX = true;
+  plot.xlabel = "latency_us";
+  plot.ylabel = density ? "samples_per_bucket" : "cumulative_fraction";
+  plot.title = density ? "latency bucket density" : "latency CDF";
+  if (!density) {
+    plot.ymin = 0.0;
+    plot.ymax = 1.0;
+  }
+  renderPlot(std::cout, series, plot);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -537,6 +687,7 @@ int main(int argc, char** argv) {
     if (method == "stats") return runStats(args);
     if (method == "trace") return runTrace(args);
     if (method == "compare") return runCompare(args);
+    if (method == "hist") return runHist(args);
     std::fprintf(stderr, "comb: unknown method '%s'\n\n", method.c_str());
     usage();
     return 2;
