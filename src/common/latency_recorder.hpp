@@ -40,7 +40,8 @@ class LatencyRecorder {
   /// One tick = 1 ns. Values below one tick land in bucket 0; the top
   /// bucket absorbs everything past ~292 years.
   static constexpr std::uint64_t kTicksPerSecond = 1000000000ull;
-  /// 2^kSubBits sub-buckets per octave: ~1/32 relative bucket width.
+  /// Octaves above the linear region get kSub/2 = 32 sub-buckets each
+  /// (the leading bit is implicit): ~1/32 relative bucket width.
   static constexpr unsigned kSubBits = 6;
   static constexpr std::uint64_t kSub = 1ull << kSubBits;
 

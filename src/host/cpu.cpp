@@ -78,7 +78,15 @@ void Cpu::onNoisePreempt() {
   if (!userRunning_ || jobs_.empty()) return;  // stale (preempted meanwhile)
   const Time now = sim_.now();
   const Time busy = noise_.busyEnd(now);
-  COMB_ASSERT(busy > now, "noise preemption outside a daemon window");
+  if (busy <= now) {
+    // Floating-point slot boundaries can arm a preemption an instant
+    // before any window actually covers the clock; re-arm for the next
+    // window instead of preempting (the job keeps running meanwhile).
+    const Time next = noise_.nextStart(now);
+    if (next < userStartedAt_ + jobs_.front()->remaining)
+      noisePreempt_ = sim_.scheduleAt(next, [this] { onNoisePreempt(); });
+    return;
+  }
   preemptRunningJob();
   chargeNoise(now, busy);
   scheduleUserResume();

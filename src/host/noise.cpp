@@ -120,12 +120,19 @@ Time NoiseModel::busyEnd(Time t) const {
   bool advanced = true;
   while (advanced) {
     advanced = false;
+    // uint64(cur / period) truncates one slot off when `cur` sits exactly
+    // on a slot boundary (fl(k * period) / period < k for some k), which
+    // is the common case for jitter=0 windows; probe the neighbouring
+    // slots so a boundary-start window is never missed.
     const auto slot = static_cast<std::uint64_t>(cur / spec_.period);
+    const std::uint64_t first = slot == 0 ? 0 : slot - 1;
     for (int k = 0; k < spec_.daemons; ++k) {
-      const Window w = window(k, slot);
-      if (w.start <= cur && cur < w.end) {
-        cur = w.end;
-        advanced = true;
+      for (std::uint64_t s = first; s <= slot + 1; ++s) {
+        const Window w = window(k, s);
+        if (w.start <= cur && cur < w.end) {
+          cur = w.end;
+          advanced = true;
+        }
       }
     }
   }
@@ -137,10 +144,21 @@ Time NoiseModel::nextStart(Time t) const {
   Time best = std::numeric_limits<Time>::infinity();
   const Time from = std::max(t, 0.0);
   const auto slot = static_cast<std::uint64_t>(from / spec_.period);
+  const std::uint64_t first = slot == 0 ? 0 : slot - 1;
   for (int k = 0; k < spec_.daemons; ++k) {
-    Window w = window(k, slot);
-    if (w.start <= from) w = window(k, slot + 1);
-    best = std::min(best, w.start);
+    // Scan forward from the neighbouring slot (the slot division can
+    // truncate one off at boundaries, see busyEnd) to the first window
+    // strictly after `from`. Zero-length bursts (u1 == 0) preempt
+    // nothing and are skipped so an armed preemption always lands
+    // inside a real window; consecutive empty slots have probability
+    // ~2^-53 each, the scan bound is just a hard stop.
+    for (std::uint64_t s = first; s < first + 64; ++s) {
+      const Window w = window(k, s);
+      if (w.start > from && w.end > w.start) {
+        best = std::min(best, w.start);
+        break;
+      }
+    }
   }
   return best;
 }

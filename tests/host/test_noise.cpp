@@ -97,6 +97,25 @@ TEST(NoiseModel, WindowsAreWellFormed) {
   }
 }
 
+TEST(NoiseModel, StrictlyPeriodicBoundariesAreRobust) {
+  // jitter=0 puts every window start exactly at fl(k * period), where
+  // uint64(start / period) truncates to k-1 for a fraction of k; the
+  // busy lookup must still find the covering window (this used to trip
+  // the 'noise preemption outside a daemon window' assert).
+  NoiseSpec spec = demoSpec();
+  spec.jitter = 0.0;
+  const NoiseModel m(spec, noiseStreamKey("cpu0.0"));
+  for (std::uint64_t k = 1; k <= 4000; ++k) {
+    const Time start = static_cast<Time>(k) * spec.period;
+    EXPECT_GT(m.busyEnd(start), start) << "slot " << k;
+    // nextStart from just inside the window lands on the next slot's
+    // start, which must itself be covered.
+    const Time next = m.nextStart(start);
+    EXPECT_GT(next, start);
+    EXPECT_GT(m.busyEnd(next), next) << "slot " << k;
+  }
+}
+
 TEST(NoiseModel, DisabledModelIsTransparent) {
   const NoiseModel m;
   EXPECT_FALSE(m.enabled());
@@ -130,6 +149,16 @@ TEST(CpuNoise, DaemonsStretchComputeDeterministically) {
   NoiseSpec reseeded = spec;
   reseeded.seed = 43;
   EXPECT_NE(noisy, noisyComputeCompletion(reseeded, "cpu0.0"));
+}
+
+TEST(CpuNoise, StrictlyPeriodicNoiseRunsToCompletion) {
+  // The documented jitter=0 mode: preemptions arm exactly on slot
+  // boundaries. This aborted before the boundary-robust slot lookup.
+  NoiseSpec spec = demoSpec();
+  spec.jitter = 0.0;
+  const Time noisy = noisyComputeCompletion(spec, "cpu0.0");
+  EXPECT_GT(noisy, 20 * 100e-6) << "daemon windows must steal time";
+  EXPECT_DOUBLE_EQ(noisy, noisyComputeCompletion(spec, "cpu0.0"));
 }
 
 TEST(CpuNoise, AccountingSplitsUserAndNoise) {
