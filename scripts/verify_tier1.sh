@@ -83,13 +83,14 @@ build_tsan() {
     cmake --build build-tsan -j --target test_thread_pool test_runner \
       test_log test_thread_comb test_fault test_fault_injection \
       test_tracelog test_trace_export test_audit test_executor test_pdes \
-      test_window_barrier test_executor_alloc test_tail_observability
+      test_window_barrier test_executor_alloc test_tail_observability \
+      test_progress_thread test_rdma
 }
 build_asan() {
   cmake -B build-asan -S . -DCOMB_SANITIZE=address \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo &&
     cmake --build build-asan -j --target test_tracelog test_trace_export \
-      test_audit
+      test_audit test_progress_thread test_rdma
 }
 build_ubsan() {
   cmake -B build-ubsan -S . -DCOMB_SANITIZE=undefined \

@@ -12,6 +12,8 @@ const char* transportKindName(TransportKind k) {
   switch (k) {
     case TransportKind::Gm: return "gm";
     case TransportKind::Portals: return "portals";
+    case TransportKind::ProgressThread: return "progress_thread";
+    case TransportKind::Rdma: return "rdma";
   }
   return "?";
 }
@@ -93,24 +95,51 @@ std::string machineSignature(const MachineConfig& m) {
     field((std::string(prefix) + ".ack_timeout").c_str(), rel.ackTimeout);
     field((std::string(prefix) + ".backoff").c_str(), rel.backoff);
   };
-  if (m.kind == TransportKind::Gm) {
-    os << "gm.eager_threshold=" << m.gm.eagerThreshold << '\n';
-    field("gm.post_overhead", m.gm.postOverhead);
-    field("gm.eager_tx_copy_rate", m.gm.eagerTxCopyRate);
-    field("gm.eager_rx_copy_rate", m.gm.eagerRxCopyRate);
-    field("gm.lib_call_cost", m.gm.libCallCost);
-    field("gm.ctrl_handle_cost", m.gm.ctrlHandleCost);
-    os << "gm.ctrl_bytes=" << m.gm.ctrlBytes << '\n';
-    relFields("gm.rel", m.gm.rel);
-  } else {
-    field("portals.post_syscall", m.portals.postSyscall);
-    field("portals.post_kernel", m.portals.postKernel);
-    field("portals.lib_call_cost", m.portals.libCallCost);
-    field("portals.unexpected_copy_rate", m.portals.unexpectedCopyRate);
-    field("portals.per_frag_tx", m.portals.nic.perFragTx);
-    field("portals.per_frag_rx", m.portals.nic.perFragRx);
-    field("portals.kernel_copy_rate", m.portals.nic.kernelCopyRate);
-    relFields("portals.rel", m.portals.rel);
+  const auto gmFields = [&](const std::string& p,
+                            const transport::GmConfig& g) {
+    os << p << ".eager_threshold=" << g.eagerThreshold << '\n';
+    field((p + ".post_overhead").c_str(), g.postOverhead);
+    field((p + ".eager_tx_copy_rate").c_str(), g.eagerTxCopyRate);
+    field((p + ".eager_rx_copy_rate").c_str(), g.eagerRxCopyRate);
+    field((p + ".lib_call_cost").c_str(), g.libCallCost);
+    field((p + ".ctrl_handle_cost").c_str(), g.ctrlHandleCost);
+    os << p << ".ctrl_bytes=" << g.ctrlBytes << '\n';
+    relFields((p + ".rel").c_str(), g.rel);
+  };
+  switch (m.kind) {
+    case TransportKind::Gm:
+      gmFields("gm", m.gm);
+      break;
+    case TransportKind::Portals:
+      field("portals.post_syscall", m.portals.postSyscall);
+      field("portals.post_kernel", m.portals.postKernel);
+      field("portals.lib_call_cost", m.portals.libCallCost);
+      field("portals.unexpected_copy_rate", m.portals.unexpectedCopyRate);
+      field("portals.per_frag_tx", m.portals.nic.perFragTx);
+      field("portals.per_frag_rx", m.portals.nic.perFragRx);
+      field("portals.kernel_copy_rate", m.portals.nic.kernelCopyRate);
+      relFields("portals.rel", m.portals.rel);
+      break;
+    case TransportKind::ProgressThread:
+      gmFields("progress", m.progress.proto);
+      os << "progress.placement="
+         << (m.progress.dedicatedCore ? "dedicated" : "oversubscribed")
+         << '\n';
+      field("progress.poll_period", m.progress.pollPeriod);
+      field("progress.wakeup_latency", m.progress.wakeupLatency);
+      field("progress.poll_cost", m.progress.pollCost);
+      field("progress.handoff_penalty", m.progress.handoffPenalty);
+      break;
+    case TransportKind::Rdma:
+      os << "rdma.eager_threshold=" << m.rdma.eagerThreshold << '\n';
+      field("rdma.post_overhead", m.rdma.postOverhead);
+      field("rdma.lib_call_cost", m.rdma.libCallCost);
+      field("rdma.match_delay", m.rdma.matchDelay);
+      field("rdma.unexpected_copy_rate", m.rdma.unexpectedCopyRate);
+      os << "rdma.ctrl_bytes=" << m.rdma.ctrlBytes << '\n';
+      field("rdma.per_frag_tx", m.rdma.nic.perFragTx);
+      relFields("rdma.rel", m.rdma.rel);
+      break;
   }
   return os.str();
 }
@@ -141,6 +170,41 @@ MachineConfig portalsMachine() {
   m.kind = TransportKind::Portals;
   m.fabric = paperFabric();
   m.portals = transport::PortalsConfig{};  // defaults in portals.hpp
+  m.secondsPerWorkIter = 4e-9;
+  return m;
+}
+
+MachineConfig progressThreadMachine() {
+  MachineConfig m;
+  m.name = "progress_thread";
+  m.kind = TransportKind::ProgressThread;
+  m.fabric = paperFabric();
+  m.progress = transport::ProgressThreadConfig{};  // defaults in header
+  // The engine needs a core of its own: a second CPU per node, with the
+  // NIC-servicing slot (here, the engine) on CPU 1.
+  m.cpusPerNode = 2;
+  m.nicCpu = 1;
+  m.secondsPerWorkIter = 4e-9;
+  return m;
+}
+
+MachineConfig progressOversubMachine() {
+  MachineConfig m;
+  m.name = "progress_oversub";
+  m.kind = TransportKind::ProgressThread;
+  m.fabric = paperFabric();
+  m.progress = transport::ProgressThreadConfig{};
+  m.progress.dedicatedCore = false;  // engine steals cycles from CPU 0
+  m.secondsPerWorkIter = 4e-9;
+  return m;
+}
+
+MachineConfig rdmaMachine() {
+  MachineConfig m;
+  m.name = "rdma";
+  m.kind = TransportKind::Rdma;
+  m.fabric = paperFabric();
+  m.rdma = transport::RdmaConfig{};  // defaults in rdma.hpp
   m.secondsPerWorkIter = 4e-9;
   return m;
 }

@@ -14,10 +14,15 @@
 #include "net/fabric.hpp"
 #include "transport/gm.hpp"
 #include "transport/portals.hpp"
+#include "transport/progress_thread.hpp"
+#include "transport/rdma.hpp"
 
 namespace comb::backend {
 
-enum class TransportKind { Gm, Portals };
+/// The 4-way progress-model taxonomy: library-driven (Gm),
+/// kernel/interrupt-driven (Portals), software progress engine
+/// (ProgressThread), and NIC-hardware offload (Rdma).
+enum class TransportKind { Gm, Portals, ProgressThread, Rdma };
 
 const char* transportKindName(TransportKind k);
 
@@ -27,14 +32,18 @@ struct MachineConfig {
   net::FabricConfig fabric;
   transport::GmConfig gm;
   transport::PortalsConfig portals;
+  transport::ProgressThreadConfig progress;
+  transport::RdmaConfig rdma;
   /// Wall-clock seconds per iteration of the benchmark's calibrated work
   /// loop (~2 cycles/iteration on the 500 MHz P3).
   double secondsPerWorkIter = 4e-9;
 
   /// SMP extension (the paper's §7 future work). The paper's nodes are
   /// uniprocessors; setting cpusPerNode > 1 adds idle CPUs, and nicCpu
-  /// selects which one services kernel/NIC interrupt work (Portals only —
-  /// GM raises no interrupts). The application always runs on CPU 0.
+  /// selects which one services kernel/NIC interrupt work (Portals) or
+  /// hosts the dedicated progress engine (ProgressThread with
+  /// dedicatedCore) — GM and Rdma raise no interrupts and run no engine.
+  /// The application always runs on CPU 0.
   int cpusPerNode = 1;
   int nicCpu = 0;
 
@@ -59,5 +68,18 @@ MachineConfig gmMachine();
 /// Portals 3.0 kernel-module implementation + MPICH/Portals: interrupt-
 /// driven with kernel-buffer copies, full application offload.
 MachineConfig portalsMachine();
+
+/// GM-like library stack + a software progress engine on its own core
+/// (cpusPerNode = 2, engine on CPU 1): application offload without
+/// interrupts, at the price of a core.
+MachineConfig progressThreadMachine();
+
+/// The same stack with the engine oversubscribed onto the application
+/// core: engine cycles preempt user compute.
+MachineConfig progressOversubMachine();
+
+/// RDMA-style NIC offload: hardware matching, autonomous rendezvous, no
+/// interrupts, host fallback only on unexpected messages.
+MachineConfig rdmaMachine();
 
 }  // namespace comb::backend

@@ -121,13 +121,22 @@ MachineConfig parseMachineFile(std::istream& in, const std::string& source) {
 
   std::string transport = "gm";
   bind.str("", "transport", transport);
+  // `stack` is an alias for `transport` (the docs talk about software
+  // stacks); when both appear, `stack` wins.
+  bind.str("", "stack", transport);
   MachineConfig m;
   if (transport == "gm") {
     m = gmMachine();
   } else if (transport == "portals") {
     m = portalsMachine();
+  } else if (transport == "progress_thread") {
+    m = progressThreadMachine();
+  } else if (transport == "rdma") {
+    m = rdmaMachine();
   } else {
-    throw ConfigError(source + ": transport must be 'gm' or 'portals', got '" +
+    throw ConfigError(source +
+                      ": transport must be 'gm', 'portals', "
+                      "'progress_thread' or 'rdma', got '" +
                       transport + "'");
   }
   bind.str("", "name", m.name);
@@ -211,24 +220,37 @@ MachineConfig parseMachineFile(std::istream& in, const std::string& source) {
   bind.integer("noise", "seed", m.noise.seed);
 
   // Retransmission protocol knobs land on whichever stack is active.
-  auto& rel = m.kind == TransportKind::Gm ? m.gm.rel : m.portals.rel;
+  auto& rel = m.kind == TransportKind::Gm             ? m.gm.rel
+              : m.kind == TransportKind::Portals      ? m.portals.rel
+              : m.kind == TransportKind::ProgressThread
+                  ? m.progress.proto.rel
+                  : m.rdma.rel;
   const std::string relSection =
-      m.kind == TransportKind::Gm ? "gm" : "portals";
+      m.kind == TransportKind::Gm             ? "gm"
+      : m.kind == TransportKind::Portals      ? "portals"
+      : m.kind == TransportKind::ProgressThread ? "progress"
+                                                : "rdma";
   bind.number(relSection, "ack_timeout_us", rel.ackTimeout, kUs);
   bind.integer(relSection, "ack_bytes", rel.ackBytes);
   bind.integer(relSection, "max_retries", rel.maxRetries);
   bind.number(relSection, "backoff", rel.backoff);
 
+  // GM-protocol knobs apply both to the plain GM stack ([gm]) and to the
+  // library core underneath the progress engine ([progress]).
+  const auto gmProtoKeys = [&](const std::string& sec,
+                               transport::GmConfig& g) {
+    double thr = static_cast<double>(g.eagerThreshold);
+    bind.number(sec, "eager_threshold_kb", thr, kKB);
+    g.eagerThreshold = static_cast<Bytes>(thr);
+    bind.number(sec, "post_overhead_us", g.postOverhead, kUs);
+    bind.number(sec, "eager_tx_copy_MBps", g.eagerTxCopyRate, kMBps);
+    bind.number(sec, "eager_rx_copy_MBps", g.eagerRxCopyRate, kMBps);
+    bind.number(sec, "lib_call_cost_us", g.libCallCost, kUs);
+    bind.number(sec, "ctrl_handle_cost_us", g.ctrlHandleCost, kUs);
+  };
   if (m.kind == TransportKind::Gm) {
-    double thr = static_cast<double>(m.gm.eagerThreshold);
-    bind.number("gm", "eager_threshold_kb", thr, kKB);
-    m.gm.eagerThreshold = static_cast<Bytes>(thr);
-    bind.number("gm", "post_overhead_us", m.gm.postOverhead, kUs);
-    bind.number("gm", "eager_tx_copy_MBps", m.gm.eagerTxCopyRate, kMBps);
-    bind.number("gm", "eager_rx_copy_MBps", m.gm.eagerRxCopyRate, kMBps);
-    bind.number("gm", "lib_call_cost_us", m.gm.libCallCost, kUs);
-    bind.number("gm", "ctrl_handle_cost_us", m.gm.ctrlHandleCost, kUs);
-  } else {
+    gmProtoKeys("gm", m.gm);
+  } else if (m.kind == TransportKind::Portals) {
     bind.number("portals", "post_syscall_us", m.portals.postSyscall, kUs);
     bind.number("portals", "post_kernel_us", m.portals.postKernel, kUs);
     bind.number("portals", "lib_call_cost_us", m.portals.libCallCost, kUs);
@@ -238,6 +260,48 @@ MachineConfig parseMachineFile(std::istream& in, const std::string& source) {
                 kMBps);
     bind.number("portals", "unexpected_copy_MBps",
                 m.portals.unexpectedCopyRate, kMBps);
+  } else if (m.kind == TransportKind::ProgressThread) {
+    gmProtoKeys("progress", m.progress.proto);
+    std::string placement =
+        m.progress.dedicatedCore ? "dedicated" : "oversubscribed";
+    bind.str("progress", "placement", placement);
+    if (placement == "dedicated") {
+      m.progress.dedicatedCore = true;
+    } else if (placement == "oversubscribed") {
+      m.progress.dedicatedCore = false;
+    } else {
+      throw ConfigError(source +
+                        ": placement must be 'dedicated' or "
+                        "'oversubscribed', got '" +
+                        placement + "'");
+    }
+    // Switching a dedicated preset to oversubscribed (or vice versa)
+    // from a machine file must also re-home the engine CPU. Re-binding
+    // the [host] keys afterwards lets an explicit cpus_per_node /
+    // nic_cpu still win (Binder reads are idempotent).
+    if (m.progress.dedicatedCore) {
+      if (m.cpusPerNode < 2) m.cpusPerNode = 2;
+      if (m.nicCpu == 0) m.nicCpu = 1;
+    } else {
+      m.cpusPerNode = 1;
+      m.nicCpu = 0;
+    }
+    bind.integer("host", "cpus_per_node", m.cpusPerNode);
+    bind.integer("host", "nic_cpu", m.nicCpu);
+    bind.number("progress", "poll_period_us", m.progress.pollPeriod, kUs);
+    bind.number("progress", "wakeup_us", m.progress.wakeupLatency, kUs);
+    bind.number("progress", "poll_cost_us", m.progress.pollCost, kUs);
+    bind.number("progress", "handoff_us", m.progress.handoffPenalty, kUs);
+  } else {
+    double thr = static_cast<double>(m.rdma.eagerThreshold);
+    bind.number("rdma", "eager_threshold_kb", thr, kKB);
+    m.rdma.eagerThreshold = static_cast<Bytes>(thr);
+    bind.number("rdma", "post_overhead_us", m.rdma.postOverhead, kUs);
+    bind.number("rdma", "lib_call_cost_us", m.rdma.libCallCost, kUs);
+    bind.number("rdma", "match_delay_us", m.rdma.matchDelay, kUs);
+    bind.number("rdma", "per_frag_tx_us", m.rdma.nic.perFragTx, kUs);
+    bind.number("rdma", "unexpected_copy_MBps", m.rdma.unexpectedCopyRate,
+                kMBps);
   }
   bind.finish();
 
@@ -253,6 +317,12 @@ MachineConfig parseMachineFile(std::istream& in, const std::string& source) {
   COMB_REQUIRE(m.cpusPerNode >= 1 && m.nicCpu >= 0 &&
                    m.nicCpu < m.cpusPerNode,
                source + ": bad cpus_per_node / nic_cpu combination");
+  if (m.kind == TransportKind::ProgressThread && m.progress.dedicatedCore) {
+    COMB_REQUIRE(m.cpusPerNode >= 2 && m.nicCpu != 0,
+                 source + ": dedicated progress placement needs "
+                          "cpus_per_node >= 2 with nic_cpu != 0 (the "
+                          "application owns CPU 0)");
+  }
   return m;
 }
 

@@ -6,8 +6,11 @@
 #include "common/string_util.hpp"
 #include "nic/gm_nic.hpp"
 #include "nic/portals_nic.hpp"
+#include "nic/rdma_nic.hpp"
 #include "transport/gm.hpp"
 #include "transport/portals.hpp"
+#include "transport/progress_thread.hpp"
+#include "transport/rdma.hpp"
 
 namespace comb::backend {
 
@@ -84,11 +87,22 @@ SimCluster::SimCluster(MachineConfig cfg, int nodeCount, int simJobs,
     nodes_.emplace_back();
     const net::NodeId id = fabric_->addNode([this, i](net::Packet p) {
       auto& ep = *nodes_[static_cast<std::size_t>(i)].endpoint;
-      if (cfg_.kind == TransportKind::Gm) {
-        static_cast<transport::GmEndpoint&>(ep).nic().deliver(std::move(p));
-      } else {
-        static_cast<transport::PortalsEndpoint&>(ep).nic().deliver(
-            std::move(p));
+      switch (cfg_.kind) {
+        case TransportKind::Gm:
+        case TransportKind::ProgressThread:
+          // ProgressThreadEndpoint derives from GmEndpoint and shares
+          // its NIC model; delivery is identical.
+          static_cast<transport::GmEndpoint&>(ep).nic().deliver(
+              std::move(p));
+          break;
+        case TransportKind::Portals:
+          static_cast<transport::PortalsEndpoint&>(ep).nic().deliver(
+              std::move(p));
+          break;
+        case TransportKind::Rdma:
+          static_cast<transport::RdmaEndpoint&>(ep).nic().deliver(
+              std::move(p));
+          break;
       }
     });
     COMB_ASSERT(id == i, "fabric node ids must be dense");
@@ -125,13 +139,34 @@ SimCluster::SimCluster(MachineConfig cfg, int nodeCount, int simJobs,
           ctx, strFormat("cpu%d.%d", i, c), i, cfg_.noise));
     host::Cpu& appCpu = *node.cpus[0];
     host::Cpu& nicCpu = *node.cpus[static_cast<std::size_t>(cfg_.nicCpu)];
-    if (cfg_.kind == TransportKind::Gm) {
-      node.endpoint = std::make_unique<transport::GmEndpoint>(
-          ctx, appCpu, *fabric_, ids[static_cast<std::size_t>(i)], cfg_.gm);
-    } else {
-      node.endpoint = std::make_unique<transport::PortalsEndpoint>(
-          ctx, appCpu, nicCpu, *fabric_, ids[static_cast<std::size_t>(i)],
-          cfg_.portals);
+    switch (cfg_.kind) {
+      case TransportKind::Gm:
+        node.endpoint = std::make_unique<transport::GmEndpoint>(
+            ctx, appCpu, *fabric_, ids[static_cast<std::size_t>(i)],
+            cfg_.gm);
+        break;
+      case TransportKind::Portals:
+        node.endpoint = std::make_unique<transport::PortalsEndpoint>(
+            ctx, appCpu, nicCpu, *fabric_, ids[static_cast<std::size_t>(i)],
+            cfg_.portals);
+        break;
+      case TransportKind::ProgressThread: {
+        if (cfg_.progress.dedicatedCore) {
+          COMB_REQUIRE(cfg_.cpusPerNode >= 2 && cfg_.nicCpu != 0,
+                       "dedicated progress engine needs cpusPerNode >= 2 "
+                       "with nicCpu != 0");
+        }
+        host::Cpu& engineCpu = cfg_.progress.dedicatedCore ? nicCpu : appCpu;
+        node.endpoint = std::make_unique<transport::ProgressThreadEndpoint>(
+            ctx, appCpu, engineCpu, *fabric_,
+            ids[static_cast<std::size_t>(i)], cfg_.progress);
+        break;
+      }
+      case TransportKind::Rdma:
+        node.endpoint = std::make_unique<transport::RdmaEndpoint>(
+            ctx, appCpu, *fabric_, ids[static_cast<std::size_t>(i)],
+            cfg_.rdma);
+        break;
     }
     node.mpi = std::make_unique<mpi::Mpi>(ctx, *node.endpoint, i, nodeCount);
     node.proc = std::make_unique<SimProc>(ctx, appCpu, *node.mpi,
@@ -197,19 +232,26 @@ std::unique_ptr<sim::TraceLog> SimCluster::releaseTraceLog() {
 
 net::FaultCounters SimCluster::faultCounters() const {
   net::FaultCounters c = fabric_->linkFaultCounters();
+  const auto tally = [&c](const auto& nic) {
+    c.retransmits += nic.retransmits();
+    c.timeoutWakeups += nic.timeoutWakeups();
+    c.duplicatesFiltered += nic.duplicatesFiltered();
+  };
   for (const auto& node : nodes_) {
-    if (cfg_.kind == TransportKind::Gm) {
-      const auto& nic =
-          static_cast<const transport::GmEndpoint&>(*node.endpoint).nic();
-      c.retransmits += nic.retransmits();
-      c.timeoutWakeups += nic.timeoutWakeups();
-      c.duplicatesFiltered += nic.duplicatesFiltered();
-    } else {
-      const auto& nic =
-          static_cast<const transport::PortalsEndpoint&>(*node.endpoint).nic();
-      c.retransmits += nic.retransmits();
-      c.timeoutWakeups += nic.timeoutWakeups();
-      c.duplicatesFiltered += nic.duplicatesFiltered();
+    switch (cfg_.kind) {
+      case TransportKind::Gm:
+      case TransportKind::ProgressThread:
+        tally(static_cast<const transport::GmEndpoint&>(*node.endpoint)
+                  .nic());
+        break;
+      case TransportKind::Portals:
+        tally(static_cast<const transport::PortalsEndpoint&>(*node.endpoint)
+                  .nic());
+        break;
+      case TransportKind::Rdma:
+        tally(static_cast<const transport::RdmaEndpoint&>(*node.endpoint)
+                  .nic());
+        break;
     }
   }
   return c;

@@ -66,6 +66,15 @@ void appendSweep(report::Archive& archive, const std::string& id,
   COMB_REQUIRE(xs.size() == runs.size(),
                "archive sweep: axis/result size mismatch");
   archive.provenance.tailPercentiles = report::kTailPercentiles;
+  // Stamp the transport stack so `comb compare` can warn about
+  // cross-configuration comparisons; archives mixing stacks (the
+  // taxonomy sweeps) become "mixed".
+  const std::string stack = backend::transportKindName(machine.kind);
+  if (archive.provenance.stack.empty()) {
+    archive.provenance.stack = stack;
+  } else if (archive.provenance.stack != stack) {
+    archive.provenance.stack = "mixed";
+  }
   for (const auto& run : runs)
     for (const auto& rep : run.reps)
       archive.provenance.shardImbalance =

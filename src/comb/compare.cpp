@@ -186,6 +186,14 @@ CompareReport compareArchives(const report::Archive& baseline,
         baseline.provenance.tailPercentiles + "}, candidate {" +
         candidate.provenance.tailPercentiles +
         "} — same-named tail metrics may summarize different quantiles");
+  if (!baseline.provenance.stack.empty() &&
+      !candidate.provenance.stack.empty() &&
+      baseline.provenance.stack != candidate.provenance.stack)
+    report.notes.push_back(
+        "transport stacks differ: baseline '" + baseline.provenance.stack +
+        "', candidate '" + candidate.provenance.stack +
+        "' — this is a cross-configuration comparison; deltas reflect the "
+        "stack, not a code regression");
 
   std::map<std::string, const report::ArchiveSweep*> bSweeps;
   for (const auto& s : candidate.sweeps) bSweeps.emplace(s.id, &s);

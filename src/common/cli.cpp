@@ -70,6 +70,11 @@ bool ArgParser::flag(const std::string& name) const {
   return it != flags_.end() && it->second;
 }
 
+bool ArgParser::given(const std::string& name) const {
+  specFor(name);  // keep typo'd queries loud
+  return values_.count(name) > 0 || flags_.count(name) > 0;
+}
+
 std::string ArgParser::str(const std::string& name) const {
   const Spec& spec = specFor(name);
   COMB_ASSERT(!spec.isFlag, "str() on flag: " + name);

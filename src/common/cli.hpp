@@ -27,6 +27,8 @@ class ArgParser {
   bool parse(int argc, const char* const* argv);
 
   bool flag(const std::string& name) const;
+  /// True when the user passed the option/flag explicitly (vs default).
+  bool given(const std::string& name) const;
   std::string str(const std::string& name) const;
   std::int64_t integer(const std::string& name) const;
   double real(const std::string& name) const;

@@ -88,7 +88,9 @@ void writeArchive(std::ostream& out, const Archive& archive) {
       << json::escape(archive.provenance.simAffinity)
       << "\", \"shard_imbalance\": " << num(archive.provenance.shardImbalance)
       << ", \"tail_percentiles\": \""
-      << json::escape(archive.provenance.tailPercentiles) << "\"},\n";
+      << json::escape(archive.provenance.tailPercentiles)
+      << "\", \"stack\": \"" << json::escape(archive.provenance.stack)
+      << "\"},\n";
   out << "  \"rep_policy\": {\"adaptive\": "
       << (archive.rep.adaptive ? "true" : "false")
       << ", \"reps\": " << archive.rep.reps
@@ -162,6 +164,8 @@ Archive parseArchive(const json::Value& root, const std::string& sourceName) {
       a.provenance.shardImbalance = si->number();
     if (const json::Value* tp = prov.find("tail_percentiles"))
       a.provenance.tailPercentiles = tp->str();
+    if (const json::Value* st = prov.find("stack"))
+      a.provenance.stack = st->str();
     const auto& rep = root.at("rep_policy");
     a.rep.adaptive = rep.at("adaptive").boolean();
     a.rep.reps = static_cast<int>(rep.at("reps").number());

@@ -88,6 +88,11 @@ struct ArchiveProvenance {
   /// archives written before tail metrics existed; `comb compare` notes
   /// when two non-empty bases differ.
   std::string tailPercentiles;
+  /// Transport stack the archive's sweeps ran on ("gm", "portals",
+  /// "progress_thread", "rdma", or "mixed" when sweeps span stacks).
+  /// Empty for archives written before the field existed; `comb compare`
+  /// notes when two non-empty stacks differ.
+  std::string stack;
 };
 
 /// The percentile base this build's tail metrics are computed on.

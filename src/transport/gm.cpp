@@ -85,9 +85,17 @@ sim::Task<void> GmEndpoint::progress() {
   co_await cpu_.compute(cfg_.libCallCost);
   // Drain the NIC event queue the way MPICH-GM's progress engine does:
   // everything pending is handled in one call.
+  co_await drainEvents();
+}
+
+sim::Task<void> GmEndpoint::drainEvents() {
   while (auto ev = nic_.pop()) {
     co_await handleEvent(std::move(*ev));
   }
+}
+
+sim::Task<void> GmEndpoint::chargeProgress(Time t) {
+  co_await cpu_.compute(t);
 }
 
 sim::Task<void> GmEndpoint::handleEvent(nic::GmEvent ev) {
@@ -106,14 +114,14 @@ sim::Task<void> GmEndpoint::handleEvent(nic::GmEvent ev) {
     Time cost = cfg_.ctrlHandleCost;
     if (plan->kind == WireKind::Eager)
       cost += copyTimeAt(cfg_.eagerTxCopyRate, plan->missingBytes);
-    co_await cpu_.compute(cost);
+    co_await chargeProgress(cost);
     // Acks may have landed while we were re-staging.
     if (!nic_.planRetransmit(ev.msgId)) co_return;
     nic_.executeRetransmit(ev.msgId);
     co_return;
   }
   if (ev.type == EvType::SendDone) {
-    co_await cpu_.compute(cfg_.ctrlHandleCost);
+    co_await chargeProgress(cfg_.ctrlHandleCost);
     const auto it = txByMsgId_.find(ev.msgId);
     COMB_ASSERT(it != txByMsgId_.end(), "SendDone for unknown message");
     const std::uint64_t handle = it->second;
@@ -153,7 +161,7 @@ sim::Task<void> GmEndpoint::handleEvent(nic::GmEvent ev) {
     if (sim_.tracing())
       sim_.emitTrace(sim::TraceCategory::Protocol, node_, "cts->dma",
                      static_cast<double>(ev.msgBytes));
-    co_await cpu_.compute(cfg_.ctrlHandleCost);
+    co_await chargeProgress(cfg_.ctrlHandleCost);
     const auto it = pendingTx_.find(ev.senderHandle);
     COMB_ASSERT(it != pendingTx_.end(), "CTS for unknown send");
     PendingTx& tx = it->second;
@@ -172,7 +180,7 @@ sim::Task<void> GmEndpoint::handleEvent(nic::GmEvent ev) {
   COMB_ASSERT(ev.kind == WireKind::Data, "unhandled wire kind");
   // Zero-copy arrival into the user buffer; the library only marks the
   // receive complete.
-  co_await cpu_.compute(cfg_.ctrlHandleCost);
+  co_await chargeProgress(cfg_.ctrlHandleCost);
   rxDone_(ev.recvHandle,
           mpi::Status{ev.env.srcRank, ev.env.tag, ev.msgBytes}, ev.data);
   signalActivity();
@@ -183,13 +191,13 @@ sim::Task<void> GmEndpoint::handleMatchEvent(nic::GmEvent ev) {
     if (auto rec = match_.matchArrival(ev.env)) {
       COMB_ASSERT(ev.msgBytes <= rec->maxBytes,
                   "eager message exceeds posted receive buffer");
-      co_await cpu_.compute(cfg_.ctrlHandleCost +
-                            copyTimeAt(cfg_.eagerRxCopyRate, ev.msgBytes));
+      co_await chargeProgress(cfg_.ctrlHandleCost +
+                              copyTimeAt(cfg_.eagerRxCopyRate, ev.msgBytes));
       rxDone_(rec->cookie,
               mpi::Status{ev.env.srcRank, ev.env.tag, ev.msgBytes}, ev.data);
       signalActivity();
     } else {
-      co_await cpu_.compute(cfg_.ctrlHandleCost);
+      co_await chargeProgress(cfg_.ctrlHandleCost);
       const std::uint64_t id = nextUnexId_++;
       unexpected_[id] = UnexRec{WireKind::Eager, ev.env, ev.msgBytes, ev.data,
                                 ev.srcNode, ev.senderHandle};
@@ -198,7 +206,7 @@ sim::Task<void> GmEndpoint::handleMatchEvent(nic::GmEvent ev) {
     co_return;
   }
   COMB_ASSERT(ev.kind == WireKind::Rts, "unexpected match-event kind");
-  co_await cpu_.compute(cfg_.ctrlHandleCost);
+  co_await chargeProgress(cfg_.ctrlHandleCost);
   if (auto rec = match_.matchArrival(ev.env)) {
     COMB_ASSERT(ev.msgBytes <= rec->maxBytes,
                 "rendezvous message exceeds posted receive buffer");

@@ -54,7 +54,15 @@ struct GmConfig {
   ReliabilityConfig rel;
 };
 
-class GmEndpoint final : public Endpoint {
+/// GmEndpoint doubles as the shared *library protocol core*: the
+/// progress-thread stack (transport/progress_thread.hpp) runs the
+/// identical eager/rendezvous/retransmit state machine but executes the
+/// event-handling side on a progress engine instead of inside the
+/// application's MPI calls. The seam is chargeProgress(): every CPU
+/// charge on the event-handling path goes through it, so a derived
+/// stack can re-home that work onto another core (or the interrupt
+/// path) without touching the protocol itself.
+class GmEndpoint : public Endpoint {
  public:
   GmEndpoint(sim::Simulator& sim, host::Cpu& cpu, net::Fabric& fabric,
              net::NodeId node, GmConfig cfg);
@@ -73,7 +81,7 @@ class GmEndpoint final : public Endpoint {
   const nic::GmNic& nic() const { return nic_; }
   const GmConfig& config() const { return cfg_; }
 
- private:
+ protected:
   /// Unexpected-arrival record (library buffers).
   struct UnexRec {
     WireKind kind = WireKind::Eager;
@@ -94,6 +102,14 @@ class GmEndpoint final : public Endpoint {
   /// Matching logic for envelope-bearing events (Eager, Rts), called in
   /// per-sender matchSeq order.
   sim::Task<void> handleMatchEvent(nic::GmEvent ev);
+  /// Drain every pending NIC event through the protocol state machine.
+  /// GM calls this from progress() (library context); the progress-thread
+  /// stack calls it from its engine sessions.
+  sim::Task<void> drainEvents();
+  /// Charge `t` seconds of event-handling CPU. GM runs it on the app CPU
+  /// (the library does the work inside an MPI call); derived stacks
+  /// re-home it (dedicated core, or preemption of the app core).
+  virtual sim::Task<void> chargeProgress(Time t);
   Time copyTimeAt(Rate rate, Bytes n) const {
     return static_cast<Time>(n) / rate;
   }

@@ -1,0 +1,219 @@
+#include "transport/rdma.hpp"
+
+#include "common/error.hpp"
+#include "common/string_util.hpp"
+
+namespace comb::transport {
+
+RdmaEndpoint::RdmaEndpoint(sim::Simulator& sim, host::Cpu& cpu,
+                           net::Fabric& fabric, net::NodeId node,
+                           RdmaConfig cfg)
+    : sim_(sim), cpu_(cpu), node_(node), cfg_(cfg),
+      nic_(sim, fabric, node, cfg.nic, cfg.rel),
+      fallbackCounter_(sim.metrics().counter(
+          strFormat("rdma.n%d.unexpected_fallbacks", node))) {
+  COMB_REQUIRE(cfg.eagerThreshold > 0, "eager threshold must be positive");
+  COMB_REQUIRE(cfg.matchDelay >= 0.0, "matchDelay must be non-negative");
+  COMB_REQUIRE(cfg.unexpectedCopyRate > 0.0,
+               "unexpectedCopyRate must be positive");
+  initActivity(sim);
+  nic_.setRxHandler(
+      [this](const WirePayload& frag, net::NodeId src) { hwRx(frag, src); });
+  nic_.setTxDoneHandler([this](std::uint64_t msgId) { hwTxDone(msgId); });
+}
+
+sim::Task<void> RdmaEndpoint::postSend(TxReq req) {
+  const bool eager = req.bytes <= cfg_.eagerThreshold;
+  if (sim_.tracing())
+    sim_.emitTrace(sim::TraceCategory::Protocol, node_,
+                   eager ? "rdma-eager-post" : "rdma-rndv-post",
+                   static_cast<double>(req.bytes));
+  // A post is a doorbell write plus WQE setup — no payload copy: the NIC
+  // DMAs straight out of the registered user buffer.
+  co_await cpu_.compute(cfg_.postOverhead);
+  if (eager) {
+    const std::uint64_t msgId =
+        nic_.sendMessage(req.dstNode, WireKind::Eager, req.env, req.bytes,
+                         req.bytes, req.data, req.handle, 0);
+    txByMsgId_[msgId] = req.handle;
+    // Zero-copy: completion surfaces from NIC context once the DMA has
+    // drained (or fully acked on a lossy fabric).
+    co_return;
+  }
+  // Rendezvous: the RTS goes out; everything after — hardware match at
+  // the receiver, CTS, data DMA — runs NIC-to-NIC with no host on
+  // either side.
+  const std::uint64_t handle = req.handle;
+  const net::NodeId dst = req.dstNode;
+  const mpi::Envelope env = req.env;
+  const Bytes bytes = req.bytes;
+  pendingTx_.emplace(handle, PendingTx{std::move(req)});
+  nic_.sendMessage(dst, WireKind::Rts, env, cfg_.ctrlBytes, bytes, nullptr,
+                   handle, 0);
+}
+
+sim::Task<void> RdmaEndpoint::postRecv(RxReq req) {
+  co_await cpu_.compute(cfg_.postOverhead);
+  if (auto u = match_.matchUnexpected(req.pattern)) {
+    const auto it = unexpected_.find(u->xportHandle);
+    COMB_ASSERT(it != unexpected_.end(), "stale unexpected record");
+    UnexRec rec = std::move(it->second);
+    unexpected_.erase(it);
+    if (rec.kind == WireKind::Eager) {
+      COMB_ASSERT(rec.bytes <= req.maxBytes,
+                  "unexpected message exceeds posted receive buffer");
+      // The host-fallback price: claiming a bounce-buffered message
+      // costs a host copy the expected path never pays.
+      co_await cpu_.compute(static_cast<Time>(rec.bytes) /
+                            cfg_.unexpectedCopyRate);
+      rxDone_(req.handle,
+              mpi::Status{rec.env.srcRank, rec.env.tag, rec.bytes}, rec.data);
+      signalActivity();
+    } else {
+      // Deferred rendezvous: the freshly-programmed match entry answers
+      // the buffered RTS — the CTS leaves from the NIC, no extra host
+      // work beyond the post itself.
+      COMB_ASSERT(rec.kind == WireKind::Rts, "unexpected kind in queue");
+      nic_.sendMessage(rec.srcNode, WireKind::Cts, rec.env, cfg_.ctrlBytes,
+                       rec.bytes, nullptr, rec.senderHandle, req.handle);
+    }
+    co_return;
+  }
+  match_.postRecv(req.pattern, req.maxBytes, req.handle);
+}
+
+sim::Task<void> RdmaEndpoint::progress() {
+  // Hardware progresses communication on its own; a library call only
+  // polls the completion queue.
+  sim::TraceScope span(sim_, sim::TraceCategory::Protocol, node_, "progress");
+  co_await cpu_.compute(cfg_.libCallCost);
+}
+
+void RdmaEndpoint::hwTxDone(std::uint64_t msgId) {
+  const auto it = txByMsgId_.find(msgId);
+  if (it == txByMsgId_.end()) return;  // RTS/CTS control message: untracked
+  const std::uint64_t handle = it->second;
+  txByMsgId_.erase(it);
+  txDone_(handle);
+  signalActivity();
+}
+
+void RdmaEndpoint::hwRx(const WirePayload& frag, net::NodeId src) {
+  const auto key = std::pair{src, frag.msgId};
+  Assembly& a = assembling_[key];
+  if (frag.fragIndex == 0) {
+    a.kind = frag.kind;
+    a.env = frag.env;
+    a.bytes = frag.msgBytes;
+    a.senderHandle = frag.senderHandle;
+    a.recvHandle = frag.recvHandle;
+    a.data = frag.data;
+  }
+  if (++a.fragsSeen < frag.fragCount) return;
+  Assembly done = std::move(a);
+  assembling_.erase(key);
+  hwMessage(std::move(done), src);
+}
+
+void RdmaEndpoint::hwMessage(Assembly done, net::NodeId src) {
+  if (done.kind == WireKind::Eager) {
+    if (auto rec = match_.matchArrival(done.env)) {
+      COMB_ASSERT(done.bytes <= rec->maxBytes,
+                  "eager message exceeds posted receive buffer");
+      if (sim_.tracing())
+        sim_.emitTrace(sim::TraceCategory::Protocol, node_, "hw-match",
+                       static_cast<double>(done.bytes));
+      // The match unit resolves the envelope in silicon; completion
+      // surfaces after its pipeline delay. No host CPU.
+      sim_.schedule(
+          cfg_.matchDelay,
+          [this, cookie = rec->cookie, srcRank = done.env.srcRank,
+           tag = done.env.tag, bytes = done.bytes, data = done.data] {
+            rxDone_(cookie, mpi::Status{srcRank, tag, bytes}, data);
+            signalActivity();
+          });
+    } else {
+      // Miss: the NIC deposits into host bounce buffers; the late
+      // receive pays the copy when it claims the message.
+      ++unexpectedFallbacks_;
+      fallbackCounter_.add();
+      if (sim_.tracing())
+        sim_.emitTrace(sim::TraceCategory::Protocol, node_,
+                       "rdma-unexpected", static_cast<double>(done.bytes));
+      const std::uint64_t id = nextUnexId_++;
+      unexpected_[id] = UnexRec{WireKind::Eager, done.env, done.bytes,
+                               done.data, src, done.senderHandle};
+      match_.addUnexpected(done.env, done.bytes, id);
+      signalActivity();
+    }
+    return;
+  }
+  if (done.kind == WireKind::Rts) {
+    if (auto rec = match_.matchArrival(done.env)) {
+      COMB_ASSERT(done.bytes <= rec->maxBytes,
+                  "rendezvous message exceeds posted receive buffer");
+      if (sim_.tracing())
+        sim_.emitTrace(sim::TraceCategory::Protocol, node_, "hw-match",
+                       static_cast<double>(done.bytes));
+      // Autonomous rendezvous: the receiving NIC answers CTS itself
+      // after the match-unit delay.
+      sim_.schedule(cfg_.matchDelay,
+                    [this, src, env = done.env, bytes = done.bytes,
+                     senderHandle = done.senderHandle,
+                     cookie = rec->cookie] {
+                      nic_.sendMessage(src, WireKind::Cts, env,
+                                       cfg_.ctrlBytes, bytes, nullptr,
+                                       senderHandle, cookie);
+                    });
+    } else {
+      ++unexpectedFallbacks_;
+      fallbackCounter_.add();
+      if (sim_.tracing())
+        sim_.emitTrace(sim::TraceCategory::Protocol, node_,
+                       "rdma-unexpected", static_cast<double>(done.bytes));
+      const std::uint64_t id = nextUnexId_++;
+      unexpected_[id] = UnexRec{WireKind::Rts, done.env, done.bytes, nullptr,
+                               src, done.senderHandle};
+      match_.addUnexpected(done.env, done.bytes, id);
+      signalActivity();
+    }
+    return;
+  }
+  if (done.kind == WireKind::Cts) {
+    if (sim_.tracing())
+      sim_.emitTrace(sim::TraceCategory::Protocol, node_, "cts->dma",
+                     static_cast<double>(done.bytes));
+    const auto it = pendingTx_.find(done.senderHandle);
+    COMB_ASSERT(it != pendingTx_.end(), "CTS for unknown send");
+    TxReq req = std::move(it->second.req);
+    pendingTx_.erase(it);
+    // The sending NIC starts the data DMA itself — no host involvement.
+    const std::uint64_t msgId =
+        nic_.sendMessage(req.dstNode, WireKind::Data, req.env, req.bytes,
+                         req.bytes, req.data, done.senderHandle,
+                         done.recvHandle);
+    txByMsgId_[msgId] = done.senderHandle;
+    return;
+  }
+  COMB_ASSERT(done.kind == WireKind::Data, "unhandled wire kind");
+  // Data lands straight in the user buffer named by the CTS.
+  rxDone_(done.recvHandle,
+          mpi::Status{done.env.srcRank, done.env.tag, done.bytes}, done.data);
+  signalActivity();
+}
+
+sim::Task<bool> RdmaEndpoint::cancelRecv(std::uint64_t handle) {
+  // Tearing down a hardware match entry is another doorbell round-trip.
+  co_await cpu_.compute(cfg_.postOverhead);
+  co_return match_.cancelRecv(handle);
+}
+
+std::optional<mpi::Status> RdmaEndpoint::peekUnexpected(
+    const mpi::Pattern& pattern) const {
+  if (auto u = match_.peekUnexpected(pattern)) {
+    return mpi::Status{u->env.srcRank, u->env.tag, u->bytes};
+  }
+  return std::nullopt;
+}
+
+}  // namespace comb::transport

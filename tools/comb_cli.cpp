@@ -47,7 +47,8 @@ void usage() {
       "usage: comb <polling|pww|latency|assess|stats|trace|compare|hist> "
       "[options]\n"
       "  common options:\n"
-      "    --machine gm|portals    machine model (default gm)\n"
+      "    --machine M             gm | portals | progress_thread |\n"
+      "                            progress_oversub | rdma (default gm)\n"
       "    --machine-file F        load a machine definition (.ini)\n"
       "    --size-kb N             message size in KB (default 100)\n"
       "    --cpus N --nic-cpu K    SMP extension knobs\n"
@@ -95,7 +96,9 @@ void usage() {
 
 ArgParser makeParser(const std::string& method) {
   ArgParser args("comb " + method, "COMB benchmark suite");
-  args.addOption("machine", "gm | portals", "gm");
+  args.addOption(
+      "machine",
+      "gm | portals | progress_thread | progress_oversub | rdma", "gm");
   args.addOption("machine-file", "load a machine definition file (.ini)", "");
   args.addOption("size-kb", "message size in KB", "100");
   args.addOption("cpus", "CPUs per node (SMP extension)", "1");
@@ -203,11 +206,23 @@ backend::MachineConfig machineFrom(const ArgParser& args) {
       m = backend::gmMachine();
     } else if (name == "portals") {
       m = backend::portalsMachine();
+    } else if (name == "progress_thread") {
+      m = backend::progressThreadMachine();
+    } else if (name == "progress_oversub") {
+      m = backend::progressOversubMachine();
+    } else if (name == "rdma") {
+      m = backend::rdmaMachine();
     } else {
-      throw ConfigError("unknown machine '" + name + "' (gm | portals)");
+      throw ConfigError("unknown machine '" + name +
+                        "' (gm | portals | progress_thread | "
+                        "progress_oversub | rdma)");
     }
-    m.cpusPerNode = static_cast<int>(args.integer("cpus"));
-    m.nicCpu = static_cast<int>(args.integer("nic-cpu"));
+    // Presets pick their own CPU shape (progress_thread needs a second
+    // core); only explicit --cpus / --nic-cpu override it.
+    if (args.given("cpus"))
+      m.cpusPerNode = static_cast<int>(args.integer("cpus"));
+    if (args.given("nic-cpu"))
+      m.nicCpu = static_cast<int>(args.integer("nic-cpu"));
   }
   // --fault / --noise override whatever the machine (or machine file)
   // specified.
